@@ -1,0 +1,1 @@
+bench/ablation.ml: Ansor Array Common Float List Printf

@@ -1,0 +1,1 @@
+bench/common.ml: Ansor Float List Printf String Sys Unix

@@ -1,0 +1,1 @@
+bench/fig10.ml: Ansor Array Common Float Hashtbl List Printf String

@@ -1,0 +1,1 @@
+bench/fig3.ml: Ansor Common List Printf String

@@ -1,0 +1,1 @@
+bench/fig6.ml: Ansor Array Common Float List Printf String

@@ -1,0 +1,1 @@
+bench/fig7.ml: Ansor Common Float List Printf

@@ -1,0 +1,1 @@
+bench/fig8.ml: Ansor Common Float List Printf String

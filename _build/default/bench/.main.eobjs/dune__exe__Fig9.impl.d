@@ -1,0 +1,1 @@
+bench/fig9.ml: Ansor Array Common Hashtbl List Printf String

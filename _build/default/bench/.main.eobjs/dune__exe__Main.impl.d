@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Common Fig10 Fig3 Fig6 Fig7 Fig8 Fig9 List Micro Printf Searchtime String Sys Table1 Table2 Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Ansor Bechamel Benchmark Common Hashtbl Instance List Measure Printf Staged Test Time Toolkit

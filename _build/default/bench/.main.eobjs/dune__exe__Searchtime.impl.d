@@ -1,0 +1,1 @@
+bench/searchtime.ml: Ansor Array Common List Printf

@@ -1,0 +1,1 @@
+bench/table2.ml: Ansor Array Common List Printf

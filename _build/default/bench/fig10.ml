@@ -1,0 +1,132 @@
+(* Figure 10: task-scheduler ablation.  Left: MobileNet-V2 alone; right:
+   MobileNet-V2 + ResNet-50 jointly.  The objective is f3 — the geometric
+   mean of speedups against AutoTVM's final result (the paper's reference
+   line at 1.0).  Four variants: full Ansor, Ansor with a round-robin
+   scheduler, no fine-tuning, and the limited template space. *)
+
+open Common
+
+let machine = Ansor.Machine.intel_cpu
+
+let build ~nets =
+  (* deduplicated task array + per-network weight lists *)
+  let table = Hashtbl.create 32 in
+  let order = ref [] in
+  let networks =
+    List.map
+      (fun net ->
+        let task_weights =
+          List.map
+            (fun ((task : Ansor.Task.t), w) ->
+              let key = Ansor.Task.key task in
+              let i =
+                match Hashtbl.find_opt table key with
+                | Some i -> i
+                | None ->
+                  let i = Hashtbl.length table in
+                  Hashtbl.replace table key i;
+                  order := task :: !order;
+                  i
+              in
+              (i, w))
+            (Ansor.Workloads.net_tasks ~machine net)
+        in
+        { Ansor.Scheduler.net_name = net.Ansor.Workloads.net_name; task_weights })
+      nets
+  in
+  (Array.of_list (List.rev !order), networks)
+
+let autotvm_reference ~tasks ~networks ~budget =
+  let options =
+    {
+      Ansor.Scheduler.default_options with
+      tuner_options = Ansor.Baselines.autotvm;
+      eps_greedy = 1.0;
+      seed;
+    }
+  in
+  let sched = Ansor.Scheduler.create options ~tasks ~networks in
+  Ansor.Scheduler.run sched ~trial_budget:budget;
+  ( List.map (fun n -> Ansor.Scheduler.network_latency sched n) networks,
+    Ansor.Scheduler.total_trials sched )
+
+let variant_curve ~tasks ~networks ~budget ~refs (name, tuner_options, uniform) =
+  let options =
+    {
+      Ansor.Scheduler.default_options with
+      objective = Ansor.Scheduler.F3_geomean_speedup (Array.of_list refs);
+      tuner_options;
+      eps_greedy = (if uniform then 1.0 else 0.05);
+      seed;
+    }
+  in
+  let sched = Ansor.Scheduler.create options ~tasks ~networks in
+  let (), elapsed = time_of (fun () -> Ansor.Scheduler.run sched ~trial_budget:budget) in
+  let speedup netlats =
+    Ansor.Stats.geomean (List.mapi (fun j r -> r /. netlats.(j)) refs)
+  in
+  let curve =
+    List.map
+      (fun (trials, netlats) -> (trials, speedup netlats))
+      (Ansor.Scheduler.curve sched)
+  in
+  Printf.printf "  %-20s final speedup %.3f  (%.0fs)\n%!" name
+    (match List.rev curve with (_, s) :: _ -> s | [] -> 0.0)
+    elapsed;
+  (name, curve)
+
+let variants =
+  [
+    ("Ansor (ours)", Ansor.Baselines.ansor, false);
+    ("No task scheduler", Ansor.Baselines.ansor, true);
+    ("No fine-tuning", Ansor.Tuner.no_finetune_options, false);
+    ("Limited space", Ansor.Tuner.limited_options, false);
+  ]
+
+let run_panel title nets ~budget ~ref_budget =
+  subheader title;
+  let tasks, networks = build ~nets in
+  Printf.printf "  %d unique tasks; variant budget %d trials, AutoTVM reference %d\n%!"
+    (Array.length tasks) budget ref_budget;
+  let refs, ref_trials = autotvm_reference ~tasks ~networks ~budget:ref_budget in
+  Printf.printf "  AutoTVM reference: %s (%d trials)\n%!"
+    (String.concat " " (List.map (fun l -> Printf.sprintf "%.3fms" (l *. 1e3)) refs))
+    ref_trials;
+  let curves =
+    List.map (variant_curve ~tasks ~networks ~budget ~refs) variants
+  in
+  let checkpoints =
+    List.filter (fun c -> c <= budget)
+      [ budget / 8; budget / 4; budget / 2; (3 * budget) / 4; budget ]
+    |> List.sort_uniq compare
+  in
+  Printf.printf "\nGeomean speedup over AutoTVM (>1.0 = better than AutoTVM):\n";
+  Printf.printf "%-10s" "trials";
+  List.iter (fun (n, _) -> Printf.printf "%20s" n) curves;
+  print_newline ();
+  List.iter
+    (fun cp ->
+      Printf.printf "%-10d" cp;
+      List.iter
+        (fun (_, curve) ->
+          let best_at =
+            List.fold_left
+              (fun acc (t, s) -> if t <= cp then Float.max acc s else acc)
+              0.0 curve
+          in
+          Printf.printf "%20.3f" best_at)
+        curves;
+      print_newline ())
+    checkpoints
+
+let run () =
+  header "Figure 10: task-scheduler ablation (objective f3 vs AutoTVM)";
+  let per_task = scaled 24 in
+  let mb = Ansor.Workloads.mobilenet_v2 ~batch:1 in
+  let rn = Ansor.Workloads.resnet50 ~batch:1 in
+  let n_mb = List.length mb.layers in
+  let n_both = n_mb + List.length rn.layers in
+  run_panel "MobileNet-V2" [ mb ] ~budget:(per_task * n_mb)
+    ~ref_budget:(2 * per_task * n_mb);
+  run_panel "MobileNet-V2 + ResNet-50" [ mb; rn ] ~budget:(per_task * n_both)
+    ~ref_budget:(2 * per_task * n_both)

@@ -1,0 +1,68 @@
+(* Figure 6: single-operator benchmark on the Intel CPU model.
+
+   Ten operator families x four shapes x two batch sizes, tuned by every
+   framework with the same measurement-trial budget.  The table reports,
+   per operator family and framework, the geometric mean over the four
+   shapes of the throughput normalized to the best framework — exactly the
+   y-axis of Figure 6. *)
+
+open Common
+
+let frameworks = [ "PyTorch"; "Halide"; "FlexTensor"; "AutoTVM"; "Ansor" ]
+
+let run_case ~machine ~trials (case : Ansor.Workloads.case) =
+  [
+    vendor_case Ansor.Baselines.Pytorch ~machine case;
+    tune_case ~options:Ansor.Baselines.halide_beam ~machine ~trials case;
+    tune_case ~options:Ansor.Baselines.flextensor ~machine ~trials case;
+    tune_case ~options:Ansor.Baselines.autotvm ~machine ~trials case;
+    tune_case ~options:Ansor.Baselines.ansor ~machine ~trials case;
+  ]
+
+let run_batch ~batch ~trials =
+  subheader (Printf.sprintf "Batch size = %d  (budget %d trials/case)" batch trials);
+  let machine = Ansor.Machine.intel_cpu in
+  let results =
+    List.map
+      (fun (op, cases) ->
+        let per_case =
+          List.map
+            (fun case ->
+              let lat, elapsed =
+                time_of (fun () -> run_case ~machine ~trials case)
+              in
+              Printf.printf "  %-14s %s  (%.1fs)\n%!" case.Ansor.Workloads.case_name
+                (String.concat " "
+                   (List.map (fun l -> Printf.sprintf "%9.3fms" (l *. 1e3)) lat))
+                elapsed;
+              lat)
+            cases
+        in
+        (op, geomean_normalized per_case))
+      (Ansor.Workloads.single_op_suite ~batch)
+  in
+  Printf.printf "\nNormalized performance (geomean over 4 shapes; 1.00 = best):\n";
+  Printf.printf "%-8s" "op";
+  List.iter (fun f -> Printf.printf "%12s" f) frameworks;
+  print_newline ();
+  let wins = Array.make (List.length frameworks) 0 in
+  List.iter
+    (fun (op, norm) ->
+      Printf.printf "%-8s" op;
+      let best = List.fold_left Float.max 0.0 norm in
+      List.iteri
+        (fun i v ->
+          if v >= best -. 1e-9 then wins.(i) <- wins.(i) + 1;
+          Printf.printf "%12.3f" v)
+        norm;
+      print_newline ())
+    results;
+  Printf.printf "%-8s" "wins";
+  Array.iter (fun w -> Printf.printf "%12d" w) wins;
+  print_newline ()
+
+let run () =
+  header "Figure 6: single-operator benchmark (Intel CPU model)";
+  let trials = scaled 600 in
+  run_batch ~batch:1 ~trials;
+  run_batch ~batch:16 ~trials

@@ -1,0 +1,69 @@
+(* Figure 8: subgraph benchmark — ConvLayer (conv2d + bn + relu) and TBG
+   (transpose x2 + batch matmul) on the CPU and GPU machine models, batch
+   sizes 1 and 16.  "@C" = CPU, "@G" = GPU, as in the paper. *)
+
+open Common
+
+let run_case ~machine ~trials ~with_halide (case : Ansor.Workloads.case) =
+  [
+    vendor_case Ansor.Baselines.Pytorch ~machine case;
+    (if with_halide then
+       tune_case ~options:Ansor.Baselines.halide_beam ~machine ~trials case
+     else infinity);
+    tune_case ~options:Ansor.Baselines.flextensor ~machine ~trials case;
+    tune_case ~options:Ansor.Baselines.autotvm ~machine ~trials case;
+    tune_case ~options:Ansor.Baselines.ansor ~machine ~trials case;
+  ]
+
+let bench_subgraph ~batch ~trials name cases =
+  List.concat_map
+    (fun (machine, tag, with_halide) ->
+      let per_case =
+        List.map
+          (fun case ->
+            let lat, elapsed =
+              time_of (fun () -> run_case ~machine ~trials ~with_halide case)
+            in
+            Printf.printf "  %-18s@%s %s (%.1fs)\n%!"
+              case.Ansor.Workloads.case_name tag
+              (String.concat " "
+                 (List.map
+                    (fun l ->
+                      if Float.is_finite l then Printf.sprintf "%9.3fms" (l *. 1e3)
+                      else "        -")
+                    lat))
+              elapsed;
+            lat)
+          cases
+      in
+      [ (Printf.sprintf "%s @%s b%d" name tag batch, geomean_normalized per_case) ])
+    [
+      (Ansor.Machine.intel_cpu, "C", true);
+      (* the paper omits the Halide auto-scheduler on GPU (experimental) *)
+      (Ansor.Machine.gpu, "G", false);
+    ]
+
+let run () =
+  header "Figure 8: subgraph benchmark (CPU and GPU models)";
+  let trials = scaled 400 in
+  let frameworks = [ "PyTorch"; "Halide"; "FlexTensor"; "AutoTVM"; "Ansor" ] in
+  let rows =
+    List.concat_map
+      (fun batch ->
+        bench_subgraph ~batch ~trials "ConvLayer"
+          (Ansor.Workloads.conv_layer_cases ~batch)
+        @ bench_subgraph ~batch ~trials "TBG" (Ansor.Workloads.tbg_cases ~batch))
+      [ 1; 16 ]
+  in
+  Printf.printf "\nNormalized performance (geomean over 4 shapes; 1.00 = best):\n";
+  Printf.printf "%-22s" "subgraph";
+  List.iter (fun f -> Printf.printf "%12s" f) frameworks;
+  print_newline ();
+  List.iter
+    (fun (name, norm) ->
+      Printf.printf "%-22s" name;
+      List.iter
+        (fun v -> if v > 1e-6 then Printf.printf "%12.3f" v else Printf.printf "%12s" "-")
+        norm;
+      print_newline ())
+    rows

@@ -1,0 +1,105 @@
+(* Figure 9: end-to-end network inference benchmark on the three machine
+   models.  Ansor and AutoTVM tune the networks' unique subgraphs under
+   the same trial budget (Ansor with the gradient task scheduler, AutoTVM
+   with its template space and uniform allocation); the vendor frameworks
+   are statically pre-tuned libraries. *)
+
+open Common
+
+(* offline vendor results are deterministic per task: cache them *)
+let vendor_cache : (string, float) Hashtbl.t = Hashtbl.create 64
+
+let vendor_net vendor tasks =
+  List.fold_left
+    (fun acc ((task : Ansor.Task.t), w) ->
+      let key = Ansor.Baselines.vendor_name vendor ^ "|" ^ Ansor.Task.key task in
+      let lat =
+        match Hashtbl.find_opt vendor_cache key with
+        | Some l -> l
+        | None ->
+          let l = Ansor.Baselines.vendor_latency vendor task in
+          Hashtbl.replace vendor_cache key l;
+          l
+      in
+      acc +. (float_of_int w *. lat))
+    0.0 tasks
+
+let tuned_net ~tuner_options ~uniform ~machine net ~trials_per_task =
+  let pairs = Ansor.Workloads.net_tasks ~machine net in
+  let tasks = Array.of_list (List.map fst pairs) in
+  let networks =
+    [
+      {
+        Ansor.Scheduler.net_name = net.Ansor.Workloads.net_name;
+        task_weights = List.mapi (fun i (_, w) -> (i, w)) pairs;
+      };
+    ]
+  in
+  let options =
+    {
+      Ansor.Scheduler.default_options with
+      tuner_options;
+      seed;
+      (* "uniform": disable the gradient scheduler by exploring randomly,
+         emulating a fixed per-task budget *)
+      eps_greedy = (if uniform then 1.0 else 0.05);
+    }
+  in
+  let sched = Ansor.Scheduler.create options ~tasks ~networks in
+  Ansor.Scheduler.run sched
+    ~trial_budget:(trials_per_task * Array.length tasks);
+  Ansor.Scheduler.network_latency sched (List.hd networks)
+
+let bench_platform ~machine ~batch ~vendors ~trials_per_task =
+  subheader
+    (Printf.sprintf "%s, batch = %d (budget %d trials/subgraph)"
+       machine.Ansor.Machine.name batch trials_per_task);
+  let nets = Ansor.Workloads.networks ~batch in
+  let columns =
+    List.map Ansor.Baselines.vendor_name vendors @ [ "AutoTVM"; "Ansor" ]
+  in
+  let rows =
+    List.map
+      (fun net ->
+        let tasks = Ansor.Workloads.net_tasks ~machine net in
+        let vend = List.map (fun v -> vendor_net v tasks) vendors in
+        let autotvm, t1 =
+          time_of (fun () ->
+              tuned_net ~tuner_options:Ansor.Baselines.autotvm ~uniform:true
+                ~machine net ~trials_per_task)
+        in
+        let ansor, t2 =
+          time_of (fun () ->
+              tuned_net ~tuner_options:Ansor.Baselines.ansor ~uniform:false
+                ~machine net ~trials_per_task)
+        in
+        let lats = vend @ [ autotvm; ansor ] in
+        Printf.printf "  %-14s %s  (%.0fs + %.0fs)\n%!" net.Ansor.Workloads.net_name
+          (String.concat " "
+             (List.map (fun l -> Printf.sprintf "%9.3fms" (l *. 1e3)) lats))
+          t1 t2;
+        (net.Ansor.Workloads.net_name, lats))
+      nets
+  in
+  Printf.printf "\nNormalized performance (1.00 = best per network):\n";
+  normalized_table ~row_label:"network" ~columns ~rows
+
+let run () =
+  header "Figure 9: end-to-end network benchmark";
+  let trials_per_task = scaled 64 in
+  bench_platform ~machine:Ansor.Machine.intel_cpu ~batch:1
+    ~vendors:[ Ansor.Baselines.Pytorch; Ansor.Baselines.Tensorflow ]
+    ~trials_per_task;
+  bench_platform ~machine:Ansor.Machine.intel_cpu ~batch:16
+    ~vendors:[ Ansor.Baselines.Pytorch; Ansor.Baselines.Tensorflow ]
+    ~trials_per_task;
+  bench_platform ~machine:Ansor.Machine.gpu ~batch:1
+    ~vendors:
+      [ Ansor.Baselines.Pytorch; Ansor.Baselines.Tensorflow; Ansor.Baselines.Tensorrt ]
+    ~trials_per_task;
+  bench_platform ~machine:Ansor.Machine.gpu ~batch:16
+    ~vendors:
+      [ Ansor.Baselines.Pytorch; Ansor.Baselines.Tensorflow; Ansor.Baselines.Tensorrt ]
+    ~trials_per_task;
+  bench_platform ~machine:Ansor.Machine.arm_cpu ~batch:1
+    ~vendors:[ Ansor.Baselines.Tflite ] ~trials_per_task

@@ -1,0 +1,77 @@
+(* Bechamel micro-benchmarks of the system's hot paths: the per-candidate
+   costs that determine search throughput (lower, simulate, extract
+   features, score, mutate) and the per-round costs (GBDT training,
+   sampling, sketch generation). *)
+
+open Bechamel
+open Toolkit
+
+let machine = Ansor.Machine.intel_cpu
+
+let setup () =
+  let dag =
+    Ansor.Nn.conv_layer ~n:1 ~c:64 ~h:28 ~w:28 ~f:64 ~kh:3 ~kw:3 ~stride:1
+      ~pad:1 ()
+  in
+  let sketches = Ansor.Sketch_gen.generate dag in
+  let policy = Ansor.Policy.cpu ~workers:20 in
+  let rng = Ansor.Rng.create 11 in
+  let states = Ansor.Sampler.sample rng policy dag ~sketches ~n:40 in
+  let st = List.hd states in
+  let prog = Ansor.Lower.lower st in
+  let records =
+    List.map
+      (fun st ->
+        let p = Ansor.Lower.lower st in
+        Ansor.Cost_model.record_of_prog ~task_key:"t"
+          ~latency:(Ansor.Simulator.estimate machine p)
+          p)
+      states
+  in
+  let model = Ansor.Cost_model.train records in
+  (dag, sketches, policy, st, prog, model, records)
+
+let run () =
+  Common.header "Micro-benchmarks (Bechamel): search hot paths";
+  let dag, sketches, policy, st, prog, model, records = setup () in
+  let test =
+    Test.make_grouped ~name:"ansor"
+      [
+        Test.make ~name:"lower" (Staged.stage (fun () -> Ansor.Lower.lower st));
+        Test.make ~name:"simulate"
+          (Staged.stage (fun () -> Ansor.Simulator.estimate machine prog));
+        Test.make ~name:"features"
+          (Staged.stage (fun () -> Ansor.Features.of_prog prog));
+        Test.make ~name:"model-score"
+          (Staged.stage (fun () -> Ansor.Cost_model.score_prog model prog));
+        Test.make ~name:"sample-program"
+          (Staged.stage
+             (let rng = Ansor.Rng.create 42 in
+              fun () -> Ansor.Sampler.sample_one rng policy dag ~sketches));
+        Test.make ~name:"mutate-tile"
+          (Staged.stage
+             (let rng = Ansor.Rng.create 43 in
+              fun () -> Ansor.Evolution.mutate_tile_sizes rng dag st));
+        Test.make ~name:"gbdt-train"
+          (Staged.stage (fun () -> Ansor.Cost_model.train records));
+        Test.make ~name:"sketch-gen"
+          (Staged.stage (fun () -> Ansor.Sketch_gen.generate dag));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  Printf.printf "%-26s %16s\n" "operation" "time/op";
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some (ns :: _) ->
+        if ns > 1e6 then Printf.printf "%-26s %13.3f ms\n" name (ns /. 1e6)
+        else if ns > 1e3 then Printf.printf "%-26s %13.3f us\n" name (ns /. 1e3)
+        else Printf.printf "%-26s %13.1f ns\n" name ns
+      | _ -> Printf.printf "%-26s %16s\n" name "n/a")
+    (List.sort compare rows)

@@ -1,0 +1,73 @@
+(* Search-time study (§7.3): how many measurement trials Ansor needs to
+   match AutoTVM's final result on network tuning.  The paper reports a
+   ~10x reduction. *)
+
+open Common
+
+let machine = Ansor.Machine.intel_cpu
+
+let run_one net =
+  let pairs = Ansor.Workloads.net_tasks ~machine net in
+  let tasks = Array.of_list (List.map fst pairs) in
+  let networks =
+    [
+      {
+        Ansor.Scheduler.net_name = net.Ansor.Workloads.net_name;
+        task_weights = List.mapi (fun i (_, w) -> (i, w)) pairs;
+      };
+    ]
+  in
+  let n = Array.length tasks in
+  let autotvm_budget = scaled 48 * n in
+  let autotvm_sched =
+    Ansor.Scheduler.create
+      {
+        Ansor.Scheduler.default_options with
+        tuner_options = Ansor.Baselines.autotvm;
+        eps_greedy = 1.0;
+        seed;
+      }
+      ~tasks ~networks
+  in
+  Ansor.Scheduler.run autotvm_sched ~trial_budget:autotvm_budget;
+  let reference = Ansor.Scheduler.network_latency autotvm_sched (List.hd networks) in
+  let used = Ansor.Scheduler.total_trials autotvm_sched in
+  let ansor_sched =
+    Ansor.Scheduler.create
+      { Ansor.Scheduler.default_options with tuner_options = Ansor.Baselines.ansor; seed }
+      ~tasks ~networks
+  in
+  Ansor.Scheduler.run ansor_sched ~trial_budget:autotvm_budget;
+  let curve = Ansor.Scheduler.curve ansor_sched in
+  let matched =
+    List.fold_left
+      (fun acc (trials, netlats) ->
+        match acc with
+        | Some _ -> acc
+        | None -> if netlats.(0) <= reference then Some trials else None)
+      None curve
+  in
+  let final =
+    match List.rev curve with (_, l) :: _ -> l.(0) | [] -> infinity
+  in
+  ( net.Ansor.Workloads.net_name,
+    used,
+    reference,
+    matched,
+    final )
+
+let run () =
+  header "Search-time study: trials for Ansor to match AutoTVM";
+  Printf.printf "%-14s %14s %16s %18s %14s %8s\n" "network" "AutoTVM trials"
+    "AutoTVM (ms)" "Ansor match @" "Ansor final" "speedup";
+  List.iter
+    (fun net ->
+      let name, used, reference, matched, final = run_one net in
+      Printf.printf "%-14s %14d %16.3f %18s %14.3f %8s\n%!" name used
+        (reference *. 1e3)
+        (match matched with
+        | Some t -> Printf.sprintf "%d trials (%.1fx)" t (float_of_int used /. float_of_int (max t 1))
+        | None -> "not matched")
+        (final *. 1e3)
+        (Printf.sprintf "%.2fx" (reference /. final)))
+    [ Ansor.Workloads.mobilenet_v2 ~batch:1; Ansor.Workloads.dcgan ~batch:1 ]

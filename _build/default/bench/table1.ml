@@ -1,0 +1,52 @@
+(* Table 1 / Figure 5: the derivation rules and the sketches they generate
+   on the paper's two example inputs, plus rule-coverage statistics over
+   the whole operator suite. *)
+
+open Common
+
+let count_steps pred st =
+  List.length (List.filter pred (Ansor.Sketch_gen.sketch_steps st))
+
+let classify st =
+  let cache = count_steps (function Ansor.Step.Cache_write _ -> true | _ -> false) st in
+  let rf = count_steps (function Ansor.Step.Rfactor _ -> true | _ -> false) st in
+  let fuse = count_steps (function Ansor.Step.Compute_at _ -> true | _ -> false) st in
+  let inl = count_steps (function Ansor.Step.Compute_inline _ -> true | _ -> false) st in
+  (cache, rf, fuse, inl)
+
+let show_input name dag =
+  subheader name;
+  Printf.printf "%s\n\n" (Format.asprintf "%a" Ansor.Dag.pp dag);
+  let sketches = Ansor.Sketch_gen.generate dag in
+  Printf.printf "%d sketches generated:\n" (List.length sketches);
+  List.iteri
+    (fun i st ->
+      let cache, rf, fuse, inl = classify st in
+      Printf.printf
+        "  sketch %d: %2d steps (cache stages %d, rfactor %d, fusions %d, inlines %d)\n"
+        i
+        (List.length (Ansor.Sketch_gen.sketch_steps st))
+        cache rf fuse inl)
+    sketches
+
+let run () =
+  header "Table 1 / Figure 5: derivation rules and generated sketches";
+  show_input "Example input 1 (matmul + ReLU)" (Ansor.Nn.matmul_relu ~m:512 ~n:512 ~k:512 ());
+  show_input "Example input 2 (relu; pad; tall-thin matmul)" (Ansor.Nn.figure5_input2 ());
+  subheader "Sketch counts over the single-operator suite (batch 1)";
+  Printf.printf "%-8s %10s %14s %14s %14s\n" "op" "sketches" "with cache"
+    "with rfactor" "with fusion";
+  List.iter
+    (fun (op, cases) ->
+      let sketches =
+        List.concat_map
+          (fun (c : Ansor.Workloads.case) -> Ansor.Sketch_gen.generate c.dag)
+          cases
+      in
+      let n = List.length sketches in
+      let count f = List.length (List.filter (fun s -> f s > 0) sketches) in
+      Printf.printf "%-8s %10d %14d %14d %14d\n" op n
+        (count (fun s -> let c, _, _, _ = classify s in c))
+        (count (fun s -> let _, r, _, _ = classify s in r))
+        (count (fun s -> let _, _, f, _ = classify s in f)))
+    (Ansor.Workloads.single_op_suite ~batch:1)

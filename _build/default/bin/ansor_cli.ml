@@ -1,0 +1,240 @@
+(* ansor-cli: tune operators, subgraphs and networks from the command
+   line on the simulated machines.
+
+     ansor-cli machines
+     ansor-cli sketches -o GMM
+     ansor-cli tune -o C2D -i 1 -b 1 -m intel-cpu -t 300 -s ansor
+     ansor-cli network -n mobilenet_v2 -m intel-cpu --budget 500
+*)
+
+open Cmdliner
+
+let machine_arg =
+  let doc = "Target machine model (intel-cpu, arm-cpu, gpu)." in
+  Arg.(value & opt string "intel-cpu" & info [ "m"; "machine" ] ~doc)
+
+let lookup_machine name =
+  match Ansor.Machine.by_name name with
+  | m -> Ok m
+  | exception Not_found ->
+    Error
+      (Printf.sprintf "unknown machine %s (expected: %s)" name
+         (String.concat ", "
+            (List.map
+               (fun (m : Ansor.Machine.t) -> m.name)
+               Ansor.Machine.all)))
+
+let op_arg =
+  let doc = "Operator family (C1D C2D C3D GMM GRP DIL DEP T2D CAP NRM), or \
+             ConvLayer / TBG for the subgraph benchmarks." in
+  Arg.(value & opt string "GMM" & info [ "o"; "op" ] ~doc)
+
+let index_arg =
+  let doc = "Shape configuration index (1-4)." in
+  Arg.(value & opt int 1 & info [ "i"; "index" ] ~doc)
+
+let batch_arg =
+  let doc = "Batch size." in
+  Arg.(value & opt int 1 & info [ "b"; "batch" ] ~doc)
+
+let trials_arg =
+  let doc = "Measurement-trial budget." in
+  Arg.(value & opt int 200 & info [ "t"; "trials" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~doc)
+
+let strategy_arg =
+  let doc =
+    "Search strategy: ansor, autotvm, flextensor, beam, limited, \
+     no-finetune."
+  in
+  Arg.(value & opt string "ansor" & info [ "s"; "strategy" ] ~doc)
+
+let lookup_strategy = function
+  | "ansor" -> Ok Ansor.Tuner.ansor_options
+  | "autotvm" -> Ok Ansor.Tuner.autotvm_options
+  | "flextensor" -> Ok Ansor.Tuner.flextensor_options
+  | "beam" -> Ok Ansor.Tuner.beam_options
+  | "limited" -> Ok Ansor.Tuner.limited_options
+  | "no-finetune" -> Ok Ansor.Tuner.no_finetune_options
+  | s -> Error (Printf.sprintf "unknown strategy %s" s)
+
+let cases_of op batch =
+  match op with
+  | "ConvLayer" -> Ok (Ansor.Workloads.conv_layer_cases ~batch)
+  | "TBG" -> Ok (Ansor.Workloads.tbg_cases ~batch)
+  | op -> (
+    match Ansor.Workloads.op_cases ~op ~batch with
+    | cases -> Ok cases
+    | exception Invalid_argument msg -> Error msg)
+
+let case_of op index batch =
+  Result.bind (cases_of op batch) (fun cases ->
+      match List.nth_opt cases (index - 1) with
+      | Some c -> Ok c
+      | None -> Error (Printf.sprintf "shape index %d out of range" index))
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("error: " ^ msg);
+    exit 1
+
+(* ---- commands ----------------------------------------------------------- *)
+
+let machines_cmd =
+  let run () =
+    List.iter
+      (fun (m : Ansor.Machine.t) ->
+        Printf.printf "%-10s %3d workers x %2d lanes  %4.1f GHz  peak %7.1f GFLOP/s\n"
+          m.name m.num_workers m.vector_lanes m.freq_ghz
+          (Ansor.Machine.peak_flops m /. 1e9))
+      Ansor.Machine.all
+  in
+  Cmd.v (Cmd.info "machines" ~doc:"List the simulated machine models.")
+    Term.(const run $ const ())
+
+let sketches_cmd =
+  let run op index batch =
+    let case = or_die (case_of op index batch) in
+    Printf.printf "computation %s:\n%s\n\n" case.Ansor.Workloads.case_name
+      (Format.asprintf "%a" Ansor.Dag.pp case.dag);
+    let sketches = Ansor.Sketch_gen.generate case.dag in
+    Printf.printf "%d sketches\n" (List.length sketches);
+    List.iteri
+      (fun i sk ->
+        Printf.printf "--- sketch %d ---\n" i;
+        List.iter
+          (fun s -> Printf.printf "  %s\n" (Format.asprintf "%a" Ansor.Step.pp s))
+          (Ansor.Sketch_gen.sketch_steps sk))
+      sketches
+  in
+  Cmd.v
+    (Cmd.info "sketches" ~doc:"Show the generated sketches of a workload.")
+    Term.(const run $ op_arg $ index_arg $ batch_arg)
+
+let save_arg =
+  let doc = "Append the best record to this tuning-log file." in
+  Arg.(value & opt (some string) None & info [ "save" ] ~doc)
+
+let curve_arg =
+  let doc = "Plot the best-latency-vs-trials curve." in
+  Arg.(value & flag & info [ "curve" ] ~doc)
+
+let tune_cmd =
+  let run op index batch machine trials seed strategy save curve =
+    let case = or_die (case_of op index batch) in
+    let machine = or_die (lookup_machine machine) in
+    let options = or_die (lookup_strategy strategy) in
+    let result = Ansor.tune ~seed ~trials ~options machine case.dag in
+    Printf.printf "%s on %s (%s, %d trials): best %.4f ms\n"
+      case.case_name machine.name strategy result.trials_used
+      (result.best_latency *. 1e3);
+    if curve then print_string (Ansor.Ascii_plot.render_latency_curve result.curve);
+    (match result.best_state with
+    | Some st ->
+      let prog = Ansor.Lower.lower st in
+      Format.printf "roofline: %a@." Ansor.Roofline.pp
+        (Ansor.Roofline.analyze machine prog)
+    | None -> ());
+    (match (save, result.best_state) with
+    | Some path, Some st ->
+      let task = Ansor.Task.create ~name:case.case_name ~machine case.dag in
+      Ansor.Record.append ~path
+        {
+          Ansor.Record.task_key = Ansor.Task.key task;
+          latency = result.best_latency;
+          steps = st.Ansor.State.history;
+        };
+      Printf.printf "record appended to %s\n" path
+    | _ -> ());
+    match result.best_state with
+    | Some st ->
+      print_newline ();
+      print_endline (Ansor.Prog.to_string (Ansor.Lower.lower st))
+    | None -> print_endline "no valid program found"
+  in
+  Cmd.v (Cmd.info "tune" ~doc:"Auto-schedule one workload.")
+    Term.(
+      const run $ op_arg $ index_arg $ batch_arg $ machine_arg $ trials_arg
+      $ seed_arg $ strategy_arg $ save_arg $ curve_arg)
+
+let replay_cmd =
+  let from_arg =
+    let doc = "Tuning-log file written by tune --save." in
+    Arg.(required & opt (some string) None & info [ "from" ] ~doc)
+  in
+  let run op index batch machine path =
+    let case = or_die (case_of op index batch) in
+    let machine = or_die (lookup_machine machine) in
+    let task = Ansor.Task.create ~name:case.case_name ~machine case.dag in
+    let entries =
+      match Ansor.Record.load ~path with Ok e -> e | Error m -> or_die (Error m)
+    in
+    match Ansor.Record.best_for entries ~task_key:(Ansor.Task.key task) with
+    | None ->
+      Printf.printf "no record for this task in %s\n" path;
+      exit 1
+    | Some entry -> (
+      match Ansor.Record.best_state entry case.dag with
+      | Error m -> or_die (Error m)
+      | Ok st ->
+        let lat = Ansor.Simulator.estimate machine (Ansor.Lower.lower st) in
+        Printf.printf
+          "replayed record (recorded %.4f ms, simulated now %.4f ms)\n"
+          (entry.latency *. 1e3) (lat *. 1e3);
+        print_endline (Ansor.Prog.to_string (Ansor.Lower.lower st)))
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Apply the best recorded schedule without searching.")
+    Term.(const run $ op_arg $ index_arg $ batch_arg $ machine_arg $ from_arg)
+
+let network_cmd =
+  let name_arg =
+    let doc =
+      "Network: resnet50, mobilenet_v2, resnet3d_18, dcgan, bert."
+    in
+    Arg.(value & opt string "mobilenet_v2" & info [ "n"; "network" ] ~doc)
+  in
+  let budget_arg =
+    let doc = "Total measurement-trial budget." in
+    Arg.(value & opt int 500 & info [ "budget" ] ~doc)
+  in
+  let run name batch machine budget seed =
+    let net =
+      match name with
+      | "resnet50" -> Ok (Ansor.Workloads.resnet50 ~batch)
+      | "mobilenet_v2" -> Ok (Ansor.Workloads.mobilenet_v2 ~batch)
+      | "resnet3d_18" -> Ok (Ansor.Workloads.resnet3d_18 ~batch)
+      | "dcgan" -> Ok (Ansor.Workloads.dcgan ~batch)
+      | "bert" -> Ok (Ansor.Workloads.bert ~batch)
+      | n -> Error (Printf.sprintf "unknown network %s" n)
+    in
+    let net = or_die net in
+    let machine = or_die (lookup_machine machine) in
+    let results =
+      Ansor.tune_networks ~seed ~trial_budget:budget machine [ net ]
+    in
+    List.iter
+      (fun (r : Ansor.network_result) ->
+        Printf.printf "%s end-to-end: %.3f ms\n" r.net.net_name
+          (r.latency *. 1e3);
+        List.iter
+          (fun (n, l) -> Printf.printf "  %-28s %10.4f ms\n" n (l *. 1e3))
+          r.per_task)
+      results
+  in
+  Cmd.v
+    (Cmd.info "network"
+       ~doc:"Tune a whole network with the task scheduler.")
+    Term.(const run $ name_arg $ batch_arg $ machine_arg $ budget_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "ansor-cli" ~version:"1.0.0"
+      ~doc:"Auto-scheduling tensor programs (Ansor, OSDI 2020) on simulated machines."
+  in
+  exit (Cmd.eval (Cmd.group info [ machines_cmd; sketches_cmd; tune_cmd; replay_cmd; network_cmd ]))

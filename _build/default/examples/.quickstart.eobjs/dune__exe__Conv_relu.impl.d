@@ -1,0 +1,1 @@
+examples/conv_relu.ml: Ansor Format List Printf

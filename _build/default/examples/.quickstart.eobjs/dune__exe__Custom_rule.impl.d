@@ -1,0 +1,1 @@
+examples/custom_rule.ml: Ansor Dag List Machine Nn Op Printf Rules Sketch_gen State Step Task Tuner

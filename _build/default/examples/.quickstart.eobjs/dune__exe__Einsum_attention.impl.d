@@ -1,0 +1,1 @@
+examples/einsum_attention.ml: Ansor Format List Printf String

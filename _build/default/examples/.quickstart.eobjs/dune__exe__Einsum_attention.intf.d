@@ -1,0 +1,1 @@
+examples/einsum_attention.mli:

@@ -1,0 +1,1 @@
+examples/export_c.ml: Ansor Array Filename List Printf String Sys

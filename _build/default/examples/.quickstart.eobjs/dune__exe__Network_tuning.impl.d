@@ -1,0 +1,1 @@
+examples/network_tuning.ml: Ansor List Printf

@@ -1,0 +1,32 @@
+(* Einsum front-end: define multi-head attention scores with einstein
+   notation, auto-schedule them, and statically validate the result.
+
+     dune exec examples/einsum_attention.exe
+*)
+
+let () =
+  (* scores[b,h,q,k] = sum_d Q[b,h,q,d] * K[b,h,k,d] *)
+  let spec = "bhqd,bhkd->bhqk" in
+  let shapes = [ [ 1; 8; 64; 32 ]; [ 1; 8; 64; 32 ] ] in
+  let dag =
+    Ansor.Einsum.build ~operand_names:[ "Q"; "K" ] spec ~shapes
+  in
+  Printf.printf "einsum %S:\n%s\n\n" spec
+    (Format.asprintf "%a" Ansor.Dag.pp dag);
+  Printf.printf "output shape: [%s]\n\n"
+    (String.concat "; "
+       (List.map string_of_int (Ansor.Einsum.output_shape spec ~shapes)));
+
+  let result = Ansor.tune ~seed:5 ~trials:150 Ansor.Machine.intel_cpu dag in
+  Printf.printf "best simulated latency: %.4f ms\n" (result.best_latency *. 1e3);
+  match result.best_state with
+  | None -> print_endline "tuning failed"
+  | Some st ->
+    let prog = Ansor.Lower.lower st in
+    (match Ansor.Validate.check prog with
+    | [] -> print_endline "static validation: OK"
+    | issues ->
+      List.iter
+        (fun i -> Format.printf "issue: %a@." Ansor.Validate.pp_issue i)
+        issues);
+    print_endline (Ansor.Prog.to_string prog)

@@ -1,0 +1,26 @@
+(* Quickstart: auto-schedule a 512x512x512 matrix multiplication on the
+   simulated 20-core server CPU and print the program Ansor found.
+
+     dune exec examples/quickstart.exe
+*)
+
+let () =
+  let dag = Ansor.Nn.matmul ~m:512 ~n:512 ~k:512 () in
+  Printf.printf "Computation:\n%s\n\n" (Format.asprintf "%a" Ansor.Dag.pp dag);
+
+  let machine = Ansor.Machine.intel_cpu in
+  let result = Ansor.tune ~seed:42 ~trials:200 machine dag in
+
+  Printf.printf "Measurement trials used: %d\n" result.trials_used;
+  Printf.printf "Best simulated latency:  %.3f ms\n"
+    (result.best_latency *. 1e3);
+  let flops = 2.0 *. (512.0 ** 3.0) in
+  Printf.printf "Achieved throughput:     %.1f GFLOP/s (peak %.1f)\n\n"
+    (flops /. result.best_latency /. 1e9)
+    (Ansor.Machine.peak_flops machine /. 1e9);
+
+  match result.best_state with
+  | None -> print_endline "no program found"
+  | Some st ->
+    print_endline "Best program:";
+    print_endline (Ansor.Prog.to_string (Ansor.Lower.lower st))

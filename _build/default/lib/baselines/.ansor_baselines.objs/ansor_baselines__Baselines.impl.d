@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Ansor_machine Ansor_sched Ansor_search Ansor_sketch Ansor_te Ansor_util Array Hashtbl List Lower Option State

@@ -1,0 +1,1 @@
+lib/baselines/baselines.mli: Ansor_sched Ansor_search State

@@ -1,0 +1,92 @@
+open Ansor_sched
+module Rng = Ansor_util.Rng
+module Rules = Ansor_sketch.Rules
+module Gen = Ansor_sketch.Gen
+module Sampler = Ansor_sketch.Sampler
+module Task = Ansor_search.Task
+module Simulator = Ansor_machine.Simulator
+
+type vendor = Pytorch | Tensorflow | Tensorrt | Tflite
+
+let vendor_name = function
+  | Pytorch -> "PyTorch"
+  | Tensorflow -> "TensorFlow"
+  | Tensorrt -> "TensorRT"
+  | Tflite -> "TF-Lite"
+
+(* Offline engineering effort, in candidate schedules evaluated when the
+   library was "written". *)
+let base_candidates = function
+  | Pytorch -> 96
+  | Tensorflow -> 48
+  | Tensorrt -> 160
+  | Tflite -> 48
+
+(* Kernel libraries ship heavily-tuned implementations only for the
+   standard operators; uncommon ones (transposed / capsule / grouped
+   convolutions, 3-D convs) fall back to generic kernels.  Detected
+   structurally: many axes, or division/modulo index arithmetic. *)
+let is_standard_op dag =
+  let has_divmod body =
+    let rec goi = function
+      | Ansor_te.Expr.Int _ | Ansor_te.Expr.Axis _ -> false
+      | Ansor_te.Expr.Iadd (a, b)
+      | Ansor_te.Expr.Isub (a, b)
+      | Ansor_te.Expr.Imul (a, b) ->
+        goi a || goi b
+      | Ansor_te.Expr.Idiv _ | Ansor_te.Expr.Imod _ -> true
+    in
+    List.exists (fun (_, idx) -> List.exists goi idx)
+      (Ansor_te.Expr.accesses body)
+  in
+  Array.for_all
+    (fun op ->
+      match op with
+      | Ansor_te.Op.Placeholder _ -> true
+      | Ansor_te.Op.Compute c ->
+        List.length c.axes <= 4
+        && List.length c.reduce_axes <= 3
+        && not (has_divmod c.body))
+    (Ansor_te.Dag.ops dag)
+
+let offline_candidates vendor dag =
+  let base = base_candidates vendor in
+  if is_standard_op dag then base else max 8 (base / 12)
+
+let vendor_state vendor (task : Task.t) =
+  let rng = Rng.create (1009 + Hashtbl.hash (vendor_name vendor)) in
+  let rules = Rules.limited ~fusion:true in
+  let sketches = Gen.generate ~rules task.Task.dag in
+  let policy = Task.policy task in
+  let candidates =
+    Sampler.sample rng policy task.Task.dag ~sketches
+      ~n:(offline_candidates vendor task.Task.dag)
+  in
+  let best = ref None in
+  List.iter
+    (fun st ->
+      match Lower.lower st with
+      | exception State.Illegal _ -> ()
+      | prog ->
+        let lat = Simulator.estimate task.Task.machine prog in
+        (match !best with
+        | Some (_, l) when l <= lat -> ()
+        | _ -> best := Some (st, lat)))
+    candidates;
+  Option.map fst !best
+
+let vendor_latency vendor task =
+  match vendor_state vendor task with
+  | None -> infinity
+  | Some st ->
+    Simulator.estimate task.Task.machine (Lower.lower st)
+
+let vendor_network_latency vendor tasks =
+  List.fold_left
+    (fun acc (task, w) -> acc +. (float_of_int w *. vendor_latency vendor task))
+    0.0 tasks
+
+let autotvm = Ansor_search.Tuner.autotvm_options
+let flextensor = Ansor_search.Tuner.flextensor_options
+let halide_beam = Ansor_search.Tuner.beam_options
+let ansor = Ansor_search.Tuner.ansor_options

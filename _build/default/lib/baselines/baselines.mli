@@ -1,0 +1,49 @@
+(** Baseline systems for the evaluation (§7).
+
+    Two families:
+
+    {b Vendor-library stand-ins.}  PyTorch (MKL-DNN), TensorFlow,
+    TensorRT and TensorFlow Lite are backed by {e statically pre-tuned}
+    kernels: strong on common operators, not adaptive, and free at
+    deployment time.  Each stand-in deterministically picks the best of a
+    fixed number of offline candidate schedules from a template-like space
+    (fusion included), evaluated on the noise-free simulator, and consumes
+    {e no} online measurement trials.  The candidate counts encode how
+    heavily each library is engineered per platform (TensorRT > PyTorch >
+    TensorFlow ~ TF-Lite) and per operator: uncommon operators (transposed,
+    capsule, grouped and 3-D convolutions — detected structurally) fall
+    back to a generic kernel with a fraction of the tuning effort, which is
+    the paper's explanation for the vendor libraries' weakness outside the
+    standard operator set.
+
+    {b Search-framework stand-ins.}  AutoTVM, FlexTensor and the Halide
+    auto-scheduler are tuner configurations
+    ({!Ansor_search.Tuner.autotvm_options}, [flextensor_options],
+    [beam_options]); thin wrappers are re-exported here under their
+    evaluation names. *)
+
+open Ansor_sched
+
+type vendor = Pytorch | Tensorflow | Tensorrt | Tflite
+
+val vendor_name : vendor -> string
+
+val vendor_state : vendor -> Ansor_search.Task.t -> State.t option
+(** The schedule the library "ships" for this task; [None] only if no
+    candidate lowers (does not happen for the built-in operators). *)
+
+val vendor_latency : vendor -> Ansor_search.Task.t -> float
+(** Noise-free latency of the shipped schedule; [infinity] if none. *)
+
+val vendor_network_latency :
+  vendor -> (Ansor_search.Task.t * int) list -> float
+(** Weighted sum over (task, appearance count). *)
+
+(** Evaluation-name aliases for the search-framework tuner options. *)
+val autotvm : Ansor_search.Tuner.options
+
+val flextensor : Ansor_search.Tuner.options
+
+val halide_beam : Ansor_search.Tuner.options
+
+val ansor : Ansor_search.Tuner.options

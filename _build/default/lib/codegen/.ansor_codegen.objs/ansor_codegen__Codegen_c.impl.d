@@ -1,0 +1,1 @@
+lib/codegen/codegen_c.ml: Ansor_sched Ansor_te Array Buffer Expr Float Hashtbl List Op Printf Prog Step String

@@ -1,0 +1,1 @@
+lib/codegen/deploy.ml: Ansor_machine Ansor_sched Ansor_search Buffer Codegen_c Hashtbl List Lower Printf State String

@@ -1,0 +1,1 @@
+lib/codegen/deploy.mli: Ansor_machine Ansor_sched Ansor_search Ansor_te Prog

@@ -1,0 +1,283 @@
+open Ansor_te
+open Ansor_sched
+
+let sanitize name =
+  let buf = Buffer.create (String.length name + 1) in
+  String.iteri
+    (fun i c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then
+        Buffer.add_char buf c
+      else if c >= '0' && c <= '9' then begin
+        if i = 0 then Buffer.add_char buf 'v';
+        Buffer.add_char buf c
+      end
+      else Buffer.add_char buf '_')
+    name;
+  if Buffer.length buf = 0 then "v" else Buffer.contents buf
+
+(* collision-free identifier table over a set of names *)
+let make_names names =
+  let used = Hashtbl.create 16 in
+  List.map
+    (fun n ->
+      let base = sanitize n in
+      let rec pick candidate k =
+        if Hashtbl.mem used candidate then pick (Printf.sprintf "%s_%d" base k) (k + 1)
+        else candidate
+      in
+      let id = pick base 1 in
+      Hashtbl.replace used id ();
+      (n, id))
+    names
+
+let params (prog : Prog.t) = make_names (List.map fst prog.buffers)
+
+(* loop variables: collected from the item tree *)
+let loop_vars (prog : Prog.t) =
+  let acc = ref [] in
+  let rec go = function
+    | Prog.Stmt _ -> ()
+    | Prog.Loop l ->
+      acc := l.lvar :: !acc;
+      List.iter go l.body
+  in
+  List.iter go prog.items;
+  List.rev !acc
+
+let helpers =
+  {|static inline int floordiv(int a, int b) {
+  int q = a / b, r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+static inline int floormod(int a, int b) {
+  int r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? r + b : r;
+}
+|}
+
+type ctx = {
+  buf_id : string -> string;
+  var_id : string -> string;
+  shapes : (string * int list) list;
+}
+
+let rec emit_iexpr ctx (e : Expr.iexpr) =
+  match e with
+  | Expr.Int n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | Expr.Axis v -> ctx.var_id v
+  | Expr.Iadd (a, b) -> Printf.sprintf "(%s + %s)" (emit_iexpr ctx a) (emit_iexpr ctx b)
+  | Expr.Isub (a, b) -> Printf.sprintf "(%s - %s)" (emit_iexpr ctx a) (emit_iexpr ctx b)
+  | Expr.Imul (a, b) -> Printf.sprintf "(%s * %s)" (emit_iexpr ctx a) (emit_iexpr ctx b)
+  | Expr.Idiv (a, b) ->
+    Printf.sprintf "floordiv(%s, %s)" (emit_iexpr ctx a) (emit_iexpr ctx b)
+  | Expr.Imod (a, b) ->
+    Printf.sprintf "floormod(%s, %s)" (emit_iexpr ctx a) (emit_iexpr ctx b)
+
+let rec emit_bexpr ctx (e : Expr.bexpr) =
+  match e with
+  | Expr.Blt (a, b) -> Printf.sprintf "(%s < %s)" (emit_iexpr ctx a) (emit_iexpr ctx b)
+  | Expr.Ble (a, b) -> Printf.sprintf "(%s <= %s)" (emit_iexpr ctx a) (emit_iexpr ctx b)
+  | Expr.Beq (a, b) -> Printf.sprintf "(%s == %s)" (emit_iexpr ctx a) (emit_iexpr ctx b)
+  | Expr.Band (a, b) -> Printf.sprintf "(%s && %s)" (emit_bexpr ctx a) (emit_bexpr ctx b)
+  | Expr.Bor (a, b) -> Printf.sprintf "(%s || %s)" (emit_bexpr ctx a) (emit_bexpr ctx b)
+  | Expr.Bnot a -> Printf.sprintf "(!%s)" (emit_bexpr ctx a)
+
+(* row-major flattened offset for an access *)
+let emit_offset ctx tensor indices =
+  let shape =
+    match List.assoc_opt tensor ctx.shapes with Some s -> s | None -> []
+  in
+  match indices with
+  | [] -> "0"
+  | _ ->
+    (* row-major: ((i0*d1 + i1)*d2 + i2)... — each index is multiplied by
+       the dimension of the NEXT axis as the fold accumulates *)
+    let rec fold dims idx acc =
+      match (dims, idx) with
+      | [], [] -> acc
+      | d :: dims', i :: idx' ->
+        let t = emit_iexpr ctx i in
+        let acc' =
+          match acc with
+          | None -> t
+          | Some a -> Printf.sprintf "(%s * %d + %s)" a d t
+        in
+        fold dims' idx' (Some acc')
+      | _ -> failwith "emit_offset: rank mismatch"
+    in
+    (match fold shape indices None with Some s -> s | None -> "0")
+
+let emit_access ctx tensor indices =
+  Printf.sprintf "%s[%s]" (ctx.buf_id tensor) (emit_offset ctx tensor indices)
+
+let rec emit_expr ctx (e : Expr.t) =
+  match e with
+  | Expr.Const f ->
+    if Float.is_integer f && Float.abs f < 1e9 then
+      Printf.sprintf "%.1ff" f
+    else Printf.sprintf "%hf" f
+  | Expr.Access (t, idx) -> emit_access ctx t idx
+  | Expr.Cast_int i -> Printf.sprintf "(float)(%s)" (emit_iexpr ctx i)
+  | Expr.Unop (op, a) -> (
+    let x = emit_expr ctx a in
+    match op with
+    | Expr.Neg -> Printf.sprintf "(-%s)" x
+    | Expr.Exp -> Printf.sprintf "expf(%s)" x
+    | Expr.Log -> Printf.sprintf "logf(%s)" x
+    | Expr.Sqrt -> Printf.sprintf "sqrtf(%s)" x
+    | Expr.Tanh -> Printf.sprintf "tanhf(%s)" x
+    | Expr.Sigmoid -> Printf.sprintf "(1.0f / (1.0f + expf(-(%s))))" x
+    | Expr.Abs -> Printf.sprintf "fabsf(%s)" x
+    | Expr.Relu -> Printf.sprintf "fmaxf(%s, 0.0f)" x)
+  | Expr.Binop (op, a, b) -> (
+    let x = emit_expr ctx a and y = emit_expr ctx b in
+    match op with
+    | Expr.Add -> Printf.sprintf "(%s + %s)" x y
+    | Expr.Sub -> Printf.sprintf "(%s - %s)" x y
+    | Expr.Mul -> Printf.sprintf "(%s * %s)" x y
+    | Expr.Div -> Printf.sprintf "(%s / %s)" x y
+    | Expr.Max -> Printf.sprintf "fmaxf(%s, %s)" x y
+    | Expr.Min -> Printf.sprintf "fminf(%s, %s)" x y
+    | Expr.Pow -> Printf.sprintf "powf(%s, %s)" x y)
+  | Expr.Select (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)"
+      (emit_bexpr ctx c) (emit_expr ctx a) (emit_expr ctx b)
+
+let emit_stmt ctx (s : Prog.stmt) =
+  let lhs = emit_access ctx s.tensor s.indices in
+  let rhs = emit_expr ctx s.rhs in
+  match s.update with
+  | None -> Printf.sprintf "%s = %s;" lhs rhs
+  | Some Op.Sum -> Printf.sprintf "%s += %s;" lhs rhs
+  | Some Op.Maximum -> Printf.sprintf "%s = fmaxf(%s, %s);" lhs lhs rhs
+
+let emit_items ctx buf items =
+  let indent n = String.make (2 * n) ' ' in
+  let rec go depth = function
+    | Prog.Stmt s ->
+      Buffer.add_string buf (indent depth);
+      Buffer.add_string buf (emit_stmt ctx s);
+      Buffer.add_char buf '\n'
+    | Prog.Loop l ->
+      (match l.ann with
+      | Step.Parallel ->
+        Buffer.add_string buf (indent depth);
+        Buffer.add_string buf "#pragma omp parallel for\n"
+      | Step.Vectorize ->
+        Buffer.add_string buf (indent depth);
+        Buffer.add_string buf "#pragma omp simd\n"
+      | Step.Unroll ->
+        Buffer.add_string buf (indent depth);
+        Buffer.add_string buf (Printf.sprintf "#pragma GCC unroll %d\n" l.extent)
+      | Step.No_ann -> ());
+      let v = ctx.var_id l.lvar in
+      Buffer.add_string buf (indent depth);
+      Buffer.add_string buf
+        (Printf.sprintf "for (int %s = 0; %s < %d; %s++) {\n" v v l.extent v);
+      List.iter (go (depth + 1)) l.body;
+      Buffer.add_string buf (indent depth);
+      Buffer.add_string buf "}\n"
+  in
+  List.iter (go 1) items
+
+let buffer_size shape = List.fold_left ( * ) 1 shape
+
+let make_ctx (prog : Prog.t) =
+  let buf_names = params prog in
+  let var_names = make_names (loop_vars prog) in
+  {
+    buf_id =
+      (fun n ->
+        match List.assoc_opt n buf_names with
+        | Some id -> id
+        | None -> sanitize n);
+    var_id =
+      (fun v ->
+        match List.assoc_opt v var_names with
+        | Some id -> id
+        | None -> sanitize v);
+    shapes = prog.buffers;
+  }
+
+let emit_kernel ?(name = "kernel") (prog : Prog.t) =
+  let ctx = make_ctx prog in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "#include <math.h>\n\n";
+  Buffer.add_string buf helpers;
+  Buffer.add_char buf '\n';
+  let param_list =
+    String.concat ", "
+      (List.map
+         (fun (n, id) ->
+           ignore n;
+           Printf.sprintf "float * restrict %s" id)
+         (params prog))
+  in
+  Buffer.add_string buf (Printf.sprintf "void %s(%s) {\n" name param_list);
+  (* reduction-buffer initialization *)
+  List.iter
+    (fun (tensor, v) ->
+      match List.assoc_opt tensor prog.buffers with
+      | None -> ()
+      | Some shape ->
+        let n = buffer_size shape in
+        let id = ctx.buf_id tensor in
+        let init =
+          if Float.is_finite v then Printf.sprintf "%hf" v
+          else if v < 0.0 then "-INFINITY"
+          else "INFINITY"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  for (int i = 0; i < %d; i++) %s[i] = %s;\n" n id
+             init))
+    prog.inits;
+  emit_items ctx buf prog.items;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let emit_test_main (prog : Prog.t) ~inputs =
+  let names = params prog in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "#include <stdio.h>\n#include <stdlib.h>\n";
+  Buffer.add_string buf (emit_kernel prog);
+  Buffer.add_char buf '\n';
+  (* input data as exact hex-float initializers *)
+  List.iter
+    (fun (tensor, shape) ->
+      let id = List.assoc tensor names in
+      match List.assoc_opt tensor inputs with
+      | Some data ->
+        if Array.length data <> buffer_size shape then
+          invalid_arg
+            (Printf.sprintf "Codegen_c.emit_test_main: input %s has %d elements, expected %d"
+               tensor (Array.length data) (buffer_size shape));
+        Buffer.add_string buf
+          (Printf.sprintf "static float %s_data[%d] = {" id (Array.length data));
+        Array.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf (Printf.sprintf "%hf" v))
+          data;
+        Buffer.add_string buf "};\n"
+      | None ->
+        Buffer.add_string buf
+          (Printf.sprintf "static float %s_data[%d];\n" id (buffer_size shape)))
+    prog.buffers;
+  Buffer.add_string buf "\nint main(void) {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  kernel(%s);\n"
+       (String.concat ", "
+          (List.map (fun (_, id) -> id ^ "_data") names)));
+  let input_names = List.map fst inputs in
+  List.iter
+    (fun (tensor, shape) ->
+      if not (List.mem tensor input_names) then begin
+        let id = List.assoc tensor names in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  for (int i = 0; i < %d; i++) printf(\"%%.9g\\n\", (double)%s_data[i]);\n"
+             (buffer_size shape) id)
+      end)
+    prog.buffers;
+  Buffer.add_string buf "  return 0;\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,55 @@
+(** C code generation for lowered programs.
+
+    In the paper, Ansor's programs "are then lowered to TVM IR for code
+    generation targeting various hardware platforms" — TVM acts as a
+    deterministic code generator.  This module plays that role here: it
+    emits a self-contained C99 translation unit for any lowered program,
+    with the schedule's annotations mapped to portable pragmas:
+
+    - [parallel]  → [#pragma omp parallel for]
+    - [vectorize] → [#pragma omp simd]
+    - [unroll]    → [#pragma GCC unroll <extent>]
+
+    Semantics match the reference interpreter exactly: floor division /
+    Euclidean modulo helpers are emitted (C's truncating operators differ
+    on negatives, which matters for the transposed-convolution guards),
+    selects become ternaries (so guarded out-of-bounds accesses are never
+    evaluated), and reduction buffers are initialized to their identity
+    element before the loop nests run.
+
+    The emitted code is valid without OpenMP (the pragmas are ignored);
+    compile with [-fopenmp] to actually parallelize.
+
+    The generated kernel takes one [float *] parameter per buffer of the
+    program, inputs first (parameter order = {!params}).  {!emit_test_main}
+    additionally produces a [main] that feeds fixed inputs and prints every
+    output element, which the test suite compiles with gcc and compares
+    against the interpreter — the end-to-end "does real code agree"
+    check. *)
+
+open Ansor_sched
+
+val sanitize : string -> string
+(** C identifier for a tensor or loop-variable name (['.'], ['@'] and other
+    non-alphanumeric characters become ['_']; a leading digit is
+    prefixed). Injective over any one program's names via a disambiguating
+    suffix is {e not} applied here — use {!params} for the per-program
+    unique mapping. *)
+
+val params : Prog.t -> (string * string) list
+(** [(buffer name, C identifier)] for every buffer, in parameter order
+    (program buffer order), with collision-free identifiers. *)
+
+val emit_kernel : ?name:string -> Prog.t -> string
+(** The kernel function (plus the division helpers), as a compilable C
+    fragment. [name] defaults to ["kernel"]. *)
+
+val emit_test_main :
+  Prog.t -> inputs:(string * float array) list -> string
+(** A complete translation unit: the kernel plus a [main] that initializes
+    the input buffers with the given data (hex float literals, exact),
+    zero-allocates the other buffers, runs the kernel once and prints each
+    non-input buffer's elements one per line ([printf "%.9g"]), in buffer
+    order.
+    @raise Invalid_argument if an input is missing or has the wrong
+    size. *)

@@ -1,0 +1,37 @@
+(** Network deployment: export every tuned kernel of a network as one C
+    translation unit.
+
+    This is the end of the paper's pipeline ("we only need to run program
+    generation for the DNNs once before deployment", §7.3): after tuning a
+    network's unique subgraphs — and persisting them with {!Ansor_search.Record} —
+    [emit] produces a self-contained C file with one kernel function per
+    subgraph, ready to be linked into an application.  Subgraphs without a
+    usable record fall back to their naive schedule, so the output is
+    always complete. *)
+
+open Ansor_sched
+
+type kernel = {
+  kernel_name : string;  (** C function name *)
+  task_name : string;  (** the workload it implements *)
+  params : (string * string) list;  (** (buffer, C identifier), in order *)
+  tuned : bool;  (** false when the naive fallback was used *)
+}
+
+val plan :
+  machine:Ansor_machine.Machine.t ->
+  records:Ansor_search.Record.entry list ->
+  (string * Ansor_te.Dag.t) list ->
+  (kernel * Prog.t) list
+(** Resolves each (name, dag) against the records (by task key on the
+    given machine, best entry wins) and lowers the chosen schedule.
+    Kernel names are sanitized task names, uniquified. *)
+
+val emit :
+  machine:Ansor_machine.Machine.t ->
+  records:Ansor_search.Record.entry list ->
+  (string * Ansor_te.Dag.t) list ->
+  string
+(** The full translation unit: a file header summarizing provenance (task,
+    tuned-or-fallback, simulated latency), shared helpers, and one kernel
+    per subgraph. *)

@@ -1,0 +1,126 @@
+module Rng = Ansor_util.Rng
+module Factorize = Ansor_util.Factorize
+module Stats = Ansor_util.Stats
+module Ascii_plot = Ansor_util.Ascii_plot
+module Expr = Ansor_te.Expr
+module Op = Ansor_te.Op
+module Dag = Ansor_te.Dag
+module Nn = Ansor_te.Nn
+module Einsum = Ansor_te.Einsum
+module Step = Ansor_sched.Step
+module State = Ansor_sched.State
+module Prog = Ansor_sched.Prog
+module Lower = Ansor_sched.Lower
+module Access = Ansor_sched.Access
+module Validate = Ansor_sched.Validate
+module Interp = Ansor_interp.Interp
+module Codegen_c = Ansor_codegen.Codegen_c
+module Deploy = Ansor_codegen.Deploy
+module Machine = Ansor_machine.Machine
+module Simulator = Ansor_machine.Simulator
+module Measurer = Ansor_machine.Measurer
+module Roofline = Ansor_machine.Roofline
+module Features = Ansor_features.Features
+module Gbdt = Ansor_gbdt.Gbdt
+module Cost_model = Ansor_cost_model.Cost_model
+module Rules = Ansor_sketch.Rules
+module Sketch_gen = Ansor_sketch.Gen
+module Policy = Ansor_sketch.Policy
+module Annotate = Ansor_sketch.Annotate
+module Sampler = Ansor_sketch.Sampler
+module Evolution = Ansor_evolution.Evolution
+module Task = Ansor_search.Task
+module Tuner = Ansor_search.Tuner
+module Record = Ansor_search.Record
+module Scheduler = Ansor_scheduler.Scheduler
+module Baselines = Ansor_baselines.Baselines
+module Workloads = Ansor_workloads.Workloads
+
+type tune_result = {
+  best_state : State.t option;
+  best_latency : float;
+  trials_used : int;
+  curve : (int * float) list;
+}
+
+let tune ?(seed = 0) ?(trials = 200) ?(options = Tuner.ansor_options) machine
+    dag =
+  let task = Task.create ~name:"tune" ~machine dag in
+  let tuner, measurer = Tuner.tune ~seed options ~trials task in
+  {
+    best_state = Tuner.best_state tuner;
+    best_latency = Tuner.best_latency tuner;
+    trials_used = Measurer.trials measurer;
+    curve = Tuner.curve tuner;
+  }
+
+type network_result = {
+  net : Workloads.net;
+  latency : float;
+  per_task : (string * float) list;
+}
+
+let tune_networks ?(seed = 0) ?trial_budget ?(objective = Scheduler.F1_sum)
+    ?(tuner_options = Tuner.ansor_options) machine nets =
+  (* deduplicate tasks shared between networks by workload key *)
+  let table = Hashtbl.create 32 in
+  let order = ref [] in
+  let index_of task =
+    let key = Task.key task in
+    match Hashtbl.find_opt table key with
+    | Some (i, _) -> i
+    | None ->
+      let i = Hashtbl.length table in
+      Hashtbl.replace table key (i, task);
+      order := task :: !order;
+      i
+  in
+  let networks =
+    List.map
+      (fun net ->
+        let task_weights =
+          List.map
+            (fun (task, w) -> (index_of task, w))
+            (Workloads.net_tasks ~machine net)
+        in
+        { Scheduler.net_name = net.Workloads.net_name; task_weights })
+      nets
+  in
+  let tasks = Array.of_list (List.rev !order) in
+  let budget =
+    match trial_budget with Some b -> b | None -> 64 * Array.length tasks
+  in
+  let sched =
+    Scheduler.create
+      { Scheduler.default_options with objective; tuner_options; seed }
+      ~tasks ~networks
+  in
+  Scheduler.run sched ~trial_budget:budget;
+  List.map2
+    (fun net snet ->
+      {
+        net;
+        latency = Scheduler.network_latency sched snet;
+        per_task =
+          List.map
+            (fun (i, _) ->
+              (tasks.(i).Task.name, Scheduler.best_latency sched i))
+            snet.Scheduler.task_weights;
+      })
+    nets networks
+
+let verify_state (st : State.t) =
+  let dag = st.State.dag in
+  (* verification must run against the original DAG: surgery stages
+     (cache/rfactor) recompute the same outputs, so comparing the outputs
+     of the current DAG against its own naive evaluation is the right
+     check *)
+  match Lower.lower st with
+  | exception State.Illegal msg -> Error msg
+  | prog -> (
+    (* static validation first: it works at any size *)
+    match Validate.check prog with
+    | issue :: _ -> Error (Format.asprintf "%a" Validate.pp_issue issue)
+    | [] ->
+      let inputs = Interp.random_inputs (Rng.create 2024) dag in
+      Interp.check_equivalent dag prog ~inputs)

@@ -1,0 +1,100 @@
+(** Ansor: generating high-performance tensor programs — OCaml
+    reproduction of the OSDI 2020 paper.
+
+    This module is the public facade: it re-exports every subsystem under
+    one namespace and provides two convenience entry points,
+    {!tune} for a single computation and {!tune_networks} for a set of
+    DNNs under the task scheduler.
+
+    {b Quickstart}:
+    {[
+      let dag = Ansor.Nn.matmul ~m:512 ~n:512 ~k:512 () in
+      let result = Ansor.tune ~trials:300 Ansor.Machine.intel_cpu dag in
+      match result.best_state with
+      | Some st ->
+        print_endline (Ansor.Prog.to_string (Ansor.Lower.lower st))
+      | None -> ()
+    ]} *)
+
+(** {1 Subsystems} *)
+
+module Rng = Ansor_util.Rng
+module Factorize = Ansor_util.Factorize
+module Stats = Ansor_util.Stats
+module Ascii_plot = Ansor_util.Ascii_plot
+module Expr = Ansor_te.Expr
+module Op = Ansor_te.Op
+module Dag = Ansor_te.Dag
+module Nn = Ansor_te.Nn
+module Einsum = Ansor_te.Einsum
+module Step = Ansor_sched.Step
+module State = Ansor_sched.State
+module Prog = Ansor_sched.Prog
+module Lower = Ansor_sched.Lower
+module Access = Ansor_sched.Access
+module Validate = Ansor_sched.Validate
+module Interp = Ansor_interp.Interp
+module Codegen_c = Ansor_codegen.Codegen_c
+module Deploy = Ansor_codegen.Deploy
+module Machine = Ansor_machine.Machine
+module Simulator = Ansor_machine.Simulator
+module Measurer = Ansor_machine.Measurer
+module Roofline = Ansor_machine.Roofline
+module Features = Ansor_features.Features
+module Gbdt = Ansor_gbdt.Gbdt
+module Cost_model = Ansor_cost_model.Cost_model
+module Rules = Ansor_sketch.Rules
+module Sketch_gen = Ansor_sketch.Gen
+module Policy = Ansor_sketch.Policy
+module Annotate = Ansor_sketch.Annotate
+module Sampler = Ansor_sketch.Sampler
+module Evolution = Ansor_evolution.Evolution
+module Task = Ansor_search.Task
+module Tuner = Ansor_search.Tuner
+module Record = Ansor_search.Record
+module Scheduler = Ansor_scheduler.Scheduler
+module Baselines = Ansor_baselines.Baselines
+module Workloads = Ansor_workloads.Workloads
+
+(** {1 Convenience API} *)
+
+type tune_result = {
+  best_state : State.t option;
+  best_latency : float;  (** seconds; [infinity] if nothing measured *)
+  trials_used : int;
+  curve : (int * float) list;  (** (trials, best-so-far) *)
+}
+
+val tune :
+  ?seed:int ->
+  ?trials:int ->
+  ?options:Tuner.options ->
+  Machine.t ->
+  Dag.t ->
+  tune_result
+(** Tunes one computation on one machine (default 200 trials, full Ansor
+    strategy). *)
+
+type network_result = {
+  net : Workloads.net;
+  latency : float;  (** end-to-end: sum of w_i x g_i *)
+  per_task : (string * float) list;  (** best latency per unique subgraph *)
+}
+
+val tune_networks :
+  ?seed:int ->
+  ?trial_budget:int ->
+  ?objective:Scheduler.objective ->
+  ?tuner_options:Tuner.options ->
+  Machine.t ->
+  Workloads.net list ->
+  network_result list
+(** Tunes a set of networks with the gradient-descent task scheduler
+    (default budget: 64 trials per unique task, objective F1). Tasks
+    shared between networks are deduplicated by workload key, as in §6. *)
+
+val verify_state : State.t -> (unit, string) result
+(** Checks a scheduled program two ways: statically ({!Validate.check},
+    any size) and dynamically against the naive evaluation of its DAG on
+    random inputs — the system-wide soundness oracle.  The dynamic check
+    executes the program, so keep shapes small. *)

@@ -1,0 +1,1 @@
+lib/cost_model/cost_model.ml: Ansor_features Ansor_gbdt Array Hashtbl List

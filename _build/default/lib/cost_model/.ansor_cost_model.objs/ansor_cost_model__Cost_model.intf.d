@@ -1,0 +1,1 @@
+lib/cost_model/cost_model.mli: Ansor_gbdt Ansor_sched Prog

@@ -1,0 +1,97 @@
+type record = {
+  features : float array list;
+  task_key : string;
+  latency : float;
+}
+
+let record_of_prog ~task_key ~latency prog =
+  if latency <= 0.0 then invalid_arg "Cost_model.record_of_prog: latency <= 0";
+  { features = Ansor_features.Features.of_prog prog; task_key; latency }
+
+type t = { model : Ansor_gbdt.Gbdt.t option; n_records : int }
+
+let empty = { model = None; n_records = 0 }
+
+let is_trained t = t.model <> None
+
+let num_records_trained_on t = t.n_records
+
+let train ?params records =
+  match records with
+  | [] -> empty
+  | records ->
+    (* normalized throughput per record: 1/latency scaled to (0, 1] within
+       each task group *)
+    let max_thr = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        let thr = 1.0 /. r.latency in
+        match Hashtbl.find_opt max_thr r.task_key with
+        | Some m when m >= thr -> ()
+        | _ -> Hashtbl.replace max_thr r.task_key thr)
+      records;
+    let rows = ref [] and targets = ref [] and weights = ref [] in
+    List.iter
+      (fun r ->
+        let thr = 1.0 /. r.latency in
+        let y = thr /. Hashtbl.find max_thr r.task_key in
+        let k = List.length r.features in
+        if k > 0 then begin
+          let per_stmt = y /. float_of_int k in
+          List.iter
+            (fun f ->
+              rows := f :: !rows;
+              targets := per_stmt :: !targets;
+              weights := y :: !weights)
+            r.features
+        end)
+      records;
+    let x = Array.of_list !rows in
+    if Array.length x = 0 then empty
+    else
+      let y = Array.of_list !targets and w = Array.of_list !weights in
+      let model = Ansor_gbdt.Gbdt.train ?params ~x ~y ~w () in
+      { model = Some model; n_records = List.length records }
+
+let score_stmts t features =
+  match t.model with
+  | None -> List.map (fun _ -> 0.0) features
+  | Some m -> List.map (Ansor_gbdt.Gbdt.predict m) features
+
+let score t features = List.fold_left ( +. ) 0.0 (score_stmts t features)
+
+let score_prog t prog = score t (Ansor_features.Features.of_prog prog)
+
+module Metrics = struct
+  let pairwise_accuracy ~predicted ~actual =
+    let p = Array.of_list predicted and a = Array.of_list actual in
+    let n = Array.length p in
+    let correct = ref 0 and total = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if a.(i) <> a.(j) then begin
+          incr total;
+          let actual_order = a.(i) > a.(j) in
+          let predicted_order = p.(i) > p.(j) in
+          if actual_order = predicted_order then incr correct
+        end
+      done
+    done;
+    if !total = 0 then 0.5 else float_of_int !correct /. float_of_int !total
+
+  let top_k k xs =
+    let indexed = List.mapi (fun i x -> (i, x)) xs in
+    let sorted = List.sort (fun (_, a) (_, b) -> compare b a) indexed in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | (i, _) :: rest -> i :: take (n - 1) rest
+    in
+    take k sorted
+
+  let recall_at_k ~k ~predicted ~actual =
+    if k <= 0 then invalid_arg "recall_at_k: k <= 0";
+    let p = top_k k predicted and a = top_k k actual in
+    let inter = List.filter (fun i -> List.mem i a) p in
+    float_of_int (List.length inter) /. float_of_int k
+end

@@ -1,0 +1,54 @@
+(** The learned cost model (§5.2).
+
+    Predicts a fitness score for a complete program by summing a
+    gradient-boosted-tree prediction over its innermost statements'
+    feature vectors.  Trained on measured programs with the paper's loss:
+    throughput-weighted squared error, with throughput normalized to
+    [0, 1] within each task (programs of the same DAG), so one model
+    serves all tasks.
+
+    Scores are {e relative throughputs}: higher is better, and they are
+    only meaningful for ranking programs of the same task. *)
+
+open Ansor_sched
+
+type record = {
+  features : float array list;  (** per innermost statement *)
+  task_key : string;  (** groups programs of the same computation *)
+  latency : float;  (** measured seconds, > 0 *)
+}
+
+val record_of_prog : task_key:string -> latency:float -> Prog.t -> record
+
+type t
+
+val empty : t
+(** Untrained model: scores every program 0 (callers fall back to random
+    exploration, as Ansor does before the first measurements). *)
+
+val is_trained : t -> bool
+
+val train : ?params:Ansor_gbdt.Gbdt.params -> record list -> t
+(** Trains from scratch on all records (the paper retrains the model at
+    every search iteration). Returns {!empty} when no record exists. *)
+
+val num_records_trained_on : t -> int
+
+val score_stmts : t -> float array list -> float list
+(** Per-statement scores (used by node-based crossover to pick the better
+    parent per DAG node). *)
+
+val score : t -> float array list -> float
+(** Program score: sum of the per-statement scores. *)
+
+val score_prog : t -> Prog.t -> float
+
+(** Ranking metrics used by the Figure-3 experiment. *)
+module Metrics : sig
+  val pairwise_accuracy : predicted:float list -> actual:float list -> float
+  (** Fraction of pairs ordered identically by both lists (ties in the
+      actual ranking are skipped); 0.5 means chance. *)
+
+  val recall_at_k : k:int -> predicted:float list -> actual:float list -> float
+  (** |top-k(predicted) ∩ top-k(actual)| / k, top meaning largest. *)
+end

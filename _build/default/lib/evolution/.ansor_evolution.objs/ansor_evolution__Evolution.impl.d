@@ -1,0 +1,1 @@
+lib/evolution/evolution.ml: Access Ansor_cost_model Ansor_features Ansor_sched Ansor_sketch Ansor_te Ansor_util Array Dag Filename Float Fun Hashtbl List Lower Op Option State Step String

@@ -1,0 +1,1 @@
+lib/evolution/evolution.mli: Ansor_cost_model Ansor_sched Ansor_sketch Ansor_te Ansor_util Dag State

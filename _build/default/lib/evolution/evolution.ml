@@ -1,0 +1,360 @@
+open Ansor_te
+open Ansor_sched
+module Rng = Ansor_util.Rng
+module Factorize = Ansor_util.Factorize
+module Annotate = Ansor_sketch.Annotate
+module Cost_model = Ansor_cost_model.Cost_model
+
+type config = {
+  population : int;
+  generations : int;
+  crossover_prob : float;
+  greedy_node_prob : float;
+  mutate_annotations : bool;
+}
+
+let default_config =
+  {
+    population = 128;
+    generations = 4;
+    crossover_prob = 0.15;
+    greedy_node_prob = 0.8;
+    mutate_annotations = true;
+  }
+
+type scored = { state : State.t; fitness : float }
+
+let node_of_stage name =
+  let strip suffix s =
+    if Filename.check_suffix s suffix then
+      String.sub s 0 (String.length s - String.length suffix)
+    else s
+  in
+  strip ".local" (strip ".rf" name)
+
+(* Replays an edited history and checks it lowers; the verification step
+   of §5.1. *)
+let verify dag steps =
+  match Annotate.replay_constrained dag steps ~fill:Annotate.Keep with
+  | Error _ -> None
+  | Ok st -> (
+    match Lower.lower st with
+    | _ -> Some st
+    | exception State.Illegal _ -> None)
+
+let steps_of (st : State.t) = st.history
+
+(* Stages whose splits are derived from a producer's sizes (compute_at
+   targets): their splits must not be mutated directly. *)
+let consumer_stages steps =
+  List.filter_map
+    (function Step.Compute_at { target; _ } -> Some target | _ -> None)
+    steps
+
+let replace_nth l n x = List.mapi (fun i y -> if i = n then x else y) l
+
+let mutate_tile_sizes rng dag st =
+  let steps = steps_of st in
+  let consumers = consumer_stages steps in
+  let candidates =
+    List.filteri (fun _ _ -> true) steps
+    |> List.mapi (fun i s -> (i, s))
+    |> List.filter_map (fun (i, s) ->
+           match (s : Step.t) with
+           | Step.Split { stage; iv; lengths; _ }
+             when List.length lengths >= 2
+                  && (not (List.mem stage consumers))
+                  && List.exists (fun l -> l > 1) lengths ->
+             Some (i, stage, iv, lengths)
+           | _ -> None)
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+    let i, stage, iv, lengths = Rng.choice_list rng candidates in
+    let k = List.length lengths in
+    let sources =
+      List.filteri (fun _ l -> l > 1) lengths
+      |> fun _ ->
+      List.filter (fun p -> List.nth lengths p > 1) (List.init k Fun.id)
+    in
+    let src = Rng.choice_list rng sources in
+    let dst =
+      let others = List.filter (fun p -> p <> src) (List.init k Fun.id) in
+      Rng.choice_list rng others
+    in
+    let factor =
+      (* move either a prime factor (small step) or a larger divisor
+         (bigger hop through the tile-size lattice) *)
+      let l = List.nth lengths src in
+      if Rng.bool rng then Rng.choice_list rng (Factorize.prime_factors l)
+      else
+        Rng.choice_list rng
+          (List.filter (fun d -> d > 1) (Factorize.divisors l))
+    in
+    let lengths =
+      List.mapi
+        (fun p l ->
+          if p = src then l / factor else if p = dst then l * factor else l)
+        lengths
+    in
+    verify dag
+      (replace_nth steps i (Step.Split { stage; iv; lengths; tbd = false }))
+
+let mutate_annotation rng dag st =
+  let steps = steps_of st in
+  let indexed = List.mapi (fun i s -> (i, s)) steps in
+  let ann_edits =
+    List.concat_map
+      (fun (i, s) ->
+        match (s : Step.t) with
+        | Step.Annotate { stage; iv; ann } ->
+          let flips =
+            match ann with
+            | Step.Vectorize -> [ Step.Unroll; Step.No_ann ]
+            | Step.Unroll -> [ Step.Vectorize; Step.No_ann ]
+            | Step.Parallel -> [ Step.No_ann ]
+            | Step.No_ann -> [ Step.Vectorize; Step.Unroll ]
+          in
+          List.map
+            (fun ann' -> (i, Step.Annotate { stage; iv; ann = ann' }))
+            flips
+        | Step.Fuse { stage; ivs } when List.length ivs >= 3 ->
+          (* coarsen the parallel granularity: fuse one level fewer *)
+          let shorter = List.filteri (fun j _ -> j < List.length ivs - 1) ivs in
+          [ (i, Step.Fuse { stage; ivs = shorter }) ]
+        | _ -> [])
+      indexed
+  in
+  match ann_edits with
+  | [] -> None
+  | _ ->
+    let i, step = Rng.choice_list rng ann_edits in
+    verify dag (replace_nth steps i step)
+
+let mutate_pragma rng (policy : Ansor_sketch.Policy.t) dag st =
+  let steps = steps_of st in
+  let candidates =
+    List.mapi (fun i s -> (i, s)) steps
+    |> List.filter_map (fun (i, s) ->
+           match (s : Step.t) with
+           | Step.Pragma_unroll { stage; max_step } -> Some (i, stage, max_step)
+           | _ -> None)
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+    let i, stage, old = Rng.choice_list rng candidates in
+    let choices = List.filter (fun v -> v <> old) policy.unroll_steps in
+    if choices = [] then None
+    else
+      let max_step = Rng.choice_list rng choices in
+      verify dag (replace_nth steps i (Step.Pragma_unroll { stage; max_step }))
+
+let mutate_location rng dag st =
+  let steps = steps_of st in
+  (* last compute_at per stage decides its location *)
+  let last_by_stage = Hashtbl.create 4 in
+  List.iteri
+    (fun i s ->
+      match (s : Step.t) with
+      | Step.Compute_at { stage; _ } -> Hashtbl.replace last_by_stage stage i
+      | _ -> ())
+    steps;
+  let candidates = Hashtbl.fold (fun _ i acc -> i :: acc) last_by_stage [] in
+  match candidates with
+  | [] -> None
+  | _ -> (
+    let i = Rng.choice_list rng candidates in
+    match List.nth steps i with
+    | Step.Compute_at { stage; target; target_iv; bindings } ->
+      let coarser = List.filteri (fun j _ -> j mod 2 = 0) bindings in
+      let variants =
+        List.filter (fun b -> b <> bindings) [ coarser; [] ]
+      in
+      if variants = [] then None
+      else
+        let bindings = Rng.choice_list rng variants in
+        (* appending keeps the original step so consumer-split constraints
+           stay solvable; the last step wins for placement *)
+        verify dag
+          (steps @ [ Step.Compute_at { stage; target; target_iv; bindings } ])
+    | _ -> None)
+
+(* ---- crossover ---------------------------------------------------------- *)
+
+let is_annotation_step seen_compute_at (s : Step.t) =
+  match s with
+  | Step.Annotate _ | Step.Pragma_unroll _ | Step.Fuse _ -> true
+  | Step.Compute_at { stage; _ } -> Hashtbl.mem seen_compute_at stage
+  | _ -> false
+
+(* Splits a history into (structural steps, annotation steps); the first
+   compute_at of each stage is structural, repeats are annotations. *)
+let classify steps =
+  let seen = Hashtbl.create 4 in
+  List.partition_map
+    (fun (s : Step.t) ->
+      if is_annotation_step seen s then Right s
+      else begin
+        (match s with
+        | Step.Compute_at { stage; _ } -> Hashtbl.replace seen stage ()
+        | _ -> ());
+        Left s
+      end)
+    steps
+
+let node_scores model (st : State.t) =
+  match Lower.lower st with
+  | exception State.Illegal _ -> fun _ -> 0.0
+  | prog ->
+    let infos = Access.analyze prog in
+    let features = List.map Ansor_features.Features.of_stmt_info infos in
+    let scores = Cost_model.score_stmts model features in
+    let tbl = Hashtbl.create 8 in
+    List.iter2
+      (fun (info : Access.stmt_info) s ->
+        let node = node_of_stage info.stmt.stage in
+        let cur = Option.value ~default:0.0 (Hashtbl.find_opt tbl node) in
+        Hashtbl.replace tbl node (cur +. s))
+      infos scores;
+    fun node -> Option.value ~default:0.0 (Hashtbl.find_opt tbl node)
+
+let crossover rng ~greedy_node_prob dag ~model a b =
+  let score_a = node_scores model a and score_b = node_scores model b in
+  let nodes =
+    Array.to_list (Dag.ops dag)
+    |> List.filter_map (fun op ->
+           match op with
+           | Op.Compute { name; _ } -> Some name
+           | Op.Placeholder _ -> None)
+  in
+  let choice = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      let pick_greedy = Rng.float rng 1.0 < greedy_node_prob in
+      let from_a =
+        if pick_greedy then score_a n >= score_b n else Rng.bool rng
+      in
+      Hashtbl.replace choice n from_a)
+    nodes;
+  let from_a stage =
+    Option.value ~default:true (Hashtbl.find_opt choice (node_of_stage stage))
+  in
+  let a_structural, a_ann = classify (steps_of a) in
+  let b_structural, b_ann = classify (steps_of b) in
+  let find_b_lengths ~stage ~iv ~k ~rf =
+    List.find_map
+      (fun (s : Step.t) ->
+        match (s, rf) with
+        | Step.Split { stage = s2; iv = iv2; lengths; _ }, false
+          when String.equal s2 stage && iv2 = iv && List.length lengths = k ->
+          Some lengths
+        | Step.Rfactor { stage = s2; iv = iv2; lengths; _ }, true
+          when String.equal s2 stage && iv2 = iv && List.length lengths = k ->
+          Some lengths
+        | _ -> None)
+      b_structural
+  in
+  let exception Mismatch in
+  match
+    List.map
+      (fun (s : Step.t) ->
+        match s with
+        | Step.Split { stage; iv; lengths; tbd } when not (from_a stage) -> (
+          match find_b_lengths ~stage ~iv ~k:(List.length lengths) ~rf:false with
+          | Some lengths -> Step.Split { stage; iv; lengths; tbd }
+          | None -> raise Mismatch)
+        | Step.Rfactor { stage; iv; lengths; tbd } when not (from_a stage) -> (
+          match find_b_lengths ~stage ~iv ~k:(List.length lengths) ~rf:true with
+          | Some lengths -> Step.Rfactor { stage; iv; lengths; tbd }
+          | None -> raise Mismatch)
+        | s -> s)
+      a_structural
+  with
+  | exception Mismatch -> None
+  | structural ->
+    let ann =
+      List.filter (fun s -> from_a (Step.stage_of s)) a_ann
+      @ List.filter (fun s -> not (from_a (Step.stage_of s))) b_ann
+    in
+    verify dag (structural @ ann)
+
+(* ---- main loop ---------------------------------------------------------- *)
+
+let evolve rng config policy dag ~model ~init ~out =
+  let fitness st =
+    match Lower.lower st with
+    | exception State.Illegal _ -> Float.neg_infinity
+    | prog -> Cost_model.score model (Ansor_features.Features.of_prog prog)
+  in
+  let best = Hashtbl.create 64 in
+  let remember st f =
+    let key = Step.history_key st.State.history in
+    match Hashtbl.find_opt best key with
+    | Some (_, f0) when f0 >= f -> ()
+    | _ -> Hashtbl.replace best key (st, f)
+  in
+  let population =
+    Array.of_list (List.map (fun st -> { state = st; fitness = fitness st }) init)
+  in
+  Array.iter (fun s -> remember s.state s.fitness) population;
+  let pop = ref population in
+  for _gen = 1 to config.generations do
+    let cur = !pop in
+    let n = Array.length cur in
+    if n > 0 then begin
+      let min_fit =
+        Array.fold_left (fun acc s -> Float.min acc s.fitness) infinity cur
+      in
+      let weights =
+        Array.map (fun s -> s.fitness -. min_fit +. 1e-3) cur
+      in
+      let select () = cur.(Rng.weighted_index rng weights).state in
+      let target_size = max config.population n in
+      (* elitism: the best tenth survives unchanged *)
+      let sorted = Array.copy cur in
+      Array.sort (fun a b -> compare b.fitness a.fitness) sorted;
+      let elite = max 1 (target_size / 10) in
+      let next = ref [] in
+      for i = 0 to min elite (Array.length sorted) - 1 do
+        next := sorted.(i) :: !next
+      done;
+      while List.length !next < target_size do
+        let parent = select () in
+        let child =
+          if Rng.float rng 1.0 < config.crossover_prob then
+            crossover rng ~greedy_node_prob:config.greedy_node_prob dag ~model
+              parent (select ())
+          else begin
+            (* chain 1-3 mutations (geometric): multi-step moves escape
+               plateaus that single-factor steps cannot *)
+            let mutate_once st =
+              if config.mutate_annotations then
+                match Rng.int rng 4 with
+                | 0 -> mutate_tile_sizes rng dag st
+                | 1 -> mutate_annotation rng dag st
+                | 2 -> mutate_pragma rng policy dag st
+                | _ -> mutate_location rng dag st
+              else mutate_tile_sizes rng dag st
+            in
+            let rec chain st changed =
+              match mutate_once st with
+              | None -> if changed then Some st else None
+              | Some st' ->
+                if Rng.float rng 1.0 < 0.2 then chain st' true else Some st'
+            in
+            chain parent false
+          end
+        in
+        let st = match child with Some st -> st | None -> parent in
+        let f = fitness st in
+        remember st f;
+        next := { state = st; fitness = f } :: !next
+      done;
+      pop := Array.of_list !next
+    end
+  done;
+  Hashtbl.fold (fun _ (st, f) acc -> { state = st; fitness = f } :: acc) best []
+  |> List.sort (fun a b -> compare b.fitness a.fitness)
+  |> List.filteri (fun i _ -> i < out)

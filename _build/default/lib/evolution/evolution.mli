@@ -1,0 +1,88 @@
+(** Evolutionary search (§5.1).
+
+    Fine-tunes a population of complete programs by mutation and
+    crossover, using the learned cost model as the fitness function.
+    Programs are step histories; every operator edits the history and
+    re-validates it with the constrained replay of
+    {!Ansor_sketch.Annotate.replay_constrained} followed by a lowering
+    check, mirroring the paper's "Ansor further verifies the merged
+    programs" — offspring that do not verify are discarded.
+
+    Operators:
+    - {e tile-size mutation}: moves a factor between two levels of one
+      split, keeping the product equal to the loop length; splits of
+      fusion consumers are re-derived from the producer's sizes;
+    - {e annotation mutation}: flips or drops a parallel / vectorize /
+      unroll annotation, or shrinks a parallel fuse;
+    - {e pragma mutation}: re-draws [auto_unroll_max_step];
+    - {e computation-location mutation}: moves a fused producer to a
+      coarser tile level or back to the target's top;
+    - {e node-based crossover}: per DAG node, inherits the tile sizes and
+      annotation steps from the parent whose statements the cost model
+      scores higher. *)
+
+open Ansor_te
+open Ansor_sched
+
+type config = {
+  population : int;
+  generations : int;
+  crossover_prob : float;
+      (** probability an offspring comes from crossover rather than
+          mutation *)
+  greedy_node_prob : float;
+      (** probability crossover picks a node's genes from the
+          better-scoring parent rather than a random one *)
+  mutate_annotations : bool;
+      (** allow annotation / pragma / computation-location mutations;
+          disabled for template-space baselines whose annotation policy is
+          fixed *)
+}
+
+val default_config : config
+(** population 128, 4 generations, 15% crossover. *)
+
+type scored = { state : State.t; fitness : float }
+
+val evolve :
+  Ansor_util.Rng.t ->
+  config ->
+  Ansor_sketch.Policy.t ->
+  Dag.t ->
+  model:Ansor_cost_model.Cost_model.t ->
+  init:State.t list ->
+  out:int ->
+  scored list
+(** Runs the configured number of generations starting from [init]
+    (sampled programs plus previously-measured good ones) and returns the
+    [out] best {e distinct} programs seen, best first.  With an untrained
+    model all fitnesses are 0 and selection degenerates to uniform, as in
+    the paper's first iteration. *)
+
+(** The individual operators, exposed for testing and for the ablation
+    benchmarks. Each returns [None] when the edited history fails
+    verification. *)
+
+val mutate_tile_sizes :
+  Ansor_util.Rng.t -> Dag.t -> State.t -> State.t option
+
+val mutate_annotation :
+  Ansor_util.Rng.t -> Dag.t -> State.t -> State.t option
+
+val mutate_pragma :
+  Ansor_util.Rng.t -> Ansor_sketch.Policy.t -> Dag.t -> State.t -> State.t option
+
+val mutate_location : Ansor_util.Rng.t -> Dag.t -> State.t -> State.t option
+
+val crossover :
+  Ansor_util.Rng.t ->
+  greedy_node_prob:float ->
+  Dag.t ->
+  model:Ansor_cost_model.Cost_model.t ->
+  State.t ->
+  State.t ->
+  State.t option
+
+val node_of_stage : string -> string
+(** Maps derived stage names (["C.local"], ["C.rf"]) back to their DAG
+    node (["C"]): the granularity of crossover. *)

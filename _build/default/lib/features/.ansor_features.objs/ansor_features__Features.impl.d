@@ -1,0 +1,1 @@
+lib/features/features.ml: Access Ansor_sched Array Float Fun Hashtbl List Printf Prog State Step

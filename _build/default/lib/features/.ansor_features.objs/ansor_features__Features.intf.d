@@ -1,0 +1,1 @@
+lib/features/features.mli: Access Ansor_sched Prog

@@ -1,0 +1,294 @@
+open Ansor_sched
+
+let buffers_per_stmt = 5
+
+let log2p1 x = Float.log (1.0 +. Float.max 0.0 x) /. Float.log 2.0
+
+(* ---- feature layout ---------------------------------------------------- *)
+
+(* Annotation-group features: innermost length, 8-way position one-hot
+   (inner/middle/outer x space/reduce, mixed, none), product, count. *)
+let ann_group_len = 1 + 8 + 1 + 1
+
+let float_ops_len = 5
+let int_ops_len = 3
+let gpu_len = 7
+let curve_len = 10
+let buffer_len = 3 + 4 + 3 + 2 + 1 + 1 + 4 (* 18 *)
+let alloc_len = 2
+let other_len = 3
+
+let dim =
+  float_ops_len + int_ops_len + (3 * ann_group_len) + gpu_len + curve_len
+  + (buffers_per_stmt * buffer_len)
+  + alloc_len + other_len
+
+let names =
+  let ann_names prefix =
+    [
+      prefix ^ ".innermost_len";
+      prefix ^ ".pos_inner_space";
+      prefix ^ ".pos_middle_space";
+      prefix ^ ".pos_outer_space";
+      prefix ^ ".pos_inner_reduce";
+      prefix ^ ".pos_middle_reduce";
+      prefix ^ ".pos_outer_reduce";
+      prefix ^ ".pos_mixed";
+      prefix ^ ".pos_none";
+      prefix ^ ".product";
+      prefix ^ ".count";
+    ]
+  in
+  let buffer_names i =
+    let p = Printf.sprintf "buf%d" i in
+    [
+      p ^ ".read";
+      p ^ ".write";
+      p ^ ".read_write";
+      p ^ ".bytes";
+      p ^ ".unique_bytes";
+      p ^ ".lines";
+      p ^ ".unique_lines";
+      p ^ ".reuse_loop_multiple_read";
+      p ^ ".reuse_serial_multiple_read";
+      p ^ ".reuse_none";
+      p ^ ".reuse_distance_iters";
+      p ^ ".reuse_distance_bytes";
+      p ^ ".reuse_counter";
+      p ^ ".stride";
+      p ^ ".bytes_per_reuse";
+      p ^ ".unique_bytes_per_reuse";
+      p ^ ".lines_per_reuse";
+      p ^ ".unique_lines_per_reuse";
+    ]
+  in
+  Array.of_list
+    ([
+       "fop.add_sub";
+       "fop.mul";
+       "fop.div_mod";
+       "fop.cmp";
+       "fop.math";
+       "iop.add_sub";
+       "iop.mul";
+       "iop.div_mod";
+     ]
+    @ ann_names "vec" @ ann_names "unroll" @ ann_names "parallel"
+    @ [
+        "gpu.blockIdx_x";
+        "gpu.blockIdx_y";
+        "gpu.blockIdx_z";
+        "gpu.threadIdx_x";
+        "gpu.threadIdx_y";
+        "gpu.threadIdx_z";
+        "gpu.vthread";
+      ]
+    @ List.init curve_len (Printf.sprintf "intensity_curve.%d")
+    @ List.concat_map buffer_names (List.init buffers_per_stmt Fun.id)
+    @ [ "alloc.output_size"; "alloc.count" ]
+    @ [ "outer.num_loops"; "outer.prod_lengths"; "outer.auto_unroll" ])
+
+let () = assert (Array.length names = dim)
+
+(* ---- extraction -------------------------------------------------------- *)
+
+let ann_features (info : Access.stmt_info) ann =
+  let loops = Array.of_list info.loops in
+  let n = Array.length loops in
+  let annotated =
+    List.filter (fun d -> loops.(d).Prog.ann = ann) (List.init n Fun.id)
+  in
+  let innermost_len =
+    match List.rev annotated with
+    | [] -> 0.0
+    | d :: _ -> float_of_int loops.(d).Prog.extent
+  in
+  let position =
+    (* index into the 8-way one-hot: 6 kind x depth combinations, then
+       "mixed" (6) and "none" (7) *)
+    match List.rev annotated with
+    | [] -> 7
+    | d :: _ ->
+      let kinds =
+        List.sort_uniq compare
+          (List.map (fun d -> loops.(d).Prog.kind) annotated)
+      in
+      if List.length kinds > 1 then 6
+      else
+        let third =
+          if n <= 1 then 0
+          else
+            let r = float_of_int d /. float_of_int (n - 1) in
+            if r > 0.66 then 0 else if r > 0.33 then 1 else 2
+        in
+        let base = match loops.(d).Prog.kind with State.Space -> 0 | State.Reduce -> 3 in
+        base + third
+  in
+  let product =
+    List.fold_left (fun acc d -> acc *. float_of_int loops.(d).Prog.extent) 1.0
+      annotated
+  in
+  let onehot = List.init 8 (fun i -> if i = position then 1.0 else 0.0) in
+  (log2p1 innermost_len :: onehot)
+  @ [ log2p1 product; float_of_int (List.length annotated) ]
+
+let flops_per_iter (info : Access.stmt_info) =
+  let c = info.counts in
+  float_of_int
+    (c.float_add_sub + c.float_mul + c.float_div_mod + c.float_cmp
+   + c.float_math)
+
+let intensity_curve (info : Access.stmt_info) =
+  let n = List.length info.loops in
+  let fpi = Float.max 1.0 (flops_per_iter info) in
+  (* intensity at depth d: flops of loops >= d over bytes touched by them *)
+  let point d =
+    let iters = ref 1.0 in
+    List.iteri
+      (fun i l -> if i >= d then iters := !iters *. float_of_int l.Prog.extent)
+      info.loops;
+    let flops = !iters *. fpi in
+    let bytes = Float.max 4.0 (Access.working_set info d) in
+    log2p1 (flops /. bytes)
+  in
+  let pts = Array.init (n + 1) (fun i -> point (n - i)) in
+  (* pts.(0) = innermost ... pts.(n) = whole statement; resample to 10 *)
+  List.init curve_len (fun i ->
+      if n = 0 then pts.(0)
+      else
+        let pos = float_of_int i /. float_of_int (curve_len - 1) *. float_of_int n in
+        let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+        let lo = max 0 (min lo n) and hi = max 0 (min hi n) in
+        let frac = pos -. floor pos in
+        ((1.0 -. frac) *. pts.(lo)) +. (frac *. pts.(hi)))
+
+let buffer_features (info : Access.stmt_info) =
+  (* merge read and write access records per tensor; a reduction output is
+     read-modify-write *)
+  let is_update = info.stmt.update <> None in
+  let by_tensor = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Access.access) ->
+      match Hashtbl.find_opt by_tensor a.tensor with
+      | None ->
+        Hashtbl.replace by_tensor a.tensor
+          (a, a.is_write, (not a.is_write) || (a.is_write && is_update))
+      | Some (a0, w, r) ->
+        Hashtbl.replace by_tensor a.tensor
+          ( (if a.touched.(0) > a0.Access.touched.(0) then a else a0),
+            w || a.is_write,
+            r || not a.is_write ))
+    info.accesses;
+  let merged =
+    Hashtbl.fold (fun _ v acc -> v :: acc) by_tensor []
+    |> List.sort (fun ((a : Access.access), _, _) ((b : Access.access), _, _) ->
+           compare b.touched.(0) a.touched.(0))
+  in
+  let one ((a : Access.access), w, r) =
+    let bytes = info.iters *. float_of_int a.count *. 4.0 in
+    let unique_bytes = a.touched.(0) *. 4.0 in
+    let line_ratio = a.lines.(0) /. Float.max 1.0 a.touched.(0) in
+    let lines = Float.max 1.0 (info.iters *. float_of_int a.count *. line_ratio) in
+    let unique_lines = a.lines.(0) in
+    let reuse_kind, reuse_dist_iters, reuse_dist_bytes, reuse_counter =
+      match a.reuse_loop with
+      | Some d ->
+        let dist = ref 1.0 in
+        List.iteri
+          (fun i l ->
+            if i > d then dist := !dist *. float_of_int l.Prog.extent)
+          info.loops;
+        let extent =
+          float_of_int (List.nth info.loops d).Prog.extent
+        in
+        (0, !dist, Access.working_set info (d + 1), extent)
+      | None -> if a.count > 1 then (1, 1.0, 4.0, float_of_int a.count) else (2, 0.0, 0.0, 0.0)
+    in
+    let rc = Float.max 1.0 reuse_counter in
+    [
+      (if r && not w then 1.0 else 0.0);
+      (if w && not r then 1.0 else 0.0);
+      (if w && r then 1.0 else 0.0);
+      log2p1 bytes;
+      log2p1 unique_bytes;
+      log2p1 lines;
+      log2p1 unique_lines;
+      (if reuse_kind = 0 then 1.0 else 0.0);
+      (if reuse_kind = 1 then 1.0 else 0.0);
+      (if reuse_kind = 2 then 1.0 else 0.0);
+      log2p1 reuse_dist_iters;
+      log2p1 reuse_dist_bytes;
+      log2p1 reuse_counter;
+      log2p1 (float_of_int a.inner_stride);
+      log2p1 (bytes /. rc);
+      log2p1 (unique_bytes /. rc);
+      log2p1 (lines /. rc);
+      log2p1 (unique_lines /. rc);
+    ]
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  let used = take buffers_per_stmt merged in
+  let pad = buffers_per_stmt - List.length used in
+  List.concat_map one used @ List.concat (List.init pad (fun _ -> List.init buffer_len (fun _ -> 0.0)))
+
+let of_stmt_info (info : Access.stmt_info) =
+  let c = info.counts in
+  let float_ops =
+    [
+      log2p1 (float_of_int c.float_add_sub);
+      log2p1 (float_of_int c.float_mul);
+      log2p1 (float_of_int c.float_div_mod);
+      log2p1 (float_of_int c.float_cmp);
+      log2p1 (float_of_int c.float_math);
+    ]
+  in
+  let int_ops =
+    [
+      log2p1 (float_of_int c.int_add_sub);
+      log2p1 (float_of_int c.int_mul);
+      log2p1 (float_of_int c.int_div_mod);
+    ]
+  in
+  (* GPU thread-binding placeholders: on this system's machine models the
+     parallel annotation plays the role of block/thread binding, so the
+     first slot carries the parallel extent and the rest stay zero. *)
+  let parallel_product =
+    List.fold_left
+      (fun acc (l : Prog.loop) ->
+        if l.ann = Step.Parallel then acc *. float_of_int l.extent else acc)
+      1.0 info.loops
+  in
+  let gpu = log2p1 parallel_product :: List.init (gpu_len - 1) (fun _ -> 0.0) in
+  let alloc =
+    let out_size =
+      match info.accesses with
+      | a :: _ -> a.touched.(0) *. 4.0
+      | [] -> 0.0
+    in
+    [ log2p1 out_size; 1.0 ]
+  in
+  let other =
+    let n = List.length info.loops in
+    [
+      float_of_int n;
+      log2p1 info.iters;
+      log2p1
+        (match info.stmt.max_unroll with Some m -> float_of_int m | None -> 0.0);
+    ]
+  in
+  let v =
+    float_ops @ int_ops
+    @ ann_features info Step.Vectorize
+    @ ann_features info Step.Unroll
+    @ ann_features info Step.Parallel
+    @ gpu @ intensity_curve info @ buffer_features info @ alloc @ other
+  in
+  let arr = Array.of_list v in
+  assert (Array.length arr = dim);
+  arr
+
+let of_prog prog = List.map of_stmt_info (Access.analyze prog)

@@ -1,0 +1,1 @@
+lib/gbdt/gbdt.ml: Array Fun List

@@ -1,0 +1,1 @@
+lib/gbdt/gbdt.mli:

@@ -1,0 +1,48 @@
+(** Gradient-boosted regression trees.
+
+    A from-scratch replacement for the XGBoost model the paper trains as
+    its cost model (§5.2): least-squares gradient boosting over
+    histogram-binned features, with per-sample weights implementing the
+    paper's throughput-weighted squared-error loss.
+
+    Training uses quantile binning (at most {!val:max_bins} bins per
+    feature, computed once per training set), exact greedy splits over the
+    bins, and shrinkage.  Complexity is
+    O(trees x depth x samples x features). *)
+
+type t
+
+type params = {
+  n_trees : int;
+  max_depth : int;
+  min_samples_leaf : int;
+  learning_rate : float;
+  min_gain : float;  (** minimum weighted-variance reduction to split *)
+}
+
+val default_params : params
+(** 60 trees of depth 6, learning rate 0.12. *)
+
+val max_bins : int
+
+val train :
+  ?params:params ->
+  x:float array array ->
+  y:float array ->
+  ?w:float array ->
+  unit ->
+  t
+(** [train ~x ~y ~w ()] fits boosted trees to rows [x] with targets [y]
+    and optional non-negative sample weights [w] (default all-ones).
+    @raise Invalid_argument on empty data or ragged inputs. *)
+
+val predict : t -> float array -> float
+
+val predict_many : t -> float array array -> float array
+
+val num_trees : t -> int
+
+val feature_importance : t -> float array
+(** Total split gain accumulated per feature, normalized to sum to 1 (all
+    zeros for a stump-only model). Length equals the feature count seen at
+    training. *)

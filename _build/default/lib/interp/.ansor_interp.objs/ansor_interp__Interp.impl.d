@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Ansor_sched Ansor_te Ansor_util Array Dag Expr Float Format Hashtbl List Op Printf Prog

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Ansor_sched Ansor_te Ansor_util Dag Prog

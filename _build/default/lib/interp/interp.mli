@@ -1,0 +1,37 @@
+(** Reference interpreter: the functional-correctness oracle.
+
+    Executes both unscheduled DAGs (naive, loop-by-loop evaluation) and
+    lowered programs ({!Ansor_sched.Prog.t}) on real float arrays.  The
+    central invariant of the whole system — any legal schedule computes
+    exactly the tensors of the naive program — is checked by comparing the
+    two.  Intended for small shapes; performance experiments use the
+    analytical simulator instead. *)
+
+open Ansor_te
+open Ansor_sched
+
+type tensors = (string * float array) list
+(** Flat row-major storage per tensor name. *)
+
+exception Runtime_error of string
+(** Raised on out-of-bounds accesses, missing tensors or shape
+    mismatches — any of these indicates an illegal schedule or a lowering
+    bug. *)
+
+val random_inputs : Ansor_util.Rng.t -> Dag.t -> tensors
+(** Uniform values in [-1, 1) for every placeholder of the DAG. *)
+
+val run_dag : Dag.t -> inputs:tensors -> tensors
+(** Naive evaluation of every compute operator in topological order.
+    Returns all computed tensors (not the inputs). *)
+
+val run_prog : Prog.t -> inputs:tensors -> tensors
+(** Executes a lowered program. Returns all non-input buffers. *)
+
+val max_abs_diff : float array -> float array -> float
+(** @raise Runtime_error on length mismatch. *)
+
+val check_equivalent :
+  ?tol:float -> Dag.t -> Prog.t -> inputs:tensors -> (unit, string) result
+(** Runs both and compares every DAG output tensor within [tol]
+    (default [1e-4]); [Error] describes the first mismatch. *)

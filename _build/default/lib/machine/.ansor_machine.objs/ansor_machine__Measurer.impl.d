@@ -1,0 +1,1 @@
+lib/machine/measurer.ml: Ansor_util Machine Simulator

@@ -1,0 +1,1 @@
+lib/machine/measurer.mli: Ansor_sched Machine

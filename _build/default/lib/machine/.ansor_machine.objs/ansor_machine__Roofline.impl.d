@@ -1,0 +1,1 @@
+lib/machine/roofline.ml: Access Ansor_sched Array Float Format Hashtbl List Machine Option Prog Simulator

@@ -1,0 +1,1 @@
+lib/machine/simulator.ml: Access Ansor_sched Array Float Hashtbl List Machine Prog State Step String

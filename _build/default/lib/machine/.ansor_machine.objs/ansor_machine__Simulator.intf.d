@@ -1,0 +1,1 @@
+lib/machine/simulator.mli: Ansor_sched Machine

@@ -1,0 +1,80 @@
+type kind = Cpu | Gpu
+
+type t = {
+  name : string;
+  kind : kind;
+  num_workers : int;
+  vector_lanes : int;
+  fma_per_cycle : float;
+  freq_ghz : float;
+  cache_sizes : int array;
+  cache_costs : float array;
+  dram_cost : float;
+  dram_bw_workers : float;
+  parallel_overhead : float;
+  loop_overhead : float;
+  unroll_budget : int;
+  gather_penalty : float;
+}
+
+let intel_cpu =
+  {
+    name = "intel-cpu";
+    kind = Cpu;
+    num_workers = 20;
+    vector_lanes = 8;
+    fma_per_cycle = 2.0;
+    freq_ghz = 3.1;
+    cache_sizes = [| 32 * 1024; 1024 * 1024; 36 * 1024 * 1024 |];
+    cache_costs = [| 0.5; 3.0; 12.0 |];
+    dram_cost = 60.0;
+    dram_bw_workers = 6.0;
+    parallel_overhead = 8_000.0;
+    loop_overhead = 2.0;
+    unroll_budget = 256;
+    gather_penalty = 0.25;
+  }
+
+let arm_cpu =
+  {
+    name = "arm-cpu";
+    kind = Cpu;
+    num_workers = 4;
+    vector_lanes = 4;
+    fma_per_cycle = 1.0;
+    freq_ghz = 1.4;
+    cache_sizes = [| 32 * 1024; 512 * 1024 |];
+    cache_costs = [| 1.0; 6.0 |];
+    dram_cost = 100.0;
+    dram_bw_workers = 2.0;
+    parallel_overhead = 5_000.0;
+    loop_overhead = 3.0;
+    unroll_budget = 128;
+    gather_penalty = 0.25;
+  }
+
+let gpu =
+  {
+    name = "gpu";
+    kind = Gpu;
+    num_workers = 640 (* 80 SMs x 8 resident warps *);
+    vector_lanes = 32 (* warp width *);
+    fma_per_cycle = 2.0;
+    freq_ghz = 1.4;
+    cache_sizes = [| 96 * 1024; 6 * 1024 * 1024 |];
+    cache_costs = [| 1.0; 8.0 |];
+    dram_cost = 24.0 (* HBM2: high bandwidth *);
+    dram_bw_workers = 64.0;
+    parallel_overhead = 30_000.0 (* kernel launch *);
+    loop_overhead = 1.0;
+    unroll_budget = 512;
+    gather_penalty = 0.2;
+  }
+
+let all = [ intel_cpu; arm_cpu; gpu ]
+
+let by_name name = List.find (fun m -> String.equal m.name name) all
+
+let peak_flops m =
+  float_of_int m.num_workers *. float_of_int m.vector_lanes *. m.fma_per_cycle
+  *. 2.0 *. m.freq_ghz *. 1e9

@@ -1,0 +1,56 @@
+(** Hardware models.
+
+    The paper measures programs on an Intel Xeon Platinum 8269CY, an NVIDIA
+    V100 and a Raspberry Pi 3b+ ARM Cortex-A53.  This reproduction replaces
+    physical hardware with parametric machine models consumed by the
+    analytical simulator ({!Simulator}): all search strategies are compared
+    on the same simulated cost landscape, which preserves the paper's
+    relative claims (see DESIGN.md, substitution table).
+
+    The GPU model is deliberately coarse: SMs x resident warps appear as a
+    large pool of parallel workers and the warp width as the vector width;
+    kernel-launch overhead is folded into the parallel-region overhead. *)
+
+type kind = Cpu | Gpu
+
+type t = {
+  name : string;
+  kind : kind;
+  num_workers : int;  (** physical cores, or SMs x resident warps on GPU *)
+  vector_lanes : int;  (** f32 SIMD lanes (warp width on GPU) *)
+  fma_per_cycle : float;  (** vector FMA issues per worker per cycle *)
+  freq_ghz : float;
+  cache_sizes : int array;  (** per level, in bytes, smallest first *)
+  cache_costs : float array;  (** cycles per float served by that level *)
+  dram_cost : float;  (** cycles per float served from memory *)
+  dram_bw_workers : float;
+      (** number of workers that saturate memory bandwidth: the DRAM part
+          of a parallel region scales at most this much *)
+  parallel_overhead : float;  (** cycles to enter one parallel region *)
+  loop_overhead : float;  (** cycles of bookkeeping per loop iteration *)
+  unroll_budget : int;
+      (** unrolled statements beyond this start hurting the instruction
+          cache *)
+  gather_penalty : float;
+      (** vector-efficiency multiplier for non-unit-stride lanes *)
+}
+
+val intel_cpu : t
+(** 20-core server CPU, three cache levels (stand-in for the
+    Platinum 8269CY). *)
+
+val arm_cpu : t
+(** 4-core in-order mobile CPU, two small cache levels (stand-in for the
+    Cortex-A53). *)
+
+val gpu : t
+(** Massively parallel accelerator (stand-in for the V100). *)
+
+val all : t list
+
+val by_name : string -> t
+(** @raise Not_found on unknown machine names. *)
+
+val peak_flops : t -> float
+(** Theoretical peak (workers x lanes x fma x 2 x freq), used by the task
+    scheduler's similarity-based gradient term. *)

@@ -1,0 +1,29 @@
+(** The measurer: timed "hardware" runs with trial accounting.
+
+    Plays the role of the paper's measurer (Figure 4): candidate programs
+    are handed over, "executed" (simulated analytically), and the observed
+    latency — the deterministic simulator estimate perturbed by
+    multiplicative log-normal noise, like real measurement variance — is
+    returned.  Every call consumes one measurement trial, the budget unit
+    used throughout the evaluation ("up to 1,000 measurement trials per
+    test case", §7.1). *)
+
+type t
+
+val create : ?noise:float -> seed:int -> Machine.t -> t
+(** [noise] is the standard deviation of the log-normal perturbation
+    (default 0.03). *)
+
+val machine : t -> Machine.t
+
+val measure : t -> Ansor_sched.Prog.t -> float
+(** Observed latency in seconds; increments the trial counter. *)
+
+val true_latency : t -> Ansor_sched.Prog.t -> float
+(** The noise-free simulator estimate; does {e not} consume a trial.
+    Benchmarks use it for final reporting. *)
+
+val trials : t -> int
+(** Trials consumed so far. *)
+
+val reset_trials : t -> unit

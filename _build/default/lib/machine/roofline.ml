@@ -1,0 +1,88 @@
+open Ansor_sched
+
+type verdict = Compute_bound | Memory_bound
+
+type t = {
+  flops : float;
+  dram_bytes : float;
+  intensity : float;
+  ridge : float;
+  verdict : verdict;
+  attainable_flops : float;
+  achieved_flops : float;
+  efficiency : float;
+}
+
+let dram_bandwidth (m : Machine.t) =
+  (* one line (64 B) costs [dram_cost] cycles on one worker; up to
+     [dram_bw_workers] workers stream concurrently *)
+  let lines_per_second_per_worker = m.freq_ghz *. 1e9 /. m.dram_cost in
+  64.0 *. lines_per_second_per_worker *. m.dram_bw_workers
+
+let program_flops (prog : Prog.t) =
+  let infos = Access.analyze prog in
+  List.fold_left
+    (fun acc (info : Access.stmt_info) ->
+      let c = info.counts in
+      acc
+      +. info.iters
+         *. float_of_int
+              (c.float_add_sub + c.float_mul + c.float_div_mod + c.float_cmp
+             + c.float_math))
+    0.0 infos
+
+(* DRAM traffic proxy: unique bytes of every buffer touched (each distinct
+   line crosses the DRAM boundary at least once), plus write-back for
+   written buffers. *)
+let dram_traffic (prog : Prog.t) =
+  let infos = Access.analyze prog in
+  let per_tensor = Hashtbl.create 16 in
+  List.iter
+    (fun (info : Access.stmt_info) ->
+      List.iter
+        (fun (a : Access.access) ->
+          let bytes = 4.0 *. a.touched.(0) in
+          let cur =
+            Option.value (Hashtbl.find_opt per_tensor a.tensor) ~default:(0.0, false)
+          in
+          let best = Float.max (fst cur) bytes in
+          Hashtbl.replace per_tensor a.tensor (best, snd cur || a.is_write))
+        info.accesses)
+    infos;
+  Hashtbl.fold
+    (fun _ (bytes, written) acc ->
+      acc +. (bytes *. if written then 2.0 else 1.0))
+    per_tensor 0.0
+
+let analyze (m : Machine.t) (prog : Prog.t) =
+  let flops = Float.max 1.0 (program_flops prog) in
+  let dram_bytes = Float.max 1.0 (dram_traffic prog) in
+  let intensity = flops /. dram_bytes in
+  let peak = Machine.peak_flops m in
+  let bw = dram_bandwidth m in
+  let ridge = peak /. bw in
+  let attainable_flops = Float.min peak (bw *. intensity) in
+  let seconds = Simulator.estimate m prog in
+  let achieved_flops = flops /. seconds in
+  {
+    flops;
+    dram_bytes;
+    intensity;
+    ridge;
+    verdict = (if intensity >= ridge then Compute_bound else Memory_bound);
+    attainable_flops;
+    achieved_flops;
+    efficiency = achieved_flops /. attainable_flops;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%.3g GFLOP over %.3g MB (intensity %.2f flop/B, ridge %.2f): %s; \
+     achieved %.1f of attainable %.1f GFLOP/s (%.0f%%)"
+    (t.flops /. 1e9) (t.dram_bytes /. 1e6) t.intensity t.ridge
+    (match t.verdict with
+    | Compute_bound -> "compute-bound"
+    | Memory_bound -> "memory-bound")
+    (t.achieved_flops /. 1e9)
+    (t.attainable_flops /. 1e9)
+    (100.0 *. t.efficiency)

@@ -1,0 +1,30 @@
+(** Roofline analysis of lowered programs.
+
+    Classifies a program against a machine's roofline: its arithmetic
+    intensity (FLOPs per byte moved past the last cache level, as counted
+    by the simulator's memory model), the resulting compute- or
+    memory-bound verdict, and the achieved fraction of the attainable
+    performance.  Useful for understanding *why* a schedule is fast or
+    slow, and used by the ablation discussion in EXPERIMENTS.md. *)
+
+type verdict = Compute_bound | Memory_bound
+
+type t = {
+  flops : float;  (** floating-point work of the program *)
+  dram_bytes : float;  (** bytes estimated to cross the DRAM boundary *)
+  intensity : float;  (** flops / dram_bytes *)
+  ridge : float;  (** machine ridge point, flops/byte *)
+  verdict : verdict;
+  attainable_flops : float;
+      (** min(peak, bandwidth x intensity), in FLOP/s *)
+  achieved_flops : float;  (** flops / simulated seconds *)
+  efficiency : float;  (** achieved / attainable, in [0, ~1] *)
+}
+
+val dram_bandwidth : Machine.t -> float
+(** Effective DRAM bandwidth of a machine model in bytes/s, derived from
+    its per-line cost and bandwidth-worker limit. *)
+
+val analyze : Machine.t -> Ansor_sched.Prog.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,312 @@
+open Ansor_sched
+
+type breakdown = {
+  compute_cycles : float;
+  memory_cycles : float;
+  loop_cycles : float;
+  parallel_cycles : float;
+  total_cycles : float;
+  seconds : float;
+}
+
+let fi = float_of_int
+
+(* Innermost run of loops considered unrolled for a statement: loops
+   explicitly annotated Unroll or Vectorize, extended outwards by the
+   auto_unroll_max_step pragma while the cumulative body size fits. *)
+let unrolled_suffix (info : Access.stmt_info) =
+  let loops = Array.of_list info.loops in
+  let n = Array.length loops in
+  let budget = match info.stmt.max_unroll with Some m -> m | None -> 0 in
+  let rec go d product acc =
+    if d < 0 then acc
+    else
+      let l = loops.(d) in
+      match l.Prog.ann with
+      | Step.Unroll | Step.Vectorize -> go (d - 1) (product * l.extent) (d :: acc)
+      | Step.No_ann when product * l.extent <= budget ->
+        go (d - 1) (product * l.extent) (d :: acc)
+      | _ -> acc
+  in
+  go (n - 1) 1 []
+
+let product_extents (info : Access.stmt_info) depths =
+  List.fold_left (fun acc d -> acc * info.extents.(d)) 1 depths
+
+(* Cache level whose size holds [bytes]; [num_levels] means DRAM. *)
+let fit_level (m : Machine.t) bytes =
+  let rec go c =
+    if c >= Array.length m.cache_sizes then c
+    else if bytes <= fi m.cache_sizes.(c) then c
+    else go (c + 1)
+  in
+  go 0
+
+(* For cache level [c], the outermost depth whose working set fits. *)
+let resident_depth (m : Machine.t) (info : Access.stmt_info) c =
+  let n = List.length info.loops in
+  let rec go d =
+    if d > n then n
+    else if Access.working_set info d <= fi m.cache_sizes.(c) then d
+    else go (d + 1)
+  in
+  go 0
+
+type stmt_cost = { compute : float; mem_cache : float; mem_dram : float }
+
+let stmt_cost (m : Machine.t) writers (info : Access.stmt_info) =
+  let loops = Array.of_list info.loops in
+  let n = Array.length loops in
+  let unrolled = unrolled_suffix info in
+  let unrolled_vars =
+    List.map (fun d -> loops.(d).Prog.lvar) unrolled
+  in
+  (* vectorization: only the innermost Vectorize-annotated loop becomes
+     the vector dimension (as in real code generation); any outer
+     Vectorize loops behave like unrolled loops and are already part of
+     the unrolled suffix *)
+  let innermost_vec =
+    let rec go d =
+      if d < 0 then None
+      else if loops.(d).Prog.ann = Step.Vectorize then Some d
+      else go (d - 1)
+    in
+    go (n - 1)
+  in
+  let vec_product =
+    match innermost_vec with Some d -> loops.(d).Prog.extent | None -> 1
+  in
+  let vec_eff =
+    match innermost_vec with
+    | None -> 1.0
+    | Some d ->
+      let ok =
+        List.for_all
+          (fun (a : Access.access) ->
+            let s = abs a.strides.(d) in
+            s = 0 || s = 1)
+          info.accesses
+      in
+      let base = if ok then 1.0 else m.gather_penalty in
+      if loops.(d).Prog.kind = State.Reduce then base *. 0.6 else base
+  in
+  let vec_width =
+    if innermost_vec = None then 1.0
+    else Float.max 1.0 (fi (min vec_product m.vector_lanes) *. vec_eff)
+  in
+  (* select-guarded zero elimination *)
+  let work_scale, mem_scale, branch_extra =
+    match Access.select_zero_fraction info with
+    | None -> (1.0, 1.0, 0.0)
+    | Some (vars, frac) ->
+      let decidable = List.for_all (fun v -> List.mem v unrolled_vars) vars in
+      let frac = Float.max frac 0.02 in
+      if decidable then (frac, frac, 0.0) else (frac, frac, 2.0)
+  in
+  (* compute *)
+  let c = info.counts in
+  let fma = min c.float_add_sub c.float_mul in
+  let flop_issues = fi (c.float_add_sub + c.float_mul - fma) in
+  let scalar_issues =
+    flop_issues
+    +. (8.0 *. fi c.float_div_mod)
+    +. (16.0 *. fi c.float_math)
+    +. fi c.float_cmp
+  in
+  let unroll_product = product_extents info unrolled in
+  let int_amortize = if unroll_product >= 4 || vec_product >= 4 then 4.0 else 1.0 in
+  let int_cost =
+    ((0.25 *. fi c.int_add_sub) +. (0.5 *. fi c.int_mul)
+    +. (2.0 *. fi c.int_div_mod))
+    /. int_amortize
+    /. Float.max 1.0 (fi vec_product)
+  in
+  let per_iter =
+    (scalar_issues /. (m.fma_per_cycle *. vec_width) *. work_scale)
+    +. int_cost +. branch_extra
+  in
+  let icache_penalty =
+    let body = fi unroll_product *. (scalar_issues +. 1.0) in
+    if body > fi m.unroll_budget then
+      1.0 +. (0.15 *. (Float.log (body /. fi m.unroll_budget) /. Float.log 2.0))
+    else 1.0
+  in
+  let compute = info.iters *. per_iter *. icache_penalty in
+  (* loop overhead charged on the innermost non-unrolled loops *)
+  let compute =
+    compute +. (info.iters /. fi unroll_product *. m.loop_overhead)
+  in
+  (* register reuse inside the unrolled body: accesses invariant across an
+     unrolled loop stay in registers, provided the body's distinct
+     elements fit the register file — the reason the innermost space tile
+     levels of SSRSRS exist *)
+  let reg_pressure =
+    List.fold_left
+      (fun acc (a : Access.access) ->
+        let footprint =
+          List.fold_left
+            (fun p d -> if a.strides.(d) <> 0 then p * info.extents.(d) else p)
+            1 unrolled
+        in
+        let vec_amortized =
+          match innermost_vec with
+          | Some d when abs a.strides.(d) <= 1 ->
+            max 1 (min vec_product m.vector_lanes)
+          | _ -> 1
+        in
+        acc +. (fi footprint /. fi vec_amortized))
+      0.0 info.accesses
+  in
+  let registers_fit = reg_pressure <= 48.0 in
+  let reg_factor (a : Access.access) =
+    if not registers_fit then 1.0
+    else
+      List.fold_left
+        (fun p d ->
+          if a.strides.(d) = 0 then p *. fi info.extents.(d) else p)
+        1.0 unrolled
+      |> Float.min 64.0
+  in
+  (* memory *)
+  let num_levels = Array.length m.cache_sizes in
+  let level_cost c = if c >= num_levels then m.dram_cost else m.cache_costs.(c) in
+  let mem_cache = ref 0.0 and mem_dram = ref 0.0 in
+  List.iter
+    (fun (a : Access.access) ->
+      let accesses = info.iters *. fi a.count *. mem_scale in
+      (* producer-consumer clamp: if another statement writes this tensor
+         and shares outer loops, the exchange happens through the level
+         its shared footprint fits in *)
+      let src_level =
+        if a.is_write then num_levels
+        else
+          match Hashtbl.find_opt writers a.tensor with
+          | None -> num_levels
+          | Some writer_path ->
+            let rec common d =
+              if d >= n then d
+              else
+                match List.nth_opt writer_path d with
+                | Some v when String.equal v loops.(d).Prog.lvar -> common (d + 1)
+                | _ -> d
+            in
+            let dc = common 0 in
+            let dc = min dc (Array.length a.touched - 1) in
+            fit_level m (4.0 *. a.touched.(dc))
+      in
+      (* misses beyond each level, in line-fetch events *)
+      let miss c =
+        if c >= src_level then 0.0
+        else
+          let d = resident_depth m info c in
+          let outer = ref 1.0 in
+          for i = 0 to d - 1 do
+            outer := !outer *. fi info.extents.(i)
+          done;
+          let d' = min d (Array.length a.lines - 1) in
+          Float.min accesses (!outer *. a.lines.(d') *. mem_scale)
+      in
+      (* base cost: every access is at least an L1 hit; vector loads and
+         broadcasts issue one instruction per [vec_width] elements, and
+         register-resident values skip the load entirely *)
+      let issue_amortize =
+        match innermost_vec with
+        | Some d when abs a.strides.(d) <= 1 ->
+          Float.max 1.0 (fi (min vec_product m.vector_lanes))
+        | _ -> 1.0
+      in
+      mem_cache :=
+        !mem_cache +. (accesses /. issue_amortize /. reg_factor a *. level_cost 0);
+      let prev = ref (miss 0) in
+      for c = 1 to num_levels do
+        let mc = if c = num_levels then 0.0 else miss c in
+        let served_here = Float.max 0.0 (!prev -. mc) in
+        let extra = Float.max 0.0 (level_cost c -. level_cost 0) in
+        if c = num_levels then begin
+          (* everything still missing at the last cache goes to DRAM *)
+          let dram_events = !prev in
+          mem_dram := !mem_dram +. (dram_events *. extra);
+          ignore served_here
+        end
+        else mem_cache := !mem_cache +. (served_here *. extra);
+        prev := Float.min !prev mc
+      done)
+    info.accesses;
+  { compute; mem_cache = !mem_cache; mem_dram = !mem_dram }
+
+(* Parallel scaling for a statement: product of the extents of its
+   enclosing Parallel loops. *)
+let parallel_extent (info : Access.stmt_info) =
+  List.fold_left
+    (fun acc (l : Prog.loop) ->
+      if l.ann = Step.Parallel then acc * l.extent else acc)
+    1 info.loops
+
+let effective_workers (m : Machine.t) p =
+  if p <= 1 then 1.0
+  else if p <= m.num_workers then fi p
+  else
+    let chunks = (p + m.num_workers - 1) / m.num_workers in
+    fi p /. fi chunks
+
+(* Parallel-region entry overhead: once per iteration of the loops
+   enclosing each outermost Parallel loop. *)
+let region_overhead (m : Machine.t) (prog : Prog.t) =
+  let total = ref 0.0 in
+  let rec go outer_iters in_parallel = function
+    | Prog.Stmt _ -> ()
+    | Prog.Loop l ->
+      let in_parallel' = in_parallel || l.ann = Step.Parallel in
+      if l.ann = Step.Parallel && not in_parallel then
+        total := !total +. (outer_iters *. m.parallel_overhead);
+      List.iter (go (outer_iters *. fi l.extent) in_parallel') l.body
+  in
+  List.iter (go 1.0 false) prog.items;
+  !total
+
+let breakdown (m : Machine.t) (prog : Prog.t) =
+  let infos = Access.analyze prog in
+  (* map tensor -> enclosing loop vars of (one of) its writer statements;
+     keep the writer with the longest path (deepest placement) *)
+  let writers = Hashtbl.create 16 in
+  List.iter
+    (fun (info : Access.stmt_info) ->
+      let path = List.map (fun l -> l.Prog.lvar) info.loops in
+      match Hashtbl.find_opt writers info.stmt.tensor with
+      | Some old when List.length old >= List.length path -> ()
+      | _ -> Hashtbl.replace writers info.stmt.tensor path)
+    infos;
+  let compute = ref 0.0 and memory = ref 0.0 and loops = ref 0.0 in
+  List.iter
+    (fun (info : Access.stmt_info) ->
+      let c = stmt_cost m writers info in
+      let p = parallel_extent info in
+      let eff = effective_workers m p in
+      let dram_eff = Float.min eff m.dram_bw_workers in
+      compute := !compute +. (c.compute /. eff);
+      memory := !memory +. (c.mem_cache /. eff) +. (c.mem_dram /. dram_eff))
+    infos;
+  (* initialization of reduction buffers: streaming stores *)
+  List.iter
+    (fun (name, _) ->
+      match List.assoc_opt name prog.buffers with
+      | Some shape ->
+        memory :=
+          !memory
+          +. fi (Prog.buffer_size shape) *. m.dram_cost
+             /. fi Access.line_elems /. m.dram_bw_workers
+      | None -> ())
+    prog.inits;
+  let parallel_cycles = region_overhead m prog in
+  let total = !compute +. !memory +. !loops +. parallel_cycles in
+  let total = Float.max total 1.0 in
+  {
+    compute_cycles = !compute;
+    memory_cycles = !memory;
+    loop_cycles = !loops;
+    parallel_cycles;
+    total_cycles = total;
+    seconds = total /. (m.freq_ghz *. 1e9);
+  }
+
+let estimate m prog = (breakdown m prog).seconds

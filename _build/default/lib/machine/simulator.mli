@@ -1,0 +1,48 @@
+(** Analytical performance simulator — the measurement substitute.
+
+    The paper compiles candidate programs and measures them on hardware;
+    this reproduction instead walks the lowered loop nest and derives an
+    execution-time estimate from the machine model.  The estimate is
+    analytical (no loop is actually iterated), so "measuring" a program is
+    O(program size) and the search loops run quickly.
+
+    The model captures the optimization trade-offs the search space is
+    about:
+
+    - {b compute}: floating-point issue throughput with FMA pairing,
+      divided by the effective vector width; vectorized loops whose
+      accesses are not unit-stride pay a gather penalty, vectorized
+      reductions pay a horizontal-combine penalty;
+    - {b memory}: a hierarchical working-set model — for each access and
+      each cache level, the deepest loop depth whose working set fits
+      determines how often lines must be re-fetched from beyond that
+      level; unit-stride innermost access amortizes one line fetch over 16
+      elements (prefetch-friendly), strided access pays per element.
+      Producer/consumer stages that share outer loops (fusion, cache
+      stages) exchange their data through the level their shared-tile
+      footprint fits in;
+    - {b multiplication-by-zero elimination}: a statement guarded by a
+      [select(..., 0)] whose condition only involves unrolled loops is
+      statically simplified (the T2D effect of §7.1), otherwise the guard
+      is priced per iteration;
+    - {b parallelism}: parallel-annotated loops scale by the worker count
+      with chunk-granularity load imbalance; the DRAM-bound part scales
+      only to the memory-bandwidth limit; entering a parallel region costs
+      a fixed overhead (kernel launch on the GPU model);
+    - {b loop overhead}: non-unrolled, non-vectorized innermost loops pay
+      per-iteration bookkeeping; unrolled bodies larger than the
+      instruction-cache budget pay a growing penalty. *)
+
+type breakdown = {
+  compute_cycles : float;
+  memory_cycles : float;
+  loop_cycles : float;
+  parallel_cycles : float;
+  total_cycles : float;
+  seconds : float;
+}
+
+val breakdown : Machine.t -> Ansor_sched.Prog.t -> breakdown
+
+val estimate : Machine.t -> Ansor_sched.Prog.t -> float
+(** Estimated execution time in seconds (always > 0). *)

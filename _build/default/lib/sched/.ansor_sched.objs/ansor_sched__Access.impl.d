@@ -1,0 +1,1 @@
+lib/sched/access.ml: Ansor_te Array Expr Float Hashtbl List Prog String

@@ -1,0 +1,1 @@
+lib/sched/access.mli: Ansor_te Expr Prog

@@ -1,0 +1,1 @@
+lib/sched/lower.ml: Ansor_te Array Dag Expr Hashtbl List Op Printf Prog State String

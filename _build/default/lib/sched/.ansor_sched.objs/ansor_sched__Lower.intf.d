@@ -1,0 +1,1 @@
+lib/sched/lower.mli: Prog State

@@ -1,0 +1,1 @@
+lib/sched/prog.ml: Ansor_te Expr Format List Op State Step

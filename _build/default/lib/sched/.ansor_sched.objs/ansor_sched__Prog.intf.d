@@ -1,0 +1,1 @@
+lib/sched/prog.mli: Ansor_te Expr Format Op State Step

@@ -1,0 +1,1 @@
+lib/sched/state.ml: Ansor_te Array Dag Expr Format Fun List Op Option Printf Step String

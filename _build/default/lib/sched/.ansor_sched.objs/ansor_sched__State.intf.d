@@ -1,0 +1,1 @@
+lib/sched/state.mli: Ansor_te Dag Format Op Step

@@ -1,0 +1,1 @@
+lib/sched/step.ml: Digest Format Marshal

@@ -1,0 +1,1 @@
+lib/sched/validate.ml: Ansor_te Expr Format Hashtbl List Option Printf Prog String

@@ -1,0 +1,1 @@
+lib/sched/validate.mli: Ansor_te Format Prog

@@ -1,0 +1,222 @@
+open Ansor_te
+
+let concrete stage_name iname = stage_name ^ "." ^ iname
+
+(* Value of an iterator as an index expression over concrete loop
+   variables; [bound] supplies externally-pinned iterators. *)
+let make_value (name : string) (stage : State.stage)
+    (bound : (int * Expr.iexpr) list) =
+  let memo = Hashtbl.create 16 in
+  let rec value id =
+    match Hashtbl.find_opt memo id with
+    | Some v -> v
+    | None ->
+      let v =
+        match List.assoc_opt id bound with
+        | Some e -> e
+        | None ->
+          if List.mem id stage.State.leaves then
+            Expr.Axis (concrete name stage.State.ivars.(id).State.iname)
+          else derive id
+      in
+      let v = Expr.simplify_iexpr v in
+      Hashtbl.add memo id v;
+      v
+  and derive id =
+    let rec find = function
+      | [] ->
+        raise
+          (State.Illegal
+             (Printf.sprintf "lower: iterator %d of stage %s has no value" id
+                name))
+      | State.Rsplit { parent; children; lengths } :: _ when parent = id ->
+        (* parent = sum_i child_i * prod_{j>i} lengths_j *)
+        let rec strides = function
+          | [] -> []
+          | _ :: rest -> List.fold_left ( * ) 1 rest :: strides rest
+        in
+        let terms =
+          List.map2
+            (fun c s -> Expr.Imul (value c, Expr.Int s))
+            children (strides lengths)
+        in
+        List.fold_left
+          (fun acc t -> Expr.Iadd (acc, t))
+          (List.hd terms) (List.tl terms)
+      | State.Rfuse { fused; components; lengths } :: rest ->
+        if not (List.mem id components) then find rest
+        else begin
+          let rec locate pos comps lens =
+            match (comps, lens) with
+            | c :: _, l :: lens' when c = id ->
+              (l, List.fold_left ( * ) 1 lens')
+            | _ :: comps', _ :: lens' -> locate (pos + 1) comps' lens'
+            | _ -> assert false
+          in
+          let len, stride = locate 0 components lengths in
+          Expr.Imod (Expr.Idiv (value fused, Expr.Int stride), Expr.Int len)
+        end
+      | _ :: rest -> find rest
+    in
+    find stage.State.rels
+  in
+  value
+
+let lower (st : State.t) : Prog.t =
+  let inlined =
+    List.filter_map
+      (fun (n, (s : State.stage)) ->
+        match (s.loc, s.op) with
+        | State.Loc_inlined, Op.Compute c ->
+          Some (n, (List.map fst c.axes, c.body))
+        | _ -> None)
+      st.stages
+  in
+  let rec inline_expr e =
+    match (e : Expr.t) with
+    | Expr.Access (n, idx) -> (
+      match List.assoc_opt n inlined with
+      | Some (axes, body) ->
+        let env = List.map2 (fun a i -> (a, i)) axes idx in
+        inline_expr (Expr.subst_axes env body)
+      | None -> e)
+    | Expr.Const _ | Expr.Cast_int _ -> e
+    | Expr.Unop (op, a) -> Expr.Unop (op, inline_expr a)
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, inline_expr a, inline_expr b)
+    | Expr.Select (c, a, b) -> Expr.Select (c, inline_expr a, inline_expr b)
+  in
+  let attachments name =
+    List.filter
+      (fun (_, (s : State.stage)) ->
+        match s.loc with
+        | State.Loc_at { target; _ } -> String.equal target name
+        | _ -> false)
+      st.stages
+  in
+  let inits = ref [] in
+  let rec emit_stage ((name, stage) : string * State.stage)
+      (bound : (int * Expr.iexpr) list) : Prog.item list =
+    match stage.op with
+    | Op.Placeholder _ -> []
+    | Op.Compute c ->
+      let value = make_value name stage bound in
+      let axis_names = List.map fst c.axes @ List.map fst c.reduce_axes in
+      let axis_env = List.mapi (fun i a -> (a, value i)) axis_names in
+      let rhs =
+        Expr.simplify (inline_expr (Expr.subst_axes axis_env c.body))
+      in
+      let indices = List.filteri (fun i _ -> i < List.length c.axes) axis_env in
+      let indices = List.map snd indices in
+      (match c.reduce with
+      | Some kind ->
+        if not (List.mem_assoc name !inits) then
+          inits := (name, Op.init_value kind) :: !inits
+      | None -> ());
+      let stmt =
+        Prog.Stmt
+          {
+            stage = name;
+            tensor = name;
+            indices;
+            rhs;
+            update = c.reduce;
+            max_unroll = stage.max_unroll;
+          }
+      in
+      (* Resolve attachment depth for every stage computed at this one. *)
+      let emitted =
+        List.filter (fun id -> not (List.mem_assoc id bound)) stage.leaves
+      in
+      let children =
+        List.map
+          (fun ((cname, cstage) : string * State.stage) ->
+            match cstage.loc with
+            | State.Loc_at { bindings; _ } ->
+              let bound_c =
+                List.map (fun (mine, theirs) -> (mine, value theirs)) bindings
+              in
+              (* place the child right after the deepest loop its bound
+                 values depend on *)
+              let needed =
+                List.concat_map Expr.iexpr_axes (List.map snd bound_c)
+              in
+              let attach_leaf, attach_pos, _ =
+                List.fold_left
+                  (fun (leaf, lpos, pos) id ->
+                    let v = concrete name stage.State.ivars.(id).State.iname in
+                    if List.mem v needed then (Some id, pos, pos + 1)
+                    else (leaf, lpos, pos + 1))
+                  (None, -1, 0)
+                  emitted
+              in
+              (* an attached reduction stage must execute exactly once per
+                 combination of its bound iterators, otherwise it would
+                 re-accumulate into already-reduced elements *)
+              (match cstage.op with
+              | Op.Compute { reduce = Some _; _ } ->
+                let invocations =
+                  List.fold_left
+                    (fun (acc, pos) id ->
+                      if pos <= attach_pos then
+                        (acc * stage.State.ivars.(id).State.extent, pos + 1)
+                      else (acc, pos + 1))
+                    (1, 0) emitted
+                  |> fst
+                in
+                let bound_product =
+                  List.sort_uniq compare (List.map snd bindings)
+                  |> List.fold_left
+                       (fun acc id -> acc * stage.State.ivars.(id).State.extent)
+                       1
+                in
+                if invocations <> bound_product then
+                  raise
+                    (State.Illegal
+                       (Printf.sprintf
+                          "lower: attached reduction %s would execute %d \
+                           times for %d bound tile combinations"
+                          cname invocations bound_product))
+              | _ -> ());
+              (cname, cstage, bound_c, attach_leaf)
+            | _ -> assert false)
+          (attachments name)
+      in
+      let emit_children where =
+        List.concat_map
+          (fun (cname, cstage, bound_c, attach_leaf) ->
+            if attach_leaf = where then emit_stage (cname, cstage) bound_c
+            else [])
+          children
+      in
+      let rec build = function
+        | [] -> [ stmt ]
+        | iv :: rest ->
+          let info = stage.ivars.(iv) in
+          [
+            Prog.Loop
+              {
+                lvar = concrete name info.State.iname;
+                extent = info.extent;
+                kind = info.kind;
+                ann = info.ann;
+                body = emit_children (Some iv) @ build rest;
+              };
+          ]
+      in
+      emit_children None @ build emitted
+  in
+  let items =
+    List.concat_map
+      (fun ((_, s) as named) ->
+        match s.State.loc with
+        | State.Loc_root -> emit_stage named []
+        | State.Loc_inlined | State.Loc_at _ -> [])
+      st.stages
+  in
+  let buffers =
+    Array.to_list (Dag.ops st.dag)
+    |> List.filter_map (fun op ->
+           let n = Op.name op in
+           if List.mem_assoc n inlined then None else Some (n, Op.shape op))
+  in
+  { Prog.items; buffers; inits = List.rev !inits }

@@ -1,0 +1,20 @@
+(** Lowering: schedule state to executable loop-nest program.
+
+    Lowering is deterministic.  It emits, for every non-inlined stage in
+    topological order, a loop nest over the stage's leaf iterators:
+
+    - original axis values are reconstructed from the concrete loop
+      variables through the stage's split/fuse relations;
+    - bodies of inlined stages are substituted into their consumers;
+    - stages located with [compute_at] are emitted inside their target's
+      loop nest, right after the deepest target loop their bound iterators
+      and attachment point depend on, with bound iterators taking the
+      target's values instead of being looped over;
+    - reduction stages get a buffer-initialization entry so the update
+      statements can accumulate.
+
+    @raise State.Illegal on states whose attachment structure cannot be
+    resolved (e.g. a [compute_at] target iterator depending on a loop of a
+    third stage). *)
+
+val lower : State.t -> Prog.t

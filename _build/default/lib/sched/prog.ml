@@ -1,0 +1,71 @@
+open Ansor_te
+
+type stmt = {
+  stage : string;
+  tensor : string;
+  indices : Expr.iexpr list;
+  rhs : Expr.t;
+  update : Op.reduce_kind option;
+  max_unroll : int option;
+}
+
+type loop = {
+  lvar : string;
+  extent : int;
+  kind : State.iter_kind;
+  ann : Step.annotation;
+  body : item list;
+}
+
+and item = Loop of loop | Stmt of stmt
+
+type t = {
+  items : item list;
+  buffers : (string * int list) list;
+  inits : (string * float) list;
+}
+
+let iter_stmts t f =
+  let rec go enclosing = function
+    | Stmt s -> f (List.rev enclosing) s
+    | Loop l -> List.iter (go (l :: enclosing)) l.body
+  in
+  List.iter (go []) t.items
+
+let num_stmts t =
+  let n = ref 0 in
+  iter_stmts t (fun _ _ -> incr n);
+  !n
+
+let buffer_size shape = List.fold_left ( * ) 1 shape
+
+let pp fmt t =
+  let rec pp_item indent = function
+    | Loop l ->
+      let ann =
+        match l.ann with
+        | Step.No_ann -> "for"
+        | Step.Parallel -> "parallel"
+        | Step.Vectorize -> "vectorize"
+        | Step.Unroll -> "unroll"
+      in
+      Format.fprintf fmt "%s%s %s in range(%d):@," indent ann l.lvar l.extent;
+      List.iter (pp_item (indent ^ "  ")) l.body
+    | Stmt s ->
+      let op_str =
+        match s.update with
+        | None -> "="
+        | Some Op.Sum -> "+="
+        | Some Op.Maximum -> "max="
+      in
+      Format.fprintf fmt "%s%s[%a] %s %a@," indent s.tensor
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           Expr.pp_iexpr)
+        s.indices op_str Expr.pp s.rhs
+  in
+  Format.fprintf fmt "@[<v>";
+  List.iter (pp_item "") t.items;
+  Format.fprintf fmt "@]"
+
+let to_string t = Format.asprintf "%a" pp t

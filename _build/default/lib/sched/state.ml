@@ -1,0 +1,465 @@
+open Ansor_te
+
+type iter_kind = Space | Reduce
+
+type ivar_info = {
+  iname : string;
+  extent : int;
+  kind : iter_kind;
+  ann : Step.annotation;
+}
+
+type relation =
+  | Rsplit of { parent : int; children : int list; lengths : int list }
+  | Rfuse of { fused : int; components : int list; lengths : int list }
+
+type location =
+  | Loc_root
+  | Loc_inlined
+  | Loc_at of { target : string; target_iv : int; bindings : (int * int) list }
+
+type stage = {
+  op : Op.t;
+  ivars : ivar_info array;
+  rels : relation list;
+  leaves : int list;
+  loc : location;
+  max_unroll : int option;
+}
+
+type t = {
+  dag : Dag.t;
+  stages : (string * stage) list;
+  history : Step.t list;
+}
+
+exception Illegal of string
+
+let illegal fmt = Format.kasprintf (fun s -> raise (Illegal s)) fmt
+
+let stage_of_op op =
+  match op with
+  | Op.Placeholder _ -> None
+  | Op.Compute { axes; reduce_axes; _ } ->
+    let mk kind (v, e) = { iname = v; extent = e; kind; ann = Step.No_ann } in
+    let ivars =
+      Array.of_list (List.map (mk Space) axes @ List.map (mk Reduce) reduce_axes)
+    in
+    Some
+      {
+        op;
+        ivars;
+        rels = [];
+        leaves = List.init (Array.length ivars) Fun.id;
+        loc = Loc_root;
+        max_unroll = None;
+      }
+
+let init dag =
+  let stages =
+    Array.to_list (Dag.ops dag)
+    |> List.filter_map (fun op ->
+           Option.map (fun s -> (Op.name op, s)) (stage_of_op op))
+  in
+  { dag; stages; history = [] }
+
+let find_stage t name = List.assoc name t.stages
+let mem_stage t name = List.mem_assoc name t.stages
+let stage_names t = List.map fst t.stages
+let ivar stage id = stage.ivars.(id)
+
+let leaf_pos stage id =
+  let rec go pos = function
+    | [] -> None
+    | x :: rest -> if x = id then Some pos else go (pos + 1) rest
+  in
+  go 0 stage.leaves
+
+let is_pristine stage =
+  stage.rels = []
+  && stage.leaves = List.init (Array.length stage.ivars) Fun.id
+  && stage.loc = Loc_root
+  && Array.for_all (fun iv -> iv.ann = Step.No_ann) stage.ivars
+
+let num_space_leaves stage =
+  List.length
+    (List.filter (fun id -> stage.ivars.(id).kind = Space) stage.leaves)
+
+let num_reduce_leaves stage =
+  List.length
+    (List.filter (fun id -> stage.ivars.(id).kind = Reduce) stage.leaves)
+
+let attach_targets t name =
+  List.filter_map
+    (fun (n, s) ->
+      match s.loc with
+      | Loc_at { target; target_iv; _ } when String.equal target name ->
+        Some (n, target_iv)
+      | _ -> None)
+    t.stages
+
+let update_stage t name f =
+  let found = ref false in
+  let stages =
+    List.map
+      (fun (n, s) ->
+        if String.equal n name then begin
+          found := true;
+          (n, f s)
+        end
+        else (n, s))
+      t.stages
+  in
+  if not !found then illegal "no stage named %s" name;
+  { t with stages }
+
+(* Rebuilds the stage association list to follow a new DAG's topological
+   order, reusing existing stage records and initializing fresh ones. *)
+let rebuild_stages old_stages dag =
+  Array.to_list (Dag.ops dag)
+  |> List.filter_map (fun op ->
+         let name = Op.name op in
+         match List.assoc_opt name old_stages with
+         | Some s when s.op == op -> Some (name, s)
+         | _ -> Option.map (fun s -> (name, s)) (stage_of_op op))
+
+(* ---------- step application ---------- *)
+
+let check_leaf stage name id =
+  if id < 0 || id >= Array.length stage.ivars then
+    illegal "stage %s: iterator %d does not exist" name id;
+  if leaf_pos stage id = None then
+    illegal "stage %s: iterator %d (%s) is not a leaf" name id
+      stage.ivars.(id).iname
+
+let do_split t ~stage:name ~iv ~lengths =
+  update_stage t name (fun s ->
+      check_leaf s name iv;
+      let info = s.ivars.(iv) in
+      if info.ann <> Step.No_ann then
+        illegal "stage %s: cannot split annotated iterator %s" name info.iname;
+      if lengths = [] then illegal "stage %s: empty split" name;
+      List.iter
+        (fun l -> if l <= 0 then illegal "stage %s: non-positive split length" name)
+        lengths;
+      let product = List.fold_left ( * ) 1 lengths in
+      if product <> info.extent then
+        illegal "stage %s: split of %s (extent %d) by lengths with product %d"
+          name info.iname info.extent product;
+      let base = Array.length s.ivars in
+      let children =
+        List.mapi
+          (fun i l ->
+            {
+              iname = Printf.sprintf "%s.%d" info.iname i;
+              extent = l;
+              kind = info.kind;
+              ann = Step.No_ann;
+            })
+          lengths
+      in
+      let child_ids = List.mapi (fun i _ -> base + i) children in
+      let ivars = Array.append s.ivars (Array.of_list children) in
+      let leaves =
+        List.concat_map
+          (fun id -> if id = iv then child_ids else [ id ])
+          s.leaves
+      in
+      {
+        s with
+        ivars;
+        leaves;
+        rels = s.rels @ [ Rsplit { parent = iv; children = child_ids; lengths } ];
+      })
+
+let rec is_consecutive_run run leaves =
+  match (run, leaves) with
+  | [], _ -> true
+  | _, [] -> false
+  | r :: _, l :: rest_l when r <> l -> is_consecutive_run run rest_l
+  | _ ->
+    (* heads are equal: the rest of the run must match positionally *)
+    let rec matches run leaves =
+      match (run, leaves) with
+      | [], _ -> true
+      | _, [] -> false
+      | r :: rr, l :: ll -> r = l && matches rr ll
+    in
+    matches run leaves
+
+let do_fuse t ~stage:name ~ivs =
+  update_stage t name (fun s ->
+      (match ivs with
+      | [] | [ _ ] -> illegal "stage %s: fuse needs at least two iterators" name
+      | _ -> ());
+      List.iter (fun id -> check_leaf s name id) ivs;
+      if not (is_consecutive_run ivs s.leaves) then
+        illegal "stage %s: fused iterators must be consecutive leaves" name;
+      let infos = List.map (fun id -> s.ivars.(id)) ivs in
+      let kind = (List.hd infos).kind in
+      if not (List.for_all (fun i -> i.kind = kind) infos) then
+        illegal "stage %s: cannot fuse space with reduction iterators" name;
+      if not (List.for_all (fun i -> i.ann = Step.No_ann) infos) then
+        illegal "stage %s: cannot fuse annotated iterators" name;
+      let fused_id = Array.length s.ivars in
+      let fused =
+        {
+          iname = String.concat "@" (List.map (fun i -> i.iname) infos);
+          extent = List.fold_left (fun acc i -> acc * i.extent) 1 infos;
+          kind;
+          ann = Step.No_ann;
+        }
+      in
+      let rec replace_run leaves =
+        match leaves with
+        | [] -> []
+        | l :: _ when l = List.hd ivs ->
+          let rest = ref leaves in
+          List.iter (fun _ -> rest := List.tl !rest) ivs;
+          fused_id :: !rest
+        | l :: rest -> l :: replace_run rest
+      in
+      {
+        s with
+        ivars = Array.append s.ivars [| fused |];
+        leaves = replace_run s.leaves;
+        rels =
+          s.rels
+          @ [
+              Rfuse
+                {
+                  fused = fused_id;
+                  components = ivs;
+                  lengths = List.map (fun i -> i.extent) infos;
+                };
+            ];
+      })
+
+let do_reorder t ~stage:name ~order =
+  update_stage t name (fun s ->
+      if List.sort compare order <> List.sort compare s.leaves then
+        illegal "stage %s: reorder is not a permutation of the leaves" name;
+      { s with leaves = order })
+
+(* True when [target] (transitively, through currently-inlined stages)
+   reads the tensor produced by [name]. *)
+let reads_transitively t ~target ~name =
+  let rec reads op_name =
+    match List.assoc_opt op_name t.stages with
+    | None -> false
+    | Some s ->
+      List.exists
+        (fun input ->
+          String.equal input name
+          ||
+          match List.assoc_opt input t.stages with
+          | Some p when p.loc = Loc_inlined -> reads input
+          | _ -> false)
+        (Op.input_tensors s.op)
+  in
+  reads target
+
+let do_compute_at t ~stage:name ~target ~target_iv ~bindings =
+  if String.equal name target then illegal "compute_at: stage equals target";
+  let tstage =
+    try find_stage t target
+    with Not_found -> illegal "compute_at: no stage named %s" target
+  in
+  if target_iv < 0 || target_iv >= Array.length tstage.ivars then
+    illegal "compute_at: target iterator %d does not exist" target_iv;
+  if not (reads_transitively t ~target ~name) then
+    illegal "compute_at: %s is not a (transitive) consumer of %s" target name;
+  (match tstage.loc with
+  | Loc_inlined -> illegal "compute_at: target %s is inlined" target
+  | _ -> ());
+  update_stage t name (fun s ->
+      (match s.loc with
+      | Loc_inlined -> illegal "compute_at: stage %s is inlined" name
+      | _ -> ());
+      List.iter
+        (fun (mine, theirs) ->
+          check_leaf s name mine;
+          if theirs < 0 || theirs >= Array.length tstage.ivars then
+            illegal "compute_at: binding to non-existent target iterator %d"
+              theirs;
+          if s.ivars.(mine).extent <> tstage.ivars.(theirs).extent then
+            illegal
+              "compute_at: binding extent mismatch (%s:%s extent %d vs %s:%s \
+               extent %d)"
+              name s.ivars.(mine).iname s.ivars.(mine).extent target
+              tstage.ivars.(theirs).iname tstage.ivars.(theirs).extent;
+          if s.ivars.(mine).kind <> Space then
+            illegal "compute_at: only space iterators can be bound")
+        bindings;
+      let mine_ids = List.map fst bindings in
+      if List.length (List.sort_uniq compare mine_ids) <> List.length mine_ids
+      then illegal "compute_at: duplicate bound iterator";
+      { s with loc = Loc_at { target; target_iv; bindings } })
+
+let do_compute_inline t ~stage:name =
+  let idx =
+    try Dag.op_index t.dag name
+    with Not_found -> illegal "inline: no stage named %s" name
+  in
+  if not (Dag.is_strict_inlinable t.dag idx) then
+    illegal "inline: stage %s is not strictly inlinable" name;
+  if Dag.is_output t.dag idx then
+    illegal "inline: stage %s is a DAG output" name;
+  if attach_targets t name <> [] then
+    illegal "inline: stage %s has attached producers" name;
+  update_stage t name (fun s -> { s with loc = Loc_inlined })
+
+let do_compute_root t ~stage:name =
+  update_stage t name (fun s -> { s with loc = Loc_root })
+
+let replace_op_in_dag dag ~name ~with_ops =
+  let ops =
+    Array.to_list (Dag.ops dag)
+    |> List.concat_map (fun op ->
+           if String.equal (Op.name op) name then with_ops else [ op ])
+  in
+  Dag.create ops
+
+let do_cache_write t ~stage:name =
+  let s =
+    try find_stage t name with Not_found -> illegal "cache_write: no stage %s" name
+  in
+  if not (is_pristine s) then
+    illegal "cache_write: stage %s has already been transformed" name;
+  match s.op with
+  | Op.Placeholder _ -> illegal "cache_write: %s is a placeholder" name
+  | Op.Compute c ->
+    let cc_name = name ^ ".local" in
+    if mem_stage t cc_name then illegal "cache_write: %s already cached" name;
+    let cc_op =
+      Op.compute ~name:cc_name ~axes:c.axes ~reduce_axes:c.reduce_axes
+        ?reduce:c.reduce c.body
+    in
+    (* the copy keeps the original tensor name; the compute moves to
+       <name>.local, so consumers are untouched *)
+    let copy_op =
+      Op.compute ~name ~axes:c.axes
+        (Expr.access cc_name (List.map (fun (v, _) -> Expr.axis v) c.axes))
+    in
+    let dag = replace_op_in_dag t.dag ~name ~with_ops:[ cc_op; copy_op ] in
+    { t with dag; stages = rebuild_stages t.stages dag }
+
+let do_rfactor t ~stage:name ~iv ~lengths =
+  let s =
+    try find_stage t name with Not_found -> illegal "rfactor: no stage %s" name
+  in
+  if not (is_pristine s) then
+    illegal "rfactor: stage %s has already been transformed" name;
+  match s.op with
+  | Op.Placeholder _ -> illegal "rfactor: %s is a placeholder" name
+  | Op.Compute c ->
+    let lo, li =
+      match lengths with
+      | [ lo; li ] -> (lo, li)
+      | _ -> illegal "rfactor: lengths must be [outer; inner]"
+    in
+    if iv < 0 || iv >= Array.length s.ivars then
+      illegal "rfactor: iterator %d does not exist" iv;
+    let info = s.ivars.(iv) in
+    if info.kind <> Reduce then illegal "rfactor: %s is not a reduction axis" info.iname;
+    if lo * li <> info.extent then
+      illegal "rfactor: %d * %d <> extent %d" lo li info.extent;
+    let kind =
+      match c.reduce with Some k -> k | None -> illegal "rfactor: no reduction"
+    in
+    let r = info.iname in
+    let r_o = r ^ ".o" and r_i = r ^ ".i" in
+    let rf_name = name ^ ".rf" in
+    if mem_stage t rf_name then illegal "rfactor: %s already factorized" name;
+    let rf_body =
+      Expr.subst_axes
+        [ (r, Expr.(Iadd (Imul (Axis r_o, Int li), Axis r_i))) ]
+        c.body
+    in
+    let rf_op =
+      Op.compute ~name:rf_name
+        ~axes:(c.axes @ [ (r_i, li) ])
+        ~reduce_axes:
+          (List.map (fun (v, e) -> if String.equal v r then (r_o, lo) else (v, e))
+             c.reduce_axes)
+        ~reduce:kind rf_body
+    in
+    let final_op =
+      Op.compute ~name ~axes:c.axes
+        ~reduce_axes:[ (r_i, li) ]
+        ~reduce:kind
+        (Expr.access rf_name
+           (List.map (fun (v, _) -> Expr.axis v) c.axes @ [ Expr.axis r_i ]))
+    in
+    let dag = replace_op_in_dag t.dag ~name ~with_ops:[ rf_op; final_op ] in
+    { t with dag; stages = rebuild_stages t.stages dag }
+
+let do_annotate t ~stage:name ~iv ~ann =
+  update_stage t name (fun s ->
+      check_leaf s name iv;
+      let info = s.ivars.(iv) in
+      if ann = Step.Parallel && info.kind = Reduce then
+        illegal "stage %s: cannot parallelize reduction iterator %s" name
+          info.iname;
+      let ivars = Array.copy s.ivars in
+      ivars.(iv) <- { info with ann };
+      { s with ivars })
+
+let do_pragma_unroll t ~stage:name ~max_step =
+  if max_step < 0 then illegal "pragma_unroll: negative max_step";
+  update_stage t name (fun s -> { s with max_unroll = Some max_step })
+
+let apply t step =
+  let t' =
+    match (step : Step.t) with
+    | Split { stage; iv; lengths; tbd = _ } -> do_split t ~stage ~iv ~lengths
+    | Fuse { stage; ivs } -> do_fuse t ~stage ~ivs
+    | Reorder { stage; order } -> do_reorder t ~stage ~order
+    | Compute_at { stage; target; target_iv; bindings } ->
+      do_compute_at t ~stage ~target ~target_iv ~bindings
+    | Compute_inline { stage } -> do_compute_inline t ~stage
+    | Compute_root { stage } -> do_compute_root t ~stage
+    | Cache_write { stage } -> do_cache_write t ~stage
+    | Rfactor { stage; iv; lengths; tbd = _ } -> do_rfactor t ~stage ~iv ~lengths
+    | Annotate { stage; iv; ann } -> do_annotate t ~stage ~iv ~ann
+    | Pragma_unroll { stage; max_step } -> do_pragma_unroll t ~stage ~max_step
+  in
+  { t' with history = t.history @ [ step ] }
+
+let apply_checked t step =
+  match apply t step with
+  | t' -> Ok t'
+  | exception Illegal msg -> Error msg
+
+let replay dag steps = List.fold_left apply (init dag) steps
+
+let replay_checked dag steps =
+  match replay dag steps with
+  | t -> Ok t
+  | exception Illegal msg -> Error msg
+
+let pp fmt t =
+  List.iter
+    (fun (name, s) ->
+      let loc =
+        match s.loc with
+        | Loc_root -> "root"
+        | Loc_inlined -> "inlined"
+        | Loc_at { target; target_iv; _ } ->
+          Printf.sprintf "at %s/iv%d" target target_iv
+      in
+      Format.fprintf fmt "@[<v 2>stage %s (%s):@," name loc;
+      List.iteri
+        (fun depth id ->
+          let iv = s.ivars.(id) in
+          let ann =
+            match iv.ann with
+            | Step.No_ann -> ""
+            | a -> Format.asprintf "%a " Step.pp_annotation a
+          in
+          Format.fprintf fmt "%s%sfor %s in range(%d)@,"
+            (String.make depth ' ')
+            ann iv.iname iv.extent)
+        s.leaves;
+      Format.fprintf fmt "@]@,")
+    t.stages

@@ -1,0 +1,70 @@
+type annotation = No_ann | Parallel | Vectorize | Unroll
+
+type t =
+  | Split of { stage : string; iv : int; lengths : int list; tbd : bool }
+  | Fuse of { stage : string; ivs : int list }
+  | Reorder of { stage : string; order : int list }
+  | Compute_at of {
+      stage : string;
+      target : string;
+      target_iv : int;
+      bindings : (int * int) list;
+    }
+  | Compute_inline of { stage : string }
+  | Compute_root of { stage : string }
+  | Cache_write of { stage : string }
+  | Rfactor of { stage : string; iv : int; lengths : int list; tbd : bool }
+  | Annotate of { stage : string; iv : int; ann : annotation }
+  | Pragma_unroll of { stage : string; max_step : int }
+
+let stage_of = function
+  | Split { stage; _ }
+  | Fuse { stage; _ }
+  | Reorder { stage; _ }
+  | Compute_at { stage; _ }
+  | Compute_inline { stage }
+  | Compute_root { stage }
+  | Cache_write { stage }
+  | Rfactor { stage; _ }
+  | Annotate { stage; _ }
+  | Pragma_unroll { stage; _ } ->
+    stage
+
+let pp_annotation fmt = function
+  | No_ann -> Format.pp_print_string fmt "none"
+  | Parallel -> Format.pp_print_string fmt "parallel"
+  | Vectorize -> Format.pp_print_string fmt "vectorize"
+  | Unroll -> Format.pp_print_string fmt "unroll"
+
+let pp_ints fmt l =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    Format.pp_print_int fmt l
+
+let pp fmt = function
+  | Split { stage; iv; lengths; tbd } ->
+    Format.fprintf fmt "split(%s, iv=%d, [%a]%s)" stage iv pp_ints lengths
+      (if tbd then ", tbd" else "")
+  | Fuse { stage; ivs } -> Format.fprintf fmt "fuse(%s, [%a])" stage pp_ints ivs
+  | Reorder { stage; order } ->
+    Format.fprintf fmt "reorder(%s, [%a])" stage pp_ints order
+  | Compute_at { stage; target; target_iv; bindings } ->
+    Format.fprintf fmt "compute_at(%s, %s, iv=%d, bind=[%a])" stage target
+      target_iv
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         (fun fmt (a, b) -> Format.fprintf fmt "%d->%d" a b))
+      bindings
+  | Compute_inline { stage } -> Format.fprintf fmt "inline(%s)" stage
+  | Compute_root { stage } -> Format.fprintf fmt "compute_root(%s)" stage
+  | Cache_write { stage } -> Format.fprintf fmt "cache_write(%s)" stage
+  | Rfactor { stage; iv; lengths; tbd } ->
+    Format.fprintf fmt "rfactor(%s, iv=%d, [%a]%s)" stage iv pp_ints lengths
+      (if tbd then ", tbd" else "")
+  | Annotate { stage; iv; ann } ->
+    Format.fprintf fmt "annotate(%s, iv=%d, %a)" stage iv pp_annotation ann
+  | Pragma_unroll { stage; max_step } ->
+    Format.fprintf fmt "pragma_unroll(%s, %d)" stage max_step
+
+let history_key steps =
+  Digest.string (Marshal.to_string steps [ Marshal.No_sharing ])

@@ -1,0 +1,62 @@
+(** Schedule transform steps.
+
+    A scheduled program in this system is exactly what it is in Ansor: a
+    computational DAG plus a {e history} of transform steps rewriting the
+    naive loop nests.  The step list is the genome used by the evolutionary
+    search (§5.1 "the genes of a program in Ansor are its rewriting steps"),
+    and sketches are step lists whose tile sizes are still unfilled
+    ([tbd = true] on {!constructor:Split} / {!constructor:Rfactor}). *)
+
+(** Loop annotations (§4.2). *)
+type annotation = No_ann | Parallel | Vectorize | Unroll
+
+type t =
+  | Split of { stage : string; iv : int; lengths : int list; tbd : bool }
+      (** Replace leaf iterator [iv] of [stage] by one iterator per entry of
+          [lengths] (outermost first); the product must equal the extent.
+          [tbd] marks a sketch-level split whose lengths are placeholders
+          to be filled by random annotation. *)
+  | Fuse of { stage : string; ivs : int list }
+      (** Fuse consecutive leaf iterators into one. *)
+  | Reorder of { stage : string; order : int list }
+      (** Permute the leaf iterators; [order] lists iterator ids in the new
+          outer-to-inner order. *)
+  | Compute_at of {
+      stage : string;
+      target : string;
+      target_iv : int;
+      bindings : (int * int) list;
+    }
+      (** Nest [stage]'s loops inside [target]'s loop nest at the loop
+          computing [target_iv].  [bindings] pins leaf iterators of [stage]
+          (first component) to iterators of [target] (second component):
+          the bound loops are not emitted, their values are taken from the
+          target — the matched-tiling fusion of rules 4/5. *)
+  | Compute_inline of { stage : string }
+      (** Substitute the stage's body into its consumers (rule 2). *)
+  | Compute_root of { stage : string }
+      (** Undo compute_at/inline: materialize at the top level. *)
+  | Cache_write of { stage : string }
+      (** Split the stage into a compute stage ["<name>.local"] and an
+          elementwise copy keeping the original name (rule 5). *)
+  | Rfactor of { stage : string; iv : int; lengths : int list; tbd : bool }
+      (** Factorize reduction iterator [iv] (extent = product of the two
+          [lengths]) into an ["<name>.rf"] stage reducing over the outer
+          part, with the inner part promoted to a space axis, plus a final
+          reduction over the inner part (rule 6). *)
+  | Annotate of { stage : string; iv : int; ann : annotation }
+  | Pragma_unroll of { stage : string; max_step : int }
+      (** The [auto_unroll_max_step] pragma: permit the code generator to
+          unroll inner loops of the stage up to [max_step] total steps. *)
+
+val stage_of : t -> string
+(** The stage a step rewrites (the new compute stage for cache_write /
+    rfactor). Used to group steps per DAG node for node-based crossover. *)
+
+val pp_annotation : Format.formatter -> annotation -> unit
+val pp : Format.formatter -> t -> unit
+
+val history_key : t list -> string
+(** Exact structural digest of a step history, suitable for deduplicating
+    programs.  (The generic [Hashtbl.hash] truncates deep structures and
+    collides on histories of this size.) *)

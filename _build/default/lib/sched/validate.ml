@@ -1,0 +1,169 @@
+open Ansor_te
+
+type issue = { where : string; message : string }
+
+let pp_issue fmt i = Format.fprintf fmt "%s: %s" i.where i.message
+
+module Interval = struct
+  type t = { lo : int; hi : int }
+
+  let point n = { lo = n; hi = n }
+
+  let add a b = { lo = a.lo + b.lo; hi = a.hi + b.hi }
+
+  let sub a b = { lo = a.lo - b.hi; hi = a.hi - b.lo }
+
+  let mul a b =
+    let products = [ a.lo * b.lo; a.lo * b.hi; a.hi * b.lo; a.hi * b.hi ] in
+    {
+      lo = List.fold_left min max_int products;
+      hi = List.fold_left max min_int products;
+    }
+
+  let floordiv_const a d =
+    (* d > 0; floor division is monotone *)
+    let fd x =
+      if x >= 0 || x mod d = 0 then x / d else (x / d) - 1
+    in
+    { lo = fd a.lo; hi = fd a.hi }
+
+  let rec of_iexpr env (e : Expr.iexpr) =
+    match e with
+    | Expr.Int n -> Some (point n)
+    | Expr.Axis v -> env v
+    | Expr.Iadd (a, b) -> map2 add (of_iexpr env a) (of_iexpr env b)
+    | Expr.Isub (a, b) -> map2 sub (of_iexpr env a) (of_iexpr env b)
+    | Expr.Imul (a, b) -> map2 mul (of_iexpr env a) (of_iexpr env b)
+    | Expr.Idiv (a, b) -> (
+      match (of_iexpr env a, of_iexpr env b) with
+      | Some a, Some { lo = d; hi = d' } when d = d' && d > 0 ->
+        Some (floordiv_const a d)
+      | _ -> None)
+    | Expr.Imod (_, b) -> (
+      match of_iexpr env b with
+      | Some { lo = d; hi = d' } when d = d' && d > 0 ->
+        Some { lo = 0; hi = d - 1 }
+      | _ -> None)
+
+  and map2 f a b =
+    match (a, b) with Some a, Some b -> Some (f a b) | _ -> None
+end
+
+let buffer_size shape = List.fold_left ( * ) 1 shape
+
+(* interval of the flattened row-major offset *)
+let offset_interval env shape indices =
+  let rec go dims idx acc =
+    match (dims, idx) with
+    | [], [] -> Some acc
+    | d :: dims', i :: idx' -> (
+      match Interval.of_iexpr env i with
+      | None -> None
+      | Some iv ->
+        go dims' idx'
+          (Interval.add (Interval.mul acc (Interval.point d)) iv))
+    | _ -> None
+  in
+  match (shape, indices) with
+  | [], [] -> Some (Interval.point 0)
+  | d :: dims, i :: idx -> (
+    ignore d;
+    match Interval.of_iexpr env i with
+    | None -> None
+    | Some iv -> go dims idx iv)
+  | _ -> None
+
+(* reads of an expression, tagged with whether a select guards them *)
+let reads_with_guard e =
+  let acc = ref [] in
+  let rec go guarded (e : Expr.t) =
+    match e with
+    | Expr.Const _ | Expr.Cast_int _ -> ()
+    | Expr.Access (t, idx) -> acc := (t, idx, guarded) :: !acc
+    | Expr.Unop (_, a) -> go guarded a
+    | Expr.Binop (_, a, b) ->
+      go guarded a;
+      go guarded b
+    | Expr.Select (_, a, b) ->
+      go true a;
+      go true b
+  in
+  go false e;
+  List.rev !acc
+
+let check (prog : Prog.t) =
+  let issues = ref [] in
+  let report where fmt =
+    Format.kasprintf (fun message -> issues := { where; message } :: !issues) fmt
+  in
+  let shapes = prog.buffers in
+  (* per-buffer write hull, for the coverage check *)
+  let write_hull : (string, Interval.t) Hashtbl.t = Hashtbl.create 16 in
+  let visit enclosing (stmt : Prog.stmt) =
+    let where = "statement of stage " ^ stmt.stage in
+    (* loop scoping *)
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun (l : Prog.loop) ->
+        if l.extent < 1 then report where "loop %s has extent %d" l.lvar l.extent;
+        if Hashtbl.mem seen l.lvar then
+          report where "loop variable %s shadows an outer loop" l.lvar;
+        Hashtbl.replace seen l.lvar ())
+      enclosing;
+    let env v =
+      match
+        List.find_opt (fun (l : Prog.loop) -> String.equal l.lvar v) enclosing
+      with
+      | Some l -> Some { Interval.lo = 0; hi = l.extent - 1 }
+      | None -> None
+    in
+    let shape_of t = List.assoc_opt t shapes in
+    let check_access what t idx =
+      match shape_of t with
+      | None -> report where "%s unknown buffer %s" what t
+      | Some shape -> (
+        match offset_interval env shape idx with
+        | None -> () (* non-affine beyond the analysis: no claim *)
+        | Some iv ->
+          let size = buffer_size shape in
+          if iv.lo < 0 || iv.hi >= size then
+            report where "%s of %s may be out of bounds: offset in [%d, %d], size %d"
+              what t iv.lo iv.hi size;
+          if what = "write" then
+            let cur =
+              Option.value
+                (Hashtbl.find_opt write_hull t)
+                ~default:{ Interval.lo = max_int; hi = min_int }
+            in
+            Hashtbl.replace write_hull t
+              { Interval.lo = min cur.lo iv.lo; hi = max cur.hi iv.hi })
+    in
+    check_access "write" stmt.tensor stmt.indices;
+    List.iter
+      (fun (t, idx, guarded) -> if not guarded then check_access "read" t idx)
+      (reads_with_guard stmt.rhs);
+    (* reduction discipline *)
+    if stmt.update <> None && not (List.mem_assoc stmt.tensor prog.inits) then
+      report where "reduction into %s without initialization" stmt.tensor
+  in
+  Prog.iter_stmts prog visit;
+  (* write coverage: the hull of every written buffer reaches both ends *)
+  Hashtbl.iter
+    (fun t (hull : Interval.t) ->
+      match List.assoc_opt t shapes with
+      | None -> ()
+      | Some shape ->
+        let size = buffer_size shape in
+        if hull.lo > 0 || hull.hi < size - 1 then
+          (let where = "buffer " ^ t in
+           issues :=
+             {
+               where;
+               message =
+                 Printf.sprintf
+                   "writes only span offsets [%d, %d] of size %d" hull.lo
+                   hull.hi size;
+             }
+             :: !issues))
+    write_hull;
+  List.rev !issues

@@ -1,0 +1,37 @@
+(** Static validation of lowered programs.
+
+    A third correctness oracle besides the interpreter and the C backend:
+    purely static, so it works at any problem size.  Interval analysis of
+    the index expressions under the loop bounds checks that
+
+    - every loop has a positive extent and loop variables never shadow;
+    - every {e write} lands inside its buffer, and the writes of each
+      non-input buffer can reach its first and last element (a cheap
+      coverage proxy: splits/fuses that lose or duplicate iterations
+      shift the write hull);
+    - every {e unguarded} read is in bounds.  Reads inside [select]
+      branches are skipped: the guard may be exactly what makes them safe
+      (the padding and transposed-convolution idioms), and deciding that
+      statically would need relational reasoning;
+    - every reduction-updated buffer is initialized.
+
+    The sampler property tests run the interpreter on small shapes; this
+    validator is additionally exercised on every sampled program to catch
+    lowering regressions on realistic (large) shapes where interpretation
+    is infeasible. *)
+
+type issue = { where : string; message : string }
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val check : Prog.t -> issue list
+(** Empty when the program passes all static checks. *)
+
+(** Interval arithmetic over index expressions, exposed for tests. *)
+module Interval : sig
+  type t = { lo : int; hi : int }
+
+  val of_iexpr : (string -> t option) -> Ansor_te.Expr.iexpr -> t option
+  (** Interval of an expression given variable ranges; [None] when the
+      expression divides by a non-constant or a range is unknown. *)
+end

@@ -1,0 +1,1 @@
+lib/scheduler/scheduler.ml: Ansor_machine Ansor_search Ansor_util Array Float Fun List String

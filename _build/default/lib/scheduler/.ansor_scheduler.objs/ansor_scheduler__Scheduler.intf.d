@@ -1,0 +1,1 @@
+lib/scheduler/scheduler.mli: Ansor_sched Ansor_search

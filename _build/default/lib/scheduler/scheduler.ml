@@ -1,0 +1,246 @@
+module Tuner = Ansor_search.Tuner
+module Task = Ansor_search.Task
+module Measurer = Ansor_machine.Measurer
+module Rng = Ansor_util.Rng
+
+type objective =
+  | F1_sum
+  | F2_requirements of float array
+  | F3_geomean_speedup of float array
+  | F4_early_stopping of { patience : int }
+  | Custom of (float array -> float)
+
+type network = { net_name : string; task_weights : (int * int) list }
+
+type options = {
+  objective : objective;
+  alpha : float;
+  beta : float;
+  backward_window : int;
+  eps_greedy : float;
+  tuner_options : Tuner.options;
+  seed : int;
+}
+
+let default_options =
+  {
+    objective = F1_sum;
+    alpha = 0.2;
+    beta = 2.0;
+    backward_window = 3;
+    eps_greedy = 0.05;
+    tuner_options = Tuner.ansor_options;
+    seed = 0;
+  }
+
+type task_state = {
+  tuner : Tuner.t;
+  measurer : Measurer.t;
+  mutable history : float list;  (* best latency after each unit, newest first *)
+  mutable no_improve : int;
+  mutable dead : bool;  (* no further progress possible *)
+}
+
+type t = {
+  options : options;
+  tasks : Task.t array;
+  networks : network list;
+  states : task_state array;
+  shr : Tuner.Shared.t;
+  rng : Rng.t;
+  class_keys : string array;
+  mutable curve_rev : (int * float array) list;
+}
+
+(* Structural similarity class: the workload key with concrete sizes
+   blanked out — subgraphs of the same shape family land together. *)
+let class_key task =
+  let key = Task.key task in
+  String.map (fun c -> if c >= '0' && c <= '9' then '#' else c) key
+
+let create options ~tasks ~networks =
+  if Array.length tasks = 0 then invalid_arg "Scheduler.create: no tasks";
+  if networks = [] then invalid_arg "Scheduler.create: no networks";
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (i, w) ->
+          if i < 0 || i >= Array.length tasks then
+            invalid_arg "Scheduler.create: task index out of range";
+          if w < 1 then invalid_arg "Scheduler.create: non-positive weight")
+        n.task_weights)
+    networks;
+  let states =
+    Array.mapi
+      (fun i task ->
+        {
+          tuner = Tuner.create ~seed:(options.seed + i) options.tuner_options task;
+          measurer =
+            Measurer.create ~seed:(options.seed + (31 * i) + 7)
+              task.Task.machine;
+          history = [];
+          no_improve = 0;
+          dead = false;
+        })
+      tasks
+  in
+  {
+    options;
+    tasks;
+    networks;
+    states;
+    shr = Tuner.Shared.create ();
+    rng = Rng.create (options.seed + 99);
+    class_keys = Array.map class_key tasks;
+    curve_rev = [];
+  }
+
+let allocations t = Array.map (fun s -> List.length s.history) t.states
+let best_latency t i = Tuner.best_latency t.states.(i).tuner
+let best_state t i = Tuner.best_state t.states.(i).tuner
+let shared t = t.shr
+
+let total_trials t =
+  Array.fold_left (fun acc s -> acc + Measurer.trials s.measurer) 0 t.states
+
+let finite g = if Float.is_finite g then g else 1.0 (* 1 second: "very slow" *)
+
+let latencies t =
+  Array.map (fun s -> finite (Tuner.best_latency s.tuner)) t.states
+
+let network_latency_of g net =
+  List.fold_left
+    (fun acc (i, w) -> acc +. (float_of_int w *. g.(i)))
+    0.0 net.task_weights
+
+let network_latency t net = network_latency_of (latencies t) net
+
+let objective_of t (netlats : float array) =
+  match t.options.objective with
+  | F1_sum | F4_early_stopping _ -> Array.fold_left ( +. ) 0.0 netlats
+  | F2_requirements reqs ->
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun j l ->
+        let r = if j < Array.length reqs then reqs.(j) else 0.0 in
+        acc := !acc +. Float.max l r)
+      netlats;
+    !acc
+  | F3_geomean_speedup refs ->
+    let m = Array.length netlats in
+    let s = ref 0.0 in
+    Array.iteri
+      (fun j l ->
+        let b = if j < Array.length refs then refs.(j) else 1.0 in
+        s := !s +. log (Float.max 1e-12 (b /. l)))
+      netlats;
+    -.exp (!s /. float_of_int m)
+  | Custom f -> f netlats
+
+let netlats_of t g =
+  Array.of_list (List.map (network_latency_of g) t.networks)
+
+let objective_value t = objective_of t (netlats_of t (latencies t))
+
+(* df/dg_i by a backward numeric difference on the objective. *)
+let dobj_dg t g i =
+  let gi = g.(i) in
+  let delta = Float.max (gi *. 0.01) 1e-12 in
+  let f0 = objective_of t (netlats_of t g) in
+  let g' = Array.copy g in
+  g'.(i) <- gi -. delta;
+  let f1 = objective_of t (netlats_of t g') in
+  (f0 -. f1) /. delta
+
+(* dg_i/dt_i per Appendix A. *)
+let dg_dt t g i =
+  let s = t.states.(i) in
+  let ti = List.length s.history in
+  if ti = 0 then Float.neg_infinity
+  else begin
+    let gi = g.(i) in
+    let dt = min t.options.backward_window (ti - 1) in
+    let backward =
+      if dt <= 0 then 0.0
+      else
+        let past = List.nth s.history dt in
+        (gi -. finite past) /. float_of_int dt
+    in
+    let optimistic = -.gi /. float_of_int ti in
+    let similarity =
+      let ci = Task.flops t.tasks.(i) in
+      let max_v = ref 0.0 in
+      Array.iteri
+        (fun k sk ->
+          if k <> i && String.equal t.class_keys.(k) t.class_keys.(i) then begin
+            let gk = Tuner.best_latency sk.tuner in
+            if Float.is_finite gk && gk > 0.0 then
+              max_v := Float.max !max_v (Task.flops t.tasks.(k) /. gk)
+          end)
+        t.states;
+      if !max_v > 0.0 then (t.options.beta *. ci /. !max_v) -. gi
+      else Float.neg_infinity
+    in
+    let forward =
+      if similarity = Float.neg_infinity then optimistic
+      else Float.min optimistic similarity
+    in
+    (t.options.alpha *. backward) +. ((1.0 -. t.options.alpha) *. forward)
+  end
+
+let gradient t g i =
+  let s = t.states.(i) in
+  if s.dead then 0.0
+  else
+    match t.options.objective with
+    | F4_early_stopping { patience } when s.no_improve >= patience -> 0.0
+    | _ -> dobj_dg t g i *. dg_dt t g i
+
+let allocate t i =
+  let s = t.states.(i) in
+  let before_trials = Measurer.trials s.measurer in
+  let before_best = Tuner.best_latency s.tuner in
+  Tuner.round s.tuner t.shr s.measurer;
+  let g = Tuner.best_latency s.tuner in
+  s.history <- g :: s.history;
+  if Measurer.trials s.measurer = before_trials then s.dead <- true;
+  if Float.is_finite before_best && g >= before_best *. 0.999 then
+    s.no_improve <- s.no_improve + 1
+  else s.no_improve <- 0;
+  t.curve_rev <- (total_trials t, netlats_of t (latencies t)) :: t.curve_rev
+
+let run t ~trial_budget =
+  (* warm-up: one unit per task, round-robin *)
+  Array.iteri
+    (fun i s -> if s.history = [] && total_trials t < trial_budget then allocate t i)
+    t.states;
+  let n = Array.length t.tasks in
+  let continue = ref true in
+  while !continue && total_trials t < trial_budget do
+    let alive =
+      Array.to_list (Array.init n Fun.id)
+      |> List.filter (fun i -> not t.states.(i).dead)
+    in
+    if alive = [] then continue := false
+    else begin
+      let i =
+        if Rng.float t.rng 1.0 < t.options.eps_greedy then
+          Rng.choice_list t.rng alive
+        else begin
+          let g = latencies t in
+          let scored =
+            List.map (fun i -> (i, Float.abs (gradient t g i))) alive
+          in
+          let best =
+            List.fold_left
+              (fun (bi, bs) (i, s) -> if s > bs then (i, s) else (bi, bs))
+              (List.hd alive, -1.0) scored
+          in
+          fst best
+        end
+      in
+      allocate t i
+    end
+  done
+
+let curve t = List.rev t.curve_rev

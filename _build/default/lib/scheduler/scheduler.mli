@@ -1,0 +1,82 @@
+(** The task scheduler (§6): gradient-based allocation of measurement
+    budget across the subgraphs of one or more DNNs.
+
+    One allocation unit is one tuner round (a batch of measured programs).
+    After a round-robin warm-up, each iteration computes the approximate
+    gradient |df/dt_i| of the objective for every task (Appendix A) and
+    allocates the next unit to the steepest task, with an epsilon-greedy
+    exploration fallback.
+
+    The gradient approximation combines a backward finite difference over
+    the task's own history (weight [alpha]) with an optimistic forward
+    guess: either the task reaches latency 0 with the same again effort,
+    or it reaches the throughput of the best {e similar} task —
+    structurally similar subgraphs, scaled by the task's FLOP count and
+    the parameter [beta].
+
+    Objectives follow Table 2: [F1] total latency of all networks, [F2]
+    latency requirements per network, [F3] negated geometric mean of
+    speedups over reference latencies, [F4] F1 with per-task early
+    stopping.  Custom objectives can be supplied as a function of the
+    per-task best latencies. *)
+
+type objective =
+  | F1_sum
+  | F2_requirements of float array  (** latency requirement per network *)
+  | F3_geomean_speedup of float array  (** reference latency per network *)
+  | F4_early_stopping of { patience : int }
+      (** F1, but a task that has not improved within its last [patience]
+          allocations stops receiving budget *)
+  | Custom of (float array -> float)
+      (** user objective over the per-network latencies *)
+
+type network = {
+  net_name : string;
+  task_weights : (int * int) list;
+      (** (task index, number of appearances w_i) *)
+}
+
+type options = {
+  objective : objective;
+  alpha : float;  (** trust in the backward difference (paper: 0.2) *)
+  beta : float;  (** trust in the similarity bound (paper: 2) *)
+  backward_window : int;  (** Delta-t of the backward difference *)
+  eps_greedy : float;  (** exploration probability (paper: 0.05) *)
+  tuner_options : Ansor_search.Tuner.options;
+  seed : int;
+}
+
+val default_options : options
+(** F1, alpha 0.2, beta 2, window 3, epsilon 0.05, Ansor tuner. *)
+
+type t
+
+val create : options -> tasks:Ansor_search.Task.t array -> networks:network list -> t
+(** @raise Invalid_argument on empty tasks, empty networks or references
+    to out-of-range task indices. *)
+
+val run : t -> trial_budget:int -> unit
+(** Allocates units until the total measurement trials reach the budget
+    (or no task can make progress). Can be called repeatedly to extend. *)
+
+val allocations : t -> int array
+(** Units allocated per task so far (the vector t). *)
+
+val best_latency : t -> int -> float
+(** Best observed latency of a task ([infinity] before warm-up). *)
+
+val best_state : t -> int -> Ansor_sched.State.t option
+
+val network_latency : t -> network -> float
+(** Sum of w_i x g_i over the network's tasks. *)
+
+val total_trials : t -> int
+
+val curve : t -> (int * float array) list
+(** After every allocation: (total trials, per-network latencies), oldest
+    first. *)
+
+val shared : t -> Ansor_search.Tuner.Shared.t
+
+val objective_value : t -> float
+(** Current value of the configured objective. *)

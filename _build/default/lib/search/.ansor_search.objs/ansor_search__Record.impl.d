@@ -1,0 +1,1 @@
+lib/search/record.ml: Ansor_sched Fun List Printf Result State Step String Task Tuner

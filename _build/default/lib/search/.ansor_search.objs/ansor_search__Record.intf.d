@@ -1,0 +1,1 @@
+lib/search/record.mli: Ansor_sched Ansor_te State Step Tuner

@@ -1,0 +1,1 @@
+lib/search/task.ml: Ansor_machine Ansor_sketch Ansor_te Dag

@@ -1,0 +1,1 @@
+lib/search/task.mli: Ansor_machine Ansor_sketch Ansor_te Dag

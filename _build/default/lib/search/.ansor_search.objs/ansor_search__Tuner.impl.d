@@ -1,0 +1,1 @@
+lib/search/tuner.ml: Ansor_cost_model Ansor_evolution Ansor_machine Ansor_sched Ansor_sketch Ansor_te Ansor_util Float Fun Hashtbl List Lower Option State Step Task

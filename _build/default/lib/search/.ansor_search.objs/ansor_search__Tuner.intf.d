@@ -1,0 +1,1 @@
+lib/search/tuner.mli: Ansor_cost_model Ansor_evolution Ansor_machine Ansor_sched Ansor_sketch State Task

@@ -1,0 +1,48 @@
+(** Tuning records: persistent logs of measured programs.
+
+    The original Ansor keeps a JSON-lines log file of every measurement
+    (workload key, transform steps, measured cost) so that tuning results
+    can be reused across runs, shipped with applications, and replayed
+    without re-searching.  This module provides the same facility with a
+    compact line-oriented text format:
+
+    {v
+ansor-v1 <task-key> <latency-seconds> <step>;<step>;...
+    v}
+
+    Steps serialize losslessly; a record's steps can be replayed on the
+    task's DAG with {!Ansor_sched.State.replay} (or applied through
+    {!best_state}).  Unparseable lines are reported, not ignored
+    silently. *)
+
+open Ansor_sched
+
+type entry = {
+  task_key : string;  (** {!Task.key} of the tuning task *)
+  latency : float;  (** measured seconds *)
+  steps : Step.t list;
+}
+
+val to_line : entry -> string
+(** One line, no trailing newline. @raise Invalid_argument if the task key
+    contains whitespace-incompatible characters (tab or newline). *)
+
+val of_line : string -> (entry, string) result
+
+val save : path:string -> entry list -> unit
+(** Overwrites [path]. *)
+
+val append : path:string -> entry -> unit
+
+val load : path:string -> (entry list, string) result
+(** All entries; [Error] describes the first malformed line. Empty lines
+    are skipped. *)
+
+val best_for : entry list -> task_key:string -> entry option
+(** Lowest-latency entry for a task. *)
+
+val entry_of_tuner : Tuner.t -> entry option
+(** The tuner's best measured program as a record entry. *)
+
+val best_state : entry -> Ansor_te.Dag.t -> (State.t, string) result
+(** Replays the entry's steps on the DAG it was tuned for. *)

@@ -1,0 +1,26 @@
+open Ansor_te
+
+type t = {
+  name : string;
+  dag : Dag.t;
+  machine : Ansor_machine.Machine.t;
+  weight : int;
+}
+
+let create ?(weight = 1) ~name ~machine dag =
+  if weight < 1 then invalid_arg "Task.create: weight < 1";
+  { name; dag; machine; weight }
+
+let key t = t.machine.Ansor_machine.Machine.name ^ "/" ^ Dag.workload_key t.dag
+
+let flops t = float_of_int (Dag.flops t.dag)
+
+let policy t =
+  let m = t.machine in
+  let kind =
+    match m.Ansor_machine.Machine.kind with
+    | Ansor_machine.Machine.Cpu -> `Cpu
+    | Ansor_machine.Machine.Gpu -> `Gpu
+  in
+  Ansor_sketch.Policy.for_machine_kind kind
+    ~workers:m.Ansor_machine.Machine.num_workers

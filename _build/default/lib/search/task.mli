@@ -1,0 +1,30 @@
+(** Search tasks.
+
+    A task is the unit of tuning (§6): one subgraph on one target machine,
+    with a weight counting how many times the subgraph appears in the
+    network(s) being optimized. *)
+
+open Ansor_te
+
+type t = {
+  name : string;  (** human-readable, e.g. ["C2D.s1"] *)
+  dag : Dag.t;
+  machine : Ansor_machine.Machine.t;
+  weight : int;
+}
+
+val create :
+  ?weight:int -> name:string -> machine:Ansor_machine.Machine.t -> Dag.t -> t
+(** @raise Invalid_argument if [weight < 1]. *)
+
+val key : t -> string
+(** Stable identity: machine name + workload key.  Tasks with equal keys
+    are the same tuning problem (used for cost-model normalization groups
+    and task deduplication). *)
+
+val flops : t -> float
+(** Floating-point work of one execution of the subgraph (the C_i of the
+    task scheduler's gradient approximation). *)
+
+val policy : t -> Ansor_sketch.Policy.t
+(** The annotation policy matching the task's machine. *)

@@ -1,0 +1,380 @@
+open Ansor_sched
+module Rng = Ansor_util.Rng
+module Cost_model = Ansor_cost_model.Cost_model
+module Evolution = Ansor_evolution.Evolution
+module Rules = Ansor_sketch.Rules
+module Gen = Ansor_sketch.Gen
+module Sampler = Ansor_sketch.Sampler
+module Annotate = Ansor_sketch.Annotate
+module Measurer = Ansor_machine.Measurer
+
+type strategy =
+  | Sketch_search of { rules : Rules.t list; use_evolution : bool }
+  | Beam_search of { beam_width : int; rollouts : int }
+
+type options = {
+  strategy : strategy;
+  batch_size : int;
+  sample_size : int;
+  evolution : Evolution.config;
+  eps_random : float;
+  keep_previous : int;
+  template_annotation : bool;
+      (* freeze the annotation policy the way manual templates do *)
+}
+
+let default_evolution =
+  { Evolution.default_config with population = 128; generations = 4 }
+
+let ansor_options =
+  {
+    strategy = Sketch_search { rules = Rules.default; use_evolution = true };
+    batch_size = 16;
+    sample_size = 64;
+    evolution = default_evolution;
+    eps_random = 0.1;
+    keep_previous = 12;
+    template_annotation = false;
+  }
+
+let no_finetune_options =
+  {
+    ansor_options with
+    strategy = Sketch_search { rules = Rules.default; use_evolution = false };
+  }
+
+let limited_options =
+  {
+    ansor_options with
+    strategy =
+      Sketch_search { rules = Rules.limited ~fusion:true; use_evolution = true };
+    template_annotation = true;
+    evolution = { default_evolution with mutate_annotations = false };
+  }
+
+let beam_options =
+  { ansor_options with strategy = Beam_search { beam_width = 12; rollouts = 4 } }
+
+let autotvm_options =
+  {
+    ansor_options with
+    strategy =
+      Sketch_search { rules = Rules.limited ~fusion:true; use_evolution = false };
+    template_annotation = true;
+  }
+
+let flextensor_options =
+  {
+    ansor_options with
+    strategy =
+      Sketch_search
+        {
+          rules =
+            Rules.make ~tiling:Rules.default_tiling ~with_fusion:false
+              ~with_cache:false ~with_rfactor:false;
+          use_evolution = false;
+        };
+    template_annotation = true;
+  }
+
+module Shared = struct
+  type t = {
+    mutable model : Cost_model.t;
+    mutable records : Cost_model.record list;  (* newest first *)
+    mutable rounds_since_train : int;
+    train_every : int;
+    max_records : int;
+  }
+
+  let create ?(train_every = 1) ?(max_records = 3000) () =
+    {
+      model = Cost_model.empty;
+      records = [];
+      rounds_since_train = 0;
+      train_every;
+      max_records;
+    }
+
+  let model t = t.model
+  let records t = t.records
+  let num_records t = List.length t.records
+
+  let add_records t recs =
+    t.records <- recs @ t.records;
+    t.rounds_since_train <- t.rounds_since_train + 1;
+    if t.rounds_since_train >= t.train_every && t.records <> [] then begin
+      let capped = List.filteri (fun i _ -> i < t.max_records) t.records in
+      t.model <- Cost_model.train capped;
+      t.rounds_since_train <- 0
+    end
+end
+
+type t = {
+  task : Task.t;
+  options : options;
+  rng : Rng.t;
+  policy : Ansor_sketch.Policy.t;
+  sketches : State.t list;  (* empty for beam search *)
+  measured : (string, unit) Hashtbl.t;
+  mutable best : (State.t * float) option;
+  mutable good : (State.t * float) list;  (* ascending latency *)
+  mutable trials : int;
+  mutable curve_rev : (int * float) list;
+  mutable rounds : int;
+}
+
+let create ?(seed = 0) ?(warm_start = []) options task =
+  let rules =
+    match options.strategy with
+    | Sketch_search { rules; _ } -> rules
+    | Beam_search _ -> Rules.default
+  in
+  let seeds =
+    List.filter_map
+      (fun steps ->
+        match State.replay_checked task.Task.dag steps with
+        | Ok st -> (
+          match Lower.lower st with
+          | _ -> Some st
+          | exception State.Illegal _ -> None)
+        | Error _ -> None)
+      warm_start
+  in
+  {
+    task;
+    options;
+    rng = Rng.create (seed + Hashtbl.hash (Task.key task));
+    policy =
+      (let p = Task.policy task in
+       if options.template_annotation then Ansor_sketch.Policy.templateize p
+       else p);
+    sketches = Gen.generate ~rules task.Task.dag;
+    measured = Hashtbl.create 64;
+    best = None;
+    good = List.map (fun st -> (st, infinity)) seeds;
+    trials = 0;
+    curve_rev = [];
+    rounds = 0;
+  }
+
+let task t = t.task
+let best_latency t = match t.best with Some (_, l) -> l | None -> infinity
+let best_state t = Option.map fst t.best
+let rounds_done t = t.rounds
+let curve t = List.rev t.curve_rev
+
+let score_state model st =
+  match Lower.lower st with
+  | exception State.Illegal _ -> Float.neg_infinity
+  | prog -> Cost_model.score_prog model prog
+
+(* Sequential construction with beam pruning: expands the DAG node by
+   node, immediately sampling concrete tile sizes for new structure, and
+   prunes with the cost model on the still-incomplete programs — the
+   Halide-auto-scheduler design point whose weakness Figure 3 explains. *)
+let beam_construct rng model dag policy ~beam_width ~rollouts =
+  let dedup = Hashtbl.create 64 in
+  let score (st : State.t) = score_state model st in
+  let expand (st, i) =
+    if i < 0 then [ ((st, i), score st) ]
+    else
+      match Ansor_te.Dag.op st.State.dag i with
+      | Ansor_te.Op.Placeholder _ -> [ ((st, i - 1), score st) ]
+      | Ansor_te.Op.Compute _ ->
+        let applicable =
+          List.filter (fun (r : Rules.t) -> r.condition st i) Rules.default
+        in
+        let chosen =
+          let rec first_exclusive = function
+            | [] -> applicable
+            | (r : Rules.t) :: rest ->
+              if r.exclusive then [ r ] else r :: first_exclusive rest
+          in
+          first_exclusive applicable
+        in
+        List.concat_map
+          (fun (r : Rules.t) ->
+            List.concat_map
+              (fun ((st', i') : State.t * int) ->
+                List.filter_map
+                  (fun _ ->
+                    match
+                      Annotate.replay_constrained dag st'.State.history
+                        ~fill:(Annotate.Random_fill rng)
+                    with
+                    | Error _ -> None
+                    | Ok concrete ->
+                      let key = Step.history_key concrete.State.history in
+                      if Hashtbl.mem dedup key then None
+                      else begin
+                        Hashtbl.replace dedup key ();
+                        Some ((concrete, i'), score concrete)
+                      end)
+                  (List.init rollouts Fun.id))
+              (r.apply st i))
+          chosen
+  in
+  let rec advance states =
+    if List.for_all (fun (_, i) -> i < 0) states then states
+    else
+      let expanded = List.concat_map expand states in
+      let sorted =
+        List.sort (fun (_, a) (_, b) -> compare b a) expanded
+      in
+      let kept =
+        List.filteri (fun k _ -> k < beam_width) sorted |> List.map fst
+      in
+      advance kept
+  in
+  let terminals =
+    advance [ (State.init dag, Ansor_te.Dag.num_ops dag - 1) ]
+  in
+  (* annotate the complete structures *)
+  List.concat_map
+    (fun (st, _) ->
+      List.filter_map
+        (fun _ ->
+          match Annotate.annotate rng policy st with
+          | Ok st -> (
+            match Lower.lower st with
+            | _ -> Some st
+            | exception State.Illegal _ -> None)
+          | Error _ -> None)
+        (List.init 2 Fun.id))
+    terminals
+
+let candidates t shared =
+  let dag = t.task.Task.dag in
+  let model = Shared.model shared in
+  match t.options.strategy with
+  | Beam_search { beam_width; rollouts } ->
+    beam_construct t.rng model dag t.policy ~beam_width ~rollouts
+  | Sketch_search { use_evolution; _ } ->
+    let fresh =
+      Sampler.sample t.rng t.policy dag ~sketches:t.sketches
+        ~n:t.options.sample_size
+    in
+    if use_evolution && Cost_model.is_trained model then begin
+      let seeds =
+        List.filteri (fun i _ -> i < t.options.keep_previous) t.good
+        |> List.map fst
+      in
+      Evolution.evolve t.rng t.options.evolution t.policy dag ~model
+        ~init:(fresh @ seeds)
+        ~out:(t.options.batch_size * 4)
+      |> List.map (fun (s : Evolution.scored) -> s.state)
+    end
+    else
+      (* before the model is trained, put warm-start seeds first so they
+         are measured in the very first batch *)
+      List.map fst t.good @ fresh
+
+(* Hill-climbing neighbors of the best measured program, measured
+   regardless of their model rank: a biased model cannot starve
+   exploitation of the incumbent (important on tiny tasks where the model
+   has little signal). *)
+let neighbors_of_best t =
+  match t.best with
+  | None -> []
+  | Some (best, _) ->
+    let dag = t.task.Task.dag in
+    List.filter_map
+      (fun _ ->
+        match Rng.int t.rng 4 with
+        | 0 -> Evolution.mutate_tile_sizes t.rng dag best
+        | 1 -> Evolution.mutate_annotation t.rng dag best
+        | 2 -> Evolution.mutate_pragma t.rng t.policy dag best
+        | _ -> Evolution.mutate_location t.rng dag best)
+      (List.init (max 1 (t.options.batch_size / 4)) Fun.id)
+
+let round t shared measurer =
+  let model = Shared.model shared in
+  let seen = Hashtbl.create 64 in
+  let prepare states =
+    (* skip already-measured programs, reject unlowerable ones, dedupe *)
+    List.filter_map
+      (fun st ->
+        let key = Step.history_key st.State.history in
+        if Hashtbl.mem t.measured key || Hashtbl.mem seen key then None
+        else
+          match Lower.lower st with
+          | prog ->
+            Hashtbl.replace seen key ();
+            Some (st, prog, key)
+          | exception State.Illegal _ -> None)
+      states
+  in
+  let exploit =
+    match t.options.strategy with
+    | Sketch_search { use_evolution = true; _ } -> prepare (neighbors_of_best t)
+    | Sketch_search { use_evolution = false; _ } | Beam_search _ -> []
+  in
+  let cands = prepare (candidates t shared) in
+  let scored =
+    List.map (fun (st, prog, key) -> (st, prog, key, Cost_model.score_prog model prog)) cands
+  in
+  let sorted = List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a) scored in
+  let n_eps =
+    int_of_float (t.options.eps_random *. float_of_int t.options.batch_size)
+  in
+  let exploit =
+    List.map (fun (st, prog, key) -> (st, prog, key, 0.0)) exploit
+  in
+  let n_greedy =
+    max 0 (t.options.batch_size - n_eps - List.length exploit)
+  in
+  let greedy = exploit @ List.filteri (fun i _ -> i < n_greedy) sorted in
+  let rest = List.filteri (fun i _ -> i >= n_greedy) sorted in
+  let eps_pick =
+    if rest = [] then []
+    else
+      List.init (min n_eps (List.length rest)) (fun _ ->
+          Rng.choice_list t.rng rest)
+  in
+  let batch =
+    (* a random pick may duplicate; filter again *)
+    let seen = Hashtbl.create 32 in
+    List.filter
+      (fun (_, _, key, _) ->
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      (greedy @ eps_pick)
+  in
+  let records =
+    List.filter_map
+      (fun (st, prog, key, _) ->
+        let latency = Measurer.measure measurer prog in
+        t.trials <- t.trials + 1;
+        Hashtbl.replace t.measured key ();
+        (match t.best with
+        | Some (_, l) when l <= latency -> ()
+        | _ -> t.best <- Some (st, latency));
+        t.good <-
+          List.sort (fun (_, a) (_, b) -> compare a b)
+            ((st, latency) :: t.good)
+          |> List.filteri (fun i _ -> i < t.options.keep_previous);
+        match
+          Cost_model.record_of_prog ~task_key:(Task.key t.task) ~latency prog
+        with
+        | r -> Some r
+        | exception Invalid_argument _ -> None)
+      batch
+  in
+  Shared.add_records shared records;
+  t.rounds <- t.rounds + 1;
+  t.curve_rev <- (t.trials, best_latency t) :: t.curve_rev
+
+let tune ?(seed = 0) ?shared options ~trials task =
+  let shared = match shared with Some s -> s | None -> Shared.create () in
+  let measurer = Measurer.create ~seed:(seed + 17) task.Task.machine in
+  let t = create ~seed options task in
+  let stuck = ref 0 in
+  while Measurer.trials measurer < trials && !stuck < 3 do
+    let before = Measurer.trials measurer in
+    round t shared measurer;
+    if Measurer.trials measurer = before then incr stuck else stuck := 0
+  done;
+  (t, measurer)

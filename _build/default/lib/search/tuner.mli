@@ -1,0 +1,108 @@
+(** The per-task tuning loop: program sampling + performance fine-tuning.
+
+    One {e round} is the task scheduler's unit of time resource (§6): the
+    tuner proposes a batch of promising programs (by strategy), measures
+    them, records the results in the shared training set and periodically
+    retrains the shared cost model.
+
+    Strategies cover the paper's system and its ablation / baseline
+    variants:
+    - {!ansor_options}: hierarchical sampling + evolutionary fine-tuning
+      with the full rule set ("Ansor (ours)");
+    - {!no_finetune_options}: random sampling only ("No fine-tuning");
+    - {!limited_options}: full fine-tuning on a manual-template-like space
+      ("Limited space");
+    - {!beam_options}: sequential construction with early pruning of
+      incomplete programs by the cost model ("Beam search", the Halide
+      auto-scheduler design point);
+    - {!autotvm_options} / {!flextensor_options}: template spaces with
+      model-ranked random parameter search (no evolution), standing in for
+      AutoTVM and FlexTensor. *)
+
+open Ansor_sched
+
+type strategy =
+  | Sketch_search of {
+      rules : Ansor_sketch.Rules.t list;
+      use_evolution : bool;
+    }
+  | Beam_search of { beam_width : int; rollouts : int }
+
+type options = {
+  strategy : strategy;
+  batch_size : int;  (** measurements per round *)
+  sample_size : int;  (** fresh random samples per round *)
+  evolution : Ansor_evolution.Evolution.config;
+  eps_random : float;
+      (** fraction of each measured batch drawn at random from the
+          candidates instead of by model rank *)
+  keep_previous : int;
+      (** best already-measured programs re-seeded into the evolution's
+          initial population *)
+  template_annotation : bool;
+      (** freeze the annotation choices (fixed vectorize/unroll policy, no
+          computation-location changes), as manual templates do; set for
+          the AutoTVM / FlexTensor baselines and the "Limited space"
+          ablation *)
+}
+
+val ansor_options : options
+val no_finetune_options : options
+val limited_options : options
+val beam_options : options
+val autotvm_options : options
+val flextensor_options : options
+
+(** State shared between all tasks of a tuning session: the single cost
+    model and its training set (§5.2 trains "a single model for all tensor
+    programs coming from all DAGs"). *)
+module Shared : sig
+  type t
+
+  val create : ?train_every:int -> ?max_records:int -> unit -> t
+  (** [train_every] rounds between retrains (default 1: retrain on every
+      measured batch, as in the paper). [max_records] caps the training
+      set to the most recent records (default 3000). *)
+
+  val model : t -> Ansor_cost_model.Cost_model.t
+  val records : t -> Ansor_cost_model.Cost_model.record list
+  val num_records : t -> int
+end
+
+type t
+
+val create :
+  ?seed:int -> ?warm_start:Ansor_sched.Step.t list list -> options -> Task.t -> t
+(** [warm_start] seeds the tuner with previously-recorded step histories
+    (e.g. from {!Record.load} entries of the same task key): they join the
+    evolution's initial population from the first round, so a re-tuning
+    session starts from past results instead of from scratch. Histories
+    that no longer replay are ignored. *)
+
+val task : t -> Task.t
+
+val round : t -> Shared.t -> Ansor_machine.Measurer.t -> unit
+(** Generate, measure [batch_size] programs, record, maybe retrain. *)
+
+val best_latency : t -> float
+(** Best {e observed} latency so far ([infinity] before any
+    measurement). *)
+
+val best_state : t -> State.t option
+
+val rounds_done : t -> int
+
+val curve : t -> (int * float) list
+(** [(cumulative measurement trials, best latency so far)] after each
+    round, oldest first. *)
+
+val tune :
+  ?seed:int ->
+  ?shared:Shared.t ->
+  options ->
+  trials:int ->
+  Task.t ->
+  t * Ansor_machine.Measurer.t
+(** Convenience: rounds until the trial budget is exhausted on a fresh
+    measurer (or the one implied by [shared] usage); returns the tuner for
+    inspection. *)

@@ -1,0 +1,1 @@
+lib/sketch/annotate.ml: Ansor_sched Ansor_util Array Fun List Policy Printf Result State Step String

@@ -1,0 +1,1 @@
+lib/sketch/gen.ml: Ansor_sched Ansor_te Dag Hashtbl List Op Printf Queue Rules State Step

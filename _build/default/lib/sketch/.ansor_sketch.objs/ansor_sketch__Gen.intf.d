@@ -1,0 +1,1 @@
+lib/sketch/gen.mli: Ansor_sched Ansor_te Dag Rules State Step

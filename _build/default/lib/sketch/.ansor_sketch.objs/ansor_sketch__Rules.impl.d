@@ -1,0 +1,1 @@
+lib/sketch/rules.ml: Ansor_sched Ansor_te Array Dag Fun List Op State Step

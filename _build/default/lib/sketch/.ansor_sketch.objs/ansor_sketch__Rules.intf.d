@@ -1,0 +1,1 @@
+lib/sketch/rules.mli: Ansor_sched State

@@ -1,0 +1,1 @@
+lib/sketch/sampler.ml: Annotate Ansor_sched Ansor_util Fun Gen List

@@ -1,0 +1,1 @@
+lib/sketch/sampler.mli: Ansor_sched Ansor_te Ansor_util Dag Policy State

@@ -1,0 +1,260 @@
+open Ansor_sched
+module Rng = Ansor_util.Rng
+module Factorize = Ansor_util.Factorize
+
+type fill = Random_fill of Rng.t | Keep
+
+let ( let* ) r f = Result.bind r f
+
+let split_constraints st rest ~stage ~children ~base =
+  List.concat_map
+    (fun step ->
+      match (step : Step.t) with
+      | Step.Compute_at { stage = p; target; bindings; _ }
+        when String.equal target stage ->
+        List.filter_map
+          (fun (p_iv, t_iv) ->
+            if List.mem t_iv children then
+              match State.find_stage st p with
+              | ps when p_iv < Array.length ps.ivars ->
+                Some (t_iv - base, ps.ivars.(p_iv).State.extent)
+              | _ -> None
+              | exception Not_found -> None
+            else None)
+          bindings
+      | _ -> [])
+    rest
+  |> List.sort_uniq compare
+
+let solve_split_lengths ~fill ~extent ~k ~lengths ~tbd ~constraints =
+  let cprod = List.fold_left (fun a (_, e) -> a * e) 1 constraints in
+  if cprod <= 0 || extent mod cprod <> 0 then
+    Error "split constraints do not divide the extent"
+  else
+    let rem = extent / cprod in
+    let free_pos =
+      List.filter
+        (fun p -> not (List.mem_assoc p constraints))
+        (List.init k Fun.id)
+    in
+    let* free_lengths =
+      match (fill, free_pos) with
+      | _, [] -> if rem = 1 then Ok [] else Error "over-constrained split"
+      | Random_fill rng, free when tbd ->
+        (* mixture prior: half the samples use an outer-heavy shape (most
+           extent in the outer tile, a vectorizable chunk innermost, thin
+           middles — the profile of realistic tilings, which matters on
+           many-axis operators), half are uniform; every factorization
+           stays reachable *)
+        let k = List.length free in
+        if Rng.bool rng then
+          let weights =
+            Array.init k (fun i ->
+                if i = 0 then 3.0 else if i = k - 1 then 2.0 else 0.7)
+          in
+          Ok (Factorize.weighted_factorization rng rem ~weights)
+        else Ok (Factorize.random_factorization rng rem k)
+      | _, free -> (
+        let given = List.map (fun p -> List.nth lengths p) free in
+        match List.rev given with
+        | [] -> Ok []
+        | _last :: front_rev ->
+          let front = List.rev front_rev in
+          let fp = List.fold_left ( * ) 1 front in
+          if fp <= 0 || rem mod fp <> 0 then
+            Error "cannot reconcile split lengths"
+          else Ok (front @ [ rem / fp ]))
+    in
+    let pos_index p =
+      let rec go i = function
+        | [] -> assert false
+        | q :: _ when q = p -> i
+        | _ :: r -> go (i + 1) r
+      in
+      go 0 free_pos
+    in
+    Ok
+      (List.init k (fun p ->
+           match List.assoc_opt p constraints with
+           | Some e -> e
+           | None -> List.nth free_lengths (pos_index p)))
+
+let replay_constrained dag steps ~fill =
+  let rec go st remaining =
+    match remaining with
+    | [] -> Ok st
+    | step :: rest -> (
+      match (step : Step.t) with
+      | Step.Split { stage; iv; lengths; tbd } -> (
+        match State.find_stage st stage with
+        | exception Not_found -> Error (Printf.sprintf "no stage %s" stage)
+        | s ->
+          if iv >= Array.length s.ivars then Error "split: bad iterator"
+          else
+            let extent = s.ivars.(iv).State.extent in
+            let k = List.length lengths in
+            let base = Array.length s.ivars in
+            let children = List.init k (fun l -> base + l) in
+            let constraints =
+              split_constraints st rest ~stage ~children ~base
+            in
+            let* new_lengths =
+              solve_split_lengths ~fill ~extent ~k ~lengths ~tbd ~constraints
+            in
+            let* st =
+              State.apply_checked st
+                (Step.Split { stage; iv; lengths = new_lengths; tbd = false })
+            in
+            go st rest)
+      | Step.Rfactor { stage; iv; lengths; tbd } -> (
+        match State.find_stage st stage with
+        | exception Not_found -> Error (Printf.sprintf "no stage %s" stage)
+        | s ->
+          if iv >= Array.length s.ivars then Error "rfactor: bad iterator"
+          else
+            let extent = s.ivars.(iv).State.extent in
+            let concrete =
+              match fill with
+              | Random_fill rng when tbd ->
+                Factorize.random_factorization rng extent 2
+              | _ -> lengths
+            in
+            let* st =
+              State.apply_checked st
+                (Step.Rfactor { stage; iv; lengths = concrete; tbd = false })
+            in
+            go st rest)
+      | other ->
+        let* st = State.apply_checked st other in
+        go st rest)
+  in
+  go (State.init dag) steps
+
+(* ---- random annotation -------------------------------------------------- *)
+
+let annotate rng (policy : Policy.t) st =
+  let exception Stop of string in
+  let state = ref st in
+  let apply step =
+    match State.apply_checked !state step with
+    | Ok st -> state := st
+    | Error e -> raise (Stop e)
+  in
+  let refresh name = State.find_stage !state name in
+  try
+    List.iter
+      (fun (name, (s0 : State.stage)) ->
+        match s0.loc with
+        | State.Loc_inlined -> ()
+        | loc ->
+          (if loc = State.Loc_root then begin
+             (* fuse-and-parallelize outer space loops *)
+             let target =
+               max 1
+                 (int_of_float
+                    (float_of_int policy.parallel_target
+                    *. (0.5 +. Rng.float rng 3.5)))
+             in
+             let s = refresh name in
+             (* never fuse past the attachment point of a producer computed
+                at this stage: a fused loop mixing bound and unbound tiles
+                would re-invoke the producer per inner iteration *)
+             let fuse_limit =
+               List.fold_left
+                 (fun limit (child, _) ->
+                   match (State.find_stage !state child).loc with
+                   | State.Loc_at { target_iv; bindings; _ } ->
+                     let ivs = target_iv :: List.map snd bindings in
+                     let deepest =
+                       List.fold_left
+                         (fun acc iv ->
+                           match State.leaf_pos s iv with
+                           | Some p -> max acc (p + 1)
+                           | None -> acc)
+                         0 ivs
+                     in
+                     min limit deepest
+                   | _ -> limit)
+                 max_int
+                 (State.attach_targets !state name)
+             in
+             let rec collect acc prod pos = function
+               | [] -> List.rev acc
+               | _ when pos >= fuse_limit -> List.rev acc
+               | iv :: rest ->
+                 let info = s.ivars.(iv) in
+                 if info.State.kind <> State.Space || info.ann <> Step.No_ann
+                 then List.rev acc
+                 else if prod >= target then List.rev acc
+                 else collect (iv :: acc) (prod * info.extent) (pos + 1) rest
+             in
+             match collect [] 1 0 s.leaves with
+             | [] -> ()
+             | [ iv ] ->
+               apply (Step.Annotate { stage = name; iv; ann = Step.Parallel })
+             | ivs ->
+               apply (Step.Fuse { stage = name; ivs });
+               let s = refresh name in
+               let fused = List.hd s.leaves in
+               apply
+                 (Step.Annotate { stage = name; iv = fused; ann = Step.Parallel })
+           end);
+          (* vectorize the innermost loop *)
+          (let s = refresh name in
+           match List.rev s.leaves with
+           | [] -> ()
+           | iv :: _ ->
+             let info = s.ivars.(iv) in
+             if
+               info.State.ann = Step.No_ann
+               && info.extent >= 2
+               && info.extent <= policy.vectorize_max
+             then begin
+               let p =
+                 if info.kind = State.Space then policy.vectorize_prob else 0.2
+               in
+               if Rng.float rng 1.0 < p then
+                 apply (Step.Annotate { stage = name; iv; ann = Step.Vectorize })
+             end);
+          (* unroll a couple of small inner loops *)
+          (if Rng.float rng 1.0 < policy.inner_unroll_prob then
+             let s = refresh name in
+             List.iteri
+               (fun k iv ->
+                 if k >= 1 && k <= 3 then begin
+                   let info = s.ivars.(iv) in
+                   if
+                     info.State.ann = Step.No_ann
+                     && info.extent <= 32
+                     && Rng.float rng 1.0 < 0.5
+                   then
+                     apply
+                       (Step.Annotate { stage = name; iv; ann = Step.Unroll })
+                 end)
+               (List.rev s.leaves));
+          (* auto-unroll pragma *)
+          apply
+            (Step.Pragma_unroll
+               {
+                 stage = name;
+                 max_step = Rng.choice_list rng policy.unroll_steps;
+               });
+          (* occasionally loosen the computation location of a fused
+             producer: keep only a prefix of the tile bindings *)
+          (match s0.loc with
+          | State.Loc_at { target; target_iv; bindings }
+            when List.length bindings > 1
+                 && Rng.float rng 1.0 < policy.location_tweak_prob ->
+            (* move to a coarser tile level: keep only the outermost tile
+               binding of each axis (the even positions, by rule-4
+               construction), or detach to the top of the target *)
+            let coarser =
+              List.filteri (fun i _ -> i mod 2 = 0) bindings
+            in
+            let bindings = if Rng.bool rng then coarser else [] in
+            apply
+              (Step.Compute_at { stage = name; target; target_iv; bindings })
+          | _ -> ()))
+      st.State.stages;
+    Ok !state
+  with Stop e -> Error e

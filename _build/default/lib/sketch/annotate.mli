@@ -1,0 +1,33 @@
+(** Random annotation (§4.2) and constrained replay.
+
+    A sketch's history contains splits whose tile sizes are placeholders
+    ([tbd]).  {!replay_constrained} replays a step list on the original
+    DAG while solving the matched-tiling constraints: when a split's
+    children are bound by a later [Compute_at] to iterators of another
+    stage (whose sizes are already concrete at that point in the history),
+    the bound positions are forced to the producer's extents and only the
+    remaining positions are chosen — randomly for [tbd] splits, preserved
+    (with the last free position adjusted) for concrete ones.
+
+    This one mechanism serves three callers: random annotation of fresh
+    sketches, re-validation of mutated step lists (tile-size mutation
+    edits a split and the consumer's matching split is re-solved here),
+    and crossover offspring verification. *)
+
+open Ansor_te
+open Ansor_sched
+
+type fill = Random_fill of Ansor_util.Rng.t | Keep
+
+val replay_constrained :
+  Dag.t -> Step.t list -> fill:fill -> (State.t, string) result
+(** Replays the steps with constraint solving as described above.  The
+    resulting state's history contains only concrete steps. *)
+
+val annotate :
+  Ansor_util.Rng.t -> Policy.t -> State.t -> (State.t, string) result
+(** Appends random annotation steps to a concrete (fully-filled) state:
+    fuse-and-parallelize outer space loops of root stages, vectorize
+    innermost loops, unroll small inner loops, pick an
+    [auto_unroll_max_step] pragma, and occasionally loosen a fused
+    producer's computation location. *)

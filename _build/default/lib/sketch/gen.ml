@@ -1,0 +1,54 @@
+open Ansor_te
+open Ansor_sched
+
+let generate ?(rules = Rules.default) ?(max_sketches = 128) dag =
+  let terminals = ref [] in
+  let seen = Hashtbl.create 32 in
+  let add_terminal st =
+    (* distinct derivation paths can converge on the same sketch *)
+    let key = Step.history_key st.State.history in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      terminals := st :: !terminals
+    end
+  in
+  let queue = Queue.create () in
+  Queue.add (State.init dag, Dag.num_ops dag - 1) queue;
+  let guard = ref 0 in
+  while (not (Queue.is_empty queue)) && List.length !terminals < max_sketches do
+    incr guard;
+    if !guard > 100_000 then
+      invalid_arg "Gen.generate: derivation does not terminate";
+    let st, i = Queue.pop queue in
+    if i < 0 then add_terminal st
+    else begin
+      match Dag.op st.State.dag i with
+      | Op.Placeholder _ -> Queue.add (st, i - 1) queue
+      | Op.Compute _ ->
+        let applicable =
+          List.filter (fun (r : Rules.t) -> r.condition st i) rules
+        in
+        let chosen =
+          (* an exclusive rule pre-empts everything after it *)
+          let rec first_exclusive = function
+            | [] -> applicable
+            | (r : Rules.t) :: rest ->
+              if r.exclusive then [ r ] else r :: first_exclusive rest
+          in
+          first_exclusive applicable
+        in
+        (match chosen with
+        | [] ->
+          invalid_arg
+            (Printf.sprintf "Gen.generate: no rule applies to node %s"
+               (Op.name (Dag.op st.State.dag i)))
+        | rules ->
+          List.iter
+            (fun (r : Rules.t) ->
+              List.iter (fun next -> Queue.add next queue) (r.apply st i))
+            rules)
+    end
+  done;
+  List.rev !terminals
+
+let sketch_steps (st : State.t) = st.history

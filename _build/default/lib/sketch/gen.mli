@@ -1,0 +1,19 @@
+(** Sketch generation: derivation-based enumeration (§4.1).
+
+    Visits the DAG's nodes from output to input, applying every applicable
+    derivation rule to every intermediate state (a queue-driven recursive
+    enumeration).  Terminal states — all nodes visited — are the sketches:
+    schedule states whose tile sizes are unfilled placeholders, to be
+    completed by {!Annotate}. *)
+
+open Ansor_te
+open Ansor_sched
+
+val generate : ?rules:Rules.t list -> ?max_sketches:int -> Dag.t -> State.t list
+(** All sketches of the DAG under the rule set (default {!Rules.default}),
+    capped at [max_sketches] (default 128) as a safety bound.
+    @raise Invalid_argument if the rule set cannot make progress on some
+    node (no rule condition holds). *)
+
+val sketch_steps : State.t -> Step.t list
+(** The recorded derivation history of a sketch (tile sizes still [tbd]). *)

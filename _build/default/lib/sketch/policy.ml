@@ -1,0 +1,40 @@
+type t = {
+  parallel_target : int;
+  vectorize_max : int;
+  vectorize_prob : float;
+  unroll_steps : int list;
+  inner_unroll_prob : float;
+  location_tweak_prob : float;
+}
+
+let cpu ~workers =
+  {
+    parallel_target = workers * 8;
+    vectorize_max = 64;
+    vectorize_prob = 0.85;
+    unroll_steps = [ 0; 16; 64; 512 ];
+    inner_unroll_prob = 0.5;
+    location_tweak_prob = 0.1;
+  }
+
+let gpu ~workers =
+  {
+    parallel_target = workers * 16;
+    vectorize_max = 128;
+    vectorize_prob = 1.0;
+    unroll_steps = [ 0; 16; 64; 512; 1024 ];
+    inner_unroll_prob = 0.5;
+    location_tweak_prob = 0.1;
+  }
+
+let for_machine_kind kind ~workers =
+  match kind with `Cpu -> cpu ~workers | `Gpu -> gpu ~workers
+
+let templateize t =
+  {
+    t with
+    vectorize_prob = 1.0;
+    unroll_steps = [ 16 ];
+    inner_unroll_prob = 0.0;
+    location_tweak_prob = 0.0;
+  }

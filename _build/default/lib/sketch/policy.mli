@@ -1,0 +1,29 @@
+(** Annotation policy: per-target randomized choices of §4.2.
+
+    The sampling rules for GPUs are "mostly the same with minor
+    modifications" (paper, §4): the GPU policy demands a far larger
+    parallel extent (blocks x threads rather than cores) and always
+    vectorizes the innermost loop (SIMT lanes). *)
+
+type t = {
+  parallel_target : int;
+      (** desired product of fused outer parallel loops *)
+  vectorize_max : int;  (** largest extent worth vectorizing *)
+  vectorize_prob : float;  (** probability of vectorizing an eligible loop *)
+  unroll_steps : int list;  (** auto_unroll_max_step candidates *)
+  inner_unroll_prob : float;
+      (** probability of explicitly unrolling small inner loops *)
+  location_tweak_prob : float;
+      (** probability of loosening a fused producer's computation
+          location *)
+}
+
+val cpu : workers:int -> t
+val gpu : workers:int -> t
+val for_machine_kind : [ `Cpu | `Gpu ] -> workers:int -> t
+
+val templateize : t -> t
+(** Freezes the annotation choices the way manual templates do (AutoTVM /
+    FlexTensor baselines, and the "Limited space" ablation): deterministic
+    vectorization of the innermost loop, one fixed [auto_unroll_max_step],
+    no explicit inner unrolling, no computation-location tweaks. *)

@@ -1,0 +1,32 @@
+module Rng = Ansor_util.Rng
+
+let sample_one rng policy dag ~sketches =
+  match sketches with
+  | [] -> None
+  | _ ->
+    let attempt () =
+      let sketch = Rng.choice_list rng sketches in
+      match
+        Annotate.replay_constrained dag (Gen.sketch_steps sketch)
+          ~fill:(Annotate.Random_fill rng)
+      with
+      | Error _ -> None
+      | Ok st -> (
+        match Annotate.annotate rng policy st with
+        | Ok st -> (
+          (* reject states the lowering pass deems illegal (e.g. an
+             attached reduction that would be re-invoked) *)
+          match Ansor_sched.Lower.lower st with
+          | _prog -> Some st
+          | exception Ansor_sched.State.Illegal _ -> None)
+        | Error _ -> None)
+    in
+    let rec retry k = if k = 0 then None else
+        match attempt () with Some st -> Some st | None -> retry (k - 1)
+    in
+    retry 10
+
+let sample rng policy dag ~sketches ~n =
+  List.filter_map
+    (fun _ -> sample_one rng policy dag ~sketches)
+    (List.init n Fun.id)

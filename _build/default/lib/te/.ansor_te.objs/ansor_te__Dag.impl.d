@@ -1,0 +1,1 @@
+lib/te/dag.ml: Array Expr Format Hashtbl List Op Printf String

@@ -1,0 +1,1 @@
+lib/te/dag.mli: Format Op

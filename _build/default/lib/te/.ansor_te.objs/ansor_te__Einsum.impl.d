@@ -1,0 +1,1 @@
+lib/te/einsum.ml: Dag Expr Hashtbl List Op Printf String

@@ -1,0 +1,1 @@
+lib/te/einsum.mli: Dag

@@ -1,0 +1,1 @@
+lib/te/expr.mli: Format

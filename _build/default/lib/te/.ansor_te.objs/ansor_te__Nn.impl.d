@@ -1,0 +1,1 @@
+lib/te/nn.ml: Array Dag Expr List Op Printf

@@ -1,0 +1,1 @@
+lib/te/nn.mli: Dag

@@ -1,0 +1,1 @@
+lib/te/op.ml: Expr Float Format List Printf

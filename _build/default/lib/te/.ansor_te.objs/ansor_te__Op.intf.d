@@ -1,0 +1,1 @@
+lib/te/op.mli: Expr Format

@@ -1,0 +1,107 @@
+let parse_spec spec =
+  match String.index_opt spec '-' with
+  | Some i
+    when i + 1 < String.length spec
+         && spec.[i + 1] = '>' ->
+    let lhs = String.sub spec 0 i in
+    let rhs = String.sub spec (i + 2) (String.length spec - i - 2) in
+    let operands = String.split_on_char ',' lhs in
+    (operands, rhs)
+  | _ -> invalid_arg "Einsum: expected \"subscripts->subscripts\""
+
+let letters s =
+  List.init (String.length s) (fun i ->
+      let c = s.[i] in
+      if c < 'a' || c > 'z' then
+        invalid_arg
+          (Printf.sprintf "Einsum: index variables are lowercase letters, got %c" c);
+      c)
+
+(* letter -> extent bindings, checked for consistency *)
+let bind_extents operands shapes =
+  let tbl = Hashtbl.create 16 in
+  List.iter2
+    (fun subs shape ->
+      let ls = letters subs in
+      if List.length ls <> List.length shape then
+        invalid_arg
+          (Printf.sprintf "Einsum: operand %S has rank %d but shape has %d dims"
+             subs (List.length ls) (List.length shape));
+      List.iter2
+        (fun l d ->
+          match Hashtbl.find_opt tbl l with
+          | Some d' when d' <> d ->
+            invalid_arg
+              (Printf.sprintf "Einsum: index %c bound to both %d and %d" l d' d)
+          | _ -> Hashtbl.replace tbl l d)
+        ls shape)
+    operands shapes;
+  tbl
+
+let validate spec ~shapes =
+  let operands, out = parse_spec spec in
+  if List.length operands <> List.length shapes then
+    invalid_arg
+      (Printf.sprintf "Einsum: %d operands in spec, %d shapes given"
+         (List.length operands) (List.length shapes));
+  let extents = bind_extents operands shapes in
+  let out_letters = letters out in
+  let rec dup = function
+    | [] -> false
+    | x :: rest -> List.mem x rest || dup rest
+  in
+  if dup out_letters then
+    invalid_arg "Einsum: repeated index in the output subscripts";
+  List.iter
+    (fun l ->
+      if not (Hashtbl.mem extents l) then
+        invalid_arg
+          (Printf.sprintf "Einsum: output index %c not present in any operand" l))
+    out_letters;
+  (operands, out_letters, extents)
+
+let output_shape spec ~shapes =
+  let _, out_letters, extents = validate spec ~shapes in
+  List.map (Hashtbl.find extents) out_letters
+
+let build ?(name = "Out") ?operand_names spec ~shapes =
+  let operands, out_letters, extents = validate spec ~shapes in
+  let operand_names =
+    match operand_names with
+    | Some names ->
+      if List.length names <> List.length operands then
+        invalid_arg "Einsum: operand_names length mismatch";
+      names
+    | None -> List.mapi (fun i _ -> Printf.sprintf "in%d" i) operands
+  in
+  let var c = Printf.sprintf "%c" c in
+  (* reduction letters: in some operand, not in the output *)
+  let reduce_letters =
+    List.concat_map letters operands
+    |> List.sort_uniq compare
+    |> List.filter (fun l -> not (List.mem l out_letters))
+  in
+  let placeholders =
+    List.map2
+      (fun pname shape -> Op.placeholder ~name:pname ~shape)
+      operand_names shapes
+  in
+  let body =
+    List.map2
+      (fun pname subs ->
+        Expr.access pname
+          (List.map (fun l -> Expr.axis (var l)) (letters subs)))
+      operand_names operands
+    |> function
+    | [] -> invalid_arg "Einsum: no operands"
+    | first :: rest -> List.fold_left Expr.( *: ) first rest
+  in
+  let axes = List.map (fun l -> (var l, Hashtbl.find extents l)) out_letters in
+  let reduce_axes =
+    List.map (fun l -> (var l, Hashtbl.find extents l)) reduce_letters
+  in
+  let compute =
+    if reduce_axes = [] then Op.compute ~name ~axes body
+    else Op.compute ~name ~axes ~reduce_axes ~reduce:Op.Sum body
+  in
+  Dag.create (placeholders @ [ compute ])

@@ -1,0 +1,31 @@
+(** Einstein-summation front-end.
+
+    Builds computational DAGs from the familiar einsum notation, e.g.
+    ["ij,jk->ik"] for matmul or ["bhqd,bhkd->bhqk"] for attention scores:
+    a convenient way for downstream users to define contractions without
+    writing {!Op.compute} by hand.  Index variables are single lowercase
+    letters; every letter appearing in an input but not in the output
+    becomes a reduction (sum) axis.
+
+    The resulting DAG has one placeholder per operand (named ["in0"],
+    ["in1"], ... by default) and a single [Sum]-reduction compute node, so
+    the full scheduling pipeline (sketches, tuning, code generation)
+    applies unchanged. *)
+
+val build :
+  ?name:string ->
+  ?operand_names:string list ->
+  string ->
+  shapes:int list list ->
+  Dag.t
+(** [build spec ~shapes] parses [spec] ("subs,subs,...->subs") and builds
+    the contraction with the given operand shapes.
+
+    @raise Invalid_argument when the spec is malformed (missing arrow,
+    repeated output index, unknown output index), when the operand count
+    or ranks disagree with [shapes], or when one letter is bound to two
+    different extents. *)
+
+val output_shape : string -> shapes:int list list -> int list
+(** The contraction's result shape, without building the DAG (same
+    validation). *)

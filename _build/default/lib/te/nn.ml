@@ -1,0 +1,607 @@
+open Expr
+
+let conv_out_dim sz ~kernel ~stride ~pad ~dilation =
+  let eff = ((kernel - 1) * dilation) + 1 in
+  let out = ((sz + (2 * pad) - eff) / stride) + 1 in
+  if out <= 0 then
+    invalid_arg
+      (Printf.sprintf "Nn.conv_out_dim: non-positive output extent %d" out);
+  out
+
+(* [pad_nd name src dims spatial pad] builds an elementwise padding stage
+   over tensor [src]: [dims] are (axis, extent) of the source, [spatial]
+   selects which positions of [dims] get padded by [pad] on both sides. *)
+let pad_nd name src dims spatial pad =
+  let axes =
+    List.mapi
+      (fun i (v, e) -> if List.mem i spatial then (v, e + (2 * pad)) else (v, e))
+      dims
+  in
+  let idx =
+    List.mapi
+      (fun i (v, _) ->
+        if List.mem i spatial then Isub (Axis v, Int pad) else Axis v)
+      dims
+  in
+  let cond =
+    List.fold_left
+      (fun acc i ->
+        let v, e = List.nth dims i in
+        let inside =
+          Band
+            ( Ble (Int pad, Axis v),
+              Blt (Axis v, Int (pad + e)) )
+        in
+        match acc with None -> Some inside | Some c -> Some (Band (c, inside)))
+      None spatial
+  in
+  let body =
+    match cond with
+    | None -> access src idx
+    | Some c -> Select (c, access src idx, const 0.0)
+  in
+  Op.compute ~name ~axes body
+
+let matmul ?(name = "C") ~m ~n ~k () =
+  let a = Op.placeholder ~name:"A" ~shape:[ m; k ] in
+  let b = Op.placeholder ~name:"B" ~shape:[ k; n ] in
+  let c =
+    Op.compute ~name
+      ~axes:[ ("i", m); ("j", n) ]
+      ~reduce_axes:[ ("k", k) ] ~reduce:Op.Sum
+      (access "A" [ axis "i"; axis "k" ] *: access "B" [ axis "k"; axis "j" ])
+  in
+  Dag.create [ a; b; c ]
+
+let batch_matmul ?(name = "C") ~b ~m ~n ~k () =
+  let x = Op.placeholder ~name:"A" ~shape:[ b; m; k ] in
+  let y = Op.placeholder ~name:"B" ~shape:[ b; k; n ] in
+  let c =
+    Op.compute ~name
+      ~axes:[ ("b", b); ("i", m); ("j", n) ]
+      ~reduce_axes:[ ("k", k) ] ~reduce:Op.Sum
+      (access "A" [ axis "b"; axis "i"; axis "k" ]
+      *: access "B" [ axis "b"; axis "k"; axis "j" ])
+  in
+  Dag.create [ x; y; c ]
+
+let matmul_relu ~m ~n ~k () =
+  let a = Op.placeholder ~name:"A" ~shape:[ m; k ] in
+  let b = Op.placeholder ~name:"B" ~shape:[ k; n ] in
+  let c =
+    Op.compute ~name:"C"
+      ~axes:[ ("i", m); ("j", n) ]
+      ~reduce_axes:[ ("k", k) ] ~reduce:Op.Sum
+      (access "A" [ axis "i"; axis "k" ] *: access "B" [ axis "k"; axis "j" ])
+  in
+  let d =
+    Op.compute ~name:"D"
+      ~axes:[ ("i", m); ("j", n) ]
+      (Unop (Relu, access "C" [ axis "i"; axis "j" ]))
+  in
+  Dag.create [ a; b; c; d ]
+
+let matmul_bias_relu ~m ~n ~k () =
+  let a = Op.placeholder ~name:"A" ~shape:[ m; k ] in
+  let b = Op.placeholder ~name:"B" ~shape:[ k; n ] in
+  let bias = Op.placeholder ~name:"bias" ~shape:[ n ] in
+  let c =
+    Op.compute ~name:"C"
+      ~axes:[ ("i", m); ("j", n) ]
+      ~reduce_axes:[ ("k", k) ] ~reduce:Op.Sum
+      (access "A" [ axis "i"; axis "k" ] *: access "B" [ axis "k"; axis "j" ])
+  in
+  let d =
+    Op.compute ~name:"D"
+      ~axes:[ ("i", m); ("j", n) ]
+      (access "C" [ axis "i"; axis "j" ] +: access "bias" [ axis "j" ])
+  in
+  let e =
+    Op.compute ~name:"E"
+      ~axes:[ ("i", m); ("j", n) ]
+      (Unop (Relu, access "D" [ axis "i"; axis "j" ]))
+  in
+  Dag.create [ a; b; bias; c; d; e ]
+
+let figure5_input2 () =
+  let a = Op.placeholder ~name:"A" ~shape:[ 8; 400 ] in
+  let d = Op.placeholder ~name:"D" ~shape:[ 512; 4 ] in
+  let b =
+    Op.compute ~name:"B"
+      ~axes:[ ("i", 8); ("l", 400) ]
+      (Unop (Relu, access "A" [ axis "i"; axis "l" ]))
+  in
+  let c =
+    Op.compute ~name:"C"
+      ~axes:[ ("i", 8); ("k", 512) ]
+      (Select
+         ( Blt (Axis "k", Int 400),
+           access "B" [ axis "i"; axis "k" ],
+           const 0.0 ))
+  in
+  let e =
+    Op.compute ~name:"E"
+      ~axes:[ ("i", 8); ("j", 4) ]
+      ~reduce_axes:[ ("k", 512) ] ~reduce:Op.Sum
+      (access "C" [ axis "i"; axis "k" ] *: access "D" [ axis "k"; axis "j" ])
+  in
+  Dag.create [ a; d; b; c; e ]
+
+let conv1d ?(name = "Y") ~n ~c ~l ~f ~k ~stride ~pad () =
+  let lo = conv_out_dim l ~kernel:k ~stride ~pad ~dilation:1 in
+  let x = Op.placeholder ~name:"X" ~shape:[ n; c; l ] in
+  let w = Op.placeholder ~name:"W" ~shape:[ f; c; k ] in
+  let src, ops =
+    if pad = 0 then ("X", [ x; w ])
+    else
+      let p = pad_nd "Xpad" "X" [ ("n", n); ("c", c); ("l", l) ] [ 2 ] pad in
+      ("Xpad", [ x; w; p ])
+  in
+  let y =
+    Op.compute ~name
+      ~axes:[ ("n", n); ("f", f); ("x", lo) ]
+      ~reduce_axes:[ ("rc", c); ("rk", k) ]
+      ~reduce:Op.Sum
+      (access src
+         [ axis "n"; axis "rc"; Iadd (Imul (Axis "x", Int stride), Axis "rk") ]
+      *: access "W" [ axis "f"; axis "rc"; axis "rk" ])
+  in
+  Dag.create (ops @ [ y ])
+
+let conv2d ?(name = "Y") ?(dilation = 1) ?(groups = 1) ~n ~c ~h ~w ~f ~kh ~kw
+    ~stride ~pad () =
+  if c mod groups <> 0 || f mod groups <> 0 then
+    invalid_arg "Nn.conv2d: channels not divisible by groups";
+  let cpg = c / groups and fpg = f / groups in
+  let ho = conv_out_dim h ~kernel:kh ~stride ~pad ~dilation in
+  let wo = conv_out_dim w ~kernel:kw ~stride ~pad ~dilation in
+  let x = Op.placeholder ~name:"X" ~shape:[ n; c; h; w ] in
+  let wt = Op.placeholder ~name:"W" ~shape:[ f; cpg; kh; kw ] in
+  let src, ops =
+    if pad = 0 then ("X", [ x; wt ])
+    else
+      let p =
+        pad_nd "Xpad" "X" [ ("n", n); ("c", c); ("h", h); ("w", w) ] [ 2; 3 ] pad
+      in
+      ("Xpad", [ x; wt; p ])
+  in
+  let in_channel =
+    if groups = 1 then Axis "rc"
+    else Iadd (Imul (Idiv (Axis "f", Int fpg), Int cpg), Axis "rc")
+  in
+  let y =
+    Op.compute ~name
+      ~axes:[ ("n", n); ("f", f); ("y", ho); ("x", wo) ]
+      ~reduce_axes:[ ("rc", cpg); ("ry", kh); ("rx", kw) ]
+      ~reduce:Op.Sum
+      (access src
+         [
+           axis "n";
+           in_channel;
+           Iadd (Imul (Axis "y", Int stride), Imul (Axis "ry", Int dilation));
+           Iadd (Imul (Axis "x", Int stride), Imul (Axis "rx", Int dilation));
+         ]
+      *: access "W" [ axis "f"; axis "rc"; axis "ry"; axis "rx" ])
+  in
+  Dag.create (ops @ [ y ])
+
+let conv3d ?(name = "Y") ~n ~c ~d ~h ~w ~f ~kd ~kh ~kw ~stride ~pad () =
+  let do_ = conv_out_dim d ~kernel:kd ~stride ~pad ~dilation:1 in
+  let ho = conv_out_dim h ~kernel:kh ~stride ~pad ~dilation:1 in
+  let wo = conv_out_dim w ~kernel:kw ~stride ~pad ~dilation:1 in
+  let x = Op.placeholder ~name:"X" ~shape:[ n; c; d; h; w ] in
+  let wt = Op.placeholder ~name:"W" ~shape:[ f; c; kd; kh; kw ] in
+  let src, ops =
+    if pad = 0 then ("X", [ x; wt ])
+    else
+      let p =
+        pad_nd "Xpad" "X"
+          [ ("n", n); ("c", c); ("d", d); ("h", h); ("w", w) ]
+          [ 2; 3; 4 ] pad
+      in
+      ("Xpad", [ x; wt; p ])
+  in
+  let y =
+    Op.compute ~name
+      ~axes:[ ("n", n); ("f", f); ("z", do_); ("y", ho); ("x", wo) ]
+      ~reduce_axes:[ ("rc", c); ("rz", kd); ("ry", kh); ("rx", kw) ]
+      ~reduce:Op.Sum
+      (access src
+         [
+           axis "n";
+           axis "rc";
+           Iadd (Imul (Axis "z", Int stride), Axis "rz");
+           Iadd (Imul (Axis "y", Int stride), Axis "ry");
+           Iadd (Imul (Axis "x", Int stride), Axis "rx");
+         ]
+      *: access "W" [ axis "f"; axis "rc"; axis "rz"; axis "ry"; axis "rx" ])
+  in
+  Dag.create (ops @ [ y ])
+
+let depthwise_conv2d ?(name = "Y") ~n ~c ~h ~w ~kh ~kw ~stride ~pad () =
+  let ho = conv_out_dim h ~kernel:kh ~stride ~pad ~dilation:1 in
+  let wo = conv_out_dim w ~kernel:kw ~stride ~pad ~dilation:1 in
+  let x = Op.placeholder ~name:"X" ~shape:[ n; c; h; w ] in
+  let wt = Op.placeholder ~name:"W" ~shape:[ c; kh; kw ] in
+  let src, ops =
+    if pad = 0 then ("X", [ x; wt ])
+    else
+      let p =
+        pad_nd "Xpad" "X" [ ("n", n); ("c", c); ("h", h); ("w", w) ] [ 2; 3 ] pad
+      in
+      ("Xpad", [ x; wt; p ])
+  in
+  let y =
+    Op.compute ~name
+      ~axes:[ ("n", n); ("c", c); ("y", ho); ("x", wo) ]
+      ~reduce_axes:[ ("ry", kh); ("rx", kw) ]
+      ~reduce:Op.Sum
+      (access src
+         [
+           axis "n";
+           axis "c";
+           Iadd (Imul (Axis "y", Int stride), Axis "ry");
+           Iadd (Imul (Axis "x", Int stride), Axis "rx");
+         ]
+      *: access "W" [ axis "c"; axis "ry"; axis "rx" ])
+  in
+  Dag.create (ops @ [ y ])
+
+let conv2d_transposed ?(name = "Y") ~n ~c ~h ~w ~f ~kh ~kw ~stride ~pad () =
+  let ho = ((h - 1) * stride) - (2 * pad) + kh in
+  let wo = ((w - 1) * stride) - (2 * pad) + kw in
+  if ho <= 0 || wo <= 0 then
+    invalid_arg "Nn.conv2d_transposed: non-positive output extent";
+  let x = Op.placeholder ~name:"X" ~shape:[ n; c; h; w ] in
+  let wt = Op.placeholder ~name:"W" ~shape:[ c; f; kh; kw ] in
+  (* A contribution exists only where the fractional stride divides
+     evenly; the selects below are the "multiplications of zeros" a good
+     schedule simplifies away (paper, §7.1, T2D). *)
+  let src_y = Isub (Iadd (Axis "y", Int pad), Axis "ry") in
+  let src_x = Isub (Iadd (Axis "x", Int pad), Axis "rx") in
+  let cond =
+    Band
+      ( Band
+          ( Beq (Imod (src_y, Int stride), Int 0),
+            Beq (Imod (src_x, Int stride), Int 0) ),
+        Band
+          ( Band
+              ( Ble (Int 0, Idiv (src_y, Int stride)),
+                Blt (Idiv (src_y, Int stride), Int h) ),
+            Band
+              ( Ble (Int 0, Idiv (src_x, Int stride)),
+                Blt (Idiv (src_x, Int stride), Int w) ) ) )
+  in
+  let y =
+    Op.compute ~name
+      ~axes:[ ("n", n); ("f", f); ("y", ho); ("x", wo) ]
+      ~reduce_axes:[ ("rc", c); ("ry", kh); ("rx", kw) ]
+      ~reduce:Op.Sum
+      (Select
+         ( cond,
+           access "X"
+             [ axis "n"; axis "rc"; Idiv (src_y, Int stride); Idiv (src_x, Int stride) ]
+           *: access "W" [ axis "rc"; axis "f"; axis "ry"; axis "rx" ],
+           const 0.0 ))
+  in
+  Dag.create [ x; wt; y ]
+
+let capsule_conv2d ?(name = "Y") ~n ~c ~h ~w ~f ~kh ~kw ~capsule ~stride ~pad ()
+    =
+  let ho = conv_out_dim h ~kernel:kh ~stride ~pad ~dilation:1 in
+  let wo = conv_out_dim w ~kernel:kw ~stride ~pad ~dilation:1 in
+  let x = Op.placeholder ~name:"X" ~shape:[ n; c; h; w; capsule; capsule ] in
+  let wt =
+    Op.placeholder ~name:"W" ~shape:[ f; c; kh; kw; capsule; capsule ]
+  in
+  let src, ops =
+    if pad = 0 then ("X", [ x; wt ])
+    else
+      let p =
+        pad_nd "Xpad" "X"
+          [
+            ("n", n); ("c", c); ("h", h); ("w", w);
+            ("ci", capsule); ("cj", capsule);
+          ]
+          [ 2; 3 ] pad
+      in
+      ("Xpad", [ x; wt; p ])
+  in
+  let y =
+    Op.compute ~name
+      ~axes:
+        [ ("n", n); ("f", f); ("y", ho); ("x", wo);
+          ("ci", capsule); ("cj", capsule) ]
+      ~reduce_axes:[ ("rc", c); ("ry", kh); ("rx", kw); ("rk", capsule) ]
+      ~reduce:Op.Sum
+      (access src
+         [
+           axis "n";
+           axis "rc";
+           Iadd (Imul (Axis "y", Int stride), Axis "ry");
+           Iadd (Imul (Axis "x", Int stride), Axis "rx");
+           axis "ci";
+           axis "rk";
+         ]
+      *: access "W"
+          [ axis "f"; axis "rc"; axis "ry"; axis "rx"; axis "rk"; axis "cj" ])
+  in
+  Dag.create (ops @ [ y ])
+
+let matrix_norm ?(name = "Nrm") ~m ~n () =
+  let a = Op.placeholder ~name:"A" ~shape:[ m; n ] in
+  let s =
+    Op.compute ~name:"Sq" ~axes:[]
+      ~reduce_axes:[ ("i", m); ("j", n) ]
+      ~reduce:Op.Sum
+      (access "A" [ axis "i"; axis "j" ] *: access "A" [ axis "i"; axis "j" ])
+  in
+  let r = Op.compute ~name ~axes:[] (Unop (Sqrt, access "Sq" [])) in
+  Dag.create [ a; s; r ]
+
+let conv_layer ~n ~c ~h ~w ~f ~kh ~kw ~stride ~pad () =
+  let base = conv2d ~name:"Conv" ~n ~c ~h ~w ~f ~kh ~kw ~stride ~pad () in
+  let conv = Dag.op base (Dag.op_index base "Conv") in
+  let shape = Op.shape conv in
+  let ho, wo =
+    match shape with
+    | [ _; _; ho; wo ] -> (ho, wo)
+    | _ -> invalid_arg "Nn.conv_layer: unexpected conv output shape"
+  in
+  let scale = Op.placeholder ~name:"scale" ~shape:[ f ] in
+  let shift = Op.placeholder ~name:"shift" ~shape:[ f ] in
+  let bn =
+    Op.compute ~name:"Bn"
+      ~axes:[ ("n", n); ("f", f); ("y", ho); ("x", wo) ]
+      ((access "Conv" [ axis "n"; axis "f"; axis "y"; axis "x" ]
+       *: access "scale" [ axis "f" ])
+      +: access "shift" [ axis "f" ])
+  in
+  let relu =
+    Op.compute ~name:"Out"
+      ~axes:[ ("n", n); ("f", f); ("y", ho); ("x", wo) ]
+      (Unop (Relu, access "Bn" [ axis "n"; axis "f"; axis "y"; axis "x" ]))
+  in
+  Dag.create (Array.to_list (Dag.ops base) @ [ scale; shift; bn; relu ])
+
+let tbg ~b ~m ~n ~k () =
+  let q = Op.placeholder ~name:"Q" ~shape:[ m; b; k ] in
+  let kk = Op.placeholder ~name:"K" ~shape:[ n; b; k ] in
+  let qt =
+    Op.compute ~name:"Qt"
+      ~axes:[ ("b", b); ("i", m); ("h", k) ]
+      (access "Q" [ axis "i"; axis "b"; axis "h" ])
+  in
+  let kt =
+    Op.compute ~name:"Kt"
+      ~axes:[ ("b", b); ("j", n); ("h", k) ]
+      (access "K" [ axis "j"; axis "b"; axis "h" ])
+  in
+  let y =
+    Op.compute ~name:"Y"
+      ~axes:[ ("b", b); ("i", m); ("j", n) ]
+      ~reduce_axes:[ ("h", k) ] ~reduce:Op.Sum
+      (access "Qt" [ axis "b"; axis "i"; axis "h" ]
+      *: access "Kt" [ axis "b"; axis "j"; axis "h" ])
+  in
+  Dag.create [ q; kk; qt; kt; y ]
+
+let softmax ?(name = "Y") ~m ~n () =
+  let x = Op.placeholder ~name:"X" ~shape:[ m; n ] in
+  let mx =
+    Op.compute ~name:"Rowmax"
+      ~axes:[ ("i", m) ]
+      ~reduce_axes:[ ("k", n) ] ~reduce:Op.Maximum
+      (access "X" [ axis "i"; axis "k" ])
+  in
+  let e =
+    Op.compute ~name:"Expd"
+      ~axes:[ ("i", m); ("j", n) ]
+      (Unop (Exp, access "X" [ axis "i"; axis "j" ] -: access "Rowmax" [ axis "i" ]))
+  in
+  let s =
+    Op.compute ~name:"Rowsum"
+      ~axes:[ ("i", m) ]
+      ~reduce_axes:[ ("k", n) ] ~reduce:Op.Sum
+      (access "Expd" [ axis "i"; axis "k" ])
+  in
+  let y =
+    Op.compute ~name
+      ~axes:[ ("i", m); ("j", n) ]
+      (access "Expd" [ axis "i"; axis "j" ] /: access "Rowsum" [ axis "i" ])
+  in
+  Dag.create [ x; mx; e; s; y ]
+
+let relu_of dag =
+  match Dag.outputs dag with
+  | [ out ] ->
+    let op = Dag.op dag out in
+    let nm = Op.name op in
+    let axes = List.mapi (fun i e -> (Printf.sprintf "a%d" i, e)) (Op.shape op) in
+    let relu =
+      Op.compute ~name:(nm ^ "_relu") ~axes
+        (Unop (Relu, access nm (List.map (fun (v, _) -> axis v) axes)))
+    in
+    Dag.create (Array.to_list (Dag.ops dag) @ [ relu ])
+  | _ -> invalid_arg "Nn.relu_of: DAG must have exactly one output"
+
+let max_pool2d ?(name = "Y") ~n ~c ~h ~w ~k ~stride () =
+  let ho = conv_out_dim h ~kernel:k ~stride ~pad:0 ~dilation:1 in
+  let wo = conv_out_dim w ~kernel:k ~stride ~pad:0 ~dilation:1 in
+  let x = Op.placeholder ~name:"X" ~shape:[ n; c; h; w ] in
+  let y =
+    Op.compute ~name
+      ~axes:[ ("n", n); ("c", c); ("y", ho); ("x", wo) ]
+      ~reduce_axes:[ ("ry", k); ("rx", k) ]
+      ~reduce:Op.Maximum
+      (access "X"
+         [
+           axis "n";
+           axis "c";
+           Iadd (Imul (Axis "y", Int stride), Axis "ry");
+           Iadd (Imul (Axis "x", Int stride), Axis "rx");
+         ])
+  in
+  Dag.create [ x; y ]
+
+let avg_pool2d ?(name = "Y") ~n ~c ~h ~w ~k ~stride () =
+  let ho = conv_out_dim h ~kernel:k ~stride ~pad:0 ~dilation:1 in
+  let wo = conv_out_dim w ~kernel:k ~stride ~pad:0 ~dilation:1 in
+  let x = Op.placeholder ~name:"X" ~shape:[ n; c; h; w ] in
+  let s =
+    Op.compute ~name:(name ^ "_sum")
+      ~axes:[ ("n", n); ("c", c); ("y", ho); ("x", wo) ]
+      ~reduce_axes:[ ("ry", k); ("rx", k) ]
+      ~reduce:Op.Sum
+      (access "X"
+         [
+           axis "n";
+           axis "c";
+           Iadd (Imul (Axis "y", Int stride), Axis "ry");
+           Iadd (Imul (Axis "x", Int stride), Axis "rx");
+         ])
+  in
+  let y =
+    Op.compute ~name
+      ~axes:[ ("n", n); ("c", c); ("y", ho); ("x", wo) ]
+      (access (name ^ "_sum") [ axis "n"; axis "c"; axis "y"; axis "x" ]
+      *: const (1.0 /. float_of_int (k * k)))
+  in
+  Dag.create [ x; s; y ]
+
+let gemv ?(name = "Y") ~m ~k () =
+  let a = Op.placeholder ~name:"A" ~shape:[ m; k ] in
+  let x = Op.placeholder ~name:"X" ~shape:[ k ] in
+  let y =
+    Op.compute ~name
+      ~axes:[ ("i", m) ]
+      ~reduce_axes:[ ("k", k) ]
+      ~reduce:Op.Sum
+      (access "A" [ axis "i"; axis "k" ] *: access "X" [ axis "k" ])
+  in
+  Dag.create [ a; x; y ]
+
+let layer_norm ?(name = "Y") ~m ~n () =
+  let inv_n = 1.0 /. float_of_int n in
+  let x = Op.placeholder ~name:"X" ~shape:[ m; n ] in
+  let gamma = Op.placeholder ~name:"gamma" ~shape:[ n ] in
+  let beta = Op.placeholder ~name:"beta" ~shape:[ n ] in
+  let s =
+    Op.compute ~name:"Rsum"
+      ~axes:[ ("i", m) ]
+      ~reduce_axes:[ ("k", n) ]
+      ~reduce:Op.Sum
+      (access "X" [ axis "i"; axis "k" ])
+  in
+  let s2 =
+    Op.compute ~name:"Rsq"
+      ~axes:[ ("i", m) ]
+      ~reduce_axes:[ ("k", n) ]
+      ~reduce:Op.Sum
+      (access "X" [ axis "i"; axis "k" ] *: access "X" [ axis "i"; axis "k" ])
+  in
+  let y =
+    (* var = E[x^2] - E[x]^2; normalize with epsilon for stability *)
+    let mean = access "Rsum" [ axis "i" ] *: const inv_n in
+    let mean_sq = access "Rsq" [ axis "i" ] *: const inv_n in
+    let var = mean_sq -: (mean *: mean) in
+    Op.compute ~name
+      ~axes:[ ("i", m); ("j", n) ]
+      (((access "X" [ axis "i"; axis "j" ] -: mean)
+       /: Unop (Sqrt, var +: const 1e-5)
+       *: access "gamma" [ axis "j" ])
+      +: access "beta" [ axis "j" ])
+  in
+  Dag.create [ x; gamma; beta; s; s2; y ]
+
+let winograd_constants () =
+  [
+    (* B^T: input transform, 4x4 *)
+    ( "Bt",
+      [|
+        1.; 0.; -1.; 0.;
+        0.; 1.; 1.; 0.;
+        0.; -1.; 1.; 0.;
+        0.; 1.; 0.; -1.;
+      |] );
+    (* G: weight transform, 4x3 *)
+    ("G", [| 1.; 0.; 0.; 0.5; 0.5; 0.5; 0.5; -0.5; 0.5; 0.; 0.; 1. |]);
+    (* A^T: output transform, 2x4 *)
+    ("At", [| 1.; 1.; 1.; 0.; 0.; 1.; -1.; -1. |]);
+  ]
+
+let winograd_conv2d ?(name = "Y") ~n ~c ~h ~w ~f () =
+  let ho = h - 2 and wo = w - 2 in
+  if ho <= 0 || wo <= 0 || ho mod 2 <> 0 || wo mod 2 <> 0 then
+    invalid_arg "Nn.winograd_conv2d: output extents must be positive and even";
+  let th = ho / 2 and tw = wo / 2 in
+  let x = Op.placeholder ~name:"X" ~shape:[ n; c; h; w ] in
+  let wt = Op.placeholder ~name:"W" ~shape:[ f; c; 3; 3 ] in
+  let bt = Op.placeholder ~name:"Bt" ~shape:[ 4; 4 ] in
+  let g = Op.placeholder ~name:"G" ~shape:[ 4; 3 ] in
+  let at = Op.placeholder ~name:"At" ~shape:[ 2; 4 ] in
+  (* U[f,c,a,b] = sum_{i,j} G[a,i] W[f,c,i,j] G[b,j] *)
+  let u =
+    Op.compute ~name:"U"
+      ~axes:[ ("f", f); ("c", c); ("a", 4); ("b", 4) ]
+      ~reduce_axes:[ ("i", 3); ("j", 3) ]
+      ~reduce:Op.Sum
+      (access "G" [ axis "a"; axis "i" ]
+      *: access "W" [ axis "f"; axis "c"; axis "i"; axis "j" ]
+      *: access "G" [ axis "b"; axis "j" ])
+  in
+  (* V[n,c,ty,tx,a,b] = sum_{k,l} Bt[a,k]... note B^T X B with Bt given
+     directly: V = sum_{k,l} Bt[a,k] X[2ty+k, 2tx+l] Bt[b,l] *)
+  let v =
+    Op.compute ~name:"V"
+      ~axes:
+        [ ("n", n); ("c", c); ("ty", th); ("tx", tw); ("a", 4); ("b", 4) ]
+      ~reduce_axes:[ ("k", 4); ("l", 4) ]
+      ~reduce:Op.Sum
+      (access "Bt" [ axis "a"; axis "k" ]
+      *: access "X"
+           [
+             axis "n";
+             axis "c";
+             Iadd (Imul (Axis "ty", Int 2), Axis "k");
+             Iadd (Imul (Axis "tx", Int 2), Axis "l");
+           ]
+      *: access "Bt" [ axis "b"; axis "l" ])
+  in
+  (* M[n,f,ty,tx,a,b] = sum_c U[f,c,a,b] V[n,c,ty,tx,a,b]: the batched
+     "element-wise matmul" at the heart of Winograd *)
+  let m =
+    Op.compute ~name:"M"
+      ~axes:
+        [ ("n", n); ("f", f); ("ty", th); ("tx", tw); ("a", 4); ("b", 4) ]
+      ~reduce_axes:[ ("c", c) ]
+      ~reduce:Op.Sum
+      (access "U" [ axis "f"; axis "c"; axis "a"; axis "b" ]
+      *: access "V" [ axis "n"; axis "c"; axis "ty"; axis "tx"; axis "a"; axis "b" ])
+  in
+  (* Yt[n,f,ty,tx,u,v] = sum_{a,b} At[u,a] M[...] At[v,b] *)
+  let yt =
+    Op.compute ~name:"Yt"
+      ~axes:
+        [ ("n", n); ("f", f); ("ty", th); ("tx", tw); ("u", 2); ("v", 2) ]
+      ~reduce_axes:[ ("a", 4); ("b", 4) ]
+      ~reduce:Op.Sum
+      (access "At" [ axis "u"; axis "a" ]
+      *: access "M" [ axis "n"; axis "f"; axis "ty"; axis "tx"; axis "a"; axis "b" ]
+      *: access "At" [ axis "v"; axis "b" ])
+  in
+  (* untile: Y[n,f,y,x] = Yt[n,f,y/2,x/2,y%2,x%2] (elementwise gather) *)
+  let y =
+    Op.compute ~name
+      ~axes:[ ("n", n); ("f", f); ("y", ho); ("x", wo) ]
+      (access "Yt"
+         [
+           axis "n";
+           axis "f";
+           Idiv (Axis "y", Int 2);
+           Idiv (Axis "x", Int 2);
+           Imod (Axis "y", Int 2);
+           Imod (Axis "x", Int 2);
+         ])
+  in
+  Dag.create [ x; wt; bt; g; at; u; v; m; yt; y ]

@@ -1,0 +1,142 @@
+(** Deep-learning operator constructors.
+
+    Each function builds the computational DAG of one operator (or one small
+    subgraph) in the tensor-expression language, covering the operator suite
+    of the paper's evaluation (§7.1): C1D, C2D, C3D, GMM, GRP, DIL, DEP,
+    T2D, CAP and NRM, plus the ConvLayer / TBG subgraphs (§7.2) and the
+    elementwise building blocks used by the network workloads (§7.3).
+
+    Convolutions take NCHW input layout, weights as [OIHW] (or the
+    operator-specific variant documented per function), and express zero
+    padding as a separate elementwise padding stage so the sketch rules can
+    inline it or keep it materialized — the design point discussed in §7.1
+    for C2D.  All constructors validate shape arithmetic and raise
+    [Invalid_argument] on inconsistent configurations. *)
+
+val conv_out_dim : int -> kernel:int -> stride:int -> pad:int -> dilation:int -> int
+(** [conv_out_dim sz ~kernel ~stride ~pad ~dilation] is the output extent of
+    one convolved dimension. @raise Invalid_argument when non-positive. *)
+
+val matmul : ?name:string -> m:int -> n:int -> k:int -> unit -> Dag.t
+(** GMM: [C[i,j] = sum_k A[i,k] * B[k,j]]. *)
+
+val batch_matmul : ?name:string -> b:int -> m:int -> n:int -> k:int -> unit -> Dag.t
+(** [C[b,i,j] = sum_k A[b,i,k] * B[b,k,j]]. *)
+
+val matmul_bias_relu : m:int -> n:int -> k:int -> unit -> Dag.t
+(** Dense layer: matmul, bias add and ReLU — the running example of
+    Figure 5 (input 1 is matmul + ReLU). *)
+
+val matmul_relu : m:int -> n:int -> k:int -> unit -> Dag.t
+(** Exactly example input 1 of Figure 5: matmul followed by ReLU. *)
+
+val figure5_input2 : unit -> Dag.t
+(** Example input 2 of Figure 5: [B = relu A] (8x400), [C] = [B] zero-padded
+    to 8x512, [E = C . D] with [D] 512x4 — a tall-thin matmul that triggers
+    rule 6 (rfactor). *)
+
+val conv1d :
+  ?name:string ->
+  n:int -> c:int -> l:int -> f:int -> k:int ->
+  stride:int -> pad:int -> unit -> Dag.t
+(** C1D: 1-D convolution over length [l], [c] input and [f] output
+    channels. *)
+
+val conv2d :
+  ?name:string ->
+  ?dilation:int ->
+  ?groups:int ->
+  n:int -> c:int -> h:int -> w:int -> f:int -> kh:int -> kw:int ->
+  stride:int -> pad:int -> unit -> Dag.t
+(** C2D / DIL (dilation > 1) / GRP (groups > 1). Weight layout
+    [f, c/groups, kh, kw]. @raise Invalid_argument if [c] or [f] is not
+    divisible by [groups]. *)
+
+val conv3d :
+  ?name:string ->
+  n:int -> c:int -> d:int -> h:int -> w:int -> f:int -> kd:int -> kh:int -> kw:int ->
+  stride:int -> pad:int -> unit -> Dag.t
+(** C3D: 3-D convolution (depth, height, width). *)
+
+val depthwise_conv2d :
+  ?name:string ->
+  n:int -> c:int -> h:int -> w:int -> kh:int -> kw:int ->
+  stride:int -> pad:int -> unit -> Dag.t
+(** DEP: one filter per channel; weight layout [c, kh, kw]. *)
+
+val conv2d_transposed :
+  ?name:string ->
+  n:int -> c:int -> h:int -> w:int -> f:int -> kh:int -> kw:int ->
+  stride:int -> pad:int -> unit -> Dag.t
+(** T2D: transposed (fractionally-strided) convolution as used by the DCGAN
+    generator; the body guards contributions with stride-divisibility
+    selects, which is what lets a good schedule simplify the multiplications
+    by zero (§7.1). Output spatial extent is
+    [(sz - 1) * stride - 2*pad + kh]. *)
+
+val capsule_conv2d :
+  ?name:string ->
+  n:int -> c:int -> h:int -> w:int -> f:int -> kh:int -> kw:int -> capsule:int ->
+  stride:int -> pad:int -> unit -> Dag.t
+(** CAP: capsule 2-D convolution; every (input, output) capsule pair
+    performs a [capsule x capsule] matrix product inside the convolution. *)
+
+val matrix_norm : ?name:string -> m:int -> n:int -> unit -> Dag.t
+(** NRM: matrix 2-norm — a full reduction to a scalar followed by a square
+    root; the rfactor showcase. *)
+
+val conv_layer :
+  n:int -> c:int -> h:int -> w:int -> f:int -> kh:int -> kw:int ->
+  stride:int -> pad:int -> unit -> Dag.t
+(** The "ConvLayer" subgraph of §7.2: conv2d + batch normalization
+    (inference form: per-channel scale and shift) + ReLU. *)
+
+val tbg : b:int -> m:int -> n:int -> k:int -> unit -> Dag.t
+(** The "TBG" subgraph of §7.2: two tensor transposes feeding a batched
+    matmul, the multi-head-attention pattern
+    [Y[b,i,j] = sum_k Q[i,b,k] * K[j,b,k]]. *)
+
+val softmax : ?name:string -> m:int -> n:int -> unit -> Dag.t
+(** Row softmax (max-subtracted), used by the BERT workload: rowmax,
+    exponentiation, rowsum, normalize. *)
+
+val relu_of : Dag.t -> Dag.t
+(** Appends an elementwise ReLU consuming the (single) output of the given
+    DAG. @raise Invalid_argument if the DAG has several outputs. *)
+
+val max_pool2d :
+  ?name:string ->
+  n:int -> c:int -> h:int -> w:int -> k:int -> stride:int -> unit -> Dag.t
+(** Max pooling (valid padding): a {!Op.Maximum} reduction over the
+    window. *)
+
+val avg_pool2d :
+  ?name:string ->
+  n:int -> c:int -> h:int -> w:int -> k:int -> stride:int -> unit -> Dag.t
+(** Average pooling (valid padding): a window sum followed by an inlinable
+    scale stage. *)
+
+val gemv : ?name:string -> m:int -> k:int -> unit -> Dag.t
+(** Matrix-vector product [y[i] = sum_k A[i,k] * x[k]] — bandwidth-bound,
+    and a candidate for rule 6 when [m] is small. *)
+
+val layer_norm : ?name:string -> m:int -> n:int -> unit -> Dag.t
+(** Row layer normalization (mean / variance / normalize with scale and
+    shift): two row reductions feeding an elementwise stage — a fusion and
+    rfactor playground used by transformer workloads. *)
+
+val winograd_conv2d :
+  ?name:string -> n:int -> c:int -> h:int -> w:int -> f:int -> unit -> Dag.t
+(** Winograd convolution F(2x2, 3x3) — the paper's §4.1 example of a
+    special algorithm with an unusual multi-stage structure (weight
+    transform, input transform, batched element-wise matmul, output
+    transform, untiling).  Kernel 3x3, stride 1, no padding; [h - 2] and
+    [w - 2] must be even.  The transform matrices are the placeholder
+    tensors ["Bt"], ["G"] and ["At"]; bind them to
+    {!winograd_constants} when executing.  Numerically equivalent to
+    {!conv2d} with the same [X] and [W].
+    @raise Invalid_argument on odd output extents. *)
+
+val winograd_constants : unit -> (string * float array) list
+(** The F(2x2, 3x3) transform matrices: [("Bt", 4x4); ("G", 4x3);
+    ("At", 2x4)], row-major. *)

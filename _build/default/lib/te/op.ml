@@ -1,0 +1,98 @@
+type reduce_kind = Sum | Maximum
+
+type compute = {
+  name : string;
+  axes : (string * int) list;
+  reduce_axes : (string * int) list;
+  reduce : reduce_kind option;
+  body : Expr.t;
+}
+
+type t = Placeholder of { name : string; shape : int list } | Compute of compute
+
+let name = function Placeholder { name; _ } -> name | Compute { name; _ } -> name
+
+let shape = function
+  | Placeholder { shape; _ } -> shape
+  | Compute { axes; _ } -> List.map snd axes
+
+let compute ~name ~axes ?(reduce_axes = []) ?reduce body =
+  (match (reduce_axes, reduce) with
+  | [], Some _ ->
+    invalid_arg "Op.compute: reduce kind given without reduction axes"
+  | _ :: _, None ->
+    invalid_arg "Op.compute: reduction axes given without a reduce kind"
+  | _ -> ());
+  let all = List.map fst axes @ List.map fst reduce_axes in
+  let rec dup = function
+    | [] -> false
+    | x :: rest -> List.mem x rest || dup rest
+  in
+  if dup all then invalid_arg "Op.compute: duplicate axis names";
+  List.iter
+    (fun (v, extent) ->
+      if extent <= 0 then
+        invalid_arg (Printf.sprintf "Op.compute: axis %s has extent %d" v extent))
+    (axes @ reduce_axes);
+  Compute { name; axes; reduce_axes; reduce; body }
+
+let placeholder ~name ~shape =
+  List.iter
+    (fun d -> if d <= 0 then invalid_arg "Op.placeholder: non-positive dim")
+    shape;
+  Placeholder { name; shape }
+
+let init_value = function Sum -> 0.0 | Maximum -> Float.neg_infinity
+
+let combine kind a b =
+  match kind with Sum -> a +. b | Maximum -> Float.max a b
+
+let input_tensors = function
+  | Placeholder _ -> []
+  | Compute { body; _ } ->
+    let names = List.map fst (Expr.accesses body) in
+    List.fold_left
+      (fun acc n -> if List.mem n acc then acc else n :: acc)
+      [] names
+    |> List.rev
+
+let output_elems op = List.fold_left ( * ) 1 (shape op)
+
+let reduce_extent = function
+  | Placeholder _ -> 1
+  | Compute { reduce_axes; _ } ->
+    List.fold_left (fun acc (_, e) -> acc * e) 1 reduce_axes
+
+let flops_per_elem = function
+  | Placeholder _ -> 0
+  | Compute { body; reduce; _ } as op ->
+    let per_point = Expr.flops body in
+    let r = reduce_extent op in
+    let accumulate = match reduce with Some _ -> r | None -> 0 in
+    (per_point * r) + accumulate
+
+let flops op = output_elems op * flops_per_elem op
+
+let pp fmt = function
+  | Placeholder { name; shape } ->
+    Format.fprintf fmt "%s = placeholder(%a)" name
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         Format.pp_print_int)
+      shape
+  | Compute { name; axes; reduce_axes; reduce; body } ->
+    let pp_axes fmt axes =
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+        (fun fmt (v, e) -> Format.fprintf fmt "%s:%d" v e)
+        fmt axes
+    in
+    let reduce_str =
+      match reduce with
+      | None -> ""
+      | Some Sum -> " sum"
+      | Some Maximum -> " max"
+    in
+    Format.fprintf fmt "%s[%a] =%s" name pp_axes axes reduce_str;
+    if reduce_axes <> [] then Format.fprintf fmt "{%a}" pp_axes reduce_axes;
+    Format.fprintf fmt " %a" Expr.pp body

@@ -1,0 +1,58 @@
+let render ?(width = 60) ?(height = 16) ?(x_label = "x") ?(y_label = "y")
+    series =
+  match List.sort_uniq compare series with
+  | [] | [ _ ] -> ""
+  | series ->
+    let xs = List.map fst series and ys = List.map snd series in
+    let xmin = List.fold_left Float.min infinity xs in
+    let xmax = List.fold_left Float.max neg_infinity xs in
+    let ymin = List.fold_left Float.min infinity ys in
+    let ymax = List.fold_left Float.max neg_infinity ys in
+    let xspan = Float.max (xmax -. xmin) 1e-12 in
+    let yspan = Float.max (ymax -. ymin) 1e-12 in
+    let grid = Array.make_matrix height width ' ' in
+    let col x =
+      min (width - 1)
+        (int_of_float (Float.round ((x -. xmin) /. xspan *. float_of_int (width - 1))))
+    in
+    let row y =
+      (* row 0 is the top of the chart *)
+      height - 1
+      - min (height - 1)
+          (int_of_float
+             (Float.round ((y -. ymin) /. yspan *. float_of_int (height - 1))))
+    in
+    (* draw segments with linear interpolation across columns *)
+    let rec draw = function
+      | (x1, y1) :: ((x2, y2) :: _ as rest) ->
+        let c1 = col x1 and c2 = col x2 in
+        for c = c1 to c2 do
+          let t =
+            if c2 = c1 then 0.0 else float_of_int (c - c1) /. float_of_int (c2 - c1)
+          in
+          let y = y1 +. (t *. (y2 -. y1)) in
+          grid.(row y).(c) <- '*'
+        done;
+        draw rest
+      | [ (x, y) ] -> grid.(row y).(col x) <- '*'
+      | [] -> ()
+    in
+    draw series;
+    let buf = Buffer.create ((width + 12) * (height + 3)) in
+    Buffer.add_string buf (Printf.sprintf "%s\n" y_label);
+    Array.iteri
+      (fun r line ->
+        let yv = ymax -. (float_of_int r /. float_of_int (height - 1) *. yspan) in
+        Buffer.add_string buf (Printf.sprintf "%10.3g |" yv);
+        Buffer.add_string buf (String.init width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%10s  %-8.4g%*s%8.4g   (%s)\n" "" xmin (width - 16) ""
+         xmax x_label);
+    Buffer.contents buf
+
+let render_latency_curve curve =
+  render ~x_label:"measurement trials" ~y_label:"best latency (ms)"
+    (List.map (fun (t, l) -> (float_of_int t, l *. 1e3)) curve)

@@ -1,0 +1,20 @@
+(** Terminal plots for tuning curves.
+
+    Renders an (x, y) series as a fixed-size ASCII chart — enough to watch
+    best-latency-vs-trials curves (the y-axes of Figures 7 and 10) without
+    leaving the terminal. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  (float * float) list ->
+  string
+(** [render series] draws the series (sorted by x internally) on a
+    [width] x [height] grid (defaults 60 x 16) with axis annotations.
+    Returns the empty string for series with fewer than two points. *)
+
+val render_latency_curve : (int * float) list -> string
+(** Convenience wrapper for tuner curves: x = measurement trials,
+    y = best latency in milliseconds (log-friendly formatting). *)

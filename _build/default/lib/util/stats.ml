@@ -1,0 +1,60 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let logs = List.map (fun x -> log (Float.max x 1e-12)) xs in
+    exp (mean logs)
+
+let sorted xs = List.sort compare xs
+
+let quantile q = function
+  | [] -> 0.0
+  | xs ->
+    let a = Array.of_list (sorted xs) in
+    let n = Array.length a in
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+    let lo = max 0 (min lo (n - 1)) and hi = max 0 (min hi (n - 1)) in
+    let frac = pos -. floor pos in
+    ((1.0 -. frac) *. a.(lo)) +. (frac *. a.(hi))
+
+let median xs = quantile 0.5 xs
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let argmax score = function
+  | [] -> None
+  | x :: rest ->
+    let best, _ =
+      List.fold_left
+        (fun (bx, bs) y ->
+          let s = score y in
+          if s > bs then (y, s) else (bx, bs))
+        (x, score x) rest
+    in
+    Some best
+
+let argmin score xs = argmax (fun x -> -.score x) xs
+
+let clamp ~lo ~hi x = Float.min hi (Float.max lo x)
+
+let pearson xs ys =
+  let n = List.length xs in
+  if n <> List.length ys || n < 2 then 0.0
+  else
+    let mx = mean xs and my = mean ys in
+    let num =
+      List.fold_left2 (fun acc x y -> acc +. ((x -. mx) *. (y -. my))) 0.0 xs ys
+    in
+    let sx = stddev xs and sy = stddev ys in
+    let denom = float_of_int n *. sx *. sy in
+    if denom <= 1e-12 then 0.0 else num /. denom

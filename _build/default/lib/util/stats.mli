@@ -1,0 +1,28 @@
+(** Small statistics helpers used by benches and the task scheduler. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0. on the empty list.
+    Non-positive entries are clamped to [1e-12]. *)
+
+val median : float list -> float
+(** Median; 0. on the empty list. *)
+
+val quantile : float -> float list -> float
+(** [quantile q xs] with [q] in [0,1]; linear interpolation between order
+    statistics; 0. on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0. on lists of length < 2. *)
+
+val argmax : ('a -> float) -> 'a list -> 'a option
+(** First element attaining the maximum score, or [None] on empty input. *)
+
+val argmin : ('a -> float) -> 'a list -> 'a option
+
+val clamp : lo:float -> hi:float -> float -> float
+
+val pearson : float list -> float list -> float
+(** Pearson correlation of two equal-length series; 0. when undefined. *)

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Ansor_search Ansor_te Dag Format List Nn Printf

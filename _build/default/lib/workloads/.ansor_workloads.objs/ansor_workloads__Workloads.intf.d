@@ -1,0 +1,1 @@
+lib/workloads/workloads.mli: Ansor_machine Ansor_search Ansor_te Dag

@@ -1,0 +1,359 @@
+open Ansor_te
+
+type case = { case_name : string; dag : Dag.t }
+
+let case fmt =
+  Format.kasprintf (fun case_name dag -> { case_name; dag }) fmt
+
+let op_names =
+  [ "C1D"; "C2D"; "C3D"; "GMM"; "GRP"; "DIL"; "DEP"; "T2D"; "CAP"; "NRM" ]
+
+let c1d_cases b =
+  [
+    case "C1D.1.b%d" b (Nn.conv1d ~n:b ~c:64 ~l:256 ~f:128 ~k:3 ~stride:1 ~pad:1 ());
+    case "C1D.2.b%d" b (Nn.conv1d ~n:b ~c:128 ~l:128 ~f:128 ~k:3 ~stride:1 ~pad:1 ());
+    case "C1D.3.b%d" b (Nn.conv1d ~n:b ~c:64 ~l:512 ~f:64 ~k:9 ~stride:1 ~pad:4 ());
+    case "C1D.4.b%d" b
+      (Nn.conv1d ~n:b ~c:128 ~l:256 ~f:256 ~k:3 ~stride:2 ~pad:1 ());
+  ]
+
+let c2d_shapes =
+  [
+    (64, 56, 56, 64, 3, 1, 1);
+    (128, 28, 28, 128, 3, 1, 1);
+    (256, 14, 14, 256, 3, 1, 1);
+    (512, 7, 7, 512, 3, 1, 1);
+  ]
+
+let c2d_cases b =
+  List.mapi
+    (fun i (c, h, w, f, k, s, p) ->
+      case "C2D.%d.b%d" (i + 1) b
+        (Nn.conv2d ~n:b ~c ~h ~w ~f ~kh:k ~kw:k ~stride:s ~pad:p ()))
+    c2d_shapes
+
+let c3d_cases b =
+  [
+    case "C3D.1.b%d" b
+      (Nn.conv3d ~n:b ~c:16 ~d:16 ~h:28 ~w:28 ~f:32 ~kd:3 ~kh:3 ~kw:3 ~stride:1
+         ~pad:1 ());
+    case "C3D.2.b%d" b
+      (Nn.conv3d ~n:b ~c:32 ~d:8 ~h:14 ~w:14 ~f:64 ~kd:3 ~kh:3 ~kw:3 ~stride:1
+         ~pad:1 ());
+    case "C3D.3.b%d" b
+      (Nn.conv3d ~n:b ~c:16 ~d:8 ~h:56 ~w:56 ~f:16 ~kd:3 ~kh:3 ~kw:3 ~stride:1
+         ~pad:1 ());
+    case "C3D.4.b%d" b
+      (Nn.conv3d ~n:b ~c:64 ~d:4 ~h:14 ~w:14 ~f:64 ~kd:3 ~kh:3 ~kw:3 ~stride:1
+         ~pad:1 ());
+  ]
+
+let gmm_cases b =
+  [
+    case "GMM.1.b%d" b (Nn.batch_matmul ~b ~m:128 ~n:128 ~k:128 ());
+    case "GMM.2.b%d" b (Nn.batch_matmul ~b ~m:256 ~n:256 ~k:256 ());
+    case "GMM.3.b%d" b (Nn.batch_matmul ~b ~m:512 ~n:512 ~k:512 ());
+    case "GMM.4.b%d" b (Nn.batch_matmul ~b ~m:64 ~n:1024 ~k:256 ());
+  ]
+
+let grp_cases b =
+  [
+    case "GRP.1.b%d" b
+      (Nn.conv2d ~groups:4 ~n:b ~c:64 ~h:28 ~w:28 ~f:64 ~kh:3 ~kw:3 ~stride:1
+         ~pad:1 ());
+    case "GRP.2.b%d" b
+      (Nn.conv2d ~groups:4 ~n:b ~c:128 ~h:28 ~w:28 ~f:128 ~kh:3 ~kw:3 ~stride:1
+         ~pad:1 ());
+    case "GRP.3.b%d" b
+      (Nn.conv2d ~groups:8 ~n:b ~c:256 ~h:14 ~w:14 ~f:256 ~kh:3 ~kw:3 ~stride:1
+         ~pad:1 ());
+    case "GRP.4.b%d" b
+      (Nn.conv2d ~groups:4 ~n:b ~c:64 ~h:56 ~w:56 ~f:64 ~kh:3 ~kw:3 ~stride:1
+         ~pad:1 ());
+  ]
+
+let dil_cases b =
+  List.mapi
+    (fun i (c, h, w, f, k, s, p) ->
+      case "DIL.%d.b%d" (i + 1) b
+        (Nn.conv2d ~dilation:2 ~n:b ~c ~h ~w ~f ~kh:k ~kw:k ~stride:s
+           ~pad:(2 * p) ()))
+    c2d_shapes
+
+let dep_cases b =
+  [
+    case "DEP.1.b%d" b
+      (Nn.depthwise_conv2d ~n:b ~c:32 ~h:112 ~w:112 ~kh:3 ~kw:3 ~stride:1
+         ~pad:1 ());
+    case "DEP.2.b%d" b
+      (Nn.depthwise_conv2d ~n:b ~c:64 ~h:56 ~w:56 ~kh:3 ~kw:3 ~stride:1 ~pad:1
+         ());
+    case "DEP.3.b%d" b
+      (Nn.depthwise_conv2d ~n:b ~c:128 ~h:28 ~w:28 ~kh:3 ~kw:3 ~stride:1 ~pad:1
+         ());
+    case "DEP.4.b%d" b
+      (Nn.depthwise_conv2d ~n:b ~c:256 ~h:14 ~w:14 ~kh:3 ~kw:3 ~stride:1 ~pad:1
+         ());
+  ]
+
+let t2d_shapes =
+  [
+    (512, 4, 4, 256);
+    (256, 8, 8, 128);
+    (128, 16, 16, 64);
+    (64, 32, 32, 32);
+  ]
+
+let t2d_cases b =
+  List.mapi
+    (fun i (c, h, w, f) ->
+      case "T2D.%d.b%d" (i + 1) b
+        (Nn.conv2d_transposed ~n:b ~c ~h ~w ~f ~kh:4 ~kw:4 ~stride:2 ~pad:1 ()))
+    t2d_shapes
+
+let cap_cases b =
+  [
+    case "CAP.1.b%d" b
+      (Nn.capsule_conv2d ~n:b ~c:8 ~h:16 ~w:16 ~f:8 ~kh:3 ~kw:3 ~capsule:4
+         ~stride:1 ~pad:1 ());
+    case "CAP.2.b%d" b
+      (Nn.capsule_conv2d ~n:b ~c:16 ~h:8 ~w:8 ~f:16 ~kh:3 ~kw:3 ~capsule:4
+         ~stride:1 ~pad:1 ());
+    case "CAP.3.b%d" b
+      (Nn.capsule_conv2d ~n:b ~c:8 ~h:24 ~w:24 ~f:8 ~kh:3 ~kw:3 ~capsule:4
+         ~stride:1 ~pad:1 ());
+    case "CAP.4.b%d" b
+      (Nn.capsule_conv2d ~n:b ~c:16 ~h:16 ~w:16 ~f:8 ~kh:3 ~kw:3 ~capsule:4
+         ~stride:1 ~pad:1 ());
+  ]
+
+let nrm_cases b =
+  [
+    case "NRM.1.b%d" b (Nn.matrix_norm ~m:(256 * b) ~n:256 ());
+    case "NRM.2.b%d" b (Nn.matrix_norm ~m:(512 * b) ~n:512 ());
+    case "NRM.3.b%d" b (Nn.matrix_norm ~m:(1024 * b) ~n:256 ());
+    case "NRM.4.b%d" b (Nn.matrix_norm ~m:(128 * b) ~n:4096 ());
+  ]
+
+let op_cases ~op ~batch =
+  match op with
+  | "C1D" -> c1d_cases batch
+  | "C2D" -> c2d_cases batch
+  | "C3D" -> c3d_cases batch
+  | "GMM" -> gmm_cases batch
+  | "GRP" -> grp_cases batch
+  | "DIL" -> dil_cases batch
+  | "DEP" -> dep_cases batch
+  | "T2D" -> t2d_cases batch
+  | "CAP" -> cap_cases batch
+  | "NRM" -> nrm_cases batch
+  | op -> invalid_arg (Printf.sprintf "Workloads.op_cases: unknown operator %s" op)
+
+let single_op_suite ~batch =
+  List.map (fun op -> (op, op_cases ~op ~batch)) op_names
+
+let conv_layer_cases b =
+  List.mapi
+    (fun i (c, h, w, f, k, s, p) ->
+      case "ConvLayer.%d.b%d" (i + 1) b
+        (Nn.conv_layer ~n:b ~c ~h ~w ~f ~kh:k ~kw:k ~stride:s ~pad:p ()))
+    c2d_shapes
+
+let tbg_cases b =
+  [
+    case "TBG.1.b%d" b (Nn.tbg ~b:(b * 12) ~m:128 ~n:128 ~k:64 ());
+    case "TBG.2.b%d" b (Nn.tbg ~b:(b * 12) ~m:256 ~n:256 ~k:64 ());
+    case "TBG.3.b%d" b (Nn.tbg ~b:(b * 12) ~m:128 ~n:128 ~k:128 ());
+    case "TBG.4.b%d" b (Nn.tbg ~b:(b * 8) ~m:64 ~n:64 ~k:512 ());
+  ]
+
+let conv_layer_cases ~batch = conv_layer_cases batch
+let tbg_cases ~batch = tbg_cases batch
+
+type net = { net_name : string; layers : (case * int) list }
+
+let conv_layer_task b i (c, h, w, f, k, s, p) =
+  case "conv%d.c%d.h%d.f%d.k%d.s%d.b%d" i c h f k s b
+    (Nn.conv_layer ~n:b ~c ~h ~w ~f ~kh:k ~kw:k ~stride:s ~pad:p ())
+
+let resnet50 ~batch =
+  let b = batch in
+  let convs =
+    [
+      ((3, 224, 224, 64, 7, 2, 3), 1);
+      ((64, 56, 56, 64, 1, 1, 0), 4);
+      ((64, 56, 56, 64, 3, 1, 1), 4);
+      ((64, 56, 56, 256, 1, 1, 0), 4);
+      ((256, 56, 56, 128, 1, 2, 0), 1);
+      ((128, 28, 28, 128, 3, 1, 1), 4);
+      ((128, 28, 28, 512, 1, 1, 0), 4);
+      ((512, 28, 28, 256, 1, 2, 0), 1);
+      ((256, 14, 14, 256, 3, 1, 1), 6);
+      ((256, 14, 14, 1024, 1, 1, 0), 6);
+      ((1024, 14, 14, 512, 1, 2, 0), 1);
+      ((512, 7, 7, 512, 3, 1, 1), 3);
+      ((512, 7, 7, 2048, 1, 1, 0), 3);
+    ]
+  in
+  let layers =
+    List.mapi (fun i (shape, w) -> (conv_layer_task b i shape, w)) convs
+    @ [ (case "fc.b%d" b (Nn.matmul ~m:b ~n:1000 ~k:2048 ()), 1) ]
+  in
+  { net_name = "ResNet-50"; layers }
+
+let mobilenet_v2 ~batch =
+  let b = batch in
+  let dw i c h =
+    case "dw%d.c%d.h%d.b%d" i c h b
+      (Nn.depthwise_conv2d ~n:b ~c ~h ~w:h ~kh:3 ~kw:3 ~stride:1 ~pad:1 ())
+  in
+  let pw i c h f =
+    case "pw%d.c%d.h%d.f%d.b%d" i c h f b
+      (Nn.conv_layer ~n:b ~c ~h ~w:h ~f ~kh:1 ~kw:1 ~stride:1 ~pad:0 ())
+  in
+  let layers =
+    [
+      (dw 0 32 112, 1);
+      (pw 0 32 112 64, 1);
+      (dw 1 64 56, 2);
+      (pw 1 64 56 128, 2);
+      (dw 2 128 28, 3);
+      (pw 2 128 28 256, 3);
+      (dw 3 256 14, 4);
+      (pw 3 256 14 512, 4);
+      (dw 4 512 7, 3);
+      (pw 4 512 7 1024, 3);
+      (case "fc.b%d" b (Nn.matmul ~m:b ~n:1000 ~k:1024 ()), 1);
+    ]
+  in
+  { net_name = "MobileNet-V2"; layers }
+
+let resnet3d_18 ~batch =
+  let b = batch in
+  let c3 i c d h f s =
+    case "c3d%d.c%d.d%d.h%d.f%d.b%d" i c d h f b
+      (Nn.conv3d ~n:b ~c ~d ~h ~w:h ~f ~kd:3 ~kh:3 ~kw:3 ~stride:s ~pad:1 ())
+  in
+  let layers =
+    [
+      (c3 0 16 16 56 16 1, 4);
+      (c3 1 16 16 56 32 2, 1);
+      (c3 2 32 8 28 32 1, 3);
+      (c3 3 32 8 28 64 2, 1);
+      (c3 4 64 4 14 64 1, 3);
+      (c3 5 64 4 14 128 2, 1);
+      (c3 6 128 2 7 128 1, 3);
+      (case "fc.b%d" b (Nn.matmul ~m:b ~n:400 ~k:128 ()), 1);
+    ]
+  in
+  { net_name = "3D-ResNet-18"; layers }
+
+let dcgan ~batch =
+  let b = batch in
+  let t2 i c h f =
+    case "t2d%d.c%d.h%d.f%d.b%d" i c h f b
+      (Nn.conv2d_transposed ~n:b ~c ~h ~w:h ~f ~kh:4 ~kw:4 ~stride:2 ~pad:1 ())
+  in
+  let layers =
+    [
+      (case "proj.b%d" b (Nn.matmul ~m:b ~n:(4 * 4 * 512) ~k:100 ()), 1);
+      (t2 0 512 4 256, 1);
+      (t2 1 256 8 128, 1);
+      (t2 2 128 16 64, 1);
+      (t2 3 64 32 3, 1);
+    ]
+  in
+  { net_name = "DCGAN"; layers }
+
+let bert ~batch =
+  let b = batch in
+  let seq = 128 and hidden = 256 and heads = 8 in
+  let dk = hidden / heads in
+  let layers =
+    [
+      ( case "qkv.b%d" b (Nn.matmul ~m:(b * seq) ~n:hidden ~k:hidden ()),
+        4 * 12 );
+      (case "attn_qk.b%d" b (Nn.tbg ~b:(b * heads) ~m:seq ~n:seq ~k:dk ()), 12);
+      (case "softmax.b%d" b (Nn.softmax ~m:(b * heads * seq) ~n:seq ()), 12);
+      ( case "attn_v.b%d" b
+          (Nn.batch_matmul ~b:(b * heads) ~m:seq ~n:dk ~k:seq ()),
+        12 );
+      ( case "ffn1.b%d" b (Nn.matmul ~m:(b * seq) ~n:(4 * hidden) ~k:hidden ()),
+        12 );
+      ( case "ffn2.b%d" b (Nn.matmul ~m:(b * seq) ~n:hidden ~k:(4 * hidden) ()),
+        12 );
+    ]
+  in
+  { net_name = "BERT"; layers }
+
+let networks ~batch =
+  [
+    resnet50 ~batch;
+    mobilenet_v2 ~batch;
+    resnet3d_18 ~batch;
+    dcgan ~batch;
+    bert ~batch;
+  ]
+
+let net_tasks ~machine net =
+  List.map
+    (fun (c, w) ->
+      (Ansor_search.Task.create ~weight:w ~name:c.case_name ~machine c.dag, w))
+    net.layers
+
+let vgg16 ~batch =
+  let b = batch in
+  let layers =
+    List.mapi
+      (fun i ((c, h, f), weight) -> (conv_layer_task b (100 + i) (c, h, h, f, 3, 1, 1), weight))
+      [
+        ((3, 224, 64), 1);
+        ((64, 224, 64), 1);
+        ((64, 112, 128), 1);
+        ((128, 112, 128), 1);
+        ((128, 56, 256), 1);
+        ((256, 56, 256), 2);
+        ((256, 28, 512), 1);
+        ((512, 28, 512), 2);
+        ((512, 14, 512), 3);
+      ]
+    @ [
+        (case "fc1.b%d" b (Nn.matmul ~m:b ~n:4096 ~k:(512 * 7 * 7) ()), 1);
+        (case "fc2.b%d" b (Nn.matmul ~m:b ~n:4096 ~k:4096 ()), 1);
+        (case "fc3.b%d" b (Nn.matmul ~m:b ~n:1000 ~k:4096 ()), 1);
+      ]
+  in
+  { net_name = "VGG-16"; layers }
+
+let transformer_block ~batch =
+  let b = batch in
+  let seq = 128 and hidden = 512 and heads = 8 in
+  let dk = hidden / heads in
+  let layers =
+    [
+      (case "qkv_proj.b%d" b (Nn.matmul ~m:(b * seq) ~n:(3 * hidden) ~k:hidden ()), 1);
+      (case "scores.b%d" b (Nn.tbg ~b:(b * heads) ~m:seq ~n:seq ~k:dk ()), 1);
+      (case "softmax.b%d" b (Nn.softmax ~m:(b * heads * seq) ~n:seq ()), 1);
+      (case "context.b%d" b (Nn.batch_matmul ~b:(b * heads) ~m:seq ~n:dk ~k:seq ()), 1);
+      (case "out_proj.b%d" b (Nn.matmul ~m:(b * seq) ~n:hidden ~k:hidden ()), 1);
+      (case "ln.b%d" b (Nn.layer_norm ~m:(b * seq) ~n:hidden ()), 2);
+      (case "ffn_up.b%d" b (Nn.matmul ~m:(b * seq) ~n:(4 * hidden) ~k:hidden ()), 1);
+      (case "ffn_down.b%d" b (Nn.matmul ~m:(b * seq) ~n:hidden ~k:(4 * hidden) ()), 1);
+    ]
+  in
+  { net_name = "Transformer-block"; layers }
+
+let squeezenet_fire ~batch =
+  let b = batch in
+  let layers =
+    [
+      (conv_layer_task b 200 (64, 56, 56, 16, 1, 1, 0), 1);
+      (conv_layer_task b 201 (16, 56, 56, 64, 1, 1, 0), 1);
+      (conv_layer_task b 202 (16, 56, 56, 64, 3, 1, 1), 1);
+      (case "pool.b%d" b (Nn.max_pool2d ~n:b ~c:128 ~h:56 ~w:56 ~k:2 ~stride:2 ()), 1);
+    ]
+  in
+  { net_name = "SqueezeNet-fire"; layers }
+
+let extended_networks ~batch =
+  [ vgg16 ~batch; transformer_block ~batch; squeezenet_fire ~batch ]

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Ansor QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_access_features.ml: Alcotest Ansor Array Float Helpers List String

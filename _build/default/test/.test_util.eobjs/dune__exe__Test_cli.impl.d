@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Filename Fun Helpers Lazy List Option Printf String Sys

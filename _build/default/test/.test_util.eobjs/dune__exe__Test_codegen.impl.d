@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Ansor Array Filename Float Helpers Lazy List Printf String Sys Unix

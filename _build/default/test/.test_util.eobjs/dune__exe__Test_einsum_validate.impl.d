@@ -1,0 +1,1 @@
+test/test_einsum_validate.ml: Alcotest Ansor Array Format Helpers List String

@@ -1,0 +1,1 @@
+test/test_endtoend.ml: Alcotest Ansor Array Float Helpers Lazy List QCheck2

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Ansor Helpers List QCheck2 String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Ansor Array Helpers Lazy QCheck2 String

@@ -1,0 +1,1 @@
+test/test_gbdt.ml: Alcotest Ansor Array Float Helpers Printf

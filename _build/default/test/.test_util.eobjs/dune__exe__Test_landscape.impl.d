@@ -1,0 +1,1 @@
+test/test_landscape.ml: Alcotest Ansor Float Format Helpers List Printf String

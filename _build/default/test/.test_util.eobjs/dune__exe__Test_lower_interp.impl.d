@@ -1,0 +1,1 @@
+test/test_lower_interp.ml: Alcotest Ansor Array Helpers List String

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Ansor Array Float Helpers List

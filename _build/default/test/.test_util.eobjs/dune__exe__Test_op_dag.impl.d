@@ -1,0 +1,1 @@
+test/test_op_dag.ml: Alcotest Ansor Array Float Helpers List

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Ansor Float Helpers List QCheck2 String

@@ -1,0 +1,1 @@
+test/test_record.ml: Alcotest Ansor Filename Float Fun Helpers List QCheck2 String Sys

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Ansor Array Float Helpers List Printf

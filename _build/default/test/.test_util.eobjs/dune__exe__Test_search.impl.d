@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Ansor Float Helpers List Option Printf String

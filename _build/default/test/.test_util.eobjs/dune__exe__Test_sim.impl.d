@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Ansor Array Float Helpers List

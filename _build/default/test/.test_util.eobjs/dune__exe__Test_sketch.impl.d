@@ -1,0 +1,1 @@
+test/test_sketch.ml: Alcotest Ansor Helpers List

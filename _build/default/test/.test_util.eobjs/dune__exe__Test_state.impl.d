@@ -1,0 +1,1 @@
+test/test_state.ml: Alcotest Ansor Array Helpers List

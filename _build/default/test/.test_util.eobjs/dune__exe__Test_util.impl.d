@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Ansor Array Float Fun Helpers List Printf QCheck2 String

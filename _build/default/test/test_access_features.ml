@@ -1,0 +1,228 @@
+(* Access-pattern analysis and Appendix-B feature extraction. *)
+
+open Helpers
+module Step = Ansor.Step
+module State = Ansor.State
+module Prog = Ansor.Prog
+module Lower = Ansor.Lower
+module Access = Ansor.Access
+module Features = Ansor.Features
+module Nn = Ansor.Nn
+
+let analyze dag steps = Access.analyze (Lower.lower (State.replay dag steps))
+
+let matmul_info () =
+  match analyze (Nn.matmul ~m:8 ~n:16 ~k:4 ()) [] with
+  | [ info ] -> info
+  | _ -> Alcotest.fail "expected one statement"
+
+let find_access (info : Access.stmt_info) tensor =
+  List.find (fun (a : Access.access) -> String.equal a.tensor tensor)
+    info.accesses
+
+let test_stmt_info_basics () =
+  let info = matmul_info () in
+  check_int "loops" 3 (List.length info.loops);
+  check_floatish "iters" (8.0 *. 16.0 *. 4.0) info.iters;
+  (* output + A + B *)
+  check_int "accesses" 3 (List.length info.accesses);
+  check_bool "output first" true (List.hd info.accesses).is_write;
+  (* matmul body: one mul, plus the reduction accumulate *)
+  check_int "muls" 1 info.counts.float_mul;
+  check_int "adds" 1 info.counts.float_add_sub
+
+let test_strides () =
+  (* loops are C.i (8), C.j (16), C.k (4); row-major tensors *)
+  let info = matmul_info () in
+  let a = find_access info "A" in
+  (* A[i,k]: stride 4 along i, 0 along j, 1 along k *)
+  Alcotest.(check (array int)) "A strides" [| 4; 0; 1 |] a.strides;
+  let b = find_access info "B" in
+  Alcotest.(check (array int)) "B strides" [| 0; 1; 16 |] b.strides;
+  let c = find_access info "C" in
+  Alcotest.(check (array int)) "C strides" [| 16; 1; 0 |] c.strides
+
+let test_touched () =
+  let info = matmul_info () in
+  let a = find_access info "A" in
+  (* whole statement: A touches 8*4 elements; inside j: still 4 per i *)
+  check_floatish "A touched all" 32.0 a.touched.(0);
+  check_floatish "A touched inside i" 4.0 a.touched.(1);
+  check_floatish "A touched inside j" 4.0 a.touched.(2);
+  check_floatish "A touched innermost" 1.0 a.touched.(3);
+  let c = find_access info "C" in
+  check_floatish "C untouched by k" 1.0 c.touched.(2)
+
+let test_reuse_loop () =
+  let info = matmul_info () in
+  Alcotest.(check (option int)) "A reused across j" (Some 1)
+    (find_access info "A").reuse_loop;
+  Alcotest.(check (option int)) "B reused across i" (Some 0)
+    (find_access info "B").reuse_loop;
+  Alcotest.(check (option int)) "C reused across k" (Some 2)
+    (find_access info "C").reuse_loop
+
+let test_inner_stride_and_lines () =
+  let info = matmul_info () in
+  let a = find_access info "A" in
+  check_int "A inner stride (k)" 1 a.inner_stride;
+  let b = find_access info "B" in
+  (* deepest moving loop of B is k with stride 16: poor locality *)
+  check_int "B inner stride" 16 b.inner_stride;
+  (* B touches 64 elements; with the j loop at stride 1 the whole region
+     is contiguous: 64/16 lines *)
+  check_floatish "B unique lines" 4.0 b.lines.(0)
+
+let test_duplicate_access_count () =
+  (* NRM squares A: A appears twice with identical indices *)
+  let dag = Nn.matrix_norm ~m:4 ~n:8 () in
+  let infos = analyze dag [] in
+  let sq = List.hd infos in
+  let a = find_access sq "A" in
+  check_int "deduplicated with count" 2 a.count
+
+let test_fused_loop_distinct_counting () =
+  (* after fusing i and j, the fused loop moves A at coarse granularity:
+     distinct-value sampling must see 8 rows, not 128 elements *)
+  let dag = Nn.matmul ~m:8 ~n:16 ~k:4 () in
+  let infos = analyze dag [ Step.Fuse { stage = "C"; ivs = [ 0; 1 ] } ] in
+  let info = List.hd infos in
+  let a = find_access info "A" in
+  check_floatish "A whole-statement touched" 32.0 a.touched.(0)
+
+let test_working_set () =
+  let info = matmul_info () in
+  (* at depth 0: A(32) + B(64) + C(128) elements * 4 bytes *)
+  check_floatish "working set bytes" (4.0 *. (32.0 +. 64.0 +. 128.0))
+    (Access.working_set info 0)
+
+let test_select_zero_fraction_t2d () =
+  let dag =
+    Nn.conv2d_transposed ~n:1 ~c:2 ~h:4 ~w:4 ~f:2 ~kh:4 ~kw:4 ~stride:2 ~pad:1 ()
+  in
+  let infos = analyze dag [] in
+  let y = List.find (fun (i : Access.stmt_info) -> i.stmt.stage = "Y") infos in
+  match Access.select_zero_fraction y with
+  | None -> Alcotest.fail "T2D statement should expose a zero-guard"
+  | Some (vars, frac) ->
+    (* stride-2 divisibility in two dimensions: roughly a quarter of the
+       points contribute *)
+    check_bool "fraction near 1/4" true (frac > 0.1 && frac < 0.45);
+    check_bool "condition depends on some loops" true (vars <> [])
+
+let test_select_fraction_absent () =
+  let info = matmul_info () in
+  check_bool "no guard on matmul" true
+    (Access.select_zero_fraction info = None)
+
+(* ---------- features ---------- *)
+
+let test_feature_dimensions () =
+  check_int "names match dim" Features.dim (Array.length Features.names);
+  let dag = Nn.matmul_relu ~m:8 ~n:8 ~k:8 () in
+  let vecs = Features.of_prog (Lower.lower (State.init dag)) in
+  check_int "one vector per statement" 2 (List.length vecs);
+  List.iter (fun v -> check_int "vector length" Features.dim (Array.length v)) vecs
+
+let test_features_deterministic () =
+  let dag = Nn.conv2d ~n:1 ~c:4 ~h:8 ~w:8 ~f:4 ~kh:3 ~kw:3 ~stride:1 ~pad:1 () in
+  let v1 = Features.of_prog (Lower.lower (State.init dag)) in
+  let v2 = Features.of_prog (Lower.lower (State.init dag)) in
+  List.iter2
+    (fun a b -> Alcotest.(check (array (float 0.0))) "deterministic" a b)
+    v1 v2
+
+let feature idx v = v.(idx)
+
+let index_of name =
+  let rec go i =
+    if i >= Features.dim then Alcotest.failf "no feature %s" name
+    else if String.equal Features.names.(i) name then i
+    else go (i + 1)
+  in
+  go 0
+
+let test_vectorize_features () =
+  let dag = Nn.matmul ~m:8 ~n:8 ~k:8 () in
+  let steps = [ Step.Annotate { stage = "C"; iv = 1; ann = Step.Vectorize } ] in
+  let v = List.hd (Features.of_prog (Lower.lower (State.replay dag steps))) in
+  let len = feature (index_of "vec.innermost_len") v in
+  (* log2(1+8) *)
+  check_floatish "vectorized length" (Float.log 9.0 /. Float.log 2.0) len;
+  check_float "count" 1.0 (feature (index_of "vec.count") v);
+  (* un-annotated groups show the "none" slot *)
+  check_float "unroll none" 1.0 (feature (index_of "unroll.pos_none") v)
+
+let test_parallel_features () =
+  let dag = Nn.matmul ~m:8 ~n:8 ~k:8 () in
+  let steps = [ Step.Annotate { stage = "C"; iv = 0; ann = Step.Parallel } ] in
+  let v = List.hd (Features.of_prog (Lower.lower (State.replay dag steps))) in
+  check_float "outer space position" 1.0
+    (feature (index_of "parallel.pos_outer_space") v);
+  check_bool "gpu slot carries parallel extent" true
+    (feature (index_of "gpu.blockIdx_x") v > 0.0)
+
+let test_buffer_features_present () =
+  let info = matmul_info () in
+  let v = Features.of_stmt_info info in
+  (* three buffers used, two padded blocks of zeros *)
+  check_float "buf0 is read+write or read" 1.0
+    (feature (index_of "buf0.read") v +. feature (index_of "buf0.read_write") v);
+  let base = index_of "buf3.read" in
+  let block_zero =
+    Array.for_all (fun i -> v.(i) = 0.0)
+      (Array.init 18 (fun i -> base + i))
+  in
+  check_bool "fourth buffer block zero-padded" true block_zero
+
+let test_output_buffer_is_read_write () =
+  (* a reduction output is read-modify-write *)
+  let info = matmul_info () in
+  let v = Features.of_stmt_info info in
+  (* C has the biggest touched region (128 elems) so it is buf0 *)
+  check_float "buf0 read_write" 1.0 (feature (index_of "buf0.read_write") v)
+
+let test_intensity_curve_monotonicity () =
+  let info = matmul_info () in
+  let v = Features.of_stmt_info info in
+  let first = feature (index_of "intensity_curve.0") v in
+  let last = feature (index_of "intensity_curve.9") v in
+  (* matmul gets more intense with more loops included *)
+  check_bool "curve grows" true (last >= first)
+
+let test_pragma_feature () =
+  let dag = Nn.matmul ~m:8 ~n:8 ~k:8 () in
+  let steps = [ Step.Pragma_unroll { stage = "C"; max_step = 64 } ] in
+  let v = List.hd (Features.of_prog (Lower.lower (State.replay dag steps))) in
+  check_floatish "auto unroll recorded"
+    (Float.log 65.0 /. Float.log 2.0)
+    (feature (index_of "outer.auto_unroll") v)
+
+let () =
+  Alcotest.run "access_features"
+    [
+      ( "access",
+        [
+          case "statement info" test_stmt_info_basics;
+          case "strides" test_strides;
+          case "touched regions" test_touched;
+          case "reuse loops" test_reuse_loop;
+          case "inner stride and lines" test_inner_stride_and_lines;
+          case "duplicate accesses" test_duplicate_access_count;
+          case "fused-loop distinct counting" test_fused_loop_distinct_counting;
+          case "working set" test_working_set;
+          case "T2D zero-guard fraction" test_select_zero_fraction_t2d;
+          case "no guard on matmul" test_select_fraction_absent;
+        ] );
+      ( "features",
+        [
+          case "dimensions" test_feature_dimensions;
+          case "deterministic" test_features_deterministic;
+          case "vectorization group" test_vectorize_features;
+          case "parallel group" test_parallel_features;
+          case "buffer blocks" test_buffer_features_present;
+          case "reduction output read+write" test_output_buffer_is_read_write;
+          case "intensity curve" test_intensity_curve_monotonicity;
+          case "auto-unroll pragma" test_pragma_feature;
+        ] );
+    ]

@@ -1,0 +1,108 @@
+(* End-to-end tests of the ansor-cli binary: every subcommand runs, and
+   the tune --save / replay round trip works on a real log file. *)
+
+open Helpers
+
+let cli =
+  (* dune runtest runs from _build/default/test; dune exec from the root *)
+  lazy
+    (List.find_opt Sys.file_exists
+       [ "../bin/ansor_cli.exe"; "_build/default/bin/ansor_cli.exe" ])
+
+let have_cli = lazy (Lazy.force cli <> None)
+
+let run_cli args =
+  let exe = Option.get (Lazy.force cli) in
+  let out = Filename.temp_file "ansor_cli" ".out" in
+  let cmd = Printf.sprintf "%s %s > %s 2>&1" exe args (Filename.quote out) in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove out;
+  (code, s)
+
+let require_cli () = if not (Lazy.force have_cli) then Alcotest.skip ()
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_machines () =
+  require_cli ();
+  let code, out = run_cli "machines" in
+  check_int "exit 0" 0 code;
+  List.iter
+    (fun m -> check_bool (m ^ " listed") true (contains out m))
+    [ "intel-cpu"; "arm-cpu"; "gpu" ]
+
+let test_sketches () =
+  require_cli ();
+  let code, out = run_cli "sketches -o GMM -i 1" in
+  check_int "exit 0" 0 code;
+  check_bool "shows sketch steps" true (contains out "split(");
+  check_bool "shows computation" true (contains out "placeholder")
+
+let test_tune_and_replay () =
+  require_cli ();
+  let log = Filename.temp_file "ansor_cli" ".log" in
+  Sys.remove log;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists log then Sys.remove log)
+    (fun () ->
+      let code, out =
+        run_cli (Printf.sprintf "tune -o GMM -i 1 -t 32 --save %s" log)
+      in
+      check_int "tune exit 0" 0 code;
+      check_bool "reports best" true (contains out "best");
+      check_bool "log written" true (Sys.file_exists log);
+      let code, out =
+        run_cli (Printf.sprintf "replay -o GMM -i 1 --from %s" log)
+      in
+      check_int "replay exit 0" 0 code;
+      check_bool "replay reports" true (contains out "replayed record");
+      (* replaying a different task from the same log fails cleanly *)
+      let code, out =
+        run_cli (Printf.sprintf "replay -o NRM -i 1 --from %s" log)
+      in
+      check_int "missing record exits 1" 1 code;
+      check_bool "explains" true (contains out "no record"))
+
+let test_tune_curve () =
+  require_cli ();
+  let code, out = run_cli "tune -o GMM -i 1 -t 32 --curve" in
+  check_int "exit 0" 0 code;
+  check_bool "plots" true (contains out "measurement trials")
+
+let test_bad_arguments () =
+  require_cli ();
+  let code, _ = run_cli "tune -o FFT" in
+  check_bool "unknown operator rejected" true (code <> 0);
+  let code, _ = run_cli "tune -m quantum" in
+  check_bool "unknown machine rejected" true (code <> 0);
+  let code, _ = run_cli "tune -s magic" in
+  check_bool "unknown strategy rejected" true (code <> 0);
+  let code, _ = run_cli "network -n alexnet" in
+  check_bool "unknown network rejected" true (code <> 0)
+
+let test_network_command () =
+  require_cli ();
+  let code, out = run_cli "network -n dcgan --budget 60" in
+  check_int "exit 0" 0 code;
+  check_bool "end-to-end reported" true (contains out "end-to-end")
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "commands",
+        [
+          case "machines" test_machines;
+          case "sketches" test_sketches;
+          case "tune --save / replay" test_tune_and_replay;
+          case "tune --curve" test_tune_curve;
+          case "argument validation" test_bad_arguments;
+          case "network" test_network_command;
+        ] );
+    ]

@@ -1,0 +1,253 @@
+(* C code generation: differential testing against the interpreter.
+
+   For several DAGs and both naive and randomly-scheduled programs, the
+   emitted C is compiled with gcc and executed; its printed outputs must
+   match the interpreter's within float tolerance.  This closes the loop
+   from the schedule search down to real machine code. *)
+
+open Helpers
+module C = Ansor.Codegen_c
+module State = Ansor.State
+module Lower = Ansor.Lower
+module Interp = Ansor.Interp
+module Prog = Ansor.Prog
+
+let have_gcc = lazy (Sys.command "gcc --version > /dev/null 2>&1" = 0)
+
+let require_gcc () =
+  if not (Lazy.force have_gcc) then
+    Alcotest.skip ()
+
+(* compile + run a C translation unit; returns stdout lines as floats *)
+let run_c source =
+  let dir = Filename.temp_file "ansor_cg" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let c_file = Filename.concat dir "t.c" in
+  let exe = Filename.concat dir "t" in
+  let oc = open_out c_file in
+  output_string oc source;
+  close_out oc;
+  let cmd =
+    Printf.sprintf "gcc -O1 -o %s %s -lm 2> %s/cc.err"
+      (Filename.quote exe) (Filename.quote c_file) (Filename.quote dir)
+  in
+  if Sys.command cmd <> 0 then begin
+    let err =
+      try
+        let ic = open_in (Filename.concat dir "cc.err") in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      with _ -> "?"
+    in
+    Alcotest.failf "gcc failed: %s" err
+  end;
+  let ic = Unix.open_process_in exe in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (float_of_string line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let values = read [] in
+  ignore (Unix.close_process_in ic);
+  (* best-effort cleanup *)
+  List.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+    [ "t.c"; "t"; "cc.err" ];
+  (try Unix.rmdir dir with _ -> ());
+  values
+
+let differential_check (st : State.t) =
+  let dag = st.State.dag in
+  let prog = Lower.lower st in
+  let inputs = Interp.random_inputs (Ansor.Rng.create 77) dag in
+  let reference = Interp.run_prog prog ~inputs in
+  let c_values = run_c (C.emit_test_main prog ~inputs) in
+  (* the C main prints non-input buffers in buffer order *)
+  let input_names = List.map fst inputs in
+  let expected =
+    List.concat_map
+      (fun (name, _) ->
+        if List.mem name input_names then []
+        else Array.to_list (List.assoc name reference))
+      prog.buffers
+  in
+  check_int "same number of printed values" (List.length expected)
+    (List.length c_values);
+  List.iteri
+    (fun i (want, got) ->
+      if Float.abs (want -. got) > 1e-3 *. Float.max 1.0 (Float.abs want) then
+        Alcotest.failf "value %d differs: interpreter %.9g, C %.9g" i want got)
+    (List.combine expected c_values)
+
+let test_naive name dag () =
+  require_gcc ();
+  ignore name;
+  differential_check (State.init dag)
+
+let test_scheduled name dag () =
+  require_gcc ();
+  ignore name;
+  match sample_programs ~seed:13 ~n:2 dag with
+  | [] -> Alcotest.fail "sampling failed"
+  | states -> List.iter differential_check states
+
+(* ---------- structural checks (no compiler needed) ---------- *)
+
+let test_sanitize () =
+  check_string "dots" "C_local" (C.sanitize "C.local");
+  check_string "ats" "i_0_j_0" (C.sanitize "i.0@j.0");
+  check_string "leading digit" "v3x" (C.sanitize "3x");
+  check_string "empty" "v" (C.sanitize "")
+
+let test_params_unique () =
+  (* two buffers that sanitize identically must get distinct identifiers *)
+  let dag = Ansor.Nn.matmul ~m:4 ~n:4 ~k:4 () in
+  let st = State.replay dag [ Ansor.Step.Cache_write { stage = "C" } ] in
+  let prog = Lower.lower st in
+  let ids = List.map snd (C.params prog) in
+  check_int "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_kernel_structure () =
+  let dag = Ansor.Nn.matmul ~m:8 ~n:8 ~k:8 () in
+  let st =
+    State.replay dag
+      Ansor.Step.
+        [
+          Annotate { stage = "C"; iv = 0; ann = Parallel };
+          Annotate { stage = "C"; iv = 1; ann = Vectorize };
+        ]
+  in
+  let src = C.emit_kernel (Lower.lower st) in
+  check_bool "omp parallel" true (contains src "#pragma omp parallel for");
+  check_bool "omp simd" true (contains src "#pragma omp simd");
+  check_bool "floordiv helper" true (contains src "floordiv");
+  check_bool "accumulation" true (contains src "+=");
+  check_bool "restrict params" true (contains src "float * restrict")
+
+let test_max_reduction_emits_fmax () =
+  let dag = Ansor.Nn.max_pool2d ~n:1 ~c:2 ~h:4 ~w:4 ~k:2 ~stride:2 () in
+  let src = C.emit_kernel (Lower.lower (State.init dag)) in
+  check_bool "fmaxf update" true (contains src "= fmaxf(");
+  check_bool "-INFINITY init" true (contains src "-INFINITY")
+
+let () =
+  Alcotest.run "codegen" ~and_exit:false
+    [
+      ( "structure",
+        [
+          case "identifier sanitization" test_sanitize;
+          case "unique parameters" test_params_unique;
+          case "kernel structure" test_kernel_structure;
+          case "max reduction" test_max_reduction_emits_fmax;
+        ] );
+      ( "differential vs interpreter (gcc)",
+        [
+          case "naive matmul+relu" (test_naive "mm" (Ansor.Nn.matmul_relu ~m:8 ~n:8 ~k:8 ()));
+          case "naive conv2d (padding select)"
+            (test_naive "conv"
+               (Ansor.Nn.conv2d ~n:1 ~c:2 ~h:5 ~w:5 ~f:2 ~kh:3 ~kw:3 ~stride:1 ~pad:1 ()));
+          case "naive transposed conv (floor div/mod)"
+            (test_naive "t2d"
+               (Ansor.Nn.conv2d_transposed ~n:1 ~c:2 ~h:4 ~w:4 ~f:2 ~kh:4 ~kw:4
+                  ~stride:2 ~pad:1 ()));
+          case "naive softmax (math calls)"
+            (test_naive "softmax" (Ansor.Nn.softmax ~m:3 ~n:5 ()));
+          case "scheduled matmul+relu (fusion, fused loops)"
+            (test_scheduled "mm" (Ansor.Nn.matmul_relu ~m:16 ~n:16 ~k:16 ()));
+          case "scheduled norm (rfactor)"
+            (test_scheduled "nrm" (Ansor.Nn.matrix_norm ~m:8 ~n:32 ()));
+          case "scheduled conv layer"
+            (test_scheduled "cl"
+               (Ansor.Nn.conv_layer ~n:1 ~c:4 ~h:6 ~w:6 ~f:4 ~kh:3 ~kw:3
+                  ~stride:1 ~pad:1 ()));
+        ] );
+    ]
+
+(* ---------- network deployment (appended suite) ---------- *)
+
+let test_deploy_plan_and_emit () =
+  let machine = Ansor.Machine.intel_cpu in
+  let subgraphs =
+    [
+      ("layer.a", Ansor.Nn.matmul ~m:16 ~n:16 ~k:16 ());
+      ("layer.b", Ansor.Nn.matmul ~m:16 ~n:32 ~k:16 ());
+    ]
+  in
+  (* tune the first subgraph and record it; leave the second untuned *)
+  let task =
+    Ansor.Task.create ~name:"layer.a" ~machine (List.assoc "layer.a" subgraphs)
+  in
+  let tuner, _ = Ansor.Tuner.tune ~seed:31 Ansor.Tuner.ansor_options ~trials:48 task in
+  let records =
+    match Ansor.Record.entry_of_tuner tuner with
+    | Some e -> [ e ]
+    | None -> []
+  in
+  let plan = Ansor.Deploy.plan ~machine ~records subgraphs in
+  check_int "two kernels" 2 (List.length plan);
+  (match plan with
+  | [ (a, _); (b, _) ] ->
+    check_bool "first tuned" true a.Ansor.Deploy.tuned;
+    check_bool "second is a fallback" false b.Ansor.Deploy.tuned;
+    check_bool "names distinct" true (a.kernel_name <> b.kernel_name)
+  | _ -> Alcotest.fail "unexpected plan");
+  let src = Ansor.Deploy.emit ~machine ~records subgraphs in
+  check_bool "one helper block only" true
+    (let count_marker marker =
+       let rec go i acc =
+         if i + String.length marker > String.length src then acc
+         else if String.sub src i (String.length marker) = marker then
+           go (i + 1) (acc + 1)
+         else go (i + 1) acc
+       in
+       go 0 0
+     in
+     count_marker "static inline int floordiv" = 1);
+  check_bool "both kernels present" true
+    (contains src "void layer_a(" && contains src "void layer_b(")
+
+let test_deploy_compiles () =
+  require_gcc ();
+  let machine = Ansor.Machine.intel_cpu in
+  let subgraphs =
+    [
+      ("conv", Ansor.Nn.conv2d ~n:1 ~c:2 ~h:5 ~w:5 ~f:2 ~kh:3 ~kw:3 ~stride:1 ~pad:1 ());
+      ("dense", Ansor.Nn.matmul ~m:8 ~n:8 ~k:8 ());
+    ]
+  in
+  let src = Ansor.Deploy.emit ~machine ~records:[] subgraphs in
+  let dir = Filename.temp_file "ansor_deploy" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let c_file = Filename.concat dir "net.c" in
+  let oc = open_out c_file in
+  output_string oc src;
+  close_out oc;
+  let code =
+    Sys.command
+      (Printf.sprintf "gcc -c -O1 -o %s/net.o %s 2> %s/err"
+         (Filename.quote dir) (Filename.quote c_file) (Filename.quote dir))
+  in
+  List.iter (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+    [ "net.c"; "net.o"; "err" ];
+  (try Unix.rmdir dir with _ -> ());
+  check_int "compiles as a translation unit" 0 code
+
+let () =
+  Alcotest.run "codegen_deploy"
+    [
+      ( "deploy",
+        [
+          case "plan and emit" test_deploy_plan_and_emit;
+          case "compiles with gcc" test_deploy_compiles;
+        ] );
+    ]

@@ -1,0 +1,269 @@
+open Helpers
+module Expr = Ansor.Expr
+open Expr
+
+let env_of bindings v =
+  match List.assoc_opt v bindings with
+  | Some x -> x
+  | None -> Alcotest.failf "unbound axis %s" v
+
+let no_load _ _ = Alcotest.fail "unexpected tensor access"
+
+(* ---------- integer expressions ---------- *)
+
+let test_iexpr_arith () =
+  let e = Iadd (Imul (Axis "i", Int 3), Int 2) in
+  check_int "3i+2 at i=4" 14 (eval_iexpr (env_of [ ("i", 4) ]) e)
+
+let test_floor_division () =
+  let div a b = eval_iexpr (fun _ -> 0) (Idiv (Int a, Int b)) in
+  check_int "7/2" 3 (div 7 2);
+  check_int "-7/2 floors" (-4) (div (-7) 2);
+  check_int "-8/2 exact" (-4) (div (-8) 2);
+  check_int "7/-2 floors" (-4) (div 7 (-2))
+
+let test_euclidean_mod () =
+  let md a b = eval_iexpr (fun _ -> 0) (Imod (Int a, Int b)) in
+  check_int "7%3" 1 (md 7 3);
+  check_int "-7%3 non-negative" 2 (md (-7) 3);
+  check_int "0%5" 0 (md 0 5)
+
+let test_division_by_zero () =
+  Alcotest.check_raises "div" Division_by_zero (fun () ->
+      ignore (eval_iexpr (fun _ -> 0) (Idiv (Int 1, Int 0))));
+  Alcotest.check_raises "mod" Division_by_zero (fun () ->
+      ignore (eval_iexpr (fun _ -> 0) (Imod (Int 1, Int 0))))
+
+let test_div_mod_consistency =
+  qcheck "a = (a/b)*b + (a mod b), mod in [0,|b|)"
+    QCheck2.Gen.(pair (int_range (-1000) 1000) (int_range 1 50))
+    (fun (a, b) ->
+      let env _ = 0 in
+      let q = eval_iexpr env (Idiv (Int a, Int b)) in
+      let r = eval_iexpr env (Imod (Int a, Int b)) in
+      a = (q * b) + r && r >= 0 && r < b)
+
+(* ---------- boolean expressions ---------- *)
+
+let test_bexpr () =
+  let env = env_of [ ("i", 3) ] in
+  check_bool "lt" true (eval_bexpr env (Blt (Axis "i", Int 4)));
+  check_bool "le" true (eval_bexpr env (Ble (Axis "i", Int 3)));
+  check_bool "eq" false (eval_bexpr env (Beq (Axis "i", Int 4)));
+  check_bool "and" false
+    (eval_bexpr env (Band (Blt (Axis "i", Int 4), Blt (Int 4, Axis "i"))));
+  check_bool "or" true
+    (eval_bexpr env (Bor (Blt (Axis "i", Int 4), Blt (Int 4, Axis "i"))));
+  check_bool "not" true (eval_bexpr env (Bnot (Beq (Axis "i", Int 4))))
+
+(* ---------- float expressions ---------- *)
+
+let test_eval_ops () =
+  let e = Binop (Add, Const 1.0, Binop (Mul, Const 2.0, Const 3.0)) in
+  check_float "1+2*3" 7.0 (eval ~axis_value:(fun _ -> 0) ~load:no_load e);
+  let relu x = eval ~axis_value:(fun _ -> 0) ~load:no_load (Unop (Relu, Const x)) in
+  check_float "relu(-1)" 0.0 (relu (-1.0));
+  check_float "relu(2)" 2.0 (relu 2.0);
+  check_float "max" 5.0
+    (eval ~axis_value:(fun _ -> 0) ~load:no_load
+       (Binop (Max, Const 5.0, Const 3.0)));
+  check_floatish "sigmoid(0)" 0.5
+    (eval ~axis_value:(fun _ -> 0) ~load:no_load (Unop (Sigmoid, Const 0.0)))
+
+let test_select_lazy () =
+  (* the untaken branch must not be evaluated: this is the padding idiom *)
+  let guarded =
+    Select
+      ( Blt (Axis "i", Int 0),
+        Access ("nonexistent", [ Int 0 ]),
+        Const 42.0 )
+  in
+  check_float "select skips untaken branch" 42.0
+    (eval ~axis_value:(env_of [ ("i", 3) ]) ~load:no_load guarded)
+
+let test_access_eval () =
+  let load name idx =
+    check_string "tensor name" "A" name;
+    Alcotest.(check (list int)) "indices" [ 2; 5 ] idx;
+    9.0
+  in
+  check_float "load" 9.0
+    (eval
+       ~axis_value:(env_of [ ("i", 2) ])
+       ~load
+       (Access ("A", [ Axis "i"; Int 5 ])))
+
+let test_cast_int () =
+  check_float "cast" 7.0
+    (eval ~axis_value:(env_of [ ("i", 7) ]) ~load:no_load (Cast_int (Axis "i")))
+
+(* ---------- analysis ---------- *)
+
+let test_accesses () =
+  let e =
+    Binop
+      ( Add,
+        Access ("A", [ Axis "i" ]),
+        Select (Blt (Axis "i", Int 2), Access ("B", []), Access ("A", [ Int 0 ]))
+      )
+  in
+  Alcotest.(check (list string)) "access order" [ "A"; "B"; "A" ]
+    (List.map fst (accesses e))
+
+let test_axes_of () =
+  let e =
+    Binop
+      ( Mul,
+        Access ("A", [ Iadd (Axis "i", Axis "k") ]),
+        Select (Blt (Axis "j", Int 2), Const 1.0, Const 0.0) )
+  in
+  Alcotest.(check (list string)) "axes" [ "i"; "k"; "j" ] (axes_of e);
+  Alcotest.(check (list string)) "iexpr axes dedup" [ "i" ]
+    (iexpr_axes (Iadd (Axis "i", Imul (Axis "i", Int 2))))
+
+let test_subst_tensor () =
+  let e = Binop (Add, Access ("A", [ Axis "i" ]), Access ("B", [ Axis "i" ])) in
+  let e' = subst_tensor "A" (fun idx -> Access ("C", idx)) e in
+  Alcotest.(check (list string)) "renamed" [ "C"; "B" ]
+    (List.map fst (accesses e'))
+
+let test_subst_axes () =
+  let e = Access ("A", [ Axis "i"; Axis "j" ]) in
+  let e' = subst_axes [ ("i", Imul (Axis "x", Int 2)) ] e in
+  let v =
+    eval ~axis_value:(env_of [ ("x", 3); ("j", 1) ])
+      ~load:(fun _ idx -> float_of_int (List.hd idx))
+      e'
+  in
+  check_float "i replaced by 2x" 6.0 v
+
+let test_subst_axes_simultaneous () =
+  (* simultaneous, not sequential: i->j, j->i must swap *)
+  let e = Access ("A", [ Axis "i"; Axis "j" ]) in
+  let e' = subst_axes [ ("i", Axis "j"); ("j", Axis "i") ] e in
+  match e' with
+  | Access ("A", [ Axis "j"; Axis "i" ]) -> ()
+  | _ -> Alcotest.fail "substitution must be simultaneous"
+
+(* ---------- op counts ---------- *)
+
+let test_count_ops () =
+  let e =
+    Binop
+      ( Add,
+        Binop (Mul, Access ("A", [ Axis "i" ]), Access ("B", [ Axis "i" ])),
+        Unop (Exp, Const 1.0) )
+  in
+  let c = count_ops e in
+  check_int "adds" 1 c.float_add_sub;
+  check_int "muls" 1 c.float_mul;
+  check_int "math" 1 c.float_math;
+  check_int "flops" 3 (flops e)
+
+let test_count_int_ops () =
+  let e = Access ("A", [ Iadd (Imul (Axis "i", Int 4), Axis "j") ]) in
+  let c = count_ops e in
+  check_int "int adds" 1 c.int_add_sub;
+  check_int "int muls" 1 c.int_mul;
+  check_int "no flops" 0 (flops e)
+
+let test_count_select () =
+  let e = Select (Blt (Axis "i", Int 2), Const 1.0, Const 0.0) in
+  let c = count_ops e in
+  check_int "select is a cmp" 1 c.float_cmp;
+  check_int "cond int compare" 1 c.int_add_sub
+
+(* ---------- simplify ---------- *)
+
+let gen_iexpr =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then
+           oneof [ map (fun i -> Int i) (int_range (-20) 20); return (Axis "i") ]
+         else
+           let sub = self (n / 2) in
+           oneof
+             [
+               map2 (fun a b -> Iadd (a, b)) sub sub;
+               map2 (fun a b -> Isub (a, b)) sub sub;
+               map2 (fun a b -> Imul (a, b)) sub sub;
+               map2 (fun a b -> Idiv (a, b)) sub sub;
+               map2 (fun a b -> Imod (a, b)) sub sub;
+             ])
+
+let prop_simplify_preserves =
+  qcheck ~count:300 "simplify_iexpr preserves value"
+    QCheck2.Gen.(pair gen_iexpr (int_range 0 7))
+    (fun (e, i) ->
+      let env v = if String.equal v "i" then i else 0 in
+      let value e = try Some (Expr.eval_iexpr env e) with Division_by_zero -> None in
+      match value e with
+      | None -> QCheck2.assume_fail ()
+      | Some v -> value (simplify_iexpr e) = Some v)
+
+let test_simplify_identities () =
+  check_bool "x*1" true (simplify_iexpr (Imul (Axis "x", Int 1)) = Axis "x");
+  check_bool "x+0" true (simplify_iexpr (Iadd (Axis "x", Int 0)) = Axis "x");
+  check_bool "x*0" true (simplify_iexpr (Imul (Axis "x", Int 0)) = Int 0);
+  check_bool "x/1" true (simplify_iexpr (Idiv (Axis "x", Int 1)) = Axis "x");
+  check_bool "x mod 1" true (simplify_iexpr (Imod (Axis "x", Int 1)) = Int 0);
+  check_bool "const fold" true (simplify_iexpr (Iadd (Int 2, Int 3)) = Int 5)
+
+let test_simplify_static_select () =
+  let e = Select (Blt (Int 1, Int 2), Const 1.0, Const 0.0) in
+  check_bool "true branch" true (simplify e = Const 1.0);
+  let e = Select (Blt (Int 3, Int 2), Const 1.0, Const 0.0) in
+  check_bool "false branch" true (simplify e = Const 0.0);
+  let dynamic = Select (Blt (Axis "i", Int 2), Const 1.0, Const 0.0) in
+  check_bool "dynamic kept" true
+    (match simplify dynamic with Select _ -> true | _ -> false)
+
+let test_pp () =
+  check_string "pp" "(A[i, 2] * 3)"
+    (to_string (Binop (Mul, Access ("A", [ Axis "i"; Int 2 ]), Const 3.0)));
+  check_string "pp select" "select(i < 4, A[i], 0)"
+    (to_string
+       (Select (Blt (Axis "i", Int 4), Access ("A", [ Axis "i" ]), Const 0.0)))
+
+let () =
+  Alcotest.run "expr"
+    [
+      ( "integer",
+        [
+          case "arithmetic" test_iexpr_arith;
+          case "floor division" test_floor_division;
+          case "euclidean mod" test_euclidean_mod;
+          case "division by zero" test_division_by_zero;
+          test_div_mod_consistency;
+        ] );
+      ("boolean", [ case "comparisons and connectives" test_bexpr ]);
+      ( "float",
+        [
+          case "arithmetic and unops" test_eval_ops;
+          case "select is lazy" test_select_lazy;
+          case "tensor access" test_access_eval;
+          case "cast_int" test_cast_int;
+        ] );
+      ( "analysis",
+        [
+          case "accesses" test_accesses;
+          case "axes_of" test_axes_of;
+          case "subst_tensor" test_subst_tensor;
+          case "subst_axes" test_subst_axes;
+          case "subst simultaneous" test_subst_axes_simultaneous;
+        ] );
+      ( "counts",
+        [
+          case "float ops" test_count_ops;
+          case "int ops" test_count_int_ops;
+          case "select" test_count_select;
+        ] );
+      ( "simplify",
+        [
+          prop_simplify_preserves;
+          case "identities" test_simplify_identities;
+          case "static select" test_simplify_static_select;
+          case "pretty printing" test_pp;
+        ] );
+    ]

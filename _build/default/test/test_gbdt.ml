@@ -1,0 +1,139 @@
+(* The gradient-boosted decision trees backing the cost model. *)
+
+open Helpers
+module Gbdt = Ansor.Gbdt
+module Rng = Ansor.Rng
+module Stats = Ansor.Stats
+
+let make_data rng n dims f =
+  let x = Array.init n (fun _ -> Array.init dims (fun _ -> Rng.float rng 1.0)) in
+  (x, Array.map f x)
+
+let mae model x y lo hi =
+  let errs = ref [] in
+  for i = lo to hi - 1 do
+    errs := Float.abs (Gbdt.predict model x.(i) -. y.(i)) :: !errs
+  done;
+  Stats.mean !errs
+
+let test_fits_constant () =
+  let x = Array.make 20 [| 0.0 |] in
+  let y = Array.make 20 7.5 in
+  let model = Gbdt.train ~x ~y () in
+  check_floatish "constant" 7.5 (Gbdt.predict model [| 0.0 |])
+
+let test_fits_step_function () =
+  let rng = Rng.create 1 in
+  let x, y = make_data rng 600 3 (fun r -> if r.(1) > 0.5 then 10.0 else -10.0) in
+  let model = Gbdt.train ~x ~y () in
+  check_bool "low side" true (Gbdt.predict model [| 0.3; 0.1; 0.9 |] < -5.0);
+  check_bool "high side" true (Gbdt.predict model [| 0.3; 0.9; 0.9 |] > 5.0)
+
+let test_fits_nonlinear () =
+  let rng = Rng.create 2 in
+  let f (r : float array) = (3.0 *. r.(0)) +. (5.0 *. r.(1) *. r.(2)) in
+  let x, y = make_data rng 2000 8 f in
+  let model =
+    Gbdt.train ~x:(Array.sub x 0 1500) ~y:(Array.sub y 0 1500) ()
+  in
+  let err = mae model x y 1500 2000 in
+  let spread = Stats.stddev (Array.to_list (Array.sub y 1500 500)) in
+  check_bool
+    (Printf.sprintf "test MAE %.3f well below stddev %.3f" err spread)
+    true
+    (err < spread /. 3.0)
+
+let test_weights_matter () =
+  (* two clusters with conflicting labels at the same x; weights decide *)
+  let x = Array.init 40 (fun _ -> [| 0.5 |]) in
+  let y = Array.init 40 (fun i -> if i < 20 then 0.0 else 10.0) in
+  let w = Array.init 40 (fun i -> if i < 20 then 0.01 else 1.0) in
+  let model = Gbdt.train ~x ~y ~w () in
+  check_bool "prediction pulled to heavy cluster" true
+    (Gbdt.predict model [| 0.5 |] > 9.0)
+
+let test_ranking_quality () =
+  (* what the cost model actually needs: ranking fidelity *)
+  let rng = Rng.create 3 in
+  let f (r : float array) = r.(0) -. (2.0 *. r.(1)) in
+  let x, y = make_data rng 1200 4 f in
+  let model = Gbdt.train ~x:(Array.sub x 0 1000) ~y:(Array.sub y 0 1000) () in
+  let correct = ref 0 and total = ref 0 in
+  for i = 1000 to 1198 do
+    incr total;
+    let p = Gbdt.predict model x.(i) > Gbdt.predict model x.(i + 1) in
+    let a = y.(i) > y.(i + 1) in
+    if p = a then incr correct
+  done;
+  let acc = float_of_int !correct /. float_of_int !total in
+  check_bool (Printf.sprintf "pairwise accuracy %.2f > 0.85" acc) true (acc > 0.85)
+
+let test_validation_errors () =
+  (match Gbdt.train ~x:[||] ~y:[||] () with
+  | _ -> Alcotest.fail "expected error on empty data"
+  | exception Invalid_argument _ -> ());
+  (match Gbdt.train ~x:[| [| 1.0 |]; [| 1.0; 2.0 |] |] ~y:[| 0.0; 0.0 |] () with
+  | _ -> Alcotest.fail "expected error on ragged rows"
+  | exception Invalid_argument _ -> ());
+  (match Gbdt.train ~x:[| [| 1.0 |] |] ~y:[| 0.0; 1.0 |] () with
+  | _ -> Alcotest.fail "expected error on size mismatch"
+  | exception Invalid_argument _ -> ());
+  match Gbdt.train ~x:[| [| 1.0 |] |] ~y:[| 1.0 |] ~w:[| 0.0 |] () with
+  | _ -> Alcotest.fail "expected error on zero weights"
+  | exception Invalid_argument _ -> ()
+
+let test_num_trees_and_params () =
+  let rng = Rng.create 4 in
+  let x, y = make_data rng 100 2 (fun r -> r.(0)) in
+  let params = { Gbdt.default_params with n_trees = 7 } in
+  let model = Gbdt.train ~params ~x ~y () in
+  check_int "trees built" 7 (Gbdt.num_trees model)
+
+let test_feature_importance () =
+  let rng = Rng.create 5 in
+  (* only feature 2 matters *)
+  let x, y = make_data rng 800 5 (fun r -> 10.0 *. r.(2)) in
+  let model = Gbdt.train ~x ~y () in
+  let imp = Gbdt.feature_importance model in
+  check_int "length" 5 (Array.length imp);
+  check_floatish "normalized" 1.0 (Array.fold_left ( +. ) 0.0 imp);
+  check_bool "informative feature dominates" true
+    (imp.(2) > 0.8)
+
+let test_predict_many () =
+  let rng = Rng.create 6 in
+  let x, y = make_data rng 50 2 (fun r -> r.(0) +. r.(1)) in
+  let model = Gbdt.train ~x ~y () in
+  let preds = Gbdt.predict_many model x in
+  check_int "count" 50 (Array.length preds);
+  Array.iteri
+    (fun i p -> check_float "matches single" (Gbdt.predict model x.(i)) p)
+    preds
+
+let test_extrapolation_is_finite () =
+  let rng = Rng.create 7 in
+  let x, y = make_data rng 100 2 (fun r -> r.(0)) in
+  let model = Gbdt.train ~x ~y () in
+  let p = Gbdt.predict model [| 1e9; -1e9 |] in
+  check_bool "finite outside training range" true (Float.is_finite p)
+
+let () =
+  Alcotest.run "gbdt"
+    [
+      ( "fitting",
+        [
+          case "constant" test_fits_constant;
+          case "step function" test_fits_step_function;
+          case "nonlinear interaction" test_fits_nonlinear;
+          case "sample weights" test_weights_matter;
+          case "ranking quality" test_ranking_quality;
+        ] );
+      ( "mechanics",
+        [
+          case "validation errors" test_validation_errors;
+          case "tree count" test_num_trees_and_params;
+          case "feature importance" test_feature_importance;
+          case "predict_many" test_predict_many;
+          case "extrapolation finite" test_extrapolation_is_finite;
+        ] );
+    ]

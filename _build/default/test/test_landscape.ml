@@ -1,0 +1,185 @@
+(* Qualitative properties of the simulated cost landscape: the facts the
+   evaluation's conclusions rest on. Each test states a relationship the
+   paper's analysis predicts and the benchmarks rely on. *)
+
+open Helpers
+module State = Ansor.State
+module Lower = Ansor.Lower
+module Sim = Ansor.Simulator
+module Machine = Ansor.Machine
+module Nn = Ansor.Nn
+
+let naive_cost ?(machine = Machine.intel_cpu) dag =
+  Sim.estimate machine (Lower.lower (State.init dag))
+
+let best_sampled ?(machine = Machine.intel_cpu) ?(n = 150) dag =
+  let states = sample_programs ~seed:3 ~n dag in
+  List.fold_left
+    (fun acc st ->
+      match Lower.lower st with
+      | prog -> Float.min acc (Sim.estimate machine prog)
+      | exception State.Illegal _ -> acc)
+    infinity states
+
+let test_scheduling_pays_everywhere () =
+  (* on every §7.1 operator family, the best of 150 random samples beats
+     the naive program by a solid factor *)
+  List.iter
+    (fun op ->
+      let case = List.hd (Ansor.Workloads.op_cases ~op ~batch:1) in
+      let naive = naive_cost case.dag in
+      let best = best_sampled case.dag in
+      check_bool
+        (Printf.sprintf "%s: best sample %.3gms vs naive %.3gms" op
+           (best *. 1e3) (naive *. 1e3))
+        true
+        (best *. 3.0 < naive))
+    Ansor.Workloads.op_names
+
+let test_fusion_pays_on_conv_layer () =
+  (* same subgraph, fused (default rules) vs unfused (FlexTensor-like
+     rules): the fused space's best must win, the paper's §7.2 point *)
+  let dag =
+    Nn.conv_layer ~n:1 ~c:32 ~h:28 ~w:28 ~f:32 ~kh:3 ~kw:3 ~stride:1 ~pad:1 ()
+  in
+  let best_with rules =
+    let rng = Ansor.Rng.create 5 in
+    let policy = Ansor.Policy.cpu ~workers:20 in
+    let sketches = Ansor.Sketch_gen.generate ~rules dag in
+    let states = Ansor.Sampler.sample rng policy dag ~sketches ~n:150 in
+    List.fold_left
+      (fun acc st ->
+        match Lower.lower st with
+        | prog -> Float.min acc (Sim.estimate Machine.intel_cpu prog)
+        | exception State.Illegal _ -> acc)
+      infinity states
+  in
+  let fused = best_with Ansor.Rules.default in
+  let unfused =
+    best_with
+      (Ansor.Rules.make ~tiling:Ansor.Rules.default_tiling ~with_fusion:false
+         ~with_cache:false ~with_rfactor:false)
+  in
+  check_bool
+    (Printf.sprintf "fused %.3gms < unfused %.3gms" (fused *. 1e3)
+       (unfused *. 1e3))
+    true (fused < unfused)
+
+let test_rfactor_pays_on_norm () =
+  (* NRM: with rfactor the reduction parallelizes; without it the best
+     program is far slower — the paper's headline NRM explanation *)
+  let dag = Nn.matrix_norm ~m:512 ~n:512 () in
+  let with_rf = best_sampled dag in
+  let without =
+    let rng = Ansor.Rng.create 6 in
+    let policy = Ansor.Policy.cpu ~workers:20 in
+    let rules = Ansor.Rules.limited ~fusion:true in
+    let sketches = Ansor.Sketch_gen.generate ~rules dag in
+    let states = Ansor.Sampler.sample rng policy dag ~sketches ~n:150 in
+    List.fold_left
+      (fun acc st -> Float.min acc (Sim.estimate Machine.intel_cpu (Lower.lower st)))
+      infinity states
+  in
+  check_bool
+    (Printf.sprintf "rfactor %.3gms, template %.3gms" (with_rf *. 1e3)
+       (without *. 1e3))
+    true
+    (with_rf *. 3.0 < without)
+
+let test_gpu_beats_cpu_on_heavy_ops () =
+  let dag = Nn.batch_matmul ~b:16 ~m:256 ~n:256 ~k:256 () in
+  let cpu = best_sampled ~machine:Machine.intel_cpu ~n:80 dag in
+  let gpu = best_sampled ~machine:Machine.gpu ~n:80 dag in
+  check_bool
+    (Printf.sprintf "gpu %.3gms < cpu %.3gms" (gpu *. 1e3) (cpu *. 1e3))
+    true (gpu < cpu)
+
+let test_arm_slowest () =
+  let dag = Nn.matmul ~m:128 ~n:128 ~k:128 () in
+  let intel = best_sampled ~machine:Machine.intel_cpu ~n:60 dag in
+  let arm = best_sampled ~machine:Machine.arm_cpu ~n:60 dag in
+  check_bool "arm slower" true (arm > intel)
+
+let test_batch_scales_cost () =
+  let c1 = List.hd (Ansor.Workloads.op_cases ~op:"C2D" ~batch:1) in
+  let c16 = List.hd (Ansor.Workloads.op_cases ~op:"C2D" ~batch:16) in
+  let n1 = naive_cost c1.dag and n16 = naive_cost c16.dag in
+  check_bool "batch 16 at least 8x the work" true (n16 > 8.0 *. n1)
+
+let test_network_bottleneck_structure () =
+  (* the task scheduler's premise: network tasks have a skewed cost
+     distribution (a few tasks dominate) *)
+  let net = Ansor.Workloads.resnet50 ~batch:1 in
+  let costs =
+    List.map
+      (fun ((c : Ansor.Workloads.case), w) -> float_of_int w *. naive_cost c.dag)
+      net.layers
+  in
+  let total = List.fold_left ( +. ) 0.0 costs in
+  let top = List.fold_left Float.max 0.0 costs in
+  check_bool "one task >= 15% of the naive total" true (top >= 0.15 *. total)
+
+let () =
+  Alcotest.run "landscape" ~and_exit:false
+    [
+      ( "cost landscape",
+        [
+          case "scheduling pays on all op families" test_scheduling_pays_everywhere;
+          case "fusion pays on ConvLayer" test_fusion_pays_on_conv_layer;
+          case "rfactor pays on NRM" test_rfactor_pays_on_norm;
+          case "gpu beats cpu on heavy ops" test_gpu_beats_cpu_on_heavy_ops;
+          case "arm slowest" test_arm_slowest;
+          case "batch scales cost" test_batch_scales_cost;
+          case "networks have bottlenecks" test_network_bottleneck_structure;
+        ] );
+    ]
+
+(* ---------- roofline (appended suite) ---------- *)
+
+let test_roofline_matmul () =
+  (* big matmul: intensity grows with size, crossing the model's ridge *)
+  let dag = Nn.matmul ~m:1024 ~n:1024 ~k:1024 () in
+  let prog = Lower.lower (State.init dag) in
+  let r = Ansor.Roofline.analyze Machine.intel_cpu prog in
+  check_bool "flops about 2*1024^3" true
+    (Float.abs ((r.flops /. (2.0 *. (1024.0 ** 3.0))) -. 1.0) < 0.05);
+  check_bool "high intensity => compute bound" true
+    (r.verdict = Ansor.Roofline.Compute_bound);
+  check_bool "efficiency sane" true (r.efficiency > 0.0 && r.efficiency < 1.5)
+
+let test_roofline_gemv_memory_bound () =
+  (* matrix-vector: ~2 flops per 4 bytes of A — memory bound *)
+  let dag = Nn.gemv ~m:2048 ~k:2048 () in
+  let prog = Lower.lower (State.init dag) in
+  let r = Ansor.Roofline.analyze Machine.intel_cpu prog in
+  check_bool "low intensity => memory bound" true
+    (r.verdict = Ansor.Roofline.Memory_bound)
+
+let test_roofline_bandwidths () =
+  List.iter
+    (fun m ->
+      let bw = Ansor.Roofline.dram_bandwidth m in
+      check_bool (m.Machine.name ^ " bandwidth plausible") true
+        (bw > 1e9 && bw < 1e13))
+    Machine.all;
+  check_bool "gpu bandwidth >> cpu" true
+    (Ansor.Roofline.dram_bandwidth Machine.gpu
+    > 5.0 *. Ansor.Roofline.dram_bandwidth Machine.intel_cpu)
+
+let test_roofline_pp () =
+  let dag = Nn.matmul ~m:64 ~n:64 ~k:64 () in
+  let r = Ansor.Roofline.analyze Machine.intel_cpu (Lower.lower (State.init dag)) in
+  let s = Format.asprintf "%a" Ansor.Roofline.pp r in
+  check_bool "renders" true (String.length s > 20)
+
+let () =
+  Alcotest.run "roofline"
+    [
+      ( "roofline",
+        [
+          case "matmul compute-bound" test_roofline_matmul;
+          case "gemv memory-bound" test_roofline_gemv_memory_bound;
+          case "bandwidth ordering" test_roofline_bandwidths;
+          case "pretty printing" test_roofline_pp;
+        ] );
+    ]

@@ -1,0 +1,562 @@
+(* Numeric validation of the operator library: every constructor's naive
+   evaluation is compared against an independent straight-loop reference
+   implementation written here. *)
+
+open Helpers
+module Nn = Ansor.Nn
+module Dag = Ansor.Dag
+module Interp = Ansor.Interp
+module Rng = Ansor.Rng
+
+let run dag name inputs = List.assoc name (Interp.run_dag dag ~inputs)
+
+let rand_tensor rng shape =
+  Array.init (List.fold_left ( * ) 1 shape) (fun _ -> Rng.float rng 2.0 -. 1.0)
+
+let assert_close msg a b =
+  let d = Interp.max_abs_diff a b in
+  if d > 1e-4 then Alcotest.failf "%s: max diff %g" msg d
+
+let test_conv_out_dim () =
+  check_int "same conv" 56
+    (Nn.conv_out_dim 56 ~kernel:3 ~stride:1 ~pad:1 ~dilation:1);
+  check_int "strided" 28
+    (Nn.conv_out_dim 56 ~kernel:3 ~stride:2 ~pad:1 ~dilation:1);
+  check_int "dilated" 56
+    (Nn.conv_out_dim 56 ~kernel:3 ~stride:1 ~pad:2 ~dilation:2);
+  check_int "valid 7x7" 1
+    (Nn.conv_out_dim 7 ~kernel:7 ~stride:1 ~pad:0 ~dilation:1);
+  Alcotest.check_raises "non-positive output"
+    (Invalid_argument "Nn.conv_out_dim: non-positive output extent -1")
+    (fun () -> ignore (Nn.conv_out_dim 2 ~kernel:4 ~stride:1 ~pad:0 ~dilation:1))
+
+let test_matmul () =
+  let m, n, k = (3, 4, 5) in
+  let rng = Rng.create 1 in
+  let a = rand_tensor rng [ m; k ] and b = rand_tensor rng [ k; n ] in
+  let dag = Nn.matmul ~m ~n ~k () in
+  let got = run dag "C" [ ("A", a); ("B", b) ] in
+  let want = Array.make (m * n) 0.0 in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      for l = 0 to k - 1 do
+        want.((i * n) + j) <-
+          want.((i * n) + j) +. (a.((i * k) + l) *. b.((l * n) + j))
+      done
+    done
+  done;
+  assert_close "matmul" want got
+
+let test_batch_matmul () =
+  let bs, m, n, k = (2, 3, 2, 4) in
+  let rng = Rng.create 2 in
+  let a = rand_tensor rng [ bs; m; k ] and b = rand_tensor rng [ bs; k; n ] in
+  let dag = Nn.batch_matmul ~b:bs ~m ~n ~k () in
+  let got = run dag "C" [ ("A", a); ("B", b) ] in
+  let want = Array.make (bs * m * n) 0.0 in
+  for bb = 0 to bs - 1 do
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        for l = 0 to k - 1 do
+          want.((((bb * m) + i) * n) + j) <-
+            want.((((bb * m) + i) * n) + j)
+            +. (a.((((bb * m) + i) * k) + l) *. b.((((bb * k) + l) * n) + j))
+        done
+      done
+    done
+  done;
+  assert_close "batch matmul" want got
+
+let test_matmul_bias_relu () =
+  let m, n, k = (2, 3, 4) in
+  let rng = Rng.create 3 in
+  let a = rand_tensor rng [ m; k ]
+  and b = rand_tensor rng [ k; n ]
+  and bias = rand_tensor rng [ n ] in
+  let dag = Nn.matmul_bias_relu ~m ~n ~k () in
+  let got = run dag "E" [ ("A", a); ("B", b); ("bias", bias) ] in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref bias.(j) in
+      for l = 0 to k - 1 do
+        acc := !acc +. (a.((i * k) + l) *. b.((l * n) + j))
+      done;
+      check_floatish "bias relu" (Float.max 0.0 !acc) got.((i * n) + j)
+    done
+  done
+
+let reference_conv2d ~n ~c ~h ~w ~f ~kh ~kw ~stride ~pad ~dilation ~groups x wt =
+  let ho = Nn.conv_out_dim h ~kernel:kh ~stride ~pad ~dilation in
+  let wo = Nn.conv_out_dim w ~kernel:kw ~stride ~pad ~dilation in
+  let cpg = c / groups and fpg = f / groups in
+  let out = Array.make (n * f * ho * wo) 0.0 in
+  for nn = 0 to n - 1 do
+    for ff = 0 to f - 1 do
+      for y = 0 to ho - 1 do
+        for xx = 0 to wo - 1 do
+          let acc = ref 0.0 in
+          for rc = 0 to cpg - 1 do
+            let ci = (ff / fpg * cpg) + rc in
+            for ry = 0 to kh - 1 do
+              for rx = 0 to kw - 1 do
+                let sy = (y * stride) + (ry * dilation) - pad in
+                let sx = (xx * stride) + (rx * dilation) - pad in
+                if sy >= 0 && sy < h && sx >= 0 && sx < w then
+                  acc :=
+                    !acc
+                    +. x.((((((nn * c) + ci) * h) + sy) * w) + sx)
+                       *. wt.((((((ff * cpg) + rc) * kh) + ry) * kw) + rx)
+              done
+            done
+          done;
+          out.((((((nn * f) + ff) * ho) + y) * wo) + xx) <- !acc
+        done
+      done
+    done
+  done;
+  out
+
+let test_conv2d () =
+  let n, c, h, w, f, kh, kw, stride, pad = (1, 3, 6, 6, 4, 3, 3, 1, 1) in
+  let rng = Rng.create 4 in
+  let x = rand_tensor rng [ n; c; h; w ] and wt = rand_tensor rng [ f; c; kh; kw ] in
+  let dag = Nn.conv2d ~n ~c ~h ~w ~f ~kh ~kw ~stride ~pad () in
+  let got = run dag "Y" [ ("X", x); ("W", wt) ] in
+  let want =
+    reference_conv2d ~n ~c ~h ~w ~f ~kh ~kw ~stride ~pad ~dilation:1 ~groups:1 x wt
+  in
+  assert_close "conv2d" want got
+
+let test_conv2d_strided_nopad () =
+  let n, c, h, w, f, kh, kw, stride, pad = (2, 2, 8, 8, 3, 3, 3, 2, 0) in
+  let rng = Rng.create 5 in
+  let x = rand_tensor rng [ n; c; h; w ] and wt = rand_tensor rng [ f; c; kh; kw ] in
+  let dag = Nn.conv2d ~n ~c ~h ~w ~f ~kh ~kw ~stride ~pad () in
+  let got = run dag "Y" [ ("X", x); ("W", wt) ] in
+  let want =
+    reference_conv2d ~n ~c ~h ~w ~f ~kh ~kw ~stride ~pad ~dilation:1 ~groups:1 x wt
+  in
+  assert_close "conv2d s2 p0" want got
+
+let test_conv2d_dilated () =
+  let n, c, h, w, f, kh, kw = (1, 2, 8, 8, 2, 3, 3) in
+  let rng = Rng.create 6 in
+  let x = rand_tensor rng [ n; c; h; w ] and wt = rand_tensor rng [ f; c; kh; kw ] in
+  let dag = Nn.conv2d ~dilation:2 ~n ~c ~h ~w ~f ~kh ~kw ~stride:1 ~pad:2 () in
+  let got = run dag "Y" [ ("X", x); ("W", wt) ] in
+  let want =
+    reference_conv2d ~n ~c ~h ~w ~f ~kh ~kw ~stride:1 ~pad:2 ~dilation:2 ~groups:1 x wt
+  in
+  assert_close "dilated conv2d" want got
+
+let test_conv2d_grouped () =
+  let n, c, h, w, f, kh, kw, groups = (1, 4, 6, 6, 4, 3, 3, 2) in
+  let rng = Rng.create 7 in
+  let x = rand_tensor rng [ n; c; h; w ]
+  and wt = rand_tensor rng [ f; c / groups; kh; kw ] in
+  let dag = Nn.conv2d ~groups ~n ~c ~h ~w ~f ~kh ~kw ~stride:1 ~pad:1 () in
+  let got = run dag "Y" [ ("X", x); ("W", wt) ] in
+  let want =
+    reference_conv2d ~n ~c ~h ~w ~f ~kh ~kw ~stride:1 ~pad:1 ~dilation:1 ~groups x wt
+  in
+  assert_close "grouped conv2d" want got;
+  Alcotest.check_raises "bad groups"
+    (Invalid_argument "Nn.conv2d: channels not divisible by groups") (fun () ->
+      ignore (Nn.conv2d ~groups:3 ~n ~c ~h ~w ~f ~kh ~kw ~stride:1 ~pad:1 ()))
+
+let test_depthwise () =
+  let n, c, h, w, kh, kw, stride, pad = (1, 3, 6, 6, 3, 3, 1, 1) in
+  let rng = Rng.create 8 in
+  let x = rand_tensor rng [ n; c; h; w ] and wt = rand_tensor rng [ c; kh; kw ] in
+  let dag = Nn.depthwise_conv2d ~n ~c ~h ~w ~kh ~kw ~stride ~pad () in
+  let got = run dag "Y" [ ("X", x); ("W", wt) ] in
+  let ho = h and wo = w in
+  let want = Array.make (n * c * ho * wo) 0.0 in
+  for nn = 0 to n - 1 do
+    for cc = 0 to c - 1 do
+      for y = 0 to ho - 1 do
+        for xx = 0 to wo - 1 do
+          let acc = ref 0.0 in
+          for ry = 0 to kh - 1 do
+            for rx = 0 to kw - 1 do
+              let sy = y + ry - pad and sx = xx + rx - pad in
+              if sy >= 0 && sy < h && sx >= 0 && sx < w then
+                acc :=
+                  !acc
+                  +. x.((((((nn * c) + cc) * h) + sy) * w) + sx)
+                     *. wt.((((cc * kh) + ry) * kw) + rx)
+            done
+          done;
+          want.((((((nn * c) + cc) * ho) + y) * wo) + xx) <- !acc
+        done
+      done
+    done
+  done;
+  assert_close "depthwise" want got
+
+let test_conv2d_transposed () =
+  let n, c, h, w, f, kh, kw, stride, pad = (1, 2, 4, 4, 2, 4, 4, 2, 1) in
+  let rng = Rng.create 9 in
+  let x = rand_tensor rng [ n; c; h; w ] and wt = rand_tensor rng [ c; f; kh; kw ] in
+  let dag = Nn.conv2d_transposed ~n ~c ~h ~w ~f ~kh ~kw ~stride ~pad () in
+  let got = run dag "Y" [ ("X", x); ("W", wt) ] in
+  let ho = ((h - 1) * stride) - (2 * pad) + kh in
+  let wo = ((w - 1) * stride) - (2 * pad) + kw in
+  (* reference via scatter: every input pixel contributes a kernel patch *)
+  let want = Array.make (n * f * ho * wo) 0.0 in
+  for nn = 0 to n - 1 do
+    for cc = 0 to c - 1 do
+      for sy = 0 to h - 1 do
+        for sx = 0 to w - 1 do
+          for ff = 0 to f - 1 do
+            for ry = 0 to kh - 1 do
+              for rx = 0 to kw - 1 do
+                let y = (sy * stride) + ry - pad and xx = (sx * stride) + rx - pad in
+                if y >= 0 && y < ho && xx >= 0 && xx < wo then begin
+                  let i = (((((nn * f) + ff) * ho) + y) * wo) + xx in
+                  want.(i) <-
+                    want.(i)
+                    +. x.((((((nn * c) + cc) * h) + sy) * w) + sx)
+                       *. wt.((((((cc * f) + ff) * kh) + ry) * kw) + rx)
+                end
+              done
+            done
+          done
+        done
+      done
+    done
+  done;
+  assert_close "transposed conv2d" want got
+
+let test_conv1d () =
+  let n, c, l, f, k, stride, pad = (1, 2, 8, 3, 3, 1, 1) in
+  let rng = Rng.create 10 in
+  let x = rand_tensor rng [ n; c; l ] and wt = rand_tensor rng [ f; c; k ] in
+  let dag = Nn.conv1d ~n ~c ~l ~f ~k ~stride ~pad () in
+  let got = run dag "Y" [ ("X", x); ("W", wt) ] in
+  let lo = l in
+  let want = Array.make (n * f * lo) 0.0 in
+  for nn = 0 to n - 1 do
+    for ff = 0 to f - 1 do
+      for p = 0 to lo - 1 do
+        let acc = ref 0.0 in
+        for rc = 0 to c - 1 do
+          for rk = 0 to k - 1 do
+            let s = p + rk - pad in
+            if s >= 0 && s < l then
+              acc :=
+                !acc
+                +. x.((((nn * c) + rc) * l) + s) *. wt.((((ff * c) + rc) * k) + rk)
+          done
+        done;
+        want.((((nn * f) + ff) * lo) + p) <- !acc
+      done
+    done
+  done;
+  assert_close "conv1d" want got
+
+let test_conv3d_shape_and_energy () =
+  let dag =
+    Nn.conv3d ~n:1 ~c:2 ~d:4 ~h:4 ~w:4 ~f:2 ~kd:3 ~kh:3 ~kw:3 ~stride:1 ~pad:1 ()
+  in
+  let y = Dag.op dag (Dag.op_index dag "Y") in
+  Alcotest.(check (list int)) "shape preserved" [ 1; 2; 4; 4; 4 ] (Ansor.Op.shape y);
+  (* all-ones input and weights: interior voxels sum the full window *)
+  let x = Array.make (2 * 4 * 4 * 4) 1.0 in
+  let wt = Array.make (2 * 2 * 27) 1.0 in
+  let got = run dag "Y" [ ("X", x); ("W", wt) ] in
+  (* voxel (1,1,1) has a complete 3x3x3 window over 2 channels *)
+  let idx = (((((0 * 2) + 0) * 4 + 1) * 4 + 1) * 4) + 1 in
+  check_floatish "interior voxel" (2.0 *. 27.0) got.(idx)
+
+let test_capsule_shape () =
+  let dag =
+    Nn.capsule_conv2d ~n:1 ~c:2 ~h:4 ~w:4 ~f:2 ~kh:3 ~kw:3 ~capsule:2 ~stride:1
+      ~pad:1 ()
+  in
+  let y = Dag.op dag (Dag.op_index dag "Y") in
+  Alcotest.(check (list int)) "capsule output shape" [ 1; 2; 4; 4; 2; 2 ]
+    (Ansor.Op.shape y);
+  (* capsule conv reduces over c * kh * kw * capsule *)
+  check_int "reduce extent" (2 * 3 * 3 * 2) (Ansor.Op.reduce_extent y)
+
+let test_matrix_norm () =
+  let rng = Rng.create 11 in
+  let a = rand_tensor rng [ 4; 6 ] in
+  let dag = Nn.matrix_norm ~m:4 ~n:6 () in
+  let got = run dag "Nrm" [ ("A", a) ] in
+  let want = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 a) in
+  check_floatish "frobenius norm" want got.(0)
+
+let test_conv_layer () =
+  let n, c, h, w, f = (1, 2, 4, 4, 3) in
+  let rng = Rng.create 12 in
+  let x = rand_tensor rng [ n; c; h; w ] in
+  let wt = rand_tensor rng [ f; c; 3; 3 ] in
+  let scale = rand_tensor rng [ f ] in
+  let shift = rand_tensor rng [ f ] in
+  let dag = Nn.conv_layer ~n ~c ~h ~w ~f ~kh:3 ~kw:3 ~stride:1 ~pad:1 () in
+  let inputs = [ ("X", x); ("W", wt); ("scale", scale); ("shift", shift) ] in
+  let got = run dag "Out" inputs in
+  let conv =
+    reference_conv2d ~n ~c ~h ~w ~f ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~dilation:1
+      ~groups:1 x wt
+  in
+  Array.iteri
+    (fun i v ->
+      let ff = i / (h * w) mod f in
+      let want = Float.max 0.0 ((conv.(i) *. scale.(ff)) +. shift.(ff)) in
+      check_floatish "conv+bn+relu" want v)
+    got
+
+let test_tbg () =
+  let b, m, n, k = (2, 3, 3, 4) in
+  let rng = Rng.create 13 in
+  let q = rand_tensor rng [ m; b; k ] and kk = rand_tensor rng [ n; b; k ] in
+  let dag = Nn.tbg ~b ~m ~n ~k () in
+  let got = run dag "Y" [ ("Q", q); ("K", kk) ] in
+  for bb = 0 to b - 1 do
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref 0.0 in
+        for l = 0 to k - 1 do
+          acc :=
+            !acc +. (q.((((i * b) + bb) * k) + l) *. kk.((((j * b) + bb) * k) + l))
+        done;
+        check_floatish "tbg" !acc got.((((bb * m) + i) * n) + j)
+      done
+    done
+  done
+
+let test_softmax () =
+  let m, n = (3, 5) in
+  let rng = Rng.create 14 in
+  let x = rand_tensor rng [ m; n ] in
+  let dag = Nn.softmax ~m ~n () in
+  let got = run dag "Y" [ ("X", x) ] in
+  for i = 0 to m - 1 do
+    let row = Array.sub x (i * n) n in
+    let mx = Array.fold_left Float.max Float.neg_infinity row in
+    let exps = Array.map (fun v -> exp (v -. mx)) row in
+    let sum = Array.fold_left ( +. ) 0.0 exps in
+    Array.iteri
+      (fun j e -> check_floatish "softmax" (e /. sum) got.((i * n) + j))
+      exps;
+    (* rows sum to one *)
+    let rowsum = ref 0.0 in
+    for j = 0 to n - 1 do
+      rowsum := !rowsum +. got.((i * n) + j)
+    done;
+    check_floatish "row sums to 1" 1.0 !rowsum
+  done
+
+let test_relu_of () =
+  let dag = Nn.relu_of (Nn.matmul ~m:2 ~n:2 ~k:2 ()) in
+  check_bool "appended" true
+    (match Dag.op_index dag "C_relu" with _ -> true | exception Not_found -> false);
+  let rng = Rng.create 15 in
+  let a = rand_tensor rng [ 2; 2 ] and b = rand_tensor rng [ 2; 2 ] in
+  let c = run dag "C" [ ("A", a); ("B", b) ] in
+  let r = run dag "C_relu" [ ("A", a); ("B", b) ] in
+  Array.iteri (fun i v -> check_floatish "relu" (Float.max 0.0 c.(i)) v) r
+
+let test_figure5_input2_numeric () =
+  let dag = Nn.figure5_input2 () in
+  let rng = Rng.create 16 in
+  let a = rand_tensor rng [ 8; 400 ] and d = rand_tensor rng [ 512; 4 ] in
+  let got = run dag "E" [ ("A", a); ("D", d) ] in
+  for i = 0 to 7 do
+    for j = 0 to 3 do
+      let acc = ref 0.0 in
+      for k = 0 to 511 do
+        let c = if k < 400 then Float.max 0.0 a.((i * 400) + k) else 0.0 in
+        acc := !acc +. (c *. d.((k * 4) + j))
+      done;
+      check_floatish "figure5 E" !acc got.((i * 4) + j)
+    done
+  done
+
+let () =
+  Alcotest.run "nn" ~and_exit:false
+    [
+      ( "geometry",
+        [ case "conv_out_dim" test_conv_out_dim ] );
+      ( "dense",
+        [
+          case "matmul" test_matmul;
+          case "batch matmul" test_batch_matmul;
+          case "matmul+bias+relu" test_matmul_bias_relu;
+        ] );
+      ( "convolution",
+        [
+          case "conv2d same" test_conv2d;
+          case "conv2d strided, no pad" test_conv2d_strided_nopad;
+          case "conv2d dilated (DIL)" test_conv2d_dilated;
+          case "conv2d grouped (GRP)" test_conv2d_grouped;
+          case "depthwise (DEP)" test_depthwise;
+          case "transposed (T2D)" test_conv2d_transposed;
+          case "conv1d (C1D)" test_conv1d;
+          case "conv3d (C3D)" test_conv3d_shape_and_energy;
+          case "capsule (CAP)" test_capsule_shape;
+        ] );
+      ( "other",
+        [
+          case "matrix 2-norm (NRM)" test_matrix_norm;
+          case "ConvLayer subgraph" test_conv_layer;
+          case "TBG subgraph" test_tbg;
+          case "softmax" test_softmax;
+          case "relu_of" test_relu_of;
+          case "figure 5 input 2" test_figure5_input2_numeric;
+        ] );
+    ]
+
+(* ---------- extended operators (appended suite) ---------- *)
+
+let test_max_pool () =
+  let n, c, h, w, k, stride = (1, 2, 6, 6, 2, 2) in
+  let rng = Rng.create 20 in
+  let x = rand_tensor rng [ n; c; h; w ] in
+  let dag = Nn.max_pool2d ~n ~c ~h ~w ~k ~stride () in
+  let got = run dag "Y" [ ("X", x) ] in
+  let ho = 3 and wo = 3 in
+  for cc = 0 to c - 1 do
+    for y = 0 to ho - 1 do
+      for xx = 0 to wo - 1 do
+        let best = ref Float.neg_infinity in
+        for ry = 0 to k - 1 do
+          for rx = 0 to k - 1 do
+            best :=
+              Float.max !best
+                x.((((cc * h) + (y * stride) + ry) * w) + (xx * stride) + rx)
+          done
+        done;
+        check_floatish "max pool" !best got.((((cc * ho) + y) * wo) + xx)
+      done
+    done
+  done
+
+let test_avg_pool () =
+  let dag = Nn.avg_pool2d ~n:1 ~c:1 ~h:4 ~w:4 ~k:2 ~stride:2 () in
+  let x = Array.init 16 float_of_int in
+  let got = run dag "Y" [ ("X", x) ] in
+  (* top-left window: (0 + 1 + 4 + 5) / 4 *)
+  check_floatish "avg pool" 2.5 got.(0)
+
+let test_gemv () =
+  let m, k = (4, 6) in
+  let rng = Rng.create 21 in
+  let a = rand_tensor rng [ m; k ] and x = rand_tensor rng [ k ] in
+  let dag = Nn.gemv ~m ~k () in
+  let got = run dag "Y" [ ("A", a); ("X", x) ] in
+  for i = 0 to m - 1 do
+    let acc = ref 0.0 in
+    for l = 0 to k - 1 do
+      acc := !acc +. (a.((i * k) + l) *. x.(l))
+    done;
+    check_floatish "gemv" !acc got.(i)
+  done
+
+let test_layer_norm () =
+  let m, n = (3, 8) in
+  let rng = Rng.create 22 in
+  let x = rand_tensor rng [ m; n ] in
+  let gamma = Array.make n 1.0 and beta = Array.make n 0.0 in
+  let dag = Nn.layer_norm ~m ~n () in
+  let got = run dag "Y" [ ("X", x); ("gamma", gamma); ("beta", beta) ] in
+  for i = 0 to m - 1 do
+    let row = Array.sub x (i * n) n in
+    let mean = Array.fold_left ( +. ) 0.0 row /. float_of_int n in
+    let var =
+      Array.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 row
+      /. float_of_int n
+    in
+    Array.iteri
+      (fun j v ->
+        check_floatish "layer norm"
+          ((v -. mean) /. sqrt (var +. 1e-5))
+          got.((i * n) + j))
+      row;
+    (* normalized rows have ~zero mean *)
+    let s = ref 0.0 in
+    for j = 0 to n - 1 do
+      s := !s +. got.((i * n) + j)
+    done;
+    check_bool "row mean ~ 0" true (Float.abs !s < 1e-3)
+  done
+
+let test_extended_ops_schedulable () =
+  (* the new operators participate fully in the pipeline: sample and
+     verify a few programs for each *)
+  List.iter
+    (fun (name, dag) ->
+      let rng = Ansor.Rng.create 30 in
+      let policy = Ansor.Policy.cpu ~workers:20 in
+      let sketches = Ansor.Sketch_gen.generate dag in
+      let states = Ansor.Sampler.sample rng policy dag ~sketches ~n:5 in
+      check_bool (name ^ " sampled") true (states <> []);
+      List.iter
+        (fun st ->
+          let inputs = Interp.random_inputs (Rng.create 31) dag in
+          match Interp.check_equivalent dag (Ansor.Lower.lower st) ~inputs with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s: %s" name e)
+        states)
+    [
+      ("max_pool", Nn.max_pool2d ~n:1 ~c:4 ~h:8 ~w:8 ~k:2 ~stride:2 ());
+      ("avg_pool", Nn.avg_pool2d ~n:1 ~c:4 ~h:8 ~w:8 ~k:2 ~stride:2 ());
+      ("gemv", Nn.gemv ~m:16 ~k:64 ());
+      ("layer_norm", Nn.layer_norm ~m:8 ~n:32 ());
+    ]
+
+let test_winograd () =
+  let n, c, h, w, f = (2, 3, 8, 10, 4) in
+  let rng = Rng.create 23 in
+  let x = rand_tensor rng [ n; c; h; w ] and wt = rand_tensor rng [ f; c; 3; 3 ] in
+  let wino = Nn.winograd_conv2d ~n ~c ~h ~w ~f () in
+  let direct = Nn.conv2d ~n ~c ~h ~w ~f ~kh:3 ~kw:3 ~stride:1 ~pad:0 () in
+  let out_w =
+    run wino "Y" ([ ("X", x); ("W", wt) ] @ Nn.winograd_constants ())
+  in
+  let out_d = run direct "Y" [ ("X", x); ("W", wt) ] in
+  assert_close "winograd == direct conv" out_d out_w;
+  (* shape validation *)
+  Alcotest.check_raises "odd output rejected"
+    (Invalid_argument
+       "Nn.winograd_conv2d: output extents must be positive and even")
+    (fun () -> ignore (Nn.winograd_conv2d ~n:1 ~c:1 ~h:7 ~w:8 ~f:1 ()))
+
+let test_winograd_schedulable () =
+  let dag = Nn.winograd_conv2d ~n:1 ~c:2 ~h:6 ~w:6 ~f:2 () in
+  let rng = Ansor.Rng.create 40 in
+  let policy = Ansor.Policy.cpu ~workers:20 in
+  let sketches = Ansor.Sketch_gen.generate dag in
+  let states = Ansor.Sampler.sample rng policy dag ~sketches ~n:5 in
+  check_bool "sampled" true (states <> []);
+  let inputs =
+    Interp.random_inputs (Rng.create 41) dag
+    |> List.map (fun (n, d) ->
+           match List.assoc_opt n (Nn.winograd_constants ()) with
+           | Some exact -> (n, exact)
+           | None -> (n, d))
+  in
+  List.iter
+    (fun st ->
+      match Interp.check_equivalent dag (Ansor.Lower.lower st) ~inputs with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "winograd schedule wrong: %s" e)
+    states
+
+let () =
+  Alcotest.run "nn_extended"
+    [
+      ( "extended",
+        [
+          case "max pool" test_max_pool;
+          case "avg pool" test_avg_pool;
+          case "gemv" test_gemv;
+          case "layer norm" test_layer_norm;
+          case "new ops schedulable" test_extended_ops_schedulable;
+          case "winograd == direct conv" test_winograd;
+          case "winograd schedulable" test_winograd_schedulable;
+        ] );
+    ]

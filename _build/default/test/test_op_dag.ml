@@ -1,0 +1,234 @@
+open Helpers
+module Expr = Ansor.Expr
+module Op = Ansor.Op
+module Dag = Ansor.Dag
+module Nn = Ansor.Nn
+
+(* ---------- Op ---------- *)
+
+let test_compute_validation () =
+  let body = Expr.const 0.0 in
+  Alcotest.check_raises "reduce axes need kind"
+    (Invalid_argument "Op.compute: reduction axes given without a reduce kind")
+    (fun () ->
+      ignore (Op.compute ~name:"X" ~axes:[ ("i", 4) ] ~reduce_axes:[ ("k", 2) ] body));
+  Alcotest.check_raises "kind needs reduce axes"
+    (Invalid_argument "Op.compute: reduce kind given without reduction axes")
+    (fun () -> ignore (Op.compute ~name:"X" ~axes:[ ("i", 4) ] ~reduce:Op.Sum body));
+  Alcotest.check_raises "duplicate axes"
+    (Invalid_argument "Op.compute: duplicate axis names") (fun () ->
+      ignore (Op.compute ~name:"X" ~axes:[ ("i", 4); ("i", 2) ] body));
+  Alcotest.check_raises "non-positive extent"
+    (Invalid_argument "Op.compute: axis i has extent 0") (fun () ->
+      ignore (Op.compute ~name:"X" ~axes:[ ("i", 0) ] body))
+
+let test_shapes () =
+  let p = Op.placeholder ~name:"A" ~shape:[ 2; 3 ] in
+  Alcotest.(check (list int)) "placeholder shape" [ 2; 3 ] (Op.shape p);
+  check_int "elems" 6 (Op.output_elems p);
+  let c =
+    Op.compute ~name:"C" ~axes:[ ("i", 4); ("j", 5) ]
+      ~reduce_axes:[ ("k", 7) ] ~reduce:Op.Sum (Expr.const 0.0)
+  in
+  Alcotest.(check (list int)) "compute shape" [ 4; 5 ] (Op.shape c);
+  check_int "reduce extent" 7 (Op.reduce_extent c);
+  (* scalar output *)
+  let s =
+    Op.compute ~name:"S" ~axes:[] ~reduce_axes:[ ("k", 3) ] ~reduce:Op.Sum
+      (Expr.const 0.0)
+  in
+  Alcotest.(check (list int)) "scalar shape" [] (Op.shape s);
+  check_int "scalar elems" 1 (Op.output_elems s)
+
+let test_reduce_semantics () =
+  check_float "sum init" 0.0 (Op.init_value Op.Sum);
+  check_bool "max init" true (Op.init_value Op.Maximum = Float.neg_infinity);
+  check_float "sum combine" 5.0 (Op.combine Op.Sum 2.0 3.0);
+  check_float "max combine" 3.0 (Op.combine Op.Maximum 2.0 3.0)
+
+let test_input_tensors () =
+  let c =
+    Op.compute ~name:"C" ~axes:[ ("i", 2) ]
+      Expr.(access "A" [ axis "i" ] +: (access "B" [ axis "i" ] +: access "A" [ axis "i" ]))
+  in
+  Alcotest.(check (list string)) "dedup, order kept" [ "A"; "B" ]
+    (Op.input_tensors c)
+
+let test_flops () =
+  (* matmul: 2 flops per (i,j,k) point (mul + accumulate) *)
+  let dag = Nn.matmul ~m:4 ~n:5 ~k:6 () in
+  let c = Dag.op dag (Dag.op_index dag "C") in
+  check_int "matmul flops" (4 * 5 * 6 * 2) (Op.flops c);
+  check_int "dag flops" (4 * 5 * 6 * 2) (Dag.flops dag)
+
+(* ---------- Dag construction ---------- *)
+
+let test_toposort () =
+  (* ops given out of order are sorted producer-first *)
+  let a = Op.placeholder ~name:"A" ~shape:[ 4 ] in
+  let b =
+    Op.compute ~name:"B" ~axes:[ ("i", 4) ] Expr.(access "A" [ axis "i" ])
+  in
+  let c =
+    Op.compute ~name:"C" ~axes:[ ("i", 4) ] Expr.(access "B" [ axis "i" ])
+  in
+  let dag = Dag.create [ c; b; a ] in
+  Alcotest.(check (list string)) "topological order" [ "A"; "B"; "C" ]
+    (Array.to_list (Array.map Op.name (Dag.ops dag)))
+
+let test_dag_errors () =
+  let a = Op.placeholder ~name:"A" ~shape:[ 4 ] in
+  let dup = Op.placeholder ~name:"A" ~shape:[ 2 ] in
+  Alcotest.check_raises "duplicate names"
+    (Invalid_argument "Dag.create: duplicate operator name A") (fun () ->
+      ignore (Dag.create [ a; dup ]));
+  let dangling =
+    Op.compute ~name:"B" ~axes:[ ("i", 4) ] Expr.(access "Z" [ axis "i" ])
+  in
+  Alcotest.check_raises "undefined tensor"
+    (Invalid_argument "Dag.create: B reads undefined tensor Z") (fun () ->
+      ignore (Dag.create [ a; dangling ]))
+
+let test_cycle_detection () =
+  let x =
+    Op.compute ~name:"X" ~axes:[ ("i", 2) ] Expr.(access "Y" [ axis "i" ])
+  in
+  let y =
+    Op.compute ~name:"Y" ~axes:[ ("i", 2) ] Expr.(access "X" [ axis "i" ])
+  in
+  Alcotest.check_raises "cycle" (Invalid_argument "Dag.create: cycle in DAG")
+    (fun () -> ignore (Dag.create [ x; y ]))
+
+let test_edges () =
+  let dag = Nn.matmul_relu ~m:4 ~n:4 ~k:4 () in
+  let c = Dag.op_index dag "C" and d = Dag.op_index dag "D" in
+  let a = Dag.op_index dag "A" in
+  Alcotest.(check (list int)) "C consumers" [ d ] (Dag.consumers dag c);
+  Alcotest.(check (list int)) "A consumers" [ c ] (Dag.consumers dag a);
+  check_bool "C producers include A" true (List.mem a (Dag.producers dag c));
+  Alcotest.(check (list int)) "outputs" [ d ] (Dag.outputs dag);
+  check_bool "D is output" true (Dag.is_output dag d);
+  check_bool "C is not output" false (Dag.is_output dag c)
+
+let test_op_index () =
+  let dag = Nn.matmul ~m:2 ~n:2 ~k:2 () in
+  check_string "found" "C" (Op.name (Dag.op dag (Dag.op_index dag "C")));
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Dag.op_index dag "nope"))
+
+let test_workload_key () =
+  let d1 = Nn.matmul ~m:8 ~n:8 ~k:8 () in
+  let d2 = Nn.matmul ~m:8 ~n:8 ~k:8 () in
+  let d3 = Nn.matmul ~m:16 ~n:8 ~k:8 () in
+  check_string "stable" (Dag.workload_key d1) (Dag.workload_key d2);
+  check_bool "shape-sensitive" true
+    (Dag.workload_key d1 <> Dag.workload_key d3)
+
+(* ---------- Table 1 predicates ---------- *)
+
+let test_strict_inlinable () =
+  let dag = Nn.matmul_relu ~m:8 ~n:8 ~k:8 () in
+  check_bool "relu inlinable" true
+    (Dag.is_strict_inlinable dag (Dag.op_index dag "D"));
+  check_bool "matmul not inlinable" false
+    (Dag.is_strict_inlinable dag (Dag.op_index dag "C"));
+  check_bool "placeholder not inlinable" false
+    (Dag.is_strict_inlinable dag (Dag.op_index dag "A"))
+
+let test_data_reuse () =
+  let dag = Nn.matmul ~m:8 ~n:8 ~k:8 () in
+  check_bool "matmul has reuse" true
+    (Dag.has_data_reuse dag (Dag.op_index dag "C"));
+  (* 2-norm: every space axis appears in the access, no reuse *)
+  let nrm = Nn.matrix_norm ~m:8 ~n:64 () in
+  check_bool "norm has no reuse" false
+    (Dag.has_data_reuse nrm (Dag.op_index nrm "Sq"));
+  (* depthwise: weight tensor misses the spatial axes *)
+  let dep = Nn.depthwise_conv2d ~n:1 ~c:4 ~h:8 ~w:8 ~kh:3 ~kw:3 ~stride:1 ~pad:1 () in
+  check_bool "depthwise has reuse" true
+    (Dag.has_data_reuse dep (Dag.op_index dep "Y"))
+
+let test_fusible_consumer () =
+  let dag = Nn.matmul_relu ~m:8 ~n:8 ~k:8 () in
+  let c = Dag.op_index dag "C" in
+  Alcotest.(check (option int)) "relu fuses into matmul"
+    (Some (Dag.op_index dag "D"))
+    (Dag.fusible_consumer dag c);
+  (* softmax: Expd has two consumers -> not fusible *)
+  let sm = Nn.softmax ~m:4 ~n:8 () in
+  Alcotest.(check (option int)) "two consumers blocks fusion" None
+    (Dag.fusible_consumer sm (Dag.op_index sm "Expd"));
+  (* output has no consumer at all *)
+  Alcotest.(check (option int)) "output" None
+    (Dag.fusible_consumer dag (Dag.op_index dag "D"))
+
+let test_fusible_requires_identity_access () =
+  (* a transposing consumer is not fusible *)
+  let a = Op.placeholder ~name:"A" ~shape:[ 4; 4 ] in
+  let b = Op.placeholder ~name:"B" ~shape:[ 4; 4 ] in
+  let c =
+    Op.compute ~name:"C"
+      ~axes:[ ("i", 4); ("j", 4) ]
+      ~reduce_axes:[ ("k", 4) ] ~reduce:Op.Sum
+      Expr.(access "A" [ axis "i"; axis "k" ] *: access "B" [ axis "k"; axis "j" ])
+  in
+  let t =
+    Op.compute ~name:"T"
+      ~axes:[ ("i", 4); ("j", 4) ]
+      Expr.(access "C" [ axis "j"; axis "i" ])
+  in
+  let dag = Dag.create [ a; b; c; t ] in
+  Alcotest.(check (option int)) "transpose consumer not fusible" None
+    (Dag.fusible_consumer dag (Dag.op_index dag "C"))
+
+let test_more_reduction_parallel () =
+  let nrm = Nn.matrix_norm ~m:64 ~n:64 () in
+  check_bool "norm wants rfactor" true
+    (Dag.has_more_reduction_parallel nrm (Dag.op_index nrm "Sq"));
+  let big = Nn.matmul ~m:512 ~n:512 ~k:16 () in
+  check_bool "wide matmul does not" false
+    (Dag.has_more_reduction_parallel big (Dag.op_index big "C"));
+  (* figure 5 input 2: 8x4 output with k=512 qualifies *)
+  let fig5 = Nn.figure5_input2 () in
+  check_bool "tall-thin matmul does" true
+    (Dag.has_more_reduction_parallel fig5 (Dag.op_index fig5 "E"))
+
+let test_figure5_predicates () =
+  let dag = Nn.figure5_input2 () in
+  check_bool "B inlinable" true (Dag.is_strict_inlinable dag (Dag.op_index dag "B"));
+  check_bool "C (padding) inlinable" true
+    (Dag.is_strict_inlinable dag (Dag.op_index dag "C"));
+  check_bool "E has reuse" true (Dag.has_data_reuse dag (Dag.op_index dag "E"));
+  Alcotest.(check (list int)) "E is the only output"
+    [ Dag.op_index dag "E" ] (Dag.outputs dag)
+
+let () =
+  Alcotest.run "op_dag"
+    [
+      ( "op",
+        [
+          case "compute validation" test_compute_validation;
+          case "shapes" test_shapes;
+          case "reduce semantics" test_reduce_semantics;
+          case "input tensors" test_input_tensors;
+          case "flops" test_flops;
+        ] );
+      ( "dag",
+        [
+          case "toposort" test_toposort;
+          case "construction errors" test_dag_errors;
+          case "cycle detection" test_cycle_detection;
+          case "edges" test_edges;
+          case "op_index" test_op_index;
+          case "workload key" test_workload_key;
+        ] );
+      ( "predicates",
+        [
+          case "strict inlinable" test_strict_inlinable;
+          case "data reuse" test_data_reuse;
+          case "fusible consumer" test_fusible_consumer;
+          case "fusion needs identity access" test_fusible_requires_identity_access;
+          case "more reduction parallel" test_more_reduction_parallel;
+          case "figure 5 input 2" test_figure5_predicates;
+        ] );
+    ]

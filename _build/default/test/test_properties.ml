@@ -1,0 +1,179 @@
+(* Deeper cross-module property tests: schedule-space invariants the unit
+   suites don't cover, plus the ASCII plot helper. *)
+
+open Helpers
+module Step = Ansor.Step
+module State = Ansor.State
+module Lower = Ansor.Lower
+module Simulator = Ansor.Simulator
+module Machine = Ansor.Machine
+module Rng = Ansor.Rng
+
+(* ---------- schedule-space invariants ---------- *)
+
+let prop_sketches_deterministic =
+  qcheck ~count:20 "sketch generation is deterministic"
+    QCheck2.Gen.(int_range 2 6)
+    (fun sz ->
+      let mk () = Ansor.Nn.matmul ~m:(4 * sz) ~n:8 ~k:16 () in
+      let keys dag =
+        List.map
+          (fun st -> Step.history_key st.State.history)
+          (Ansor.Sketch_gen.generate dag)
+      in
+      keys (mk ()) = keys (mk ()))
+
+let prop_sampling_deterministic =
+  qcheck ~count:20 "same seed => same sampled program"
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let dag = Ansor.Nn.conv_layer ~n:1 ~c:4 ~h:8 ~w:8 ~f:4 ~kh:3 ~kw:3 ~stride:1 ~pad:1 () in
+      let one () =
+        match sample_programs ~seed ~n:1 dag with
+        | [ st ] -> Step.history_key st.State.history
+        | _ -> ""
+      in
+      String.equal (one ()) (one ()))
+
+let prop_lowering_deterministic =
+  qcheck ~count:20 "lowering is deterministic"
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let dag = Ansor.Nn.matmul_relu ~m:16 ~n:16 ~k:16 () in
+      match sample_programs ~seed ~n:1 dag with
+      | [ st ] ->
+        String.equal
+          (Ansor.Prog.to_string (Lower.lower st))
+          (Ansor.Prog.to_string (Lower.lower st))
+      | _ -> QCheck2.assume_fail ())
+
+let prop_simulator_deterministic_and_positive =
+  qcheck ~count:30 "simulator estimates are deterministic and positive"
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let dag = Ansor.Nn.conv2d ~n:1 ~c:8 ~h:14 ~w:14 ~f:8 ~kh:3 ~kw:3 ~stride:1 ~pad:1 () in
+      match sample_programs ~seed ~n:1 dag with
+      | [ st ] ->
+        let prog = Lower.lower st in
+        let a = Simulator.estimate Machine.intel_cpu prog in
+        let b = Simulator.estimate Machine.intel_cpu prog in
+        a = b && a > 0.0 && Float.is_finite a
+      | _ -> QCheck2.assume_fail ())
+
+let prop_leaf_products_invariant =
+  (* for any sampled program, every stage's leaf extents multiply to its
+     full iteration space: splits and fuses never lose iterations *)
+  qcheck ~count:40 "leaf extents multiply to the iteration space"
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let dag = Ansor.Nn.figure5_input2 () in
+      match sample_programs ~seed ~n:1 dag with
+      | [ st ] ->
+        List.for_all
+          (fun name ->
+            let s = State.find_stage st name in
+            let product =
+              List.fold_left
+                (fun acc iv -> acc * (State.ivar s iv).State.extent)
+                1 s.State.leaves
+            in
+            product = Ansor.Op.output_elems s.op * Ansor.Op.reduce_extent s.op)
+          (State.stage_names st)
+      | _ -> QCheck2.assume_fail ())
+
+let prop_record_roundtrip_everywhere =
+  qcheck ~count:30 "records round-trip for any sampled program"
+    QCheck2.Gen.(pair (int_range 0 3) (int_range 0 10000))
+    (fun (which, seed) ->
+      let dag =
+        match which with
+        | 0 -> Ansor.Nn.matmul ~m:16 ~n:16 ~k:16 ()
+        | 1 -> Ansor.Nn.matrix_norm ~m:16 ~n:32 ()
+        | 2 -> Ansor.Nn.tbg ~b:2 ~m:8 ~n:8 ~k:8 ()
+        | _ -> Ansor.Nn.depthwise_conv2d ~n:1 ~c:4 ~h:8 ~w:8 ~kh:3 ~kw:3 ~stride:1 ~pad:1 ()
+      in
+      match sample_programs ~seed ~n:1 dag with
+      | [ st ] -> (
+        let e =
+          { Ansor.Record.task_key = "k"; latency = 1e-3; steps = st.State.history }
+        in
+        match Ansor.Record.of_line (Ansor.Record.to_line e) with
+        | Ok e' ->
+          Step.history_key e'.steps = Step.history_key st.State.history
+        | Error _ -> false)
+      | _ -> QCheck2.assume_fail ())
+
+(* the measured latency surface respects annotation monotonicity in at
+   least the coarse sense: adding parallelism to a compute-heavy nest is
+   never catastrophically wrong in the simulator (sanity against NaN /
+   negative costs rather than a performance claim) *)
+let prop_simulator_finite_under_annotations =
+  qcheck ~count:30 "simulator finite under arbitrary legal annotations"
+    QCheck2.Gen.(pair (int_range 0 2) (int_range 0 3))
+    (fun (iv, which_ann) ->
+      let dag = Ansor.Nn.matmul ~m:32 ~n:32 ~k:32 () in
+      let ann =
+        match which_ann with
+        | 0 -> Step.Parallel
+        | 1 -> Step.Vectorize
+        | 2 -> Step.Unroll
+        | _ -> Step.No_ann
+      in
+      match
+        State.replay_checked dag [ Step.Annotate { stage = "C"; iv; ann } ]
+      with
+      | Error _ -> true (* illegal combination rejected: fine *)
+      | Ok st ->
+        let t = Simulator.estimate Machine.intel_cpu (Lower.lower st) in
+        Float.is_finite t && t > 0.0)
+
+(* ---------- ascii plot ---------- *)
+
+let test_plot_renders () =
+  let s =
+    Ansor.Ascii_plot.render ~width:20 ~height:5
+      [ (0.0, 1.0); (1.0, 2.0); (2.0, 0.5) ]
+  in
+  check_bool "non-empty" true (String.length s > 0);
+  check_bool "contains points" true (String.contains s '*');
+  check_bool "contains axis" true (String.contains s '|')
+
+let test_plot_degenerate () =
+  check_string "empty series" "" (Ansor.Ascii_plot.render []);
+  check_string "single point" "" (Ansor.Ascii_plot.render [ (1.0, 1.0) ])
+
+let test_plot_latency_curve () =
+  let s =
+    Ansor.Ascii_plot.render_latency_curve
+      [ (16, 1e-3); (32, 8e-4); (64, 5e-4) ]
+  in
+  check_bool "mentions trials" true
+    (let rec contains i =
+       i + 6 <= String.length s
+       && (String.sub s i 6 = "trials" || contains (i + 1))
+     in
+     contains 0)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "determinism",
+        [
+          prop_sketches_deterministic;
+          prop_sampling_deterministic;
+          prop_lowering_deterministic;
+          prop_simulator_deterministic_and_positive;
+        ] );
+      ( "invariants",
+        [
+          prop_leaf_products_invariant;
+          prop_record_roundtrip_everywhere;
+          prop_simulator_finite_under_annotations;
+        ] );
+      ( "ascii plot",
+        [
+          case "renders" test_plot_renders;
+          case "degenerate inputs" test_plot_degenerate;
+          case "latency curve" test_plot_latency_curve;
+        ] );
+    ]

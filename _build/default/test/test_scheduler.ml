@@ -1,0 +1,205 @@
+(* The gradient-descent task scheduler (§6, Appendix A). *)
+
+open Helpers
+module Scheduler = Ansor.Scheduler
+module Task = Ansor.Task
+module Tuner = Ansor.Tuner
+module Machine = Ansor.Machine
+module Nn = Ansor.Nn
+
+let mk_task ?(weight = 1) name dag =
+  Task.create ~weight ~name ~machine:Machine.intel_cpu dag
+
+(* a heavy and a light matmul: the scheduler should put most units into
+   the heavy one when minimizing total latency *)
+let two_tasks () =
+  [|
+    mk_task "heavy" (Nn.matmul ~m:256 ~n:256 ~k:256 ());
+    mk_task "light" (Nn.matmul ~m:16 ~n:16 ~k:16 ());
+  |]
+
+let one_net tasks weights =
+  [
+    {
+      Scheduler.net_name = "net";
+      task_weights = List.mapi (fun i w -> (i, w)) weights;
+    };
+  ]
+  |> fun nets ->
+  ignore tasks;
+  nets
+
+let fast_options =
+  {
+    Scheduler.default_options with
+    tuner_options = { Tuner.ansor_options with batch_size = 8; sample_size = 16 };
+  }
+
+let test_create_validation () =
+  let tasks = two_tasks () in
+  (match Scheduler.create fast_options ~tasks ~networks:[] with
+  | _ -> Alcotest.fail "expected error on no networks"
+  | exception Invalid_argument _ -> ());
+  (match
+     Scheduler.create fast_options ~tasks
+       ~networks:[ { Scheduler.net_name = "n"; task_weights = [ (7, 1) ] } ]
+   with
+  | _ -> Alcotest.fail "expected error on bad index"
+  | exception Invalid_argument _ -> ());
+  match
+    Scheduler.create fast_options ~tasks
+      ~networks:[ { Scheduler.net_name = "n"; task_weights = [ (0, 0) ] } ]
+  with
+  | _ -> Alcotest.fail "expected error on zero weight"
+  | exception Invalid_argument _ -> ()
+
+let test_warmup_and_allocation () =
+  let tasks = two_tasks () in
+  let sched =
+    Scheduler.create fast_options ~tasks ~networks:(one_net tasks [ 1; 1 ])
+  in
+  Scheduler.run sched ~trial_budget:120;
+  let alloc = Scheduler.allocations sched in
+  check_int "both warmed up" 2
+    (Array.fold_left (fun acc a -> if a >= 1 then acc + 1 else acc) 0 alloc);
+  check_bool "budget respected approximately" true
+    (Scheduler.total_trials sched >= 120
+    && Scheduler.total_trials sched < 120 + 16);
+  check_bool "latencies available" true
+    (Float.is_finite (Scheduler.best_latency sched 0)
+    && Float.is_finite (Scheduler.best_latency sched 1))
+
+let test_prioritizes_bottleneck () =
+  let tasks = two_tasks () in
+  let sched =
+    Scheduler.create fast_options ~tasks ~networks:(one_net tasks [ 1; 1 ])
+  in
+  Scheduler.run sched ~trial_budget:200;
+  let alloc = Scheduler.allocations sched in
+  check_bool
+    (Printf.sprintf "heavy task got more units (%d vs %d)" alloc.(0) alloc.(1))
+    true
+    (alloc.(0) > alloc.(1))
+
+let test_weights_affect_priority () =
+  (* same computation everywhere, but one task appears 16x in the network:
+     it should receive at least as many units *)
+  let tasks =
+    [|
+      mk_task "a" (Nn.matmul ~m:64 ~n:64 ~k:64 ());
+      mk_task "b" (Nn.matmul ~m:64 ~n:64 ~k:63 ());
+    |]
+  in
+  let networks =
+    [ { Scheduler.net_name = "n"; task_weights = [ (0, 16); (1, 1) ] } ]
+  in
+  let sched = Scheduler.create fast_options ~tasks ~networks in
+  Scheduler.run sched ~trial_budget:200;
+  let alloc = Scheduler.allocations sched in
+  check_bool
+    (Printf.sprintf "weighted task prioritized (%d vs %d)" alloc.(0) alloc.(1))
+    true
+    (alloc.(0) >= alloc.(1))
+
+let test_network_latency_and_curve () =
+  let tasks = two_tasks () in
+  let net = List.hd (one_net tasks [ 2; 3 ]) in
+  let sched = Scheduler.create fast_options ~tasks ~networks:[ net ] in
+  Scheduler.run sched ~trial_budget:100;
+  let lat = Scheduler.network_latency sched net in
+  let expect =
+    (2.0 *. Scheduler.best_latency sched 0)
+    +. (3.0 *. Scheduler.best_latency sched 1)
+  in
+  check_floatish "weighted sum" expect lat;
+  let curve = Scheduler.curve sched in
+  check_bool "curve non-empty" true (curve <> []);
+  (* the final curve point matches the current state *)
+  let _, last = List.nth curve (List.length curve - 1) in
+  check_floatish "curve consistent" lat last.(0)
+
+(* ---------- objectives (Table 2) ---------- *)
+
+let synthetic_objective obj netlats =
+  (* evaluate an objective on fixed latencies through a dummy scheduler *)
+  let tasks = [| mk_task "t" (Nn.matmul ~m:8 ~n:8 ~k:8 ()) |] in
+  let networks =
+    List.mapi
+      (fun j _ -> { Scheduler.net_name = Printf.sprintf "n%d" j; task_weights = [ (0, 1) ] })
+      netlats
+  in
+  let sched =
+    Scheduler.create { fast_options with objective = obj } ~tasks ~networks
+  in
+  ignore sched;
+  (* objective_of is internal; exercise through Custom instead *)
+  ()
+
+let test_objectives_math () =
+  ignore synthetic_objective;
+  (* verify F1/F2/F3 via the Custom objective equivalences on a tiny run *)
+  let tasks = [| mk_task "t" (Nn.matmul ~m:32 ~n:32 ~k:32 ()) |] in
+  let networks = [ { Scheduler.net_name = "n"; task_weights = [ (0, 2) ] } ] in
+  let run obj =
+    let sched =
+      Scheduler.create { fast_options with objective = obj } ~tasks ~networks
+    in
+    Scheduler.run sched ~trial_budget:24;
+    (Scheduler.objective_value sched, Scheduler.network_latency sched (List.hd networks))
+  in
+  let f1, lat = run Scheduler.F1_sum in
+  check_floatish "F1 = sum of network latencies" lat f1;
+  let f2, lat2 = run (Scheduler.F2_requirements [| 1000.0 |]) in
+  ignore lat2;
+  check_floatish "F2 floors at the requirement" 1000.0 f2;
+  let f3, lat3 = run (Scheduler.F3_geomean_speedup [| 1.0 |]) in
+  check_bool "F3 negative geomean speedup" true
+    (Float.abs (f3 +. (1.0 /. lat3)) < 0.05 /. lat3);
+  let fc, latc = run (Scheduler.Custom (fun ls -> 2.0 *. ls.(0))) in
+  check_floatish "custom objective" (2.0 *. latc) fc
+
+let test_early_stopping_masks_tasks () =
+  (* with patience 0, any non-improving task is immediately masked; the
+     run must still terminate and respect the budget *)
+  let tasks = two_tasks () in
+  let sched =
+    Scheduler.create
+      { fast_options with objective = Scheduler.F4_early_stopping { patience = 2 } }
+      ~tasks ~networks:(one_net tasks [ 1; 1 ])
+  in
+  Scheduler.run sched ~trial_budget:150;
+  check_bool "terminates with finite latencies" true
+    (Float.is_finite (Scheduler.best_latency sched 0))
+
+let test_incremental_run () =
+  let tasks = two_tasks () in
+  let sched =
+    Scheduler.create fast_options ~tasks ~networks:(one_net tasks [ 1; 1 ])
+  in
+  Scheduler.run sched ~trial_budget:50;
+  let t1 = Scheduler.total_trials sched in
+  Scheduler.run sched ~trial_budget:100;
+  let t2 = Scheduler.total_trials sched in
+  check_bool "extends the budget" true (t2 > t1)
+
+let () =
+  Alcotest.run "scheduler"
+    [
+      ( "mechanics",
+        [
+          case "validation" test_create_validation;
+          case "warm-up and allocation" test_warmup_and_allocation;
+          case "incremental run" test_incremental_run;
+        ] );
+      ( "allocation",
+        [
+          case "prioritizes the bottleneck" test_prioritizes_bottleneck;
+          case "weights matter" test_weights_affect_priority;
+          case "network latency and curve" test_network_latency_and_curve;
+        ] );
+      ( "objectives",
+        [
+          case "table 2 math" test_objectives_math;
+          case "early stopping" test_early_stopping_masks_tasks;
+        ] );
+    ]

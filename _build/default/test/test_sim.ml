@@ -1,0 +1,182 @@
+(* The analytical simulator: the cost landscape must reward the
+   optimizations the search space is about. *)
+
+open Helpers
+module Step = Ansor.Step
+module State = Ansor.State
+module Lower = Ansor.Lower
+module Machine = Ansor.Machine
+module Simulator = Ansor.Simulator
+module Measurer = Ansor.Measurer
+module Nn = Ansor.Nn
+
+let estimate ?(machine = Machine.intel_cpu) dag steps =
+  Simulator.estimate machine (Lower.lower (State.replay dag steps))
+
+let big_matmul () = Nn.matmul ~m:256 ~n:256 ~k:256 ()
+
+let test_machines_sane () =
+  List.iter
+    (fun (m : Machine.t) ->
+      check_bool "workers" true (m.num_workers >= 1);
+      check_bool "lanes" true (m.vector_lanes >= 1);
+      check_bool "caches ascending" true
+        (let sizes = Array.to_list m.cache_sizes in
+         List.sort compare sizes = sizes);
+      check_bool "costs ascending" true
+        (let costs = Array.to_list m.cache_costs in
+         List.sort compare costs = costs);
+      check_bool "dram slowest" true
+        (m.dram_cost >= m.cache_costs.(Array.length m.cache_costs - 1));
+      check_bool "peak positive" true (Machine.peak_flops m > 0.0))
+    Machine.all;
+  check_string "lookup" "gpu" (Machine.by_name "gpu").name;
+  (match Machine.by_name "nope" with
+  | _ -> Alcotest.fail "expected Not_found"
+  | exception Not_found -> ())
+
+let test_estimate_positive () =
+  let t = estimate (big_matmul ()) [] in
+  check_bool "positive finite" true (t > 0.0 && Float.is_finite t)
+
+let test_parallel_helps () =
+  let dag = big_matmul () in
+  let serial = estimate dag [] in
+  let parallel =
+    estimate dag [ Step.Annotate { stage = "C"; iv = 0; ann = Step.Parallel } ]
+  in
+  check_bool "parallel faster" true (parallel < serial);
+  check_bool "scales by several x" true (serial /. parallel > 4.0)
+
+let test_vectorize_helps () =
+  let dag = big_matmul () in
+  let plain = estimate dag [] in
+  let vec =
+    estimate dag [ Step.Annotate { stage = "C"; iv = 1; ann = Step.Vectorize } ]
+  in
+  check_bool "vectorize faster" true (vec < plain)
+
+let test_vectorize_strided_worse_than_contiguous () =
+  let dag = big_matmul () in
+  (* vectorizing j (stride-1 for B and C) beats vectorizing i (stride-256
+     accesses become gathers) *)
+  let vec_j =
+    estimate dag [ Step.Annotate { stage = "C"; iv = 1; ann = Step.Vectorize } ]
+  in
+  let vec_i =
+    estimate dag [ Step.Annotate { stage = "C"; iv = 0; ann = Step.Vectorize } ]
+  in
+  check_bool "contiguous vectorization preferred" true (vec_j < vec_i)
+
+let test_tiling_helps () =
+  let dag = Nn.matmul ~m:512 ~n:512 ~k:512 () in
+  let naive = estimate dag [] in
+  let tiled =
+    estimate dag
+      Step.
+        [
+          Split { stage = "C"; iv = 0; lengths = [ 16; 8; 4 ]; tbd = false };
+          Split { stage = "C"; iv = 1; lengths = [ 16; 2; 16 ]; tbd = false };
+          Split { stage = "C"; iv = 2; lengths = [ 32; 16 ]; tbd = false };
+          Reorder { stage = "C"; order = [ 3; 6; 9; 4; 7; 10; 5; 8 ] };
+          Annotate { stage = "C"; iv = 3; ann = Parallel };
+          Annotate { stage = "C"; iv = 8; ann = Vectorize };
+          Annotate { stage = "C"; iv = 5; ann = Unroll };
+          Annotate { stage = "C"; iv = 10; ann = Unroll };
+        ]
+  in
+  check_bool "blocked much faster" true (tiled *. 8.0 < naive)
+
+let test_over_parallelization_overhead () =
+  (* tiny workload: entering a parallel region costs more than it saves *)
+  let dag = Nn.matmul ~m:4 ~n:4 ~k:4 () in
+  let serial = estimate dag [] in
+  let parallel =
+    estimate dag [ Step.Annotate { stage = "C"; iv = 0; ann = Step.Parallel } ]
+  in
+  check_bool "parallel overhead dominates" true (parallel > serial)
+
+let test_breakdown_consistency () =
+  let prog = Lower.lower (State.init (big_matmul ())) in
+  let b = Simulator.breakdown Machine.intel_cpu prog in
+  check_bool "components non-negative" true
+    (b.compute_cycles >= 0.0 && b.memory_cycles >= 0.0
+   && b.parallel_cycles >= 0.0);
+  check_floatish "total = sum"
+    (b.compute_cycles +. b.memory_cycles +. b.loop_cycles +. b.parallel_cycles)
+    b.total_cycles;
+  check_floatish "seconds from cycles"
+    (b.total_cycles /. (Machine.intel_cpu.freq_ghz *. 1e9))
+    b.seconds
+
+let test_machines_differ () =
+  let prog = Lower.lower (State.init (big_matmul ())) in
+  let intel = Simulator.estimate Machine.intel_cpu prog in
+  let arm = Simulator.estimate Machine.arm_cpu prog in
+  check_bool "ARM slower than server CPU" true (arm > intel)
+
+let test_t2d_zero_elimination () =
+  (* unrolling the loops the zero-guard depends on lets the "code
+     generator" skip the multiplications by zero (the §7.1 T2D effect) *)
+  let dag =
+    Nn.conv2d_transposed ~n:1 ~c:64 ~h:16 ~w:16 ~f:32 ~kh:4 ~kw:4 ~stride:2
+      ~pad:1 ()
+  in
+  (* split y and x by 2 so the inner parts decide parity; unroll them with
+     the kernel loops *)
+  let base =
+    Step.
+      [
+        Split { stage = "Y"; iv = 2; lengths = [ 16; 2 ]; tbd = false };
+        Split { stage = "Y"; iv = 3; lengths = [ 16; 2 ]; tbd = false };
+      ]
+  in
+  let with_unroll =
+    base
+    @ Step.
+        [
+          Annotate { stage = "Y"; iv = 8; ann = Unroll };
+          Annotate { stage = "Y"; iv = 10; ann = Unroll };
+          Annotate { stage = "Y"; iv = 5; ann = Unroll };
+          Annotate { stage = "Y"; iv = 6; ann = Unroll };
+        ]
+  in
+  let plain = estimate dag base in
+  let unrolled = estimate dag with_unroll in
+  check_bool "static zero elimination pays" true (unrolled < plain)
+
+let test_measurer () =
+  let m = Measurer.create ~seed:3 Machine.intel_cpu in
+  let prog = Lower.lower (State.init (Nn.matmul ~m:64 ~n:64 ~k:64 ())) in
+  check_int "no trials yet" 0 (Measurer.trials m);
+  let t1 = Measurer.measure m prog in
+  let t2 = Measurer.measure m prog in
+  check_int "two trials" 2 (Measurer.trials m);
+  let truth = Measurer.true_latency m prog in
+  check_int "true_latency free" 2 (Measurer.trials m);
+  check_bool "noise small" true
+    (Float.abs (t1 -. truth) /. truth < 0.2
+    && Float.abs (t2 -. truth) /. truth < 0.2);
+  check_bool "noise present" true (t1 <> t2);
+  Measurer.reset_trials m;
+  check_int "reset" 0 (Measurer.trials m)
+
+let () =
+  Alcotest.run "simulator"
+    [
+      ( "machines",
+        [ case "models sane" test_machines_sane; case "platforms differ" test_machines_differ ] );
+      ( "landscape",
+        [
+          case "estimate positive" test_estimate_positive;
+          case "parallel helps" test_parallel_helps;
+          case "vectorize helps" test_vectorize_helps;
+          case "contiguous vectorization preferred"
+            test_vectorize_strided_worse_than_contiguous;
+          case "blocking helps" test_tiling_helps;
+          case "parallel overhead on tiny work" test_over_parallelization_overhead;
+          case "T2D zero elimination" test_t2d_zero_elimination;
+        ] );
+      ( "mechanics",
+        [ case "breakdown consistency" test_breakdown_consistency; case "measurer" test_measurer ] );
+    ]

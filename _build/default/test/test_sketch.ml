@@ -1,0 +1,256 @@
+(* Sketch generation (Table 1 rules), random annotation, and the
+   constrained replay that solves matched-tiling constraints. *)
+
+open Helpers
+module Step = Ansor.Step
+module State = Ansor.State
+module Rules = Ansor.Rules
+module Gen = Ansor.Sketch_gen
+module Annotate = Ansor.Annotate
+module Sampler = Ansor.Sampler
+module Policy = Ansor.Policy
+module Nn = Ansor.Nn
+module Rng = Ansor.Rng
+
+let cpu_policy = Policy.cpu ~workers:20
+
+let has_step pred st = List.exists pred (Gen.sketch_steps st)
+
+let is_cache = function Step.Cache_write _ -> true | _ -> false
+let is_rfactor = function Step.Rfactor _ -> true | _ -> false
+let is_compute_at = function Step.Compute_at _ -> true | _ -> false
+let is_inline = function Step.Compute_inline _ -> true | _ -> false
+
+(* ---------- sketch generation ---------- *)
+
+let test_matmul_relu_sketches () =
+  (* data-reuse node with a fusible consumer: rule 4 fires exclusively,
+     the cache rule does not apply, so 2 sketches remain (the 2 unroll...
+     actually: fusion branch only; with no other branch points the DAG
+     yields exactly the fused structure of Figure 5 sketch 1 plus the
+     inline variants) *)
+  let sketches = Gen.generate (Nn.matmul_relu ~m:16 ~n:16 ~k:16 ()) in
+  check_bool "non-empty" true (sketches <> []);
+  check_bool "all have fusion" true (List.for_all (has_step is_compute_at) sketches);
+  check_bool "no cache stage" true
+    (List.for_all (fun s -> not (has_step is_cache s)) sketches)
+
+let test_plain_matmul_sketches () =
+  (* output matmul without consumer: tiling-only branch + cache branch *)
+  let sketches = Gen.generate (Nn.matmul ~m:16 ~n:16 ~k:16 ()) in
+  check_bool "some sketch has a cache stage" true
+    (List.exists (has_step is_cache) sketches);
+  check_bool "some sketch has no cache stage" true
+    (List.exists (fun s -> not (has_step is_cache s)) sketches);
+  (* the cached sketch fuses the cache into the copy *)
+  List.iter
+    (fun s -> if has_step is_cache s then check_bool "cache fused" true (has_step is_compute_at s))
+    sketches
+
+let test_figure5_sketches () =
+  (* input 2 of Figure 5: the enumeration must include both a cache-stage
+     sketch (sketch 2) and an rfactor sketch (sketch 3) *)
+  let sketches = Gen.generate (Nn.figure5_input2 ()) in
+  check_bool "cache sketch exists" true (List.exists (has_step is_cache) sketches);
+  check_bool "rfactor sketch exists" true (List.exists (has_step is_rfactor) sketches);
+  (* B (relu) and C (padding) are always inlined *)
+  check_bool "inlines everywhere" true
+    (List.for_all
+       (fun s ->
+         List.length
+           (List.filter is_inline (Gen.sketch_steps s))
+         = 2)
+       sketches)
+
+let test_norm_sketches () =
+  let sketches = Gen.generate (Nn.matrix_norm ~m:64 ~n:64 ()) in
+  check_bool "rfactor branch" true (List.exists (has_step is_rfactor) sketches);
+  check_bool "plain branch" true
+    (List.exists (fun s -> not (has_step is_rfactor s)) sketches)
+
+let test_conv_layer_sketches () =
+  (* conv + bn + relu: bn inlined, conv fused into relu through it *)
+  let dag = Nn.conv_layer ~n:1 ~c:4 ~h:8 ~w:8 ~f:8 ~kh:3 ~kw:3 ~stride:1 ~pad:1 () in
+  let sketches = Gen.generate dag in
+  check_bool "fusion through inlined bn" true
+    (List.for_all
+       (fun s ->
+         List.exists
+           (function
+             | Step.Compute_at { stage = "Conv"; target = "Out"; _ } -> true
+             | _ -> false)
+           (Gen.sketch_steps s))
+       sketches)
+
+let test_sketch_tile_sizes_are_tbd () =
+  let sketches = Gen.generate (Nn.matmul ~m:16 ~n:16 ~k:16 ()) in
+  List.iter
+    (fun s ->
+      List.iter
+        (function
+          | Step.Split { tbd; _ } -> check_bool "split is tbd" true tbd
+          | _ -> ())
+        (Gen.sketch_steps s))
+    sketches
+
+let test_ssrsrs_structure () =
+  (* the fused matmul sketch has the 10-level SSRSRS loop nest of §4.1 *)
+  let dag = Nn.matmul_relu ~m:16 ~n:16 ~k:16 () in
+  let sketches = Gen.generate dag in
+  let sk = List.hd sketches in
+  let c = State.find_stage sk "C" in
+  check_int "C has 10 leaves (4+4 space, 2 reduce)" 10 (List.length c.leaves);
+  let d = State.find_stage sk "D" in
+  check_int "D has 6 leaves (3 per axis)" 6 (List.length d.leaves)
+
+let test_limited_rules () =
+  let dag = Nn.matmul_relu ~m:16 ~n:16 ~k:16 () in
+  let sketches = Gen.generate ~rules:(Rules.limited ~fusion:true) dag in
+  let sk = List.hd sketches in
+  let c = State.find_stage sk "C" in
+  (* 2-level space tiling: 2+2 space + 2 reduce leaves *)
+  check_int "limited C leaves" 6 (List.length c.leaves);
+  (* no-fusion rule set keeps stages separate *)
+  let unfused =
+    Gen.generate
+      ~rules:
+        (Rules.make ~tiling:Rules.default_tiling ~with_fusion:false
+           ~with_cache:false ~with_rfactor:false)
+      dag
+  in
+  check_bool "flextensor-like space has no compute_at" true
+    (List.for_all (fun s -> not (has_step is_compute_at s)) unfused)
+
+let test_max_sketches_cap () =
+  let dag = Nn.figure5_input2 () in
+  let sketches = Gen.generate ~max_sketches:2 dag in
+  check_bool "capped" true (List.length sketches <= 2)
+
+(* ---------- constrained replay ---------- *)
+
+let test_fill_solves_consumer_splits () =
+  let dag = Nn.matmul_relu ~m:16 ~n:16 ~k:16 () in
+  let sk = List.hd (Gen.generate dag) in
+  let rng = Rng.create 3 in
+  match Annotate.replay_constrained dag (Gen.sketch_steps sk) ~fill:(Annotate.Random_fill rng) with
+  | Error e -> Alcotest.failf "fill failed: %s" e
+  | Ok st ->
+    (* every bound pair must have equal extents *)
+    let c = State.find_stage st "C" and d = State.find_stage st "D" in
+    (match c.loc with
+    | State.Loc_at { bindings; _ } ->
+      List.iter
+        (fun (mine, theirs) ->
+          check_int "bound extents equal" (State.ivar c mine).extent
+            (State.ivar d theirs).extent)
+        bindings
+    | _ -> Alcotest.fail "C not attached");
+    (* and all splits concrete *)
+    List.iter
+      (function
+        | Step.Split { tbd; _ } -> check_bool "concrete" false tbd
+        | _ -> ())
+      st.history
+
+let test_keep_mode_adjusts_consumer () =
+  (* mutate a producer tile size; Keep-mode replay must re-derive the
+     consumer's split lengths *)
+  let dag = Nn.matmul_relu ~m:16 ~n:16 ~k:16 () in
+  let sk = List.hd (Gen.generate dag) in
+  let rng = Rng.create 4 in
+  let st =
+    match Annotate.replay_constrained dag (Gen.sketch_steps sk) ~fill:(Annotate.Random_fill rng) with
+    | Ok st -> st
+    | Error e -> Alcotest.failf "fill failed: %s" e
+  in
+  match Annotate.replay_constrained dag st.history ~fill:Annotate.Keep with
+  | Ok st2 ->
+    check_string "idempotent reconcile" (Step.history_key st.history)
+      (Step.history_key st2.State.history)
+  | Error e -> Alcotest.failf "reconcile failed: %s" e
+
+let test_fill_determinism () =
+  let dag = Nn.matmul ~m:16 ~n:16 ~k:16 () in
+  let sk = List.hd (Gen.generate dag) in
+  let go seed =
+    match
+      Annotate.replay_constrained dag (Gen.sketch_steps sk)
+        ~fill:(Annotate.Random_fill (Rng.create seed))
+    with
+    | Ok st -> Step.history_key st.State.history
+    | Error e -> Alcotest.failf "fill failed: %s" e
+  in
+  check_string "same seed, same program" (go 7) (go 7)
+
+(* ---------- sampler ---------- *)
+
+let test_sampler_yields_programs () =
+  let dag = Nn.matmul_relu ~m:16 ~n:16 ~k:16 () in
+  let sketches = Gen.generate dag in
+  let rng = Rng.create 5 in
+  let progs = Sampler.sample rng cpu_policy dag ~sketches ~n:25 in
+  check_int "25 samples" 25 (List.length progs);
+  (* samples are diverse *)
+  let keys = List.map (fun st -> Step.history_key st.State.history) progs in
+  check_bool "diverse" true (List.length (List.sort_uniq compare keys) > 10)
+
+let test_sampler_annotations_present () =
+  let dag = Nn.matmul ~m:64 ~n:64 ~k:64 () in
+  let sketches = Gen.generate dag in
+  let rng = Rng.create 6 in
+  let progs = Sampler.sample rng cpu_policy dag ~sketches ~n:20 in
+  let has_parallel st =
+    List.exists
+      (function
+        | Step.Annotate { ann = Step.Parallel; _ } -> true
+        | _ -> false)
+      st.State.history
+  in
+  check_bool "most samples parallelized" true
+    (List.length (List.filter has_parallel progs) > 10)
+
+let test_sampler_empty_sketches () =
+  let dag = Nn.matmul ~m:8 ~n:8 ~k:8 () in
+  check_bool "no sketches, no sample" true
+    (Sampler.sample_one (Rng.create 1) cpu_policy dag ~sketches:[] = None)
+
+(* ---------- policies ---------- *)
+
+let test_policies () =
+  let cpu = Policy.cpu ~workers:20 and gpu = Policy.gpu ~workers:640 in
+  check_bool "gpu wants much more parallelism" true
+    (gpu.parallel_target > 10 * cpu.parallel_target);
+  check_floatish "gpu always vectorizes" 1.0 gpu.vectorize_prob;
+  check_bool "kind dispatch" true
+    (Policy.for_machine_kind `Cpu ~workers:4 = Policy.cpu ~workers:4
+    && Policy.for_machine_kind `Gpu ~workers:8 = Policy.gpu ~workers:8)
+
+let () =
+  Alcotest.run "sketch"
+    [
+      ( "generation",
+        [
+          case "matmul+relu fuses" test_matmul_relu_sketches;
+          case "plain matmul caches" test_plain_matmul_sketches;
+          case "figure 5 input 2 branches" test_figure5_sketches;
+          case "norm rfactor branch" test_norm_sketches;
+          case "ConvLayer fusion through bn" test_conv_layer_sketches;
+          case "tile sizes deferred" test_sketch_tile_sizes_are_tbd;
+          case "SSRSRS structure" test_ssrsrs_structure;
+          case "limited / unfused rule sets" test_limited_rules;
+          case "sketch cap" test_max_sketches_cap;
+        ] );
+      ( "constrained replay",
+        [
+          case "fill solves consumer splits" test_fill_solves_consumer_splits;
+          case "keep mode reconciles" test_keep_mode_adjusts_consumer;
+          case "deterministic fill" test_fill_determinism;
+        ] );
+      ( "sampler",
+        [
+          case "yields programs" test_sampler_yields_programs;
+          case "annotations present" test_sampler_annotations_present;
+          case "empty sketches" test_sampler_empty_sketches;
+        ] );
+      ("policy", [ case "cpu vs gpu" test_policies ]);
+    ]

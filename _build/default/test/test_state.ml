@@ -1,0 +1,331 @@
+(* Schedule-state legality: every transform step validates its
+   preconditions, surgery steps rewrite the DAG correctly, and replay is
+   deterministic. *)
+
+open Helpers
+module Step = Ansor.Step
+module State = Ansor.State
+module Op = Ansor.Op
+module Nn = Ansor.Nn
+
+let matmul () = Ansor.Nn.matmul ~m:16 ~n:16 ~k:16 ()
+
+let leaves_names (s : State.stage) =
+  List.map (fun id -> s.ivars.(id).State.iname) s.leaves
+
+let expect_illegal f =
+  match f () with
+  | _ -> Alcotest.fail "expected State.Illegal"
+  | exception State.Illegal _ -> ()
+
+(* ---------- init ---------- *)
+
+let test_init () =
+  let st = State.init (matmul ()) in
+  Alcotest.(check (list string)) "compute stages only" [ "C" ]
+    (State.stage_names st);
+  let s = State.find_stage st "C" in
+  Alcotest.(check (list string)) "root iterators" [ "i"; "j"; "k" ]
+    (leaves_names s);
+  check_bool "space kind" true ((State.ivar s 0).kind = State.Space);
+  check_bool "reduce kind" true ((State.ivar s 2).kind = State.Reduce);
+  check_bool "pristine" true (State.is_pristine s);
+  check_int "space leaves" 2 (State.num_space_leaves s);
+  check_int "reduce leaves" 1 (State.num_reduce_leaves s)
+
+(* ---------- split ---------- *)
+
+let test_split () =
+  let st = State.init (matmul ()) in
+  let st =
+    State.apply st (Step.Split { stage = "C"; iv = 0; lengths = [ 2; 4; 2 ]; tbd = false })
+  in
+  let s = State.find_stage st "C" in
+  Alcotest.(check (list string)) "children replace parent in place"
+    [ "i.0"; "i.1"; "i.2"; "j"; "k" ]
+    (leaves_names s);
+  check_int "child extents" 4 (State.ivar s 4).extent;
+  check_bool "no longer pristine" false (State.is_pristine s)
+
+let test_split_validation () =
+  let st = State.init (matmul ()) in
+  expect_illegal (fun () ->
+      State.apply st
+        (Step.Split { stage = "C"; iv = 0; lengths = [ 3; 4 ]; tbd = false }));
+  expect_illegal (fun () ->
+      State.apply st (Step.Split { stage = "C"; iv = 9; lengths = [ 16 ]; tbd = false }));
+  expect_illegal (fun () ->
+      State.apply st
+        (Step.Split { stage = "nope"; iv = 0; lengths = [ 16 ]; tbd = false }));
+  expect_illegal (fun () ->
+      State.apply st (Step.Split { stage = "C"; iv = 0; lengths = []; tbd = false }));
+  (* splitting a non-leaf (already split) iterator *)
+  let st =
+    State.apply st (Step.Split { stage = "C"; iv = 0; lengths = [ 4; 4 ]; tbd = false })
+  in
+  expect_illegal (fun () ->
+      State.apply st (Step.Split { stage = "C"; iv = 0; lengths = [ 4; 4 ]; tbd = false }))
+
+(* ---------- fuse ---------- *)
+
+let test_fuse () =
+  let st = State.init (matmul ()) in
+  let st = State.apply st (Step.Fuse { stage = "C"; ivs = [ 0; 1 ] }) in
+  let s = State.find_stage st "C" in
+  Alcotest.(check (list string)) "fused leaf" [ "i@j"; "k" ] (leaves_names s);
+  check_int "fused extent" 256 (State.ivar s 3).extent
+
+let test_fuse_validation () =
+  let st = State.init (matmul ()) in
+  (* non-consecutive *)
+  expect_illegal (fun () -> State.apply st (Step.Fuse { stage = "C"; ivs = [ 1; 0 ] }));
+  (* space with reduce *)
+  expect_illegal (fun () -> State.apply st (Step.Fuse { stage = "C"; ivs = [ 1; 2 ] }));
+  (* fewer than two *)
+  expect_illegal (fun () -> State.apply st (Step.Fuse { stage = "C"; ivs = [ 0 ] }))
+
+(* ---------- reorder ---------- *)
+
+let test_reorder () =
+  let st = State.init (matmul ()) in
+  let st = State.apply st (Step.Reorder { stage = "C"; order = [ 2; 0; 1 ] }) in
+  Alcotest.(check (list string)) "reordered" [ "k"; "i"; "j" ]
+    (leaves_names (State.find_stage st "C"))
+
+let test_reorder_validation () =
+  let st = State.init (matmul ()) in
+  expect_illegal (fun () ->
+      State.apply st (Step.Reorder { stage = "C"; order = [ 0; 1 ] }));
+  expect_illegal (fun () ->
+      State.apply st (Step.Reorder { stage = "C"; order = [ 0; 1; 1 ] }))
+
+(* ---------- annotate ---------- *)
+
+let test_annotate () =
+  let st = State.init (matmul ()) in
+  let st =
+    State.apply st (Step.Annotate { stage = "C"; iv = 0; ann = Step.Parallel })
+  in
+  let s = State.find_stage st "C" in
+  check_bool "annotated" true ((State.ivar s 0).ann = Step.Parallel)
+
+let test_annotate_validation () =
+  let st = State.init (matmul ()) in
+  (* parallelizing a reduction iterator is a race *)
+  expect_illegal (fun () ->
+      State.apply st (Step.Annotate { stage = "C"; iv = 2; ann = Step.Parallel }));
+  (* vectorizing a reduction is allowed *)
+  let st' =
+    State.apply st (Step.Annotate { stage = "C"; iv = 2; ann = Step.Vectorize })
+  in
+  check_bool "reduce vectorize ok" true
+    ((State.ivar (State.find_stage st' "C") 2).ann = Step.Vectorize);
+  (* splitting an annotated iterator is rejected *)
+  let st' =
+    State.apply st (Step.Annotate { stage = "C"; iv = 0; ann = Step.Unroll })
+  in
+  expect_illegal (fun () ->
+      State.apply st' (Step.Split { stage = "C"; iv = 0; lengths = [ 4; 4 ]; tbd = false }))
+
+(* ---------- inline ---------- *)
+
+let test_inline () =
+  let st = State.init (Nn.matmul_bias_relu ~m:8 ~n:8 ~k:8 ()) in
+  let st = State.apply st (Step.Compute_inline { stage = "D" }) in
+  check_bool "inlined" true ((State.find_stage st "D").loc = State.Loc_inlined);
+  (* the output cannot be inlined *)
+  expect_illegal (fun () -> State.apply st (Step.Compute_inline { stage = "E" }));
+  (* a reduction cannot be inlined *)
+  expect_illegal (fun () -> State.apply st (Step.Compute_inline { stage = "C" }));
+  (* compute_root reverses it *)
+  let st = State.apply st (Step.Compute_root { stage = "D" }) in
+  check_bool "root again" true ((State.find_stage st "D").loc = State.Loc_root)
+
+(* ---------- compute_at ---------- *)
+
+let fused_matmul_steps =
+  Step.
+    [
+      Split { stage = "D"; iv = 0; lengths = [ 4; 4 ]; tbd = false };
+      Split { stage = "D"; iv = 1; lengths = [ 4; 4 ]; tbd = false };
+      Reorder { stage = "D"; order = [ 2; 4; 3; 5 ] };
+      Split { stage = "C"; iv = 0; lengths = [ 4; 4 ]; tbd = false };
+      Split { stage = "C"; iv = 1; lengths = [ 4; 4 ]; tbd = false };
+      Reorder { stage = "C"; order = [ 3; 5; 2; 4; 6 ] };
+      Compute_at
+        { stage = "C"; target = "D"; target_iv = 4; bindings = [ (3, 2); (5, 4) ] };
+    ]
+
+let test_compute_at () =
+  let dag = Nn.matmul_relu ~m:16 ~n:16 ~k:16 () in
+  let st = State.replay dag fused_matmul_steps in
+  (match (State.find_stage st "C").loc with
+  | State.Loc_at { target; target_iv; bindings } ->
+    check_string "target" "D" target;
+    check_int "target iv" 4 target_iv;
+    check_int "bindings" 2 (List.length bindings)
+  | _ -> Alcotest.fail "C should be attached");
+  Alcotest.(check (list (pair string int))) "attachment listed"
+    [ ("C", 4) ]
+    (State.attach_targets st "D")
+
+let test_compute_at_validation () =
+  let dag = Nn.matmul_relu ~m:16 ~n:16 ~k:16 () in
+  let st = State.init dag in
+  (* extent mismatch in binding *)
+  let st1 =
+    State.apply st (Step.Split { stage = "C"; iv = 0; lengths = [ 2; 8 ]; tbd = false })
+  in
+  let st1 =
+    State.apply st1 (Step.Split { stage = "D"; iv = 0; lengths = [ 4; 4 ]; tbd = false })
+  in
+  expect_illegal (fun () ->
+      State.apply st1
+        (Step.Compute_at
+           { stage = "C"; target = "D"; target_iv = 2; bindings = [ (3, 2) ] }));
+  (* target must consume the stage *)
+  expect_illegal (fun () ->
+      State.apply st
+        (Step.Compute_at { stage = "D"; target = "C"; target_iv = 0; bindings = [] }));
+  (* self-attachment *)
+  expect_illegal (fun () ->
+      State.apply st
+        (Step.Compute_at { stage = "C"; target = "C"; target_iv = 0; bindings = [] }));
+  (* binding a reduction iterator *)
+  expect_illegal (fun () ->
+      State.apply st
+        (Step.Compute_at { stage = "C"; target = "D"; target_iv = 0; bindings = [ (2, 0) ] }))
+
+let test_compute_at_through_inline () =
+  (* conv -> bn (inlined) -> relu: attaching conv to relu is legal because
+     the reads chain through the inlined stage *)
+  let dag = Nn.conv_layer ~n:1 ~c:2 ~h:4 ~w:4 ~f:2 ~kh:3 ~kw:3 ~stride:1 ~pad:1 () in
+  let st = State.init dag in
+  let st = State.apply st (Step.Compute_inline { stage = "Bn" }) in
+  let st =
+    State.apply st
+      (Step.Compute_at { stage = "Conv"; target = "Out"; target_iv = 0; bindings = [] })
+  in
+  check_bool "attached through inline" true
+    (match (State.find_stage st "Conv").loc with State.Loc_at _ -> true | _ -> false)
+
+(* ---------- cache write ---------- *)
+
+let test_cache_write () =
+  let st = State.init (matmul ()) in
+  let st = State.apply st (Step.Cache_write { stage = "C" }) in
+  Alcotest.(check (list string)) "stages" [ "C.local"; "C" ] (State.stage_names st);
+  (* the compute moved; the copy is elementwise *)
+  let local = State.find_stage st "C.local" in
+  let copy = State.find_stage st "C" in
+  check_bool "local reduces" true (Op.reduce_extent local.op = 16);
+  check_bool "copy elementwise" true (Op.reduce_extent copy.op = 1);
+  Alcotest.(check (list string)) "copy reads cache" [ "C.local" ]
+    (Op.input_tensors copy.op);
+  (* double cache is rejected *)
+  expect_illegal (fun () -> State.apply st (Step.Cache_write { stage = "C" }))
+
+let test_cache_write_requires_pristine () =
+  let st = State.init (matmul ()) in
+  let st =
+    State.apply st (Step.Split { stage = "C"; iv = 0; lengths = [ 4; 4 ]; tbd = false })
+  in
+  expect_illegal (fun () -> State.apply st (Step.Cache_write { stage = "C" }))
+
+(* ---------- rfactor ---------- *)
+
+let test_rfactor () =
+  let st = State.init (matmul ()) in
+  let st =
+    State.apply st (Step.Rfactor { stage = "C"; iv = 2; lengths = [ 4; 4 ]; tbd = false })
+  in
+  Alcotest.(check (list string)) "stages" [ "C.rf"; "C" ] (State.stage_names st);
+  let rf = State.find_stage st "C.rf" in
+  let final = State.find_stage st "C" in
+  (* rf gains the inner reduction part as a space axis *)
+  Alcotest.(check (list int)) "rf shape" [ 16; 16; 4 ] (Op.shape rf.op);
+  check_int "rf reduces over outer part" 4 (Op.reduce_extent rf.op);
+  check_int "final reduces over inner part" 4 (Op.reduce_extent final.op);
+  Alcotest.(check (list string)) "final reads rf" [ "C.rf" ]
+    (Op.input_tensors final.op)
+
+let test_rfactor_validation () =
+  let st = State.init (matmul ()) in
+  (* not a reduction axis *)
+  expect_illegal (fun () ->
+      State.apply st (Step.Rfactor { stage = "C"; iv = 0; lengths = [ 4; 4 ]; tbd = false }));
+  (* lengths must multiply to the extent *)
+  expect_illegal (fun () ->
+      State.apply st (Step.Rfactor { stage = "C"; iv = 2; lengths = [ 3; 4 ]; tbd = false }));
+  (* elementwise stage has nothing to factor *)
+  let dag = Nn.matmul_relu ~m:8 ~n:8 ~k:8 () in
+  let st = State.init dag in
+  expect_illegal (fun () ->
+      State.apply st (Step.Rfactor { stage = "D"; iv = 0; lengths = [ 2; 4 ]; tbd = false }))
+
+(* ---------- replay ---------- *)
+
+let test_replay_deterministic () =
+  let dag = Nn.matmul_relu ~m:16 ~n:16 ~k:16 () in
+  let st1 = State.replay dag fused_matmul_steps in
+  let st2 = State.replay dag fused_matmul_steps in
+  check_string "identical histories"
+    (Step.history_key st1.history)
+    (Step.history_key st2.history);
+  check_int "history length" (List.length fused_matmul_steps)
+    (List.length st1.history)
+
+let test_replay_checked () =
+  let dag = matmul () in
+  (match
+     State.replay_checked dag
+       [ Step.Split { stage = "C"; iv = 0; lengths = [ 5; 5 ]; tbd = false } ]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error");
+  match
+    State.replay_checked dag
+      [ Step.Split { stage = "C"; iv = 0; lengths = [ 4; 4 ]; tbd = false } ]
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let test_history_key () =
+  let a = [ Step.Compute_inline { stage = "X" } ] in
+  let b = [ Step.Compute_inline { stage = "Y" } ] in
+  check_bool "different steps, different keys" true
+    (Step.history_key a <> Step.history_key b);
+  check_string "stable" (Step.history_key a) (Step.history_key a)
+
+let () =
+  Alcotest.run "state"
+    [
+      ("init", [ case "initial stages" test_init ]);
+      ( "split",
+        [ case "split in place" test_split; case "validation" test_split_validation ] );
+      ("fuse", [ case "fuse" test_fuse; case "validation" test_fuse_validation ]);
+      ( "reorder",
+        [ case "reorder" test_reorder; case "validation" test_reorder_validation ] );
+      ( "annotate",
+        [ case "annotate" test_annotate; case "validation" test_annotate_validation ] );
+      ("inline", [ case "inline and root" test_inline ]);
+      ( "compute_at",
+        [
+          case "matched-tiling attachment" test_compute_at;
+          case "validation" test_compute_at_validation;
+          case "through inlined stages" test_compute_at_through_inline;
+        ] );
+      ( "cache_write",
+        [
+          case "surgery" test_cache_write;
+          case "requires pristine stage" test_cache_write_requires_pristine;
+        ] );
+      ( "rfactor",
+        [ case "surgery" test_rfactor; case "validation" test_rfactor_validation ] );
+      ( "replay",
+        [
+          case "deterministic" test_replay_deterministic;
+          case "checked" test_replay_checked;
+          case "history key" test_history_key;
+        ] );
+    ]

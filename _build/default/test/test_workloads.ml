@@ -1,0 +1,185 @@
+(* The evaluation workload suite of §7. *)
+
+open Helpers
+module Workloads = Ansor.Workloads
+module Dag = Ansor.Dag
+module Machine = Ansor.Machine
+
+let test_op_names () =
+  Alcotest.(check (list string)) "ten operator families (Figure 6 x-axis)"
+    [ "C1D"; "C2D"; "C3D"; "GMM"; "GRP"; "DIL"; "DEP"; "T2D"; "CAP"; "NRM" ]
+    Workloads.op_names
+
+let test_four_shapes_each () =
+  List.iter
+    (fun batch ->
+      List.iter
+        (fun op ->
+          let cases = Workloads.op_cases ~op ~batch in
+          check_int (Printf.sprintf "%s b%d has 4 shapes" op batch) 4
+            (List.length cases);
+          (* every case builds a valid DAG with positive work *)
+          List.iter
+            (fun (c : Workloads.case) ->
+              check_bool (c.case_name ^ " has work") true (Dag.flops c.dag > 0))
+            cases)
+        Workloads.op_names)
+    [ 1; 16 ]
+
+let test_unknown_op () =
+  match Workloads.op_cases ~op:"FFT" ~batch:1 with
+  | _ -> Alcotest.fail "expected invalid_arg"
+  | exception Invalid_argument _ -> ()
+
+let test_case_names_unique () =
+  let names =
+    List.concat_map
+      (fun (_, cases) -> List.map (fun (c : Workloads.case) -> c.case_name) cases)
+      (Workloads.single_op_suite ~batch:1)
+  in
+  check_int "unique case names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_batch_scales_work () =
+  List.iter
+    (fun op ->
+      let f1 =
+        List.fold_left
+          (fun acc (c : Workloads.case) -> acc + Dag.flops c.dag)
+          0
+          (Workloads.op_cases ~op ~batch:1)
+      in
+      let f16 =
+        List.fold_left
+          (fun acc (c : Workloads.case) -> acc + Dag.flops c.dag)
+          0
+          (Workloads.op_cases ~op ~batch:16)
+      in
+      check_bool (op ^ ": batch 16 >= 8x batch 1") true (f16 >= 8 * f1))
+    Workloads.op_names
+
+let test_subgraphs () =
+  check_int "ConvLayer shapes" 4 (List.length (Workloads.conv_layer_cases ~batch:1));
+  check_int "TBG shapes" 4 (List.length (Workloads.tbg_cases ~batch:1));
+  (* ConvLayer contains conv, bn, relu stages *)
+  let c = List.hd (Workloads.conv_layer_cases ~batch:1) in
+  List.iter
+    (fun name ->
+      check_bool (name ^ " present") true
+        (match Dag.op_index c.dag name with _ -> true | exception Not_found -> false))
+    [ "Conv"; "Bn"; "Out" ]
+
+let test_networks () =
+  let nets = Workloads.networks ~batch:1 in
+  Alcotest.(check (list string)) "figure 9 networks"
+    [ "ResNet-50"; "MobileNet-V2"; "3D-ResNet-18"; "DCGAN"; "BERT" ]
+    (List.map (fun (n : Workloads.net) -> n.net_name) nets);
+  List.iter
+    (fun (n : Workloads.net) ->
+      check_bool (n.net_name ^ " has several unique subgraphs") true
+        (List.length n.layers >= 5);
+      List.iter
+        (fun ((c : Workloads.case), w) ->
+          check_bool (c.case_name ^ " weight positive") true (w >= 1);
+          check_bool (c.case_name ^ " builds") true (Dag.flops c.dag > 0))
+        n.layers)
+    nets
+
+let test_resnet_is_heaviest () =
+  let total (n : Workloads.net) =
+    List.fold_left (fun acc (c, w) -> acc +. float_of_int (w * Dag.flops c.Workloads.dag)) 0.0 n.layers
+  in
+  let r50 = total (Workloads.resnet50 ~batch:1) in
+  let mbv2 = total (Workloads.mobilenet_v2 ~batch:1) in
+  check_bool "ResNet-50 heavier than MobileNet-V2" true (r50 > mbv2)
+
+let test_net_tasks () =
+  let net = Workloads.mobilenet_v2 ~batch:1 in
+  let tasks = Workloads.net_tasks ~machine:Machine.intel_cpu net in
+  check_int "one task per unique layer" (List.length net.layers)
+    (List.length tasks);
+  List.iter
+    (fun ((t : Ansor.Task.t), w) ->
+      check_int "task weight matches" w t.weight;
+      check_string "machine" "intel-cpu" t.machine.name)
+    tasks
+
+let test_bert_structure () =
+  let bert = Workloads.bert ~batch:1 in
+  (* attention appears 12 times (once per layer) *)
+  let attn =
+    List.find
+      (fun ((c : Workloads.case), _) ->
+        String.length c.case_name >= 7 && String.sub c.case_name 0 7 = "attn_qk")
+      bert.layers
+  in
+  check_int "12 attention blocks" 12 (snd attn)
+
+let () =
+  Alcotest.run "workloads" ~and_exit:false
+    [
+      ( "single ops",
+        [
+          case "operator families" test_op_names;
+          case "four shapes each" test_four_shapes_each;
+          case "unknown operator" test_unknown_op;
+          case "unique names" test_case_names_unique;
+          case "batch scales work" test_batch_scales_work;
+        ] );
+      ("subgraphs", [ case "ConvLayer and TBG" test_subgraphs ]);
+      ( "networks",
+        [
+          case "figure 9 set" test_networks;
+          case "relative sizes" test_resnet_is_heaviest;
+          case "net_tasks" test_net_tasks;
+          case "BERT structure" test_bert_structure;
+        ] );
+    ]
+
+(* ---------- extended networks (appended suite) ---------- *)
+
+let test_extended_networks () =
+  let nets = Workloads.extended_networks ~batch:1 in
+  Alcotest.(check (list string)) "names"
+    [ "VGG-16"; "Transformer-block"; "SqueezeNet-fire" ]
+    (List.map (fun (n : Workloads.net) -> n.net_name) nets);
+  List.iter
+    (fun (n : Workloads.net) ->
+      List.iter
+        (fun ((c : Workloads.case), w) ->
+          Helpers.check_bool (c.case_name ^ " weight") true (w >= 1);
+          Helpers.check_bool (c.case_name ^ " builds") true (Dag.flops c.dag > 0))
+        n.layers)
+    nets
+
+let test_vgg_heavier_than_fire () =
+  let total (n : Workloads.net) =
+    List.fold_left
+      (fun acc (c, w) -> acc +. float_of_int (w * Dag.flops c.Workloads.dag))
+      0.0 n.layers
+  in
+  Helpers.check_bool "VGG-16 much heavier" true
+    (total (Workloads.vgg16 ~batch:1)
+    > 10.0 *. total (Workloads.squeezenet_fire ~batch:1))
+
+let test_extended_tasks_schedulable () =
+  (* every unique extended-network task generates sketches *)
+  List.iter
+    (fun (net : Workloads.net) ->
+      List.iter
+        (fun ((c : Workloads.case), _) ->
+          Helpers.check_bool (c.case_name ^ " has sketches") true
+            (Ansor.Sketch_gen.generate c.dag <> []))
+        net.layers)
+    (Workloads.extended_networks ~batch:1)
+
+let () =
+  Alcotest.run "workloads_extended"
+    [
+      ( "extended networks",
+        [
+          Helpers.case "construct" test_extended_networks;
+          Helpers.case "relative sizes" test_vgg_heavier_than_fire;
+          Helpers.case "sketches for every task" test_extended_tasks_schedulable;
+        ] );
+    ]
