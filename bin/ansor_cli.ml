@@ -52,6 +52,58 @@ let strategy_arg =
   in
   Arg.(value & opt string "ansor" & info [ "s"; "strategy" ] ~doc)
 
+let workers_arg =
+  let doc = "Measurement worker domains (parallel program measurement)." in
+  Arg.(value & opt int 1 & info [ "w"; "workers" ] ~doc)
+
+let measure_timeout_arg =
+  let doc =
+    "Per-program measurement timeout in seconds; programs over the ceiling \
+     are classified as timeouts instead of measured."
+  in
+  Arg.(value & opt (some float) None & info [ "measure-timeout" ] ~doc)
+
+let stats_json_arg =
+  let doc = "Dump measurement telemetry as JSON to this file ('-' for stdout)." in
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~doc)
+
+let service_config workers measure_timeout =
+  {
+    Ansor.Measure_service.default_config with
+    num_workers = workers;
+    timeout = Option.value measure_timeout ~default:infinity;
+  }
+
+let emit_stats stats_json (stats : Ansor.Telemetry.stats) =
+  Printf.printf "telemetry: %s\n" (Ansor.Telemetry.summary stats);
+  match stats_json with
+  | None -> ()
+  | Some "-" -> print_endline (Ansor.Telemetry.to_json stats)
+  | Some path -> (
+    match open_out path with
+    | exception Sys_error e -> Printf.eprintf "warning: cannot write telemetry: %s\n" e
+    | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Ansor.Telemetry.to_json stats));
+      Printf.printf "telemetry written to %s\n" path)
+
+let cache_path save = save ^ ".cache"
+
+let load_cache save =
+  match save with
+  | Some path when Sys.file_exists (cache_path path) -> (
+    match Ansor.Measure_cache.load ~path:(cache_path path) with
+    | Ok cache ->
+      Printf.printf "measurement cache: %d entries from %s\n"
+        (Ansor.Measure_cache.size cache)
+        (cache_path path);
+      cache
+    | Error msg ->
+      Printf.eprintf "warning: ignoring cache %s: %s\n" (cache_path path) msg;
+      Ansor.Measure_cache.create ())
+  | _ -> Ansor.Measure_cache.create ()
+
 let lookup_strategy = function
   | "ansor" -> Ok Ansor.Tuner.ansor_options
   | "autotvm" -> Ok Ansor.Tuner.autotvm_options
@@ -72,7 +124,7 @@ let cases_of op batch =
 
 let case_of op index batch =
   Result.bind (cases_of op batch) (fun cases ->
-      match List.nth_opt cases (index - 1) with
+      match if index < 1 then None else List.nth_opt cases (index - 1) with
       | Some c -> Ok c
       | None -> Error (Printf.sprintf "shape index %d out of range" index))
 
@@ -124,14 +176,21 @@ let curve_arg =
   Arg.(value & flag & info [ "curve" ] ~doc)
 
 let tune_cmd =
-  let run op index batch machine trials seed strategy save curve =
+  let run op index batch machine trials seed strategy save curve workers
+      measure_timeout stats_json =
     let case = or_die (case_of op index batch) in
     let machine = or_die (lookup_machine machine) in
     let options = or_die (lookup_strategy strategy) in
-    let result = Ansor.tune ~seed ~trials ~options machine case.dag in
+    let cache = load_cache save in
+    let result =
+      Ansor.tune ~seed ~trials ~options
+        ~service_config:(service_config workers measure_timeout)
+        ~cache machine case.dag
+    in
     Printf.printf "%s on %s (%s, %d trials): best %.4f ms\n"
       case.case_name machine.name strategy result.trials_used
       (result.best_latency *. 1e3);
+    emit_stats stats_json result.stats;
     if curve then print_string (Ansor.Ascii_plot.render_latency_curve result.curve);
     (match result.best_state with
     | Some st ->
@@ -148,7 +207,13 @@ let tune_cmd =
           latency = result.best_latency;
           steps = st.Ansor.State.history;
         };
-      Printf.printf "record appended to %s\n" path
+      Printf.printf "record appended to %s\n" path;
+      (* persist the dedup cache alongside the record log: a re-tuning
+         session reuses past measurements instead of repeating them *)
+      Ansor.Measure_cache.save ~path:(cache_path path) cache;
+      Printf.printf "measurement cache (%d entries) written to %s\n"
+        (Ansor.Measure_cache.size cache)
+        (cache_path path)
     | _ -> ());
     match result.best_state with
     | Some st ->
@@ -159,7 +224,8 @@ let tune_cmd =
   Cmd.v (Cmd.info "tune" ~doc:"Auto-schedule one workload.")
     Term.(
       const run $ op_arg $ index_arg $ batch_arg $ machine_arg $ trials_arg
-      $ seed_arg $ strategy_arg $ save_arg $ curve_arg)
+      $ seed_arg $ strategy_arg $ save_arg $ curve_arg $ workers_arg
+      $ measure_timeout_arg $ stats_json_arg)
 
 let replay_cmd =
   let from_arg =
@@ -203,7 +269,7 @@ let network_cmd =
     let doc = "Total measurement-trial budget." in
     Arg.(value & opt int 500 & info [ "budget" ] ~doc)
   in
-  let run name batch machine budget seed =
+  let run name batch machine budget seed workers measure_timeout stats_json =
     let net =
       match name with
       | "resnet50" -> Ok (Ansor.Workloads.resnet50 ~batch)
@@ -215,8 +281,10 @@ let network_cmd =
     in
     let net = or_die net in
     let machine = or_die (lookup_machine machine) in
-    let results =
-      Ansor.tune_networks ~seed ~trial_budget:budget machine [ net ]
+    let results, stats =
+      Ansor.tune_networks_with_stats ~seed ~trial_budget:budget
+        ~service_config:(service_config workers measure_timeout)
+        machine [ net ]
     in
     List.iter
       (fun (r : Ansor.network_result) ->
@@ -225,12 +293,15 @@ let network_cmd =
         List.iter
           (fun (n, l) -> Printf.printf "  %-28s %10.4f ms\n" n (l *. 1e3))
           r.per_task)
-      results
+      results;
+    emit_stats stats_json stats
   in
   Cmd.v
     (Cmd.info "network"
        ~doc:"Tune a whole network with the task scheduler.")
-    Term.(const run $ name_arg $ batch_arg $ machine_arg $ budget_arg $ seed_arg)
+    Term.(
+      const run $ name_arg $ batch_arg $ machine_arg $ budget_arg $ seed_arg
+      $ workers_arg $ measure_timeout_arg $ stats_json_arg)
 
 let () =
   let info =

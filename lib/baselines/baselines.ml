@@ -5,6 +5,8 @@ module Gen = Ansor_sketch.Gen
 module Sampler = Ansor_sketch.Sampler
 module Task = Ansor_search.Task
 module Simulator = Ansor_machine.Simulator
+module Service = Ansor_measure_service.Service
+module Protocol = Ansor_measure_service.Protocol
 
 type vendor = Pytorch | Tensorflow | Tensorrt | Tflite
 
@@ -53,6 +55,17 @@ let offline_candidates vendor dag =
   let base = base_candidates vendor in
   if is_standard_op dag then base else max 8 (base / 12)
 
+(* Offline library tuning goes through the measurement service too: the
+   candidate sweep is fanned out across domains, lowering failures come
+   back classified instead of being skipped ad hoc, and duplicate
+   schedules are measured once.  Noise is 0 — libraries pick their shipped
+   kernel from clean profiling runs. *)
+let vendor_service vendor (task : Task.t) =
+  Service.create
+    ~config:{ Service.default_config with noise = 0.0; num_workers = 2 }
+    ~seed:(1009 + Hashtbl.hash (vendor_name vendor))
+    task.Task.machine
+
 let vendor_state vendor (task : Task.t) =
   let rng = Rng.create (1009 + Hashtbl.hash (vendor_name vendor)) in
   let rules = Rules.limited ~fusion:true in
@@ -62,17 +75,20 @@ let vendor_state vendor (task : Task.t) =
     Sampler.sample rng policy task.Task.dag ~sketches
       ~n:(offline_candidates vendor task.Task.dag)
   in
+  let service = vendor_service vendor task in
+  let results =
+    Service.measure_batch service (List.map Protocol.request candidates)
+  in
   let best = ref None in
-  List.iter
-    (fun st ->
-      match Lower.lower st with
-      | exception State.Illegal _ -> ()
-      | prog ->
-        let lat = Simulator.estimate task.Task.machine prog in
-        (match !best with
+  List.iter2
+    (fun st (res : Protocol.result) ->
+      match res.Protocol.latency with
+      | Error _ -> ()
+      | Ok lat -> (
+        match !best with
         | Some (_, l) when l <= lat -> ()
         | _ -> best := Some (st, lat)))
-    candidates;
+    candidates results;
   Option.map fst !best
 
 let vendor_latency vendor task =

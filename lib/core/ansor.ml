@@ -20,6 +20,10 @@ module Machine = Ansor_machine.Machine
 module Simulator = Ansor_machine.Simulator
 module Measurer = Ansor_machine.Measurer
 module Roofline = Ansor_machine.Roofline
+module Measure_service = Ansor_measure_service.Service
+module Measure_protocol = Ansor_measure_service.Protocol
+module Measure_cache = Ansor_measure_service.Cache
+module Telemetry = Ansor_measure_service.Telemetry
 module Features = Ansor_features.Features
 module Gbdt = Ansor_gbdt.Gbdt
 module Cost_model = Ansor_cost_model.Cost_model
@@ -41,17 +45,23 @@ type tune_result = {
   best_latency : float;
   trials_used : int;
   curve : (int * float) list;
+  stats : Telemetry.stats;
 }
 
-let tune ?(seed = 0) ?(trials = 200) ?(options = Tuner.ansor_options) machine
-    dag =
+let tune ?(seed = 0) ?(trials = 200) ?(options = Tuner.ansor_options)
+    ?(service_config = Measure_service.default_config) ?cache machine dag =
   let task = Task.create ~name:"tune" ~machine dag in
-  let tuner, measurer = Tuner.tune ~seed options ~trials task in
+  let service =
+    Measure_service.create ~config:service_config ?cache ~seed:(seed + 17)
+      machine
+  in
+  let tuner, service = Tuner.tune ~seed ~service options ~trials task in
   {
     best_state = Tuner.best_state tuner;
     best_latency = Tuner.best_latency tuner;
-    trials_used = Measurer.trials measurer;
+    trials_used = Measure_service.trials service;
     curve = Tuner.curve tuner;
+    stats = Measure_service.stats service;
   }
 
 type network_result = {
@@ -60,8 +70,9 @@ type network_result = {
   per_task : (string * float) list;
 }
 
-let tune_networks ?(seed = 0) ?trial_budget ?(objective = Scheduler.F1_sum)
-    ?(tuner_options = Tuner.ansor_options) machine nets =
+let tune_networks_with_stats ?(seed = 0) ?trial_budget
+    ?(objective = Scheduler.F1_sum) ?(tuner_options = Tuner.ansor_options)
+    ?(service_config = Measure_service.default_config) machine nets =
   (* deduplicate tasks shared between networks by workload key *)
   let table = Hashtbl.create 32 in
   let order = ref [] in
@@ -92,22 +103,37 @@ let tune_networks ?(seed = 0) ?trial_budget ?(objective = Scheduler.F1_sum)
   in
   let sched =
     Scheduler.create
-      { Scheduler.default_options with objective; tuner_options; seed }
+      {
+        Scheduler.default_options with
+        objective;
+        tuner_options;
+        service_config;
+        seed;
+      }
       ~tasks ~networks
   in
   Scheduler.run sched ~trial_budget:budget;
-  List.map2
-    (fun net snet ->
-      {
-        net;
-        latency = Scheduler.network_latency sched snet;
-        per_task =
-          List.map
-            (fun (i, _) ->
-              (tasks.(i).Task.name, Scheduler.best_latency sched i))
-            snet.Scheduler.task_weights;
-      })
-    nets networks
+  let results =
+    List.map2
+      (fun net snet ->
+        {
+          net;
+          latency = Scheduler.network_latency sched snet;
+          per_task =
+            List.map
+              (fun (i, _) ->
+                (tasks.(i).Task.name, Scheduler.best_latency sched i))
+              snet.Scheduler.task_weights;
+        })
+      nets networks
+  in
+  (results, Scheduler.stats sched)
+
+let tune_networks ?seed ?trial_budget ?objective ?tuner_options
+    ?service_config machine nets =
+  fst
+    (tune_networks_with_stats ?seed ?trial_budget ?objective ?tuner_options
+       ?service_config machine nets)
 
 let verify_state (st : State.t) =
   let dag = st.State.dag in

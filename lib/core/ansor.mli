@@ -40,6 +40,15 @@ module Machine = Ansor_machine.Machine
 module Simulator = Ansor_machine.Simulator
 module Measurer = Ansor_machine.Measurer
 module Roofline = Ansor_machine.Roofline
+
+(** The measurement service: domain-parallel, fault-tolerant batch
+    measurement with a dedup cache and telemetry (see
+    {!Measure_service.measure_batch}). *)
+
+module Measure_service = Ansor_measure_service.Service
+module Measure_protocol = Ansor_measure_service.Protocol
+module Measure_cache = Ansor_measure_service.Cache
+module Telemetry = Ansor_measure_service.Telemetry
 module Features = Ansor_features.Features
 module Gbdt = Ansor_gbdt.Gbdt
 module Cost_model = Ansor_cost_model.Cost_model
@@ -61,19 +70,26 @@ module Workloads = Ansor_workloads.Workloads
 type tune_result = {
   best_state : State.t option;
   best_latency : float;  (** seconds; [infinity] if nothing measured *)
-  trials_used : int;
+  trials_used : int;  (** measurement trials consumed (cache hits are free) *)
   curve : (int * float) list;  (** (trials, best-so-far) *)
+  stats : Telemetry.stats;
+      (** session telemetry: failure counts, cache hits, phase timings *)
 }
 
 val tune :
   ?seed:int ->
   ?trials:int ->
   ?options:Tuner.options ->
+  ?service_config:Measure_service.config ->
+  ?cache:Measure_cache.t ->
   Machine.t ->
   Dag.t ->
   tune_result
 (** Tunes one computation on one machine (default 200 trials, full Ansor
-    strategy). *)
+    strategy).  [service_config] controls the measurement service (worker
+    domains, timeout, retries); [cache] shares or preloads a dedup cache —
+    pass one {!Measure_cache.load}ed from a previous session to skip
+    re-measuring known schedules, and {!Measure_cache.save} it afterwards. *)
 
 type network_result = {
   net : Workloads.net;
@@ -86,12 +102,25 @@ val tune_networks :
   ?trial_budget:int ->
   ?objective:Scheduler.objective ->
   ?tuner_options:Tuner.options ->
+  ?service_config:Measure_service.config ->
   Machine.t ->
   Workloads.net list ->
   network_result list
 (** Tunes a set of networks with the gradient-descent task scheduler
     (default budget: 64 trials per unique task, objective F1). Tasks
     shared between networks are deduplicated by workload key, as in §6. *)
+
+val tune_networks_with_stats :
+  ?seed:int ->
+  ?trial_budget:int ->
+  ?objective:Scheduler.objective ->
+  ?tuner_options:Tuner.options ->
+  ?service_config:Measure_service.config ->
+  Machine.t ->
+  Workloads.net list ->
+  network_result list * Telemetry.stats
+(** Same, also returning the aggregated measurement telemetry of the whole
+    session (trials, failures, cache hits, phase timings). *)
 
 val verify_state : State.t -> (unit, string) result
 (** Checks a scheduled program two ways: statically ({!Validate.check},

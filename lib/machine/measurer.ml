@@ -2,22 +2,18 @@ type t = {
   machine : Machine.t;
   noise : float;
   rng : Ansor_util.Rng.t;
-  mutable trials : int;
 }
 
 let create ?(noise = 0.03) ~seed machine =
-  { machine; noise; rng = Ansor_util.Rng.create seed; trials = 0 }
+  { machine; noise; rng = Ansor_util.Rng.create seed }
 
 let machine t = t.machine
 
 let true_latency t prog = Simulator.estimate t.machine prog
 
-let measure t prog =
-  t.trials <- t.trials + 1;
+let measure_with t ~rng prog =
   let base = true_latency t prog in
-  let factor = exp (t.noise *. Ansor_util.Rng.gaussian t.rng) in
+  let factor = exp (t.noise *. Ansor_util.Rng.gaussian rng) in
   base *. factor
 
-let trials t = t.trials
-
-let reset_trials t = t.trials <- 0
+let measure t prog = measure_with t ~rng:t.rng prog

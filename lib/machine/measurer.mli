@@ -1,12 +1,16 @@
-(** The measurer: timed "hardware" runs with trial accounting.
+(** The measurer: the single-program measurement backend.
 
-    Plays the role of the paper's measurer (Figure 4): candidate programs
-    are handed over, "executed" (simulated analytically), and the observed
+    Plays the role of the paper's per-program runner: a candidate program
+    is handed over, "executed" (simulated analytically), and the observed
     latency — the deterministic simulator estimate perturbed by
     multiplicative log-normal noise, like real measurement variance — is
-    returned.  Every call consumes one measurement trial, the budget unit
-    used throughout the evaluation ("up to 1,000 measurement trials per
-    test case", §7.1). *)
+    returned.
+
+    Batch orchestration, failure classification, retries, deduplication and
+    {e trial accounting} all live one layer up in the measurement service
+    ({!Ansor_measure_service.Service}), which wraps this module; the
+    service's telemetry is the single source of truth for consumed
+    trials. *)
 
 type t
 
@@ -17,13 +21,14 @@ val create : ?noise:float -> seed:int -> Machine.t -> t
 val machine : t -> Machine.t
 
 val measure : t -> Ansor_sched.Prog.t -> float
-(** Observed latency in seconds; increments the trial counter. *)
+(** Observed latency in seconds, drawing noise from the measurer's own
+    (sequential) RNG stream. *)
+
+val measure_with : t -> rng:Ansor_util.Rng.t -> Ansor_sched.Prog.t -> float
+(** Same, but drawing noise from the supplied stream — the parallel
+    measurement service derives one stream per candidate so results do not
+    depend on scheduling order. *)
 
 val true_latency : t -> Ansor_sched.Prog.t -> float
-(** The noise-free simulator estimate; does {e not} consume a trial.
-    Benchmarks use it for final reporting. *)
-
-val trials : t -> int
-(** Trials consumed so far. *)
-
-val reset_trials : t -> unit
+(** The noise-free simulator estimate. Benchmarks use it for final
+    reporting. *)

@@ -1,0 +1,61 @@
+type t = { table : (string, float) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 256 }
+
+let key_of_prog (machine : Ansor_machine.Machine.t) (prog : Ansor_sched.Prog.t) =
+  (* the structural fields fully determine the simulator estimate; the step
+     history that produced the program does not participate *)
+  let payload =
+    Marshal.to_string
+      (prog.Ansor_sched.Prog.items, prog.buffers, prog.inits)
+      [ Marshal.No_sharing ]
+  in
+  Digest.to_hex (Digest.string (machine.Ansor_machine.Machine.name ^ "\x00" ^ payload))
+
+let find t key = Hashtbl.find_opt t.table key
+
+let add t key latency =
+  if not (Hashtbl.mem t.table key) then Hashtbl.replace t.table key latency
+
+let size t = Hashtbl.length t.table
+
+let entries t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let magic = "ansor-cache-v1"
+
+let save ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun (k, v) -> Printf.fprintf oc "%s\t%s\t%.9e\n" magic k v)
+        (entries t))
+
+let load ~path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let t = create () in
+        let rec go lineno =
+          match input_line ic with
+          | exception End_of_file -> Ok t
+          | "" -> go (lineno + 1)
+          | line -> (
+            match String.split_on_char '\t' line with
+            | [ m; key; latency ] when String.equal m magic -> (
+              match float_of_string_opt latency with
+              | Some l when l > 0.0 ->
+                add t key l;
+                go (lineno + 1)
+              | _ -> Error (Printf.sprintf "line %d: bad latency %S" lineno latency))
+            | m :: _ when not (String.equal m magic) ->
+              Error (Printf.sprintf "line %d: bad magic (expected %s)" lineno magic)
+            | _ -> Error (Printf.sprintf "line %d: malformed cache line" lineno))
+        in
+        go 1)

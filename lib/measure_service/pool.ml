@@ -1,0 +1,30 @@
+let run ~num_workers f items =
+  let n = Array.length items in
+  let workers = max 1 (min num_workers n) in
+  if n = 0 then [||]
+  else if workers = 1 then Array.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (* distinct indices per fetch: no two domains write the same slot *)
+          results.(i) <- Some (f items.(i));
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    let pending = ref None in
+    (* run one worker on the calling domain, but always join the others *)
+    (try worker () with e -> pending := Some e);
+    List.iter
+      (fun d ->
+        try Domain.join d with e -> if Option.is_none !pending then pending := Some e)
+      spawned;
+    (match !pending with Some e -> raise e | None -> ());
+    Array.map (function Some r -> r | None -> assert false) results
+  end

@@ -1,0 +1,17 @@
+(** A Domain-based fork/join worker pool (OCaml 5 multicore).
+
+    [run ~num_workers f items] applies [f] to every element of [items] on
+    up to [num_workers] domains and returns the results {e in input order}.
+    Work is distributed dynamically (shared atomic cursor), so stragglers do
+    not serialize the batch; determinism is the {e caller's} contract: [f]
+    must depend only on its argument (per-item RNG streams, no shared
+    mutable state), and then the result array is identical for any worker
+    count or schedule.
+
+    An exception raised by [f] on any item aborts the batch and is
+    re-raised — measurement services classify their own failures instead of
+    throwing. *)
+
+val run : num_workers:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [num_workers <= 1] (or a singleton batch) runs inline with no domain
+    spawned. *)

@@ -1,0 +1,26 @@
+open Ansor_sched
+
+type failure =
+  | Build_error of string
+  | Run_error of string
+  | Timeout
+
+let pp_failure fmt = function
+  | Build_error msg -> Format.fprintf fmt "build error: %s" msg
+  | Run_error msg -> Format.fprintf fmt "run error: %s" msg
+  | Timeout -> Format.pp_print_string fmt "timeout"
+
+let failure_to_string f = Format.asprintf "%a" pp_failure f
+
+type request = { state : State.t; prog : Prog.t option }
+
+let request ?prog state = { state; prog }
+
+type result = {
+  latency : (float, failure) Stdlib.result;
+  cache_hit : bool;
+  attempts : int;
+  key : string;
+}
+
+let is_ok r = Result.is_ok r.latency

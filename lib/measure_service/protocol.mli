@@ -1,0 +1,48 @@
+(** The measurement request/result protocol.
+
+    Mirrors the paper's measurer interface (Figure 4): a batch of candidate
+    schedules goes in, and {e every} candidate comes back with either an
+    observed latency or a classified failure — nothing is silently dropped.
+    Failure classes follow the build/run split of the original RPC measurer:
+
+    - {!Build_error}: the candidate does not lower to a program, or static
+      validation rejects it (the paper's compilation failure);
+    - {!Run_error}: the backend failed while "executing" the program
+      (injected by the fault hook, or a non-finite simulator estimate);
+      transient by assumption, so the service retries it with backoff;
+    - {!Timeout}: the program's cost exceeded the configured per-program
+      ceiling (the paper kills programs that run too long). *)
+
+open Ansor_sched
+
+type failure =
+  | Build_error of string
+  | Run_error of string
+  | Timeout
+
+val pp_failure : Format.formatter -> failure -> unit
+val failure_to_string : failure -> string
+
+type request = {
+  state : State.t;  (** the candidate schedule *)
+  prog : Prog.t option;
+      (** the lowered program, if the caller already has it; [None] makes
+          the service lower (and possibly fail) itself *)
+}
+
+val request : ?prog:Prog.t -> State.t -> request
+
+type result = {
+  latency : (float, failure) Stdlib.result;
+      (** observed latency in seconds, or the classified failure *)
+  cache_hit : bool;
+      (** the latency came from the dedup cache (no trial consumed) *)
+  attempts : int;
+      (** backend runs performed: 0 for build errors and cache hits, >= 2
+          when transient failures were retried *)
+  key : string;
+      (** canonical program key (see {!Cache.key_of_prog}); [""] when the
+          candidate did not lower *)
+}
+
+val is_ok : result -> bool

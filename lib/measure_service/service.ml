@@ -1,0 +1,206 @@
+open Ansor_sched
+module Rng = Ansor_util.Rng
+module Machine = Ansor_machine.Machine
+module Measurer = Ansor_machine.Measurer
+
+type config = {
+  num_workers : int;
+  timeout : float;
+  max_retries : int;
+  backoff : float;
+  noise : float;
+  validate : bool;
+}
+
+let default_config =
+  {
+    num_workers = 1;
+    timeout = infinity;
+    max_retries = 2;
+    backoff = 0.0;
+    noise = 0.03;
+    validate = false;
+  }
+
+type fault_hook = key:string -> attempt:int -> Protocol.failure option
+
+type t = {
+  config : config;
+  machine : Machine.t;
+  measurer : Measurer.t;
+  cache : Cache.t;
+  telemetry : Telemetry.t;
+  seed : int;
+  fault_hook : fault_hook option;
+}
+
+let create ?(config = default_config) ?cache ?fault_hook ~seed machine =
+  {
+    config;
+    machine;
+    measurer = Measurer.create ~noise:config.noise ~seed machine;
+    cache = (match cache with Some c -> c | None -> Cache.create ());
+    telemetry = Telemetry.create ();
+    seed;
+    fault_hook;
+  }
+
+let machine t = t.machine
+let measurer t = t.measurer
+let cache t = t.cache
+let telemetry t = t.telemetry
+let stats t = Telemetry.stats t.telemetry
+let trials t = (stats t).Telemetry.trials
+let true_latency t prog = Measurer.true_latency t.measurer prog
+
+(* ---- per-candidate measurement (runs on worker domains) ----------------- *)
+
+(* Everything a worker reports back; telemetry and the cache are only
+   touched by the calling domain. *)
+type run_outcome = {
+  run_latency : (float, Protocol.failure) result;
+  run_attempts : int;
+  run_backoff : float;
+}
+
+(* The RNG stream is a pure function of (root seed, canonical key): the
+   observed latency does not depend on which domain ran the candidate or in
+   which order — the determinism contract of the whole service. *)
+let candidate_rng t key = Rng.create (t.seed lxor Hashtbl.hash key)
+
+let measure_candidate t key prog =
+  let rng = candidate_rng t key in
+  let rec attempt n backoff_acc =
+    let injected =
+      match t.fault_hook with
+      | None -> None
+      | Some hook -> hook ~key ~attempt:n
+    in
+    let outcome =
+      match injected with
+      | Some failure -> Error failure
+      | None ->
+        let latency = Measurer.measure_with t.measurer ~rng prog in
+        if not (Float.is_finite latency) || latency <= 0.0 then
+          Error (Protocol.Run_error "non-finite latency")
+        else if latency > t.config.timeout then Error Protocol.Timeout
+        else Ok latency
+    in
+    match outcome with
+    | Error (Protocol.Run_error _) when n <= t.config.max_retries ->
+      (* transient: back off and re-run *)
+      let delay = t.config.backoff *. (2.0 ** float_of_int (n - 1)) in
+      if delay > 0.0 then Unix.sleepf delay;
+      attempt (n + 1) (backoff_acc +. delay)
+    | outcome ->
+      { run_latency = outcome; run_attempts = n; run_backoff = backoff_acc }
+  in
+  attempt 1 0.0
+
+(* ---- batch protocol ------------------------------------------------------ *)
+
+type prepared =
+  | Broken of string  (* did not lower / failed validation *)
+  | Hit of string * float  (* already in the cache *)
+  | First of string * Prog.t  (* cache miss, first occurrence in the batch *)
+  | Dup of string  (* cache miss, duplicate of an earlier First *)
+
+let prepare t seen_in_batch (req : Protocol.request) =
+  let lowered =
+    match req.prog with
+    | Some prog -> Ok prog
+    | None -> (
+      match Lower.lower req.state with
+      | prog -> Ok prog
+      | exception State.Illegal msg -> Error msg)
+  in
+  match lowered with
+  | Error msg -> Broken msg
+  | Ok prog -> (
+    let validation =
+      if not t.config.validate then []
+      else Validate.check prog
+    in
+    match validation with
+    | issue :: _ -> Broken (Format.asprintf "%a" Validate.pp_issue issue)
+    | [] -> (
+      let key = Cache.key_of_prog t.machine prog in
+      match Cache.find t.cache key with
+      | Some latency -> Hit (key, latency)
+      | None ->
+        if Hashtbl.mem seen_in_batch key then Dup key
+        else begin
+          Hashtbl.replace seen_in_batch key ();
+          First (key, prog)
+        end))
+
+let measure_batch t reqs =
+  Telemetry.time t.telemetry Telemetry.Measure (fun () ->
+      Telemetry.incr_batches t.telemetry;
+      let seen = Hashtbl.create 64 in
+      let prepared = Array.of_list (List.map (prepare t seen) reqs) in
+      (* fan the unique cache misses out across the domain pool *)
+      let misses =
+        Array.of_list
+          (Array.to_list prepared
+          |> List.filter_map (function
+               | First (key, prog) -> Some (key, prog)
+               | Broken _ | Hit _ | Dup _ -> None))
+      in
+      let outcomes =
+        Pool.run ~num_workers:t.config.num_workers
+          (fun (key, prog) -> (key, measure_candidate t key prog))
+          misses
+      in
+      let by_key = Hashtbl.create (Array.length outcomes) in
+      Array.iter (fun (key, o) -> Hashtbl.replace by_key key o) outcomes;
+      (* sequentially: account telemetry, fill the cache, assemble results *)
+      Array.iter
+        (fun (_, o) ->
+          Telemetry.record_result t.telemetry ~attempts:o.run_attempts
+            o.run_latency;
+          Telemetry.add_backoff t.telemetry o.run_backoff)
+        outcomes;
+      Array.iter
+        (fun (key, o) ->
+          match o.run_latency with
+          | Ok latency -> Cache.add t.cache key latency
+          | Error _ -> ())
+        outcomes;
+      let result_of = function
+        | Broken msg ->
+          let r : Protocol.result =
+            {
+              latency = Error (Protocol.Build_error msg);
+              cache_hit = false;
+              attempts = 0;
+              key = "";
+            }
+          in
+          Telemetry.record_result t.telemetry ~attempts:0 r.Protocol.latency;
+          r
+        | Hit (key, latency) ->
+          Telemetry.record_result t.telemetry ~attempts:0 ~cache_hit:true
+            (Ok latency);
+          { latency = Ok latency; cache_hit = true; attempts = 0; key }
+        | First (key, _) ->
+          let o = Hashtbl.find by_key key in
+          { latency = o.run_latency; cache_hit = false; attempts = o.run_attempts; key }
+        | Dup key -> (
+          let o = Hashtbl.find by_key key in
+          match o.run_latency with
+          | Ok latency ->
+            (* measured once, served to the duplicate from the cache *)
+            Telemetry.record_result t.telemetry ~attempts:0 ~cache_hit:true
+              (Ok latency);
+            { latency = Ok latency; cache_hit = true; attempts = 0; key }
+          | Error _ as e ->
+            Telemetry.record_result t.telemetry ~attempts:0 e;
+            { latency = e; cache_hit = false; attempts = 0; key })
+      in
+      Array.to_list (Array.map result_of prepared))
+
+let measure_state t state =
+  match measure_batch t [ Protocol.request state ] with
+  | [ r ] -> r
+  | _ -> assert false

@@ -1,0 +1,80 @@
+(** The measurement service: domain-parallel, fault-tolerant batch
+    measurement with a dedup cache and telemetry.
+
+    This subsystem owns the measure path end-to-end, playing the role of
+    the paper's parallel RPC measurer (§5, §7.6): a batch of candidate
+    schedules is fanned out across {!config.num_workers} domains, every
+    candidate comes back with a latency or a classified failure
+    ({!Protocol.failure}), transient run failures are retried with
+    exponential backoff, identical lowered programs are deduplicated
+    through the {!Cache}, and all accounting flows into the {!Telemetry}
+    stats — the single source of truth for trial budgets.
+
+    {b Determinism.} Results are byte-identical for any worker count and
+    any scheduling order: each candidate's measurement noise comes from a
+    private RNG stream derived from the service's root seed and the
+    candidate's canonical program key, never from shared mutable state.
+
+    {!Ansor_machine.Measurer} remains the single-program backend the
+    service wraps. *)
+
+open Ansor_sched
+
+type config = {
+  num_workers : int;  (** measurement domains (1 = run inline) *)
+  timeout : float;
+      (** per-program latency ceiling in seconds; a program whose observed
+          latency exceeds it is classified {!Protocol.Timeout}
+          ([infinity] disables) *)
+  max_retries : int;  (** extra runs after a transient {!Protocol.Run_error} *)
+  backoff : float;
+      (** base backoff delay in seconds, doubled per retry; the delay is
+          slept for and accounted in telemetry (0 disables sleeping) *)
+  noise : float;  (** measurement-noise stddev (see {!Ansor_machine.Measurer}) *)
+  validate : bool;
+      (** statically validate each program before running it, classifying
+          issues as {!Protocol.Build_error} (off by default: the search
+          layers pre-filter candidates) *)
+}
+
+val default_config : config
+(** 1 worker, no timeout, 2 retries, no backoff delay, noise 0.03, no
+    validation. *)
+
+type fault_hook = key:string -> attempt:int -> Protocol.failure option
+(** Fault injection for tests: consulted before each backend run with the
+    candidate's canonical key and the 1-based attempt number; returning
+    [Some failure] injects it.  Must be a pure function of its arguments
+    (it runs on worker domains). *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?cache:Cache.t ->
+  ?fault_hook:fault_hook ->
+  seed:int ->
+  Ansor_machine.Machine.t ->
+  t
+(** [cache] shares or preloads a dedup cache (e.g. {!Cache.load}ed from a
+    previous session); a fresh one is created otherwise. *)
+
+val machine : t -> Ansor_machine.Machine.t
+val measurer : t -> Ansor_machine.Measurer.t
+val cache : t -> Cache.t
+val telemetry : t -> Telemetry.t
+
+val stats : t -> Telemetry.stats
+val trials : t -> int
+(** Backend measurement runs so far, retries included — the budget unit. *)
+
+val measure_batch : t -> Protocol.request list -> Protocol.result list
+(** Measures a batch: exactly one classified result per request, in request
+    order.  Duplicate programs inside the batch are measured once and the
+    copies served as cache hits. *)
+
+val measure_state : t -> State.t -> Protocol.result
+(** Single-candidate convenience. *)
+
+val true_latency : t -> Prog.t -> float
+(** Noise-free simulator estimate; consumes no trial. *)

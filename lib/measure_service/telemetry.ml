@@ -1,0 +1,171 @@
+type phase = Sample | Evolve | Model_rank | Measure | Retrain
+
+let phases = [| Sample; Evolve; Model_rank; Measure; Retrain |]
+
+let phase_index = function
+  | Sample -> 0
+  | Evolve -> 1
+  | Model_rank -> 2
+  | Measure -> 3
+  | Retrain -> 4
+
+let phase_name = function
+  | Sample -> "sample"
+  | Evolve -> "evolve"
+  | Model_rank -> "model_rank"
+  | Measure -> "measure"
+  | Retrain -> "retrain"
+
+type stats = {
+  trials : int;
+  measured : int;
+  cache_hits : int;
+  build_errors : int;
+  run_errors : int;
+  timeouts : int;
+  retries : int;
+  batches : int;
+  backoff_seconds : float;
+  phase_seconds : (string * float) list;
+}
+
+let empty_stats =
+  {
+    trials = 0;
+    measured = 0;
+    cache_hits = 0;
+    build_errors = 0;
+    run_errors = 0;
+    timeouts = 0;
+    retries = 0;
+    batches = 0;
+    backoff_seconds = 0.0;
+    phase_seconds = Array.to_list (Array.map (fun p -> (phase_name p, 0.0)) phases);
+  }
+
+let total stats =
+  List.fold_left
+    (fun acc s ->
+      {
+        trials = acc.trials + s.trials;
+        measured = acc.measured + s.measured;
+        cache_hits = acc.cache_hits + s.cache_hits;
+        build_errors = acc.build_errors + s.build_errors;
+        run_errors = acc.run_errors + s.run_errors;
+        timeouts = acc.timeouts + s.timeouts;
+        retries = acc.retries + s.retries;
+        batches = acc.batches + s.batches;
+        backoff_seconds = acc.backoff_seconds +. s.backoff_seconds;
+        phase_seconds =
+          List.map2
+            (fun (name, a) (_, b) -> (name, a +. b))
+            acc.phase_seconds s.phase_seconds;
+      })
+    empty_stats stats
+
+let results s =
+  s.measured + s.cache_hits + s.build_errors + s.run_errors + s.timeouts
+
+let summary s =
+  let counters =
+    Printf.sprintf
+      "trials=%d ok=%d cache=%d build_err=%d run_err=%d timeout=%d retries=%d"
+      s.trials s.measured s.cache_hits s.build_errors s.run_errors s.timeouts
+      s.retries
+  in
+  let timers =
+    String.concat " "
+      (List.map (fun (n, v) -> Printf.sprintf "%s=%.3fs" n v) s.phase_seconds)
+  in
+  counters ^ " | " ^ timers
+
+let to_json s =
+  let phase_fields =
+    String.concat ","
+      (List.map
+         (fun (n, v) -> Printf.sprintf "\"%s\":%.6f" n v)
+         s.phase_seconds)
+  in
+  Printf.sprintf
+    "{\"trials\":%d,\"measured\":%d,\"cache_hits\":%d,\"build_errors\":%d,\
+     \"run_errors\":%d,\"timeouts\":%d,\"retries\":%d,\"batches\":%d,\
+     \"backoff_seconds\":%.6f,\"phase_seconds\":{%s}}"
+    s.trials s.measured s.cache_hits s.build_errors s.run_errors s.timeouts
+    s.retries s.batches s.backoff_seconds phase_fields
+
+type t = {
+  mutable trials : int;
+  mutable measured : int;
+  mutable cache_hits : int;
+  mutable build_errors : int;
+  mutable run_errors : int;
+  mutable timeouts : int;
+  mutable retries : int;
+  mutable batches : int;
+  mutable backoff_seconds : float;
+  phase : float array;
+}
+
+let create () =
+  {
+    trials = 0;
+    measured = 0;
+    cache_hits = 0;
+    build_errors = 0;
+    run_errors = 0;
+    timeouts = 0;
+    retries = 0;
+    batches = 0;
+    backoff_seconds = 0.0;
+    phase = Array.make (Array.length phases) 0.0;
+  }
+
+let reset t =
+  t.trials <- 0;
+  t.measured <- 0;
+  t.cache_hits <- 0;
+  t.build_errors <- 0;
+  t.run_errors <- 0;
+  t.timeouts <- 0;
+  t.retries <- 0;
+  t.batches <- 0;
+  t.backoff_seconds <- 0.0;
+  Array.fill t.phase 0 (Array.length t.phase) 0.0
+
+let stats t =
+  {
+    trials = t.trials;
+    measured = t.measured;
+    cache_hits = t.cache_hits;
+    build_errors = t.build_errors;
+    run_errors = t.run_errors;
+    timeouts = t.timeouts;
+    retries = t.retries;
+    batches = t.batches;
+    backoff_seconds = t.backoff_seconds;
+    phase_seconds =
+      Array.to_list
+        (Array.map (fun p -> (phase_name p, t.phase.(phase_index p))) phases);
+  }
+
+let add_phase t phase seconds =
+  let i = phase_index phase in
+  t.phase.(i) <- t.phase.(i) +. seconds
+
+let time t phase f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> add_phase t phase (Unix.gettimeofday () -. t0)) f
+
+let record_result t ?(attempts = 1) ?(cache_hit = false) latency =
+  t.trials <- t.trials + attempts;
+  t.retries <- t.retries + max 0 (attempts - 1);
+  if cache_hit then t.cache_hits <- t.cache_hits + 1
+  else
+    match latency with
+    | Ok _ -> t.measured <- t.measured + 1
+    | Error (Protocol.Build_error _) -> t.build_errors <- t.build_errors + 1
+    | Error (Protocol.Run_error _) -> t.run_errors <- t.run_errors + 1
+    | Error Protocol.Timeout -> t.timeouts <- t.timeouts + 1
+
+let add_backoff t seconds = t.backoff_seconds <- t.backoff_seconds +. seconds
+let incr_batches t = t.batches <- t.batches + 1

@@ -1,0 +1,64 @@
+(** Telemetry: counters and per-phase wall-clock timers for a tuning
+    session.
+
+    The single source of truth for trial accounting: every backend
+    measurement run (including retries) increments [trials] here — the
+    scheduler's budget math and the CLI both read these stats.  The phase
+    timers break a tuner round into the five stages of the search loop
+    (sample / evolve / model-rank / measure / retrain), answering "where
+    does round time go". *)
+
+type phase = Sample | Evolve | Model_rank | Measure | Retrain
+
+val phase_name : phase -> string
+
+(** An immutable snapshot of the counters. *)
+type stats = {
+  trials : int;  (** backend measurement runs, retries included *)
+  measured : int;  (** candidates that returned an [Ok] latency *)
+  cache_hits : int;  (** candidates served from the dedup cache *)
+  build_errors : int;
+  run_errors : int;  (** candidates that exhausted their retries *)
+  timeouts : int;
+  retries : int;  (** extra runs caused by transient failures *)
+  batches : int;  (** measure-batch calls *)
+  backoff_seconds : float;  (** total retry backoff delay *)
+  phase_seconds : (string * float) list;
+      (** wall-clock seconds per phase, in declaration order *)
+}
+
+val empty_stats : stats
+
+val total : stats list -> stats
+(** Field-wise sum — aggregates per-task services into session totals. *)
+
+val results : stats -> int
+(** Classified results delivered: measured + cache hits + failures. *)
+
+val summary : stats -> string
+(** One line for round/session logs, e.g.
+    ["trials=96 ok=90 cache=4 build_err=0 run_err=2 timeout=0 retries=3 | sample=0.12s evolve=0.48s ..."]. *)
+
+val to_json : stats -> string
+(** Stable single-object JSON encoding of every field. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+val stats : t -> stats
+
+val time : t -> phase -> (unit -> 'a) -> 'a
+(** Runs the thunk and adds its wall-clock duration to the phase (also on
+    exception). *)
+
+val add_phase : t -> phase -> float -> unit
+
+val record_result : t -> ?attempts:int -> ?cache_hit:bool ->
+  (float, Protocol.failure) Stdlib.result -> unit
+(** Accounts one classified measurement result: bumps [trials] by
+    [attempts], [retries] by [max 0 (attempts - 1)], and the matching
+    outcome counter. *)
+
+val add_backoff : t -> float -> unit
+val incr_batches : t -> unit

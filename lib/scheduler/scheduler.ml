@@ -1,6 +1,7 @@
 module Tuner = Ansor_search.Tuner
 module Task = Ansor_search.Task
-module Measurer = Ansor_machine.Measurer
+module Service = Ansor_measure_service.Service
+module Telemetry = Ansor_measure_service.Telemetry
 module Rng = Ansor_util.Rng
 
 type objective =
@@ -19,6 +20,7 @@ type options = {
   backward_window : int;
   eps_greedy : float;
   tuner_options : Tuner.options;
+  service_config : Service.config;
   seed : int;
 }
 
@@ -30,12 +32,13 @@ let default_options =
     backward_window = 3;
     eps_greedy = 0.05;
     tuner_options = Tuner.ansor_options;
+    service_config = Service.default_config;
     seed = 0;
   }
 
 type task_state = {
   tuner : Tuner.t;
-  measurer : Measurer.t;
+  service : Service.t;
   mutable history : float list;  (* best latency after each unit, newest first *)
   mutable no_improve : int;
   mutable dead : bool;  (* no further progress possible *)
@@ -75,8 +78,9 @@ let create options ~tasks ~networks =
       (fun i task ->
         {
           tuner = Tuner.create ~seed:(options.seed + i) options.tuner_options task;
-          measurer =
-            Measurer.create ~seed:(options.seed + (31 * i) + 7)
+          service =
+            Service.create ~config:options.service_config
+              ~seed:(options.seed + (31 * i) + 7)
               task.Task.machine;
           history = [];
           no_improve = 0;
@@ -101,7 +105,11 @@ let best_state t i = Tuner.best_state t.states.(i).tuner
 let shared t = t.shr
 
 let total_trials t =
-  Array.fold_left (fun acc s -> acc + Measurer.trials s.measurer) 0 t.states
+  Array.fold_left (fun acc s -> acc + Service.trials s.service) 0 t.states
+
+let stats t =
+  Telemetry.total
+    (Array.to_list (Array.map (fun s -> Service.stats s.service) t.states))
 
 let finite g = if Float.is_finite g then g else 1.0 (* 1 second: "very slow" *)
 
@@ -198,12 +206,15 @@ let gradient t g i =
 
 let allocate t i =
   let s = t.states.(i) in
-  let before_trials = Measurer.trials s.measurer in
+  let before = Service.stats s.service in
   let before_best = Tuner.best_latency s.tuner in
-  Tuner.round s.tuner t.shr s.measurer;
+  Tuner.round s.tuner t.shr s.service;
   let g = Tuner.best_latency s.tuner in
   s.history <- g :: s.history;
-  if Measurer.trials s.measurer = before_trials then s.dead <- true;
+  (* dead = the round delivered no classified results at all (not even
+     cache hits or failures): the tuner cannot propose anything new *)
+  let after = Service.stats s.service in
+  if Telemetry.results after = Telemetry.results before then s.dead <- true;
   if Float.is_finite before_best && g >= before_best *. 0.999 then
     s.no_improve <- s.no_improve + 1
   else s.no_improve <- 0;
@@ -216,7 +227,11 @@ let run t ~trial_budget =
     t.states;
   let n = Array.length t.tasks in
   let continue = ref true in
-  while !continue && total_trials t < trial_budget do
+  (* a task whose rounds only return cache hits stays alive but consumes no
+     trials; bound the number of consecutive trial-free allocations so the
+     budget loop always terminates *)
+  let stagnant = ref 0 in
+  while !continue && total_trials t < trial_budget && !stagnant < 3 * n do
     let alive =
       Array.to_list (Array.init n Fun.id)
       |> List.filter (fun i -> not t.states.(i).dead)
@@ -239,7 +254,9 @@ let run t ~trial_budget =
           fst best
         end
       in
-      allocate t i
+      let before = total_trials t in
+      allocate t i;
+      if total_trials t = before then incr stagnant else stagnant := 0
     end
   done
 

@@ -43,11 +43,15 @@ type options = {
   backward_window : int;  (** Delta-t of the backward difference *)
   eps_greedy : float;  (** exploration probability (paper: 0.05) *)
   tuner_options : Ansor_search.Tuner.options;
+  service_config : Ansor_measure_service.Service.config;
+      (** measurement-service configuration (worker domains, timeout,
+          retries) applied to every per-task service *)
   seed : int;
 }
 
 val default_options : options
-(** F1, alpha 0.2, beta 2, window 3, epsilon 0.05, Ansor tuner. *)
+(** F1, alpha 0.2, beta 2, window 3, epsilon 0.05, Ansor tuner, default
+    measurement service. *)
 
 type t
 
@@ -71,6 +75,12 @@ val network_latency : t -> network -> float
 (** Sum of w_i x g_i over the network's tasks. *)
 
 val total_trials : t -> int
+(** Sum of measurement trials consumed by the per-task services — the
+    budget unit {!run} compares against. *)
+
+val stats : t -> Ansor_measure_service.Telemetry.stats
+(** Aggregated telemetry (counters + phase timers) over every task's
+    measurement service. *)
 
 val curve : t -> (int * float array) list
 (** After every allocation: (total trials, per-network latencies), oldest

@@ -6,7 +6,9 @@ module Rules = Ansor_sketch.Rules
 module Gen = Ansor_sketch.Gen
 module Sampler = Ansor_sketch.Sampler
 module Annotate = Ansor_sketch.Annotate
-module Measurer = Ansor_machine.Measurer
+module Service = Ansor_measure_service.Service
+module Protocol = Ansor_measure_service.Protocol
+module Telemetry = Ansor_measure_service.Telemetry
 
 type strategy =
   | Sketch_search of { rules : Rules.t list; use_evolution : bool }
@@ -118,7 +120,6 @@ type t = {
   measured : (string, unit) Hashtbl.t;
   mutable best : (State.t * float) option;
   mutable good : (State.t * float) list;  (* ascending latency *)
-  mutable trials : int;
   mutable curve_rev : (int * float) list;
   mutable rounds : int;
 }
@@ -152,7 +153,6 @@ let create ?(seed = 0) ?(warm_start = []) options task =
     measured = Hashtbl.create 64;
     best = None;
     good = List.map (fun st -> (st, infinity)) seeds;
-    trials = 0;
     curve_rev = [];
     rounds = 0;
   }
@@ -243,26 +243,29 @@ let beam_construct rng model dag policy ~beam_width ~rollouts =
         (List.init 2 Fun.id))
     terminals
 
-let candidates t shared =
+let candidates t shared tm =
   let dag = t.task.Task.dag in
   let model = Shared.model shared in
   match t.options.strategy with
   | Beam_search { beam_width; rollouts } ->
-    beam_construct t.rng model dag t.policy ~beam_width ~rollouts
+    Telemetry.time tm Telemetry.Sample (fun () ->
+        beam_construct t.rng model dag t.policy ~beam_width ~rollouts)
   | Sketch_search { use_evolution; _ } ->
     let fresh =
-      Sampler.sample t.rng t.policy dag ~sketches:t.sketches
-        ~n:t.options.sample_size
+      Telemetry.time tm Telemetry.Sample (fun () ->
+          Sampler.sample t.rng t.policy dag ~sketches:t.sketches
+            ~n:t.options.sample_size)
     in
     if use_evolution && Cost_model.is_trained model then begin
       let seeds =
         List.filteri (fun i _ -> i < t.options.keep_previous) t.good
         |> List.map fst
       in
-      Evolution.evolve t.rng t.options.evolution t.policy dag ~model
-        ~init:(fresh @ seeds)
-        ~out:(t.options.batch_size * 4)
-      |> List.map (fun (s : Evolution.scored) -> s.state)
+      Telemetry.time tm Telemetry.Evolve (fun () ->
+          Evolution.evolve t.rng t.options.evolution t.policy dag ~model
+            ~init:(fresh @ seeds)
+            ~out:(t.options.batch_size * 4)
+          |> List.map (fun (s : Evolution.scored) -> s.state))
     end
     else
       (* before the model is trained, put warm-start seeds first so they
@@ -287,7 +290,8 @@ let neighbors_of_best t =
         | _ -> Evolution.mutate_location t.rng dag best)
       (List.init (max 1 (t.options.batch_size / 4)) Fun.id)
 
-let round t shared measurer =
+let round t shared service =
+  let tm = Service.telemetry service in
   let model = Shared.model shared in
   let seen = Hashtbl.create 64 in
   let prepare states =
@@ -309,11 +313,17 @@ let round t shared measurer =
     | Sketch_search { use_evolution = true; _ } -> prepare (neighbors_of_best t)
     | Sketch_search { use_evolution = false; _ } | Beam_search _ -> []
   in
-  let cands = prepare (candidates t shared) in
-  let scored =
-    List.map (fun (st, prog, key) -> (st, prog, key, Cost_model.score_prog model prog)) cands
+  let cands = prepare (candidates t shared tm) in
+  let sorted =
+    Telemetry.time tm Telemetry.Model_rank (fun () ->
+        let scored =
+          List.map
+            (fun (st, prog, key) ->
+              (st, prog, key, Cost_model.score_prog model prog))
+            cands
+        in
+        List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a) scored)
   in
-  let sorted = List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a) scored in
   let n_eps =
     int_of_float (t.options.eps_random *. float_of_int t.options.batch_size)
   in
@@ -343,38 +353,52 @@ let round t shared measurer =
         end)
       (greedy @ eps_pick)
   in
-  let records =
-    List.filter_map
-      (fun (st, prog, key, _) ->
-        let latency = Measurer.measure measurer prog in
-        t.trials <- t.trials + 1;
-        Hashtbl.replace t.measured key ();
-        (match t.best with
-        | Some (_, l) when l <= latency -> ()
-        | _ -> t.best <- Some (st, latency));
-        t.good <-
-          List.sort (fun (_, a) (_, b) -> compare a b)
-            ((st, latency) :: t.good)
-          |> List.filteri (fun i _ -> i < t.options.keep_previous);
-        match
-          Cost_model.record_of_prog ~task_key:(Task.key t.task) ~latency prog
-        with
-        | r -> Some r
-        | exception Invalid_argument _ -> None)
-      batch
+  let results =
+    Service.measure_batch service
+      (List.map (fun (st, prog, _, _) -> Protocol.request ~prog st) batch)
   in
-  Shared.add_records shared records;
+  let records =
+    List.filter_map Fun.id
+      (List.map2
+         (fun (st, prog, key, _) (res : Protocol.result) ->
+           (* every candidate got a classified result; failed ones are
+              remembered so the tuner never re-proposes them *)
+           Hashtbl.replace t.measured key ();
+           match res.Protocol.latency with
+           | Error _ -> None
+           | Ok latency -> (
+             (match t.best with
+             | Some (_, l) when l <= latency -> ()
+             | _ -> t.best <- Some (st, latency));
+             t.good <-
+               List.sort (fun (_, a) (_, b) -> compare a b)
+                 ((st, latency) :: t.good)
+               |> List.filteri (fun i _ -> i < t.options.keep_previous);
+             match
+               Cost_model.record_of_prog ~task_key:(Task.key t.task) ~latency
+                 prog
+             with
+             | r -> Some r
+             | exception Invalid_argument _ -> None))
+         batch results)
+  in
+  Telemetry.time tm Telemetry.Retrain (fun () ->
+      Shared.add_records shared records);
   t.rounds <- t.rounds + 1;
-  t.curve_rev <- (t.trials, best_latency t) :: t.curve_rev
+  t.curve_rev <- (Service.trials service, best_latency t) :: t.curve_rev
 
-let tune ?(seed = 0) ?shared options ~trials task =
+let tune ?(seed = 0) ?shared ?service options ~trials task =
   let shared = match shared with Some s -> s | None -> Shared.create () in
-  let measurer = Measurer.create ~seed:(seed + 17) task.Task.machine in
+  let service =
+    match service with
+    | Some s -> s
+    | None -> Service.create ~seed:(seed + 17) task.Task.machine
+  in
   let t = create ~seed options task in
   let stuck = ref 0 in
-  while Measurer.trials measurer < trials && !stuck < 3 do
-    let before = Measurer.trials measurer in
-    round t shared measurer;
-    if Measurer.trials measurer = before then incr stuck else stuck := 0
+  while Service.trials service < trials && !stuck < 3 do
+    let before = Service.trials service in
+    round t shared service;
+    if Service.trials service = before then incr stuck else stuck := 0
   done;
-  (t, measurer)
+  (t, service)

@@ -81,8 +81,10 @@ val create :
 
 val task : t -> Task.t
 
-val round : t -> Shared.t -> Ansor_machine.Measurer.t -> unit
-(** Generate, measure [batch_size] programs, record, maybe retrain. *)
+val round : t -> Shared.t -> Ansor_measure_service.Service.t -> unit
+(** Generate, measure [batch_size] programs through the measurement
+    service, record, maybe retrain.  Phase timings (sample / evolve /
+    model-rank / measure / retrain) land in the service's telemetry. *)
 
 val best_latency : t -> float
 (** Best {e observed} latency so far ([infinity] before any
@@ -99,10 +101,12 @@ val curve : t -> (int * float) list
 val tune :
   ?seed:int ->
   ?shared:Shared.t ->
+  ?service:Ansor_measure_service.Service.t ->
   options ->
   trials:int ->
   Task.t ->
-  t * Ansor_machine.Measurer.t
-(** Convenience: rounds until the trial budget is exhausted on a fresh
-    measurer (or the one implied by [shared] usage); returns the tuner for
+  t * Ansor_measure_service.Service.t
+(** Convenience: rounds until the service's trial count reaches the budget
+    (or three consecutive rounds consume no trials); returns the tuner and
+    the service (freshly created with default config unless supplied) for
     inspection. *)

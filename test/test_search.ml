@@ -4,7 +4,7 @@ open Helpers
 module Task = Ansor.Task
 module Tuner = Ansor.Tuner
 module Machine = Ansor.Machine
-module Measurer = Ansor.Measurer
+module Service = Ansor.Measure_service
 module Nn = Ansor.Nn
 
 let small_task () =
@@ -45,8 +45,8 @@ let test_shared_state () =
 
 let test_tune_measures_and_improves () =
   let task = small_task () in
-  let tuner, measurer = Tuner.tune ~seed:1 Tuner.ansor_options ~trials:96 task in
-  check_bool "used the budget" true (Measurer.trials measurer >= 96);
+  let tuner, service = Tuner.tune ~seed:1 Tuner.ansor_options ~trials:96 task in
+  check_bool "used the budget" true (Service.trials service >= 96);
   check_bool "found a program" true (Tuner.best_state tuner <> None);
   check_bool "finite latency" true (Float.is_finite (Tuner.best_latency tuner));
   let curve = Tuner.curve tuner in
@@ -96,21 +96,25 @@ let test_all_strategies_run () =
 let test_no_duplicate_measurements () =
   let task = small_task () in
   let shared = Tuner.Shared.create () in
-  let measurer = Measurer.create ~seed:9 Machine.intel_cpu in
+  let service = Service.create ~seed:9 Machine.intel_cpu in
   let tuner = Tuner.create ~seed:4 Tuner.ansor_options task in
-  Tuner.round tuner shared measurer;
-  Tuner.round tuner shared measurer;
-  (* records = measured programs; keys are distinct by construction, so
-     the count equals the trials *)
-  check_int "records match trials" (Measurer.trials measurer)
-    (Tuner.Shared.num_records shared)
+  Tuner.round tuner shared service;
+  Tuner.round tuner shared service;
+  (* every Ok result becomes a record: backend measurements plus dedup
+     cache hits, nothing measured twice *)
+  let stats = Service.stats service in
+  check_int "records = measured + cache hits"
+    (stats.Ansor.Telemetry.measured + stats.Ansor.Telemetry.cache_hits)
+    (Tuner.Shared.num_records shared);
+  check_int "trials = measured (no retries without faults)"
+    stats.Ansor.Telemetry.measured (Service.trials service)
 
 let test_shared_model_trains_after_round () =
   let task = small_task () in
   let shared = Tuner.Shared.create () in
-  let measurer = Measurer.create ~seed:10 Machine.intel_cpu in
+  let service = Service.create ~seed:10 Machine.intel_cpu in
   let tuner = Tuner.create ~seed:5 Tuner.ansor_options task in
-  Tuner.round tuner shared measurer;
+  Tuner.round tuner shared service;
   check_bool "model trained after first batch" true
     (Ansor.Cost_model.is_trained (Tuner.Shared.model shared))
 
@@ -152,16 +156,16 @@ let test_warm_start_recovers_past_result () =
   let entry = Option.get (Ansor.Record.entry_of_tuner tuner1) in
   (* second session: warm-started, tiny budget *)
   let shared = Tuner.Shared.create () in
-  let measurer = Ansor.Measurer.create ~seed:77 Machine.intel_cpu in
+  let service = Service.create ~seed:77 Machine.intel_cpu in
   let tuner2 =
     Tuner.create ~seed:22 ~warm_start:[ entry.steps ] Tuner.ansor_options task
   in
-  Tuner.round tuner2 shared measurer;
+  Tuner.round tuner2 shared service;
   let warm = Tuner.best_latency tuner2 in
   (* a cold tuner with the same tiny budget *)
-  let measurer3 = Ansor.Measurer.create ~seed:78 Machine.intel_cpu in
+  let service3 = Service.create ~seed:78 Machine.intel_cpu in
   let tuner3 = Tuner.create ~seed:22 Tuner.ansor_options task in
-  Tuner.round tuner3 shared measurer3;
+  Tuner.round tuner3 shared service3;
   let cold = Tuner.best_latency tuner3 in
   Helpers.check_bool
     (Printf.sprintf "warm (%.4g) close to recorded best (%.4g), cold %.4g"
@@ -175,8 +179,8 @@ let test_warm_start_ignores_garbage () =
   let bad_history = [ Ansor.Step.Compute_inline { stage = "missing" } ] in
   let tuner = Tuner.create ~seed:23 ~warm_start:[ bad_history ] Tuner.ansor_options task in
   let shared = Tuner.Shared.create () in
-  let measurer = Ansor.Measurer.create ~seed:79 Machine.intel_cpu in
-  Tuner.round tuner shared measurer;
+  let service = Service.create ~seed:79 Machine.intel_cpu in
+  Tuner.round tuner shared service;
   Helpers.check_bool "still tunes" true (Float.is_finite (Tuner.best_latency tuner))
 
 let () =

@@ -136,6 +136,20 @@ let test_factorizations () =
   Alcotest.(check (list (list int))) "n=1 k=3" [ [ 1; 1; 1 ] ]
     (Factorize.factorizations 1 3)
 
+let test_factorizations_memo () =
+  (* the memoized entry point and a fresh uncached enumeration agree,
+     including on repeated queries that hit the cache *)
+  List.iter
+    (fun (n, k) ->
+      let uncached = Factorize.factorizations_uncached n k in
+      Alcotest.(check (list (list int)))
+        (Printf.sprintf "first query (%d,%d)" n k)
+        uncached (Factorize.factorizations n k);
+      Alcotest.(check (list (list int)))
+        (Printf.sprintf "cached query (%d,%d)" n k)
+        uncached (Factorize.factorizations n k))
+    [ (12, 3); (36, 2); (64, 4); (1, 3); (97, 2); (360, 3) ]
+
 let prop_random_factorization =
   qcheck "random_factorization product == n"
     QCheck2.Gen.(pair (int_range 1 512) (int_range 1 5))
@@ -238,6 +252,7 @@ let () =
           case "divisors" test_divisors;
           case "prime factors" test_prime_factors;
           case "factorizations" test_factorizations;
+          case "factorization memo agrees" test_factorizations_memo;
           prop_random_factorization;
           prop_weighted_factorization;
           case "weighted factorization bias" test_weighted_factorization_bias;
