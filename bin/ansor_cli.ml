@@ -67,12 +67,79 @@ let stats_json_arg =
   let doc = "Dump measurement telemetry as JSON to this file ('-' for stdout)." in
   Arg.(value & opt (some string) None & info [ "stats-json" ] ~doc)
 
-let service_config workers measure_timeout =
+let batch_deadline_arg =
+  let doc =
+    "Wall-clock budget in seconds for one measurement batch; once it \
+     expires, not-yet-started candidates are classified as timeouts \
+     instead of run, so a stuck candidate cannot hang a worker forever."
+  in
+  Arg.(value & opt (some float) None & info [ "batch-deadline" ] ~doc)
+
+let snapshot_arg =
+  let doc =
+    "Checkpoint the full session to this file after every tuning round \
+     (atomic write; the previous round survives as FILE.prev). Combine \
+     with --resume to continue an interrupted run."
+  in
+  Arg.(value & opt (some string) None & info [ "snapshot" ] ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from the latest valid snapshot generation at the --snapshot \
+     path (falls back to FILE.prev on corruption; starts fresh, with a \
+     warning, when no usable snapshot exists)."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let stop_after_rounds_arg =
+  let doc =
+    "Stop gracefully after N tuning rounds, flushing all session state \
+     (deterministic interruption, for resume testing)."
+  in
+  Arg.(value & opt (some int) None & info [ "stop-after-rounds" ] ~doc)
+
+let service_config workers measure_timeout batch_deadline =
   {
     Ansor.Measure_service.default_config with
     num_workers = workers;
     timeout = Option.value measure_timeout ~default:infinity;
+    batch_deadline = Option.value batch_deadline ~default:infinity;
   }
+
+(* Graceful interruption: SIGINT/SIGTERM set a flag the tuning loop polls
+   between rounds, [--stop-after-rounds] trips the same path
+   deterministically.  Returns the hooks to pass to the tuning entry
+   points and a finisher that reports how the session ended. *)
+let session_control stop_after_rounds =
+  Ansor.Checkpoint.Shutdown.install ();
+  let rounds = ref 0 in
+  let should_stop () =
+    Ansor.Checkpoint.Shutdown.requested ()
+    || match stop_after_rounds with Some n -> !rounds >= n | None -> false
+  in
+  let on_round () = incr rounds in
+  let summarize () =
+    match Ansor.Checkpoint.Shutdown.reason () with
+    | Some signal ->
+      Printf.printf
+        "interrupted by %s after %d rounds: session state flushed; rerun \
+         with --resume to continue\n"
+        signal !rounds
+    | None -> (
+      match stop_after_rounds with
+      | Some n when !rounds >= n ->
+        Printf.printf
+          "stopped after %d rounds (--stop-after-rounds): rerun with \
+           --resume to continue\n"
+          !rounds
+      | _ -> ())
+  in
+  (should_stop, on_round, summarize)
+
+let check_resume_flags resume snapshot =
+  if resume && snapshot = None then
+    Error "--resume requires --snapshot PATH"
+  else Ok ()
 
 let emit_stats stats_json (stats : Ansor.Telemetry.stats) =
   Printf.printf "telemetry: %s\n" (Ansor.Telemetry.summary stats);
@@ -93,11 +160,17 @@ let cache_path save = save ^ ".cache"
 let load_cache save =
   match save with
   | Some path when Sys.file_exists (cache_path path) -> (
-    match Ansor.Measure_cache.load ~path:(cache_path path) with
-    | Ok cache ->
+    (* salvage mode: a torn final line (e.g. from a killed writer) costs
+       that line, not the whole cache *)
+    match Ansor.Measure_cache.load_salvage ~path:(cache_path path) with
+    | Ok (cache, skipped) ->
       Printf.printf "measurement cache: %d entries from %s\n"
         (Ansor.Measure_cache.size cache)
         (cache_path path);
+      if skipped > 0 then
+        Printf.eprintf "warning: cache %s: skipped %d malformed line%s\n"
+          (cache_path path) skipped
+          (if skipped = 1 then "" else "s");
       cache
     | Error msg ->
       Printf.eprintf "warning: ignoring cache %s: %s\n" (cache_path path) msg;
@@ -177,16 +250,21 @@ let curve_arg =
 
 let tune_cmd =
   let run op index batch machine trials seed strategy save curve workers
-      measure_timeout stats_json =
+      measure_timeout batch_deadline stats_json snapshot resume
+      stop_after_rounds =
+    or_die (check_resume_flags resume snapshot);
     let case = or_die (case_of op index batch) in
     let machine = or_die (lookup_machine machine) in
     let options = or_die (lookup_strategy strategy) in
     let cache = load_cache save in
+    let should_stop, on_round, summarize = session_control stop_after_rounds in
     let result =
       Ansor.tune ~seed ~trials ~options
-        ~service_config:(service_config workers measure_timeout)
-        ~cache machine case.dag
+        ~service_config:(service_config workers measure_timeout batch_deadline)
+        ~cache ?snapshot_path:snapshot ~resume ~should_stop ~on_round machine
+        case.dag
     in
+    summarize ();
     Printf.printf "%s on %s (%s, %d trials): best %.4f ms\n"
       case.case_name machine.name strategy result.trials_used
       (result.best_latency *. 1e3);
@@ -225,7 +303,8 @@ let tune_cmd =
     Term.(
       const run $ op_arg $ index_arg $ batch_arg $ machine_arg $ trials_arg
       $ seed_arg $ strategy_arg $ save_arg $ curve_arg $ workers_arg
-      $ measure_timeout_arg $ stats_json_arg)
+      $ measure_timeout_arg $ batch_deadline_arg $ stats_json_arg
+      $ snapshot_arg $ resume_arg $ stop_after_rounds_arg)
 
 let replay_cmd =
   let from_arg =
@@ -237,7 +316,15 @@ let replay_cmd =
     let machine = or_die (lookup_machine machine) in
     let task = Ansor.Task.create ~name:case.case_name ~machine case.dag in
     let entries =
-      match Ansor.Record.load ~path with Ok e -> e | Error m -> or_die (Error m)
+      (* salvage mode: recover every intact record from a torn log *)
+      match Ansor.Record.load_salvage ~path with
+      | Ok (e, skipped) ->
+        if skipped > 0 then
+          Printf.eprintf "warning: %s: skipped %d malformed line%s\n" path
+            skipped
+            (if skipped = 1 then "" else "s");
+        e
+      | Error m -> or_die (Error m)
     in
     match Ansor.Record.best_for entries ~task_key:(Ansor.Task.key task) with
     | None ->
@@ -269,7 +356,9 @@ let network_cmd =
     let doc = "Total measurement-trial budget." in
     Arg.(value & opt int 500 & info [ "budget" ] ~doc)
   in
-  let run name batch machine budget seed workers measure_timeout stats_json =
+  let run name batch machine budget seed workers measure_timeout
+      batch_deadline stats_json snapshot resume stop_after_rounds =
+    or_die (check_resume_flags resume snapshot);
     let net =
       match name with
       | "resnet50" -> Ok (Ansor.Workloads.resnet50 ~batch)
@@ -281,11 +370,13 @@ let network_cmd =
     in
     let net = or_die net in
     let machine = or_die (lookup_machine machine) in
+    let should_stop, on_round, summarize = session_control stop_after_rounds in
     let results, stats =
       Ansor.tune_networks_with_stats ~seed ~trial_budget:budget
-        ~service_config:(service_config workers measure_timeout)
-        machine [ net ]
+        ~service_config:(service_config workers measure_timeout batch_deadline)
+        ?snapshot_path:snapshot ~resume ~should_stop ~on_round machine [ net ]
     in
+    summarize ();
     List.iter
       (fun (r : Ansor.network_result) ->
         Printf.printf "%s end-to-end: %.3f ms\n" r.net.net_name
@@ -301,7 +392,8 @@ let network_cmd =
        ~doc:"Tune a whole network with the task scheduler.")
     Term.(
       const run $ name_arg $ batch_arg $ machine_arg $ budget_arg $ seed_arg
-      $ workers_arg $ measure_timeout_arg $ stats_json_arg)
+      $ workers_arg $ measure_timeout_arg $ batch_deadline_arg
+      $ stats_json_arg $ snapshot_arg $ resume_arg $ stop_after_rounds_arg)
 
 let () =
   let info =

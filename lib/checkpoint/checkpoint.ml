@@ -1,0 +1,95 @@
+type meta = {
+  seed : int;
+  machine : string;
+  task_keys : string list;
+  rounds : int;
+}
+
+type payload =
+  | Single of {
+      tuner : Ansor_search.Tuner.Snapshot.t;
+      shared : Ansor_search.Tuner.Shared.snapshot;
+      cache : (string * float) list;
+      stats : Ansor_measure_service.Telemetry.stats;
+    }
+  | Session of Ansor_scheduler.Scheduler.Snapshot.t
+
+type image = { meta : meta; payload : payload }
+
+let version = 1
+
+let magic = Printf.sprintf "ansor-snapshot-v%d" version
+
+let prev_path path = path ^ ".prev"
+
+let save ~path image =
+  (* rotate first: the previous generation survives as <path>.prev, so a
+     crash anywhere below costs at most one round of progress *)
+  if Sys.file_exists path then (
+    try Sys.rename path (prev_path path) with Sys_error _ -> ());
+  let payload = Marshal.to_string (image : image) [] in
+  Ansor_util.Atomic_file.write ~path (fun oc ->
+      Printf.fprintf oc "%s\n%d\n" magic (String.length payload);
+      output_string oc payload;
+      Printf.fprintf oc "md5:%s\n" (Digest.to_hex (Digest.string payload)))
+
+let load ~path : (image, string) result =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          let header = input_line ic in
+          if not (String.equal header magic) then
+            Error (Printf.sprintf "bad magic %S (expected %s)" header magic)
+          else
+            let len = int_of_string (input_line ic) in
+            if len < 0 then Error "bad payload length"
+            else begin
+              let payload = really_input_string ic len in
+              let footer = input_line ic in
+              let expect = "md5:" ^ Digest.to_hex (Digest.string payload) in
+              if not (String.equal footer expect) then
+                Error "digest mismatch: snapshot is torn or corrupted"
+              else Ok (Marshal.from_string payload 0 : image)
+            end
+        with
+        | End_of_file -> Error "truncated snapshot"
+        | Failure _ -> Error "malformed snapshot header"
+        | e -> Error (Printexc.to_string e))
+
+type generation = Current | Previous of string
+
+let load_latest ~path =
+  match load ~path with
+  | Ok img -> Ok (img, Current)
+  | Error current_err -> (
+    match load ~path:(prev_path path) with
+    | Ok img -> Ok (img, Previous current_err)
+    | Error prev_err ->
+      Error
+        (Printf.sprintf "%s: %s; %s: %s" path current_err (prev_path path)
+           prev_err))
+
+module Shutdown = struct
+  let flag = ref None
+
+  let note name _signum =
+    match !flag with
+    | None -> flag := Some name
+    | Some _ ->
+      (* second signal: the user insists — exit immediately *)
+      exit 130
+
+  let install () =
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (note "SIGINT"));
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle (note "SIGTERM"))
+
+  let requested () = !flag <> None
+
+  let reason () = !flag
+
+  let reset () = flag := None
+end

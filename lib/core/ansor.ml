@@ -37,6 +37,7 @@ module Task = Ansor_search.Task
 module Tuner = Ansor_search.Tuner
 module Record = Ansor_search.Record
 module Scheduler = Ansor_scheduler.Scheduler
+module Checkpoint = Ansor_checkpoint.Checkpoint
 module Baselines = Ansor_baselines.Baselines
 module Workloads = Ansor_workloads.Workloads
 
@@ -48,14 +49,103 @@ type tune_result = {
   stats : Telemetry.stats;
 }
 
+(* Resume plumbing shared by {!tune} and {!tune_networks_with_stats}:
+   load the latest valid snapshot generation, check its compatibility
+   fingerprint, and hand the image to [apply]; any problem degrades to a
+   fresh start with a warning — a resumed session must never crash on a
+   missing, torn or mismatched snapshot. *)
+let try_resume ~resume ~snapshot_path ~seed ~machine_name ~task_keys apply =
+  if not resume then ()
+  else
+    match snapshot_path with
+    | None -> ()
+    | Some path -> (
+      match Checkpoint.load_latest ~path with
+      | Error msg ->
+        Printf.eprintf "warning: no usable snapshot (%s); starting fresh\n%!"
+          msg
+      | Ok (img, gen) ->
+        (match gen with
+        | Checkpoint.Current -> ()
+        | Checkpoint.Previous why ->
+          Printf.eprintf
+            "warning: current snapshot rejected (%s); resuming from the \
+             previous generation\n\
+             %!"
+            why);
+        let m = img.Checkpoint.meta in
+        if
+          m.Checkpoint.seed <> seed
+          || (not (String.equal m.Checkpoint.machine machine_name))
+          || m.Checkpoint.task_keys <> task_keys
+        then
+          Printf.eprintf
+            "warning: snapshot at %s belongs to a different session \
+             (seed/machine/task mismatch); starting fresh\n\
+             %!"
+            path
+        else
+          match apply img.Checkpoint.payload with
+          | Ok () -> ()
+          | Error msg ->
+            Printf.eprintf
+              "warning: snapshot at %s could not be restored (%s); starting \
+               fresh\n\
+               %!"
+              path msg)
+
 let tune ?(seed = 0) ?(trials = 200) ?(options = Tuner.ansor_options)
-    ?(service_config = Measure_service.default_config) ?cache machine dag =
+    ?(service_config = Measure_service.default_config) ?cache ?snapshot_path
+    ?(resume = false) ?(should_stop = fun () -> false) ?on_round machine dag =
   let task = Task.create ~name:"tune" ~machine dag in
   let service =
     Measure_service.create ~config:service_config ?cache ~seed:(seed + 17)
       machine
   in
-  let tuner, service = Tuner.tune ~seed ~service options ~trials task in
+  let shared = Tuner.Shared.create () in
+  let restored = ref None in
+  try_resume ~resume ~snapshot_path ~seed
+    ~machine_name:machine.Machine.name
+    ~task_keys:[ Task.key task ]
+    (function
+      | Checkpoint.Session _ -> Error "snapshot is a multi-task session"
+      | Checkpoint.Single { tuner; shared = sh; cache = entries; stats } ->
+        Tuner.Shared.restore shared sh;
+        let c = Measure_service.cache service in
+        List.iter (fun (k, v) -> Measure_cache.add c k v) entries;
+        Telemetry.restore (Measure_service.telemetry service) stats;
+        restored := Some tuner;
+        Ok ());
+  let checkpoint t =
+    match snapshot_path with
+    | None -> ()
+    | Some path ->
+      Checkpoint.save ~path
+        {
+          Checkpoint.meta =
+            {
+              Checkpoint.seed;
+              machine = machine.Machine.name;
+              task_keys = [ Task.key task ];
+              rounds = Tuner.rounds_done t;
+            };
+          payload =
+            Checkpoint.Single
+              {
+                tuner = Tuner.snapshot t;
+                shared = Tuner.Shared.snapshot shared;
+                cache = Measure_cache.entries (Measure_service.cache service);
+                stats = Measure_service.stats service;
+              };
+        }
+  in
+  let tuner, service =
+    Tuner.tune ~seed ~shared ~service ?snapshot:!restored ~should_stop
+      ~on_round:(fun t ->
+        checkpoint t;
+        match on_round with Some f -> f () | None -> ())
+      options ~trials task
+  in
   {
     best_state = Tuner.best_state tuner;
     best_latency = Tuner.best_latency tuner;
@@ -72,7 +162,8 @@ type network_result = {
 
 let tune_networks_with_stats ?(seed = 0) ?trial_budget
     ?(objective = Scheduler.F1_sum) ?(tuner_options = Tuner.ansor_options)
-    ?(service_config = Measure_service.default_config) machine nets =
+    ?(service_config = Measure_service.default_config) ?snapshot_path
+    ?(resume = false) ?(should_stop = fun () -> false) ?on_round machine nets =
   (* deduplicate tasks shared between networks by workload key *)
   let table = Hashtbl.create 32 in
   let order = ref [] in
@@ -112,7 +203,32 @@ let tune_networks_with_stats ?(seed = 0) ?trial_budget
       }
       ~tasks ~networks
   in
-  Scheduler.run sched ~trial_budget:budget;
+  let task_keys = Array.to_list (Array.map Task.key tasks) in
+  try_resume ~resume ~snapshot_path ~seed ~machine_name:machine.Machine.name
+    ~task_keys (function
+    | Checkpoint.Single _ -> Error "snapshot is a single-task session"
+    | Checkpoint.Session snap -> Scheduler.restore sched snap);
+  let checkpoint sched =
+    match snapshot_path with
+    | None -> ()
+    | Some path ->
+      Checkpoint.save ~path
+        {
+          Checkpoint.meta =
+            {
+              Checkpoint.seed;
+              machine = machine.Machine.name;
+              task_keys;
+              rounds = Array.fold_left ( + ) 0 (Scheduler.allocations sched);
+            };
+          payload = Checkpoint.Session (Scheduler.snapshot sched);
+        }
+  in
+  Scheduler.run ~should_stop
+    ~on_round:(fun s ->
+      checkpoint s;
+      match on_round with Some f -> f () | None -> ())
+    sched ~trial_budget:budget;
   let results =
     List.map2
       (fun net snet ->

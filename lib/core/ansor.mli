@@ -62,6 +62,13 @@ module Task = Ansor_search.Task
 module Tuner = Ansor_search.Tuner
 module Record = Ansor_search.Record
 module Scheduler = Ansor_scheduler.Scheduler
+
+(** Crash-safe sessions: checkpoint images with atomic persistence and
+    generation fallback, plus cooperative SIGINT/SIGTERM shutdown (see
+    {!Checkpoint.save}, {!Checkpoint.load_latest},
+    {!Checkpoint.Shutdown}). *)
+
+module Checkpoint = Ansor_checkpoint.Checkpoint
 module Baselines = Ansor_baselines.Baselines
 module Workloads = Ansor_workloads.Workloads
 
@@ -82,6 +89,10 @@ val tune :
   ?options:Tuner.options ->
   ?service_config:Measure_service.config ->
   ?cache:Measure_cache.t ->
+  ?snapshot_path:string ->
+  ?resume:bool ->
+  ?should_stop:(unit -> bool) ->
+  ?on_round:(unit -> unit) ->
   Machine.t ->
   Dag.t ->
   tune_result
@@ -89,7 +100,18 @@ val tune :
     strategy).  [service_config] controls the measurement service (worker
     domains, timeout, retries); [cache] shares or preloads a dedup cache —
     pass one {!Measure_cache.load}ed from a previous session to skip
-    re-measuring known schedules, and {!Measure_cache.save} it afterwards. *)
+    re-measuring known schedules, and {!Measure_cache.save} it afterwards.
+
+    [snapshot_path] checkpoints the full session (tuner population,
+    best-so-far, RNG cursor, training set, dedup cache, telemetry) after
+    every round via {!Checkpoint.save}.  With [resume] the latest valid
+    snapshot generation is restored first, so an interrupted-then-resumed
+    run reaches the same trial budget — and, being deterministic, the same
+    results — as an uninterrupted one; a missing, torn or mismatched
+    snapshot degrades to a fresh start with a warning on stderr, never an
+    error.  [should_stop] is polled between rounds (wire it to
+    {!Checkpoint.Shutdown.requested} for graceful Ctrl-C); [on_round] runs
+    after each round's checkpoint. *)
 
 type network_result = {
   net : Workloads.net;
@@ -116,11 +138,18 @@ val tune_networks_with_stats :
   ?objective:Scheduler.objective ->
   ?tuner_options:Tuner.options ->
   ?service_config:Measure_service.config ->
+  ?snapshot_path:string ->
+  ?resume:bool ->
+  ?should_stop:(unit -> bool) ->
+  ?on_round:(unit -> unit) ->
   Machine.t ->
   Workloads.net list ->
   network_result list * Telemetry.stats
 (** Same, also returning the aggregated measurement telemetry of the whole
-    session (trials, failures, cache hits, phase timings). *)
+    session (trials, failures, cache hits, phase timings).
+    [snapshot_path] / [resume] / [should_stop] / [on_round] work as in
+    {!tune}, checkpointing the whole scheduler session (every task's
+    tuner, budget allocation, caches, telemetry) after each allocation. *)
 
 val verify_state : State.t -> (unit, string) result
 (** Checks a scheduled program two ways: statically ({!Validate.check},

@@ -26,36 +26,57 @@ let entries t =
 let magic = "ansor-cache-v1"
 
 let save ~path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Ansor_util.Atomic_file.write ~path (fun oc ->
       List.iter
         (fun (k, v) -> Printf.fprintf oc "%s\t%s\t%.9e\n" magic k v)
         (entries t))
 
-let load ~path =
+let parse_line line =
+  match String.split_on_char '\t' line with
+  | [ m; key; latency ] when String.equal m magic -> (
+    match float_of_string_opt latency with
+    | Some l when l > 0.0 -> Ok (key, l)
+    | _ -> Error (Printf.sprintf "bad latency %S" latency))
+  | m :: _ when not (String.equal m magic) ->
+    Error (Printf.sprintf "bad magic (expected %s)" magic)
+  | _ -> Error "malformed cache line"
+
+let fold_lines ~path ~on_line ~init =
   match open_in path with
   | exception Sys_error e -> Error e
   | ic ->
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
-        let t = create () in
-        let rec go lineno =
+        let rec go acc lineno =
           match input_line ic with
-          | exception End_of_file -> Ok t
-          | "" -> go (lineno + 1)
+          | exception End_of_file -> Ok acc
+          | "" -> go acc (lineno + 1)
           | line -> (
-            match String.split_on_char '\t' line with
-            | [ m; key; latency ] when String.equal m magic -> (
-              match float_of_string_opt latency with
-              | Some l when l > 0.0 ->
-                add t key l;
-                go (lineno + 1)
-              | _ -> Error (Printf.sprintf "line %d: bad latency %S" lineno latency))
-            | m :: _ when not (String.equal m magic) ->
-              Error (Printf.sprintf "line %d: bad magic (expected %s)" lineno magic)
-            | _ -> Error (Printf.sprintf "line %d: malformed cache line" lineno))
+            match on_line acc lineno line with
+            | Ok acc -> go acc (lineno + 1)
+            | Error _ as e -> e)
         in
-        go 1)
+        go init 1)
+
+let load ~path =
+  let t = create () in
+  Result.map
+    (fun () -> t)
+    (fold_lines ~path ~init:()
+       ~on_line:(fun () lineno line ->
+         match parse_line line with
+         | Ok (key, l) -> Ok (add t key l)
+         | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)))
+
+let load_salvage ~path =
+  let t = create () in
+  Result.map
+    (fun skipped -> (t, skipped))
+    (fold_lines ~path ~init:0
+       ~on_line:(fun skipped _lineno line ->
+         match parse_line line with
+         | Ok (key, l) ->
+           add t key l;
+           Ok skipped
+         | Error _ -> Ok (skipped + 1)))

@@ -31,7 +31,16 @@ val entries : t -> (string * float) list
 (** Sorted by key (deterministic). *)
 
 val save : path:string -> t -> unit
-(** Overwrites [path] with one [ansor-cache-v1] line per entry. *)
+(** Atomically replaces [path] (write-temp + rename, see
+    {!Ansor_util.Atomic_file}) with one [ansor-cache-v1] line per entry:
+    an interrupted save can never leave a truncated cache behind. *)
 
 val load : path:string -> (t, string) result
-(** [Error] describes the first malformed line; empty lines are skipped. *)
+(** Strict: [Error] describes the first malformed line; empty lines are
+    skipped. *)
+
+val load_salvage : path:string -> (t * int, string) result
+(** Torn-file recovery: loads every well-formed line and returns the cache
+    together with the number of malformed lines skipped (e.g. the partial
+    final line of a file whose writer was killed).  [Error] only when the
+    file cannot be opened at all. *)

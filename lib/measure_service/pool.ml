@@ -1,8 +1,18 @@
-let run ~num_workers f items =
+let run ?deadline ?on_expired ~num_workers f items =
+  let expired =
+    match deadline with
+    | None -> fun () -> false
+    | Some d -> fun () -> Unix.gettimeofday () > d
+  in
+  let apply x =
+    match on_expired with
+    | Some g when expired () -> g x
+    | _ -> f x
+  in
   let n = Array.length items in
   let workers = max 1 (min num_workers n) in
   if n = 0 then [||]
-  else if workers = 1 then Array.map f items
+  else if workers = 1 then Array.map apply items
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
@@ -11,7 +21,7 @@ let run ~num_workers f items =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           (* distinct indices per fetch: no two domains write the same slot *)
-          results.(i) <- Some (f items.(i));
+          results.(i) <- Some (apply items.(i));
           go ()
         end
       in

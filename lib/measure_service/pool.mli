@@ -12,6 +12,19 @@
     re-raised — measurement services classify their own failures instead of
     throwing. *)
 
-val run : num_workers:int -> ('a -> 'b) -> 'a array -> 'b array
+val run :
+  ?deadline:float ->
+  ?on_expired:('a -> 'b) ->
+  num_workers:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** [num_workers <= 1] (or a singleton batch) runs inline with no domain
-    spawned. *)
+    spawned.
+
+    [deadline] is an absolute wall-clock instant ([Unix.gettimeofday]
+    scale): once it passes, items not yet started are mapped through
+    [on_expired] instead of [f], so one stuck or pathological item cannot
+    hold the whole batch (and every worker domain behind it) hostage.
+    Every slot is still filled — results stay in input order with one
+    result per item.  Without [on_expired] the deadline has no effect. *)

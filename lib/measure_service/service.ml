@@ -6,6 +6,7 @@ module Measurer = Ansor_machine.Measurer
 type config = {
   num_workers : int;
   timeout : float;
+  batch_deadline : float;
   max_retries : int;
   backoff : float;
   noise : float;
@@ -16,6 +17,7 @@ let default_config =
   {
     num_workers = 1;
     timeout = infinity;
+    batch_deadline = infinity;
     max_retries = 2;
     backoff = 0.0;
     noise = 0.03;
@@ -68,7 +70,16 @@ type run_outcome = {
    which order — the determinism contract of the whole service. *)
 let candidate_rng t key = Rng.create (t.seed lxor Hashtbl.hash key)
 
-let measure_candidate t key prog =
+(* The wall-clock check happens between runs, never inside one: the
+   simulator backend cannot be interrupted mid-call (OCaml domains cannot
+   be killed safely), so the deadline bounds how much {e additional} work a
+   worker takes on, and the batch-level pre-check in {!measure_batch}
+   bounds the queue behind a straggler. *)
+let deadline_expired = function
+  | None -> false
+  | Some d -> Unix.gettimeofday () > d
+
+let measure_candidate ?deadline t key prog =
   let rng = candidate_rng t key in
   let rec attempt n backoff_acc =
     let injected =
@@ -87,7 +98,8 @@ let measure_candidate t key prog =
         else Ok latency
     in
     match outcome with
-    | Error (Protocol.Run_error _) when n <= t.config.max_retries ->
+    | Error (Protocol.Run_error _)
+      when n <= t.config.max_retries && not (deadline_expired deadline) ->
       (* transient: back off and re-run *)
       let delay = t.config.backoff *. (2.0 ** float_of_int (n - 1)) in
       if delay > 0.0 then Unix.sleepf delay;
@@ -147,9 +159,23 @@ let measure_batch t reqs =
                | First (key, prog) -> Some (key, prog)
                | Broken _ | Hit _ | Dup _ -> None))
       in
+      let deadline =
+        if t.config.batch_deadline = infinity then None
+        else Some (Unix.gettimeofday () +. t.config.batch_deadline)
+      in
+      let expired_outcome (key, _) =
+        (* never started: the batch's wall-clock budget is exhausted *)
+        ( key,
+          {
+            run_latency = Error Protocol.Timeout;
+            run_attempts = 0;
+            run_backoff = 0.0;
+          } )
+      in
       let outcomes =
-        Pool.run ~num_workers:t.config.num_workers
-          (fun (key, prog) -> (key, measure_candidate t key prog))
+        Pool.run ?deadline ~on_expired:expired_outcome
+          ~num_workers:t.config.num_workers
+          (fun (key, prog) -> (key, measure_candidate ?deadline t key prog))
           misses
       in
       let by_key = Hashtbl.create (Array.length outcomes) in

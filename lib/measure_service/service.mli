@@ -23,9 +23,16 @@ open Ansor_sched
 type config = {
   num_workers : int;  (** measurement domains (1 = run inline) *)
   timeout : float;
-      (** per-program latency ceiling in seconds; a program whose observed
-          latency exceeds it is classified {!Protocol.Timeout}
-          ([infinity] disables) *)
+      (** per-program {e simulated}-latency ceiling in seconds; a program
+          whose observed latency exceeds it is classified
+          {!Protocol.Timeout} ([infinity] disables) *)
+  batch_deadline : float;
+      (** {e wall-clock} budget in seconds for one {!measure_batch} call
+          ([infinity] disables).  Once it expires, candidates not yet
+          started are classified {!Protocol.Timeout} without running and
+          in-flight retry loops stop retrying — a stuck or pathological
+          candidate cannot hang a worker domain (and the whole batch
+          behind it) forever.  Expired candidates consume no trials. *)
   max_retries : int;  (** extra runs after a transient {!Protocol.Run_error} *)
   backoff : float;
       (** base backoff delay in seconds, doubled per retry; the delay is
@@ -38,8 +45,8 @@ type config = {
 }
 
 val default_config : config
-(** 1 worker, no timeout, 2 retries, no backoff delay, noise 0.03, no
-    validation. *)
+(** 1 worker, no timeout, no batch deadline, 2 retries, no backoff delay,
+    noise 0.03, no validation. *)
 
 type fault_hook = key:string -> attempt:int -> Protocol.failure option
 (** Fault injection for tests: consulted before each backend run with the

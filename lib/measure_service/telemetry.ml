@@ -148,6 +148,20 @@ let stats t =
         (Array.map (fun p -> (phase_name p, t.phase.(phase_index p))) phases);
   }
 
+let restore t (s : stats) =
+  t.trials <- s.trials;
+  t.measured <- s.measured;
+  t.cache_hits <- s.cache_hits;
+  t.build_errors <- s.build_errors;
+  t.run_errors <- s.run_errors;
+  t.timeouts <- s.timeouts;
+  t.retries <- s.retries;
+  t.batches <- s.batches;
+  t.backoff_seconds <- s.backoff_seconds;
+  List.iteri
+    (fun i (_, v) -> if i < Array.length t.phase then t.phase.(i) <- v)
+    s.phase_seconds
+
 let add_phase t phase seconds =
   let i = phase_index phase in
   t.phase.(i) <- t.phase.(i) +. seconds

@@ -48,6 +48,12 @@ val create : unit -> t
 val reset : t -> unit
 val stats : t -> stats
 
+val restore : t -> stats -> unit
+(** Overwrites every counter and phase timer from a snapshot — the inverse
+    of {!stats}, used by checkpoint recovery so a resumed session's trial
+    accounting (the budget unit) continues where the interrupted one
+    stopped. *)
+
 val time : t -> phase -> (unit -> 'a) -> 'a
 (** Runs the thunk and adds its wall-clock duration to the phase (also on
     exception). *)

@@ -2,6 +2,7 @@ module Tuner = Ansor_search.Tuner
 module Task = Ansor_search.Task
 module Service = Ansor_measure_service.Service
 module Telemetry = Ansor_measure_service.Telemetry
+module Cache = Ansor_measure_service.Cache
 module Rng = Ansor_util.Rng
 
 type objective =
@@ -98,6 +99,73 @@ let create options ~tasks ~networks =
     class_keys = Array.map class_key tasks;
     curve_rev = [];
   }
+
+module Snapshot = struct
+  type t = {
+    rng_state : int64;
+    tuners : Tuner.Snapshot.t array;
+    histories : float list array;  (* newest first, as held in task_state *)
+    no_improves : int array;
+    deads : bool array;
+    curve : (int * float array) list;  (* oldest first *)
+    shared : Tuner.Shared.snapshot;
+    caches : (string * float) list array;  (* per-task dedup-cache entries *)
+    stats : Telemetry.stats array;  (* per-task service telemetry *)
+  }
+
+  let task_keys s = Array.map (fun (ts : Tuner.Snapshot.t) -> ts.task_key) s.tuners
+end
+
+let snapshot t =
+  {
+    Snapshot.rng_state = Rng.state t.rng;
+    tuners = Array.map (fun s -> Tuner.snapshot s.tuner) t.states;
+    histories = Array.map (fun s -> s.history) t.states;
+    no_improves = Array.map (fun s -> s.no_improve) t.states;
+    deads = Array.map (fun s -> s.dead) t.states;
+    curve = List.rev t.curve_rev;
+    shared = Tuner.Shared.snapshot t.shr;
+    caches = Array.map (fun s -> Cache.entries (Service.cache s.service)) t.states;
+    stats = Array.map (fun s -> Service.stats s.service) t.states;
+  }
+
+let restore t (s : Snapshot.t) =
+  let n = Array.length t.states in
+  if Array.length s.Snapshot.tuners <> n then
+    Error
+      (Printf.sprintf "snapshot has %d tasks, session has %d"
+         (Array.length s.Snapshot.tuners) n)
+  else begin
+    (* validate every task key before mutating anything *)
+    let mismatch = ref None in
+    Array.iteri
+      (fun i st ->
+        let want = Task.key (Tuner.task st.tuner) in
+        let got = s.Snapshot.tuners.(i).Tuner.Snapshot.task_key in
+        if !mismatch = None && not (String.equal want got) then
+          mismatch :=
+            Some (Printf.sprintf "task %d: snapshot is for %s, not %s" i got want))
+      t.states;
+    match !mismatch with
+    | Some msg -> Error msg
+    | None ->
+      Array.iteri
+        (fun i st ->
+          (match Tuner.restore st.tuner s.Snapshot.tuners.(i) with
+          | Ok () -> ()
+          | Error _ -> assert false (* keys were validated above *));
+          st.history <- s.Snapshot.histories.(i);
+          st.no_improve <- s.Snapshot.no_improves.(i);
+          st.dead <- s.Snapshot.deads.(i);
+          let cache = Service.cache st.service in
+          List.iter (fun (k, v) -> Cache.add cache k v) s.Snapshot.caches.(i);
+          Telemetry.restore (Service.telemetry st.service) s.Snapshot.stats.(i))
+        t.states;
+      Tuner.Shared.restore t.shr s.Snapshot.shared;
+      Rng.set_state t.rng s.Snapshot.rng_state;
+      t.curve_rev <- List.rev s.Snapshot.curve;
+      Ok ()
+  end
 
 let allocations t = Array.map (fun s -> List.length s.history) t.states
 let best_latency t i = Tuner.best_latency t.states.(i).tuner
@@ -220,10 +288,17 @@ let allocate t i =
   else s.no_improve <- 0;
   t.curve_rev <- (total_trials t, netlats_of t (latencies t)) :: t.curve_rev
 
-let run t ~trial_budget =
-  (* warm-up: one unit per task, round-robin *)
+let run ?(should_stop = fun () -> false) ?on_round t ~trial_budget =
+  let allocate t i =
+    allocate t i;
+    match on_round with Some f -> f t | None -> ()
+  in
+  (* warm-up: one unit per task, round-robin (a resumed session's tasks
+     already have history, so warm-up is naturally skipped) *)
   Array.iteri
-    (fun i s -> if s.history = [] && total_trials t < trial_budget then allocate t i)
+    (fun i s ->
+      if s.history = [] && total_trials t < trial_budget && not (should_stop ())
+      then allocate t i)
     t.states;
   let n = Array.length t.tasks in
   let continue = ref true in
@@ -231,7 +306,12 @@ let run t ~trial_budget =
      trials; bound the number of consecutive trial-free allocations so the
      budget loop always terminates *)
   let stagnant = ref 0 in
-  while !continue && total_trials t < trial_budget && !stagnant < 3 * n do
+  while
+    (not (should_stop ()))
+    && !continue
+    && total_trials t < trial_budget
+    && !stagnant < 3 * n
+  do
     let alive =
       Array.to_list (Array.init n Fun.id)
       |> List.filter (fun i -> not t.states.(i).dead)

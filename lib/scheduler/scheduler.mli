@@ -59,9 +59,43 @@ val create : options -> tasks:Ansor_search.Task.t array -> networks:network list
 (** @raise Invalid_argument on empty tasks, empty networks or references
     to out-of-range task indices. *)
 
-val run : t -> trial_budget:int -> unit
+(** Checkpoint image of a whole scheduling session: every task's tuner
+    snapshot, allocation history, liveness, per-service dedup cache and
+    telemetry, the shared training set and the scheduler's own RNG cursor
+    and curve.  Pure marshal-safe data. *)
+module Snapshot : sig
+  type t = {
+    rng_state : int64;
+    tuners : Ansor_search.Tuner.Snapshot.t array;
+    histories : float list array;  (** newest first, per task *)
+    no_improves : int array;
+    deads : bool array;
+    curve : (int * float array) list;  (** oldest first *)
+    shared : Ansor_search.Tuner.Shared.snapshot;
+    caches : (string * float) list array;
+    stats : Ansor_measure_service.Telemetry.stats array;
+  }
+
+  val task_keys : t -> string array
+  (** The per-task {!Ansor_search.Task.key}s, in scheduler order — a
+      compatibility fingerprint for resume validation. *)
+end
+
+val snapshot : t -> Snapshot.t
+
+val restore : t -> Snapshot.t -> (unit, string) result
+(** Restores a freshly {!create}d scheduler (same options, tasks and
+    networks) to the snapshot's state.  Validates the task count and every
+    task key before mutating anything; on [Error] the scheduler is
+    untouched. *)
+
+val run :
+  ?should_stop:(unit -> bool) -> ?on_round:(t -> unit) -> t -> trial_budget:int -> unit
 (** Allocates units until the total measurement trials reach the budget
-    (or no task can make progress). Can be called repeatedly to extend. *)
+    (or no task can make progress). Can be called repeatedly to extend.
+    [should_stop] is polled before each allocation — graceful shutdown
+    between rounds, never mid-batch.  [on_round] runs after every
+    allocation (checkpoint hook). *)
 
 val allocations : t -> int array
 (** Units allocated per task so far (the vector t). *)

@@ -177,25 +177,16 @@ let of_line line =
 (* ---- files --------------------------------------------------------------- *)
 
 let save ~path entries =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Ansor_util.Atomic_file.write ~path (fun oc ->
       List.iter
         (fun e ->
           output_string oc (to_line e);
           output_char oc '\n')
         entries)
 
-let append ~path entry =
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_line entry);
-      output_char oc '\n')
+let append ~path entry = Ansor_util.Atomic_file.append_line ~path (to_line entry)
 
-let load ~path =
+let fold_lines ~path ~on_line ~init =
   match open_in path with
   | exception Sys_error e -> Error e
   | ic ->
@@ -204,14 +195,31 @@ let load ~path =
       (fun () ->
         let rec go acc lineno =
           match input_line ic with
-          | exception End_of_file -> Ok (List.rev acc)
+          | exception End_of_file -> Ok acc
           | "" -> go acc (lineno + 1)
           | line -> (
-            match of_line line with
-            | Ok e -> go (e :: acc) (lineno + 1)
-            | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+            match on_line acc lineno line with
+            | Ok acc -> go acc (lineno + 1)
+            | Error _ as e -> e)
         in
-        go [] 1)
+        go init 1)
+
+let load ~path =
+  Result.map List.rev
+    (fold_lines ~path ~init:[]
+       ~on_line:(fun acc lineno line ->
+         match of_line line with
+         | Ok e -> Ok (e :: acc)
+         | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)))
+
+let load_salvage ~path =
+  Result.map
+    (fun (acc, skipped) -> (List.rev acc, skipped))
+    (fold_lines ~path ~init:([], 0)
+       ~on_line:(fun (acc, skipped) _lineno line ->
+         match of_line line with
+         | Ok e -> Ok (e :: acc, skipped)
+         | Error _ -> Ok (acc, skipped + 1)))
 
 let best_for entries ~task_key =
   List.fold_left

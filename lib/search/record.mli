@@ -30,13 +30,22 @@ val to_line : entry -> string
 val of_line : string -> (entry, string) result
 
 val save : path:string -> entry list -> unit
-(** Overwrites [path]. *)
+(** Atomically replaces [path] (write-temp + rename): an interrupted save
+    cannot truncate an existing log. *)
 
 val append : path:string -> entry -> unit
+(** Atomic append (copy + rename through {!Ansor_util.Atomic_file}): a
+    torn append can lose the new entry but never corrupt the entries
+    already in the log. *)
 
 val load : path:string -> (entry list, string) result
-(** All entries; [Error] describes the first malformed line. Empty lines
-    are skipped. *)
+(** Strict: all entries; [Error] describes the first malformed line. Empty
+    lines are skipped. *)
+
+val load_salvage : path:string -> (entry list * int, string) result
+(** Torn-file recovery: every well-formed entry, plus the number of
+    malformed lines skipped (e.g. the partial final line left by a killed
+    writer).  [Error] only when the file cannot be opened. *)
 
 val best_for : entry list -> task_key:string -> entry option
 (** Lowest-latency entry for a task. *)

@@ -109,6 +109,28 @@ module Shared = struct
       t.model <- Cost_model.train capped;
       t.rounds_since_train <- 0
     end
+
+  type snapshot = {
+    snap_records : Cost_model.record list;
+    snap_rounds_since_train : int;
+    snap_trained : bool;
+  }
+
+  let snapshot t =
+    {
+      snap_records = t.records;
+      snap_rounds_since_train = t.rounds_since_train;
+      snap_trained = Cost_model.is_trained t.model;
+    }
+
+  let restore t s =
+    t.records <- s.snap_records;
+    t.rounds_since_train <- s.snap_rounds_since_train;
+    t.model <-
+      (if s.snap_trained then
+         let capped = List.filteri (fun i _ -> i < t.max_records) s.snap_records in
+         Cost_model.train capped
+       else Cost_model.empty)
 end
 
 type t = {
@@ -156,6 +178,52 @@ let create ?(seed = 0) ?(warm_start = []) options task =
     curve_rev = [];
     rounds = 0;
   }
+
+module Snapshot = struct
+  type t = {
+    task_key : string;
+    rng_state : int64;
+    rounds : int;
+    best : (Step.t list * float) option;
+    good : (Step.t list * float) list;
+    measured_keys : string list;
+    curve : (int * float) list;
+  }
+end
+
+let snapshot t =
+  {
+    Snapshot.task_key = Task.key t.task;
+    rng_state = Rng.state t.rng;
+    rounds = t.rounds;
+    best = Option.map (fun (st, l) -> (st.State.history, l)) t.best;
+    good = List.map (fun (st, l) -> (st.State.history, l)) t.good;
+    measured_keys =
+      Hashtbl.fold (fun k () acc -> k :: acc) t.measured []
+      |> List.sort String.compare;
+    curve = List.rev t.curve_rev;
+  }
+
+let restore t (s : Snapshot.t) =
+  if not (String.equal s.Snapshot.task_key (Task.key t.task)) then
+    Error
+      (Printf.sprintf "snapshot is for task %s, not %s" s.Snapshot.task_key
+         (Task.key t.task))
+  else begin
+    let replay (steps, l) =
+      match State.replay_checked t.task.Task.dag steps with
+      | Ok st -> Some (st, l)
+      | Error _ -> None
+    in
+    Rng.set_state t.rng s.Snapshot.rng_state;
+    t.rounds <- s.Snapshot.rounds;
+    t.best <- Option.bind s.Snapshot.best replay;
+    t.good <- List.filter_map replay s.Snapshot.good;
+    Hashtbl.reset t.measured;
+    List.iter (fun k -> Hashtbl.replace t.measured k ()) s.Snapshot.measured_keys;
+    t.curve_rev <- List.rev s.Snapshot.curve;
+    Ok ()
+  end
 
 let task t = t.task
 let best_latency t = match t.best with Some (_, l) -> l | None -> infinity
@@ -387,7 +455,8 @@ let round t shared service =
   t.rounds <- t.rounds + 1;
   t.curve_rev <- (Service.trials service, best_latency t) :: t.curve_rev
 
-let tune ?(seed = 0) ?shared ?service options ~trials task =
+let tune ?(seed = 0) ?shared ?service ?snapshot:snap
+    ?(should_stop = fun () -> false) ?on_round options ~trials task =
   let shared = match shared with Some s -> s | None -> Shared.create () in
   let service =
     match service with
@@ -395,10 +464,19 @@ let tune ?(seed = 0) ?shared ?service options ~trials task =
     | None -> Service.create ~seed:(seed + 17) task.Task.machine
   in
   let t = create ~seed options task in
+  (match snap with
+  | None -> ()
+  | Some s -> (
+    match restore t s with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Tuner.tune: " ^ msg)));
   let stuck = ref 0 in
-  while Service.trials service < trials && !stuck < 3 do
+  while
+    (not (should_stop ())) && Service.trials service < trials && !stuck < 3
+  do
     let before = Service.trials service in
     round t shared service;
+    (match on_round with Some f -> f t | None -> ());
     if Service.trials service = before then incr stuck else stuck := 0
   done;
   (t, service)

@@ -67,6 +67,20 @@ module Shared : sig
   val model : t -> Ansor_cost_model.Cost_model.t
   val records : t -> Ansor_cost_model.Cost_model.record list
   val num_records : t -> int
+
+  (** Checkpoint image of the shared state: the full training set (newest
+      first, order preserved) plus whether a model had been trained.  Pure
+      data — safe to marshal. *)
+  type snapshot
+
+  val snapshot : t -> snapshot
+
+  val restore : t -> snapshot -> unit
+  (** Replaces the training set and retrains the model from it when the
+      snapshot had one (training is deterministic in the record list, so
+      with the default [train_every = 1] the restored model is exactly the
+      interrupted session's; with a larger [train_every] it may see up to
+      [train_every - 1] newer rounds of records than the original did). *)
 end
 
 type t
@@ -80,6 +94,31 @@ val create :
     that no longer replay are ignored. *)
 
 val task : t -> Task.t
+
+(** Checkpoint image of one tuner: everything mutable between rounds, as
+    pure marshal-safe data.  States are stored as replayable step
+    histories (the {!Record} representation), so a snapshot survives
+    process death and restores against a freshly rebuilt task. *)
+module Snapshot : sig
+  type t = {
+    task_key : string;  (** {!Task.key} of the tuner's task *)
+    rng_state : int64;  (** search-RNG cursor *)
+    rounds : int;
+    best : (Ansor_sched.Step.t list * float) option;
+    good : (Ansor_sched.Step.t list * float) list;  (** ascending latency *)
+    measured_keys : string list;  (** dedup set of measured histories *)
+    curve : (int * float) list;  (** oldest first *)
+  }
+end
+
+val snapshot : t -> Snapshot.t
+
+val restore : t -> Snapshot.t -> (unit, string) result
+(** Restores a freshly {!create}d tuner (same seed, options, task) to the
+    snapshot's state: RNG cursor, round count, population, best-so-far,
+    measured set and curve.  Step histories that no longer replay are
+    dropped silently.  [Error] if the snapshot belongs to a different
+    task. *)
 
 val round : t -> Shared.t -> Ansor_measure_service.Service.t -> unit
 (** Generate, measure [batch_size] programs through the measurement
@@ -102,6 +141,9 @@ val tune :
   ?seed:int ->
   ?shared:Shared.t ->
   ?service:Ansor_measure_service.Service.t ->
+  ?snapshot:Snapshot.t ->
+  ?should_stop:(unit -> bool) ->
+  ?on_round:(t -> unit) ->
   options ->
   trials:int ->
   Task.t ->
@@ -109,4 +151,10 @@ val tune :
 (** Convenience: rounds until the service's trial count reaches the budget
     (or three consecutive rounds consume no trials); returns the tuner and
     the service (freshly created with default config unless supplied) for
-    inspection. *)
+    inspection.
+
+    [snapshot] restores the tuner before the first round (resume);
+    @raise Invalid_argument if it belongs to a different task.
+    [should_stop] is polled before each round — graceful shutdown: the
+    loop exits between rounds, never mid-batch.  [on_round] runs after
+    every completed round (checkpoint hook). *)

@@ -20,6 +20,18 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)
 
+val state : t -> int64
+(** The raw stream cursor — everything there is to a generator.  Persisted
+    by checkpoints so a resumed session draws the exact same stream an
+    uninterrupted one would. *)
+
+val set_state : t -> int64 -> unit
+(** Rewinds/forwards [t] to a cursor previously read with {!state}. *)
+
+val of_state : int64 -> t
+(** A generator starting at a saved cursor ([of_state (state t)] behaves
+    like [copy t]). *)
+
 val int : t -> int -> int
 (** [int t bound] draws uniformly from [0, bound).
     @raise Invalid_argument if [bound <= 0]. *)
