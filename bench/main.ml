@@ -21,6 +21,7 @@ let experiments =
     ("searchtime", "Search-time study (Ansor vs AutoTVM)", Searchtime.run);
     ("table2", "Table 2: multi-network objectives", Table2.run);
     ("ablation", "Design-choice ablations", Ablation.run);
+    ("serving", "Serving: registry vs naive dispatch", Serving.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

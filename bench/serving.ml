@@ -1,0 +1,108 @@
+(* Serving study: end-to-end request latency of the dispatcher, registry
+   dispatch vs naive dispatch.
+
+   Tunes each subgraph of a small synthetic network briefly, builds a
+   schedule registry from the results, then serves the same request
+   stream three ways:
+
+   - naive: every layer runs its default (unscheduled) program;
+   - registry: every layer runs its tuned program (exact hits);
+   - adapted: a network of shapes the registry has never seen, served
+     through the similarity fallback (nearest structure class, tile
+     sizes re-fit).
+
+   The claim to check mirrors §7's end-to-end story on the serving side:
+   registry dispatch beats naive by roughly the tuned speedup of its
+   layers, and the similarity fallback lands much closer to tuned than
+   to naive. *)
+
+let net_of cases name =
+  { Ansor.Workloads.net_name = name; layers = List.map (fun c -> (c, 1)) cases }
+
+let serve_stats ~config ~registry ~machine net ~requests =
+  let d = Ansor.Dispatcher.create ~config ~registry ~machine net in
+  Ansor.Dispatcher.serve d ~requests;
+  Ansor.Dispatcher.stats d
+
+let run () =
+  Common.header "Serving: registry dispatch vs naive dispatch";
+  let machine = Ansor.Machine.intel_cpu in
+  let trials = Common.scaled 60 in
+  let requests = Common.scaled 200 in
+  let tuned_cases =
+    [
+      List.nth (Ansor.Workloads.op_cases ~op:"GMM" ~batch:1) 0;
+      List.nth (Ansor.Workloads.op_cases ~op:"C1D" ~batch:1) 1;
+    ]
+  in
+  let untuned_cases =
+    [
+      List.nth (Ansor.Workloads.op_cases ~op:"GMM" ~batch:1) 2;
+      List.nth (Ansor.Workloads.op_cases ~op:"C1D" ~batch:1) 0;
+    ]
+  in
+  (* tune each subgraph and register the best record *)
+  let registry = Ansor.Registry.create () in
+  List.iter
+    (fun (case : Ansor.Workloads.case) ->
+      let task =
+        Ansor.Task.create ~name:case.case_name ~machine case.dag
+      in
+      let result = Ansor.tune ~seed:Common.seed ~trials machine case.dag in
+      match result.best_state with
+      | None ->
+        Printf.printf "  %-12s no valid program found\n" case.case_name
+      | Some st ->
+        ignore
+          (Ansor.Registry.add registry
+             {
+               Ansor.Record.task_key = Ansor.Task.key task;
+               latency = result.best_latency;
+               steps = st.Ansor.State.history;
+             });
+        Printf.printf "  %-12s tuned to %.4f ms (%d trials)\n"
+          case.case_name
+          (result.best_latency *. 1e3)
+          result.trials_used)
+    tuned_cases;
+  let config =
+    { Ansor.Dispatcher.default_config with seed = Common.seed }
+  in
+  let tuned_net = net_of tuned_cases "tuned-mix" in
+  let untuned_net = net_of untuned_cases "untuned-mix" in
+  let naive =
+    serve_stats
+      ~config:{ config with naive = true }
+      ~registry ~machine tuned_net ~requests
+  in
+  let tuned = serve_stats ~config ~registry ~machine tuned_net ~requests in
+  let adapted = serve_stats ~config ~registry ~machine untuned_net ~requests in
+  let naive_untuned =
+    serve_stats
+      ~config:{ config with naive = true }
+      ~registry ~machine untuned_net ~requests
+  in
+  Common.subheader
+    (Printf.sprintf "request latency (%d requests each)" requests);
+  let line label (s : Ansor.Dispatcher.stats) =
+    Printf.printf
+      "  %-22s mean %10.4f ms   p95 %10.4f ms   %d exact / %d adapted / %d \
+       default\n"
+      label
+      (s.latency.Ansor.Histogram.mean *. 1e3)
+      (s.latency.Ansor.Histogram.p95 *. 1e3)
+      s.exact s.adapted s.defaulted
+  in
+  line "naive dispatch" naive;
+  line "registry dispatch" tuned;
+  line "adapted (untuned net)" adapted;
+  line "naive (untuned net)" naive_untuned;
+  if tuned.latency.Ansor.Histogram.mean > 0.0 then
+    Printf.printf "\n  registry speedup over naive: %.1fx\n"
+      (naive.latency.Ansor.Histogram.mean
+      /. tuned.latency.Ansor.Histogram.mean);
+  if adapted.latency.Ansor.Histogram.mean > 0.0 then
+    Printf.printf
+      "  similarity fallback speedup over naive (untuned shapes): %.1fx\n"
+      (naive_untuned.latency.Ansor.Histogram.mean
+      /. adapted.latency.Ansor.Histogram.mean)

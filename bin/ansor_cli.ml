@@ -1,10 +1,12 @@
 (* ansor-cli: tune operators, subgraphs and networks from the command
-   line on the simulated machines.
+   line on the simulated machines — and serve the tuned results.
 
      ansor-cli machines
      ansor-cli sketches -o GMM
      ansor-cli tune -o C2D -i 1 -b 1 -m intel-cpu -t 300 -s ansor
      ansor-cli network -n mobilenet_v2 -m intel-cpu --budget 500
+     ansor-cli registry build -o sched.reg --from tune.log
+     ansor-cli serve -n mobilenet_v2 --registry sched.reg --requests 200
 *)
 
 open Cmdliner
@@ -141,19 +143,40 @@ let check_resume_flags resume snapshot =
     Error "--resume requires --snapshot PATH"
   else Ok ()
 
-let emit_stats stats_json (stats : Ansor.Telemetry.stats) =
-  Printf.printf "telemetry: %s\n" (Ansor.Telemetry.summary stats);
+let emit_json ~what stats_json json =
   match stats_json with
   | None -> ()
-  | Some "-" -> print_endline (Ansor.Telemetry.to_json stats)
+  | Some "-" -> print_endline json
   | Some path -> (
     match open_out path with
-    | exception Sys_error e -> Printf.eprintf "warning: cannot write telemetry: %s\n" e
+    | exception Sys_error e ->
+      Printf.eprintf "warning: cannot write %s: %s\n" what e
     | oc ->
       Fun.protect
         ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (Ansor.Telemetry.to_json stats));
-      Printf.printf "telemetry written to %s\n" path)
+        (fun () -> output_string oc json);
+      Printf.printf "%s written to %s\n" what path)
+
+let emit_stats stats_json (stats : Ansor.Telemetry.stats) =
+  Printf.printf "telemetry: %s\n" (Ansor.Telemetry.summary stats);
+  emit_json ~what:"telemetry" stats_json (Ansor.Telemetry.to_json stats)
+
+(* Resuming an interrupted session re-logs its best on the first improved
+   round, and long sessions accumulate an improvement trail: compact the
+   log (best per key) when picking a session back up so it stops growing
+   unboundedly. *)
+let compact_record_log ~resume save =
+  match save with
+  | Some path when resume && Sys.file_exists path -> (
+    match Ansor.Record.compact ~path with
+    | Ok 0 -> ()
+    | Ok removed ->
+      Printf.printf "record log %s compacted: %d stale entr%s removed\n" path
+        removed
+        (if removed = 1 then "y" else "ies")
+    | Error msg ->
+      Printf.eprintf "warning: cannot compact record log %s: %s\n" path msg)
+  | _ -> ()
 
 let cache_path save = save ^ ".cache"
 
@@ -257,12 +280,13 @@ let tune_cmd =
     let machine = or_die (lookup_machine machine) in
     let options = or_die (lookup_strategy strategy) in
     let cache = load_cache save in
+    compact_record_log ~resume save;
     let should_stop, on_round, summarize = session_control stop_after_rounds in
     let result =
       Ansor.tune ~seed ~trials ~options
         ~service_config:(service_config workers measure_timeout batch_deadline)
-        ~cache ?snapshot_path:snapshot ~resume ~should_stop ~on_round machine
-        case.dag
+        ~cache ?snapshot_path:snapshot ~resume ?record_log:save ~should_stop
+        ~on_round machine case.dag
     in
     summarize ();
     Printf.printf "%s on %s (%s, %d trials): best %.4f ms\n"
@@ -276,16 +300,11 @@ let tune_cmd =
       Format.printf "roofline: %a@." Ansor.Roofline.pp
         (Ansor.Roofline.analyze machine prog)
     | None -> ());
-    (match (save, result.best_state) with
-    | Some path, Some st ->
-      let task = Ansor.Task.create ~name:case.case_name ~machine case.dag in
-      Ansor.Record.append ~path
-        {
-          Ansor.Record.task_key = Ansor.Task.key task;
-          latency = result.best_latency;
-          steps = st.Ansor.State.history;
-        };
-      Printf.printf "record appended to %s\n" path;
+    (match save with
+    | Some path when result.best_state <> None ->
+      (* the improvement trail was batch-appended after every round
+         (Record.append_batch); just say where it went *)
+      Printf.printf "record log updated: %s\n" path;
       (* persist the dedup cache alongside the record log: a re-tuning
          session reuses past measurements instead of repeating them *)
       Ansor.Measure_cache.save ~path:(cache_path path) cache;
@@ -345,36 +364,36 @@ let replay_cmd =
        ~doc:"Apply the best recorded schedule without searching.")
     Term.(const run $ op_arg $ index_arg $ batch_arg $ machine_arg $ from_arg)
 
+let net_of_name name batch =
+  match name with
+  | "resnet50" -> Ok (Ansor.Workloads.resnet50 ~batch)
+  | "mobilenet_v2" -> Ok (Ansor.Workloads.mobilenet_v2 ~batch)
+  | "resnet3d_18" -> Ok (Ansor.Workloads.resnet3d_18 ~batch)
+  | "dcgan" -> Ok (Ansor.Workloads.dcgan ~batch)
+  | "bert" -> Ok (Ansor.Workloads.bert ~batch)
+  | n -> Error (Printf.sprintf "unknown network %s" n)
+
+let net_name_arg =
+  let doc = "Network: resnet50, mobilenet_v2, resnet3d_18, dcgan, bert." in
+  Arg.(value & opt string "mobilenet_v2" & info [ "n"; "network" ] ~doc)
+
 let network_cmd =
-  let name_arg =
-    let doc =
-      "Network: resnet50, mobilenet_v2, resnet3d_18, dcgan, bert."
-    in
-    Arg.(value & opt string "mobilenet_v2" & info [ "n"; "network" ] ~doc)
-  in
   let budget_arg =
     let doc = "Total measurement-trial budget." in
     Arg.(value & opt int 500 & info [ "budget" ] ~doc)
   in
-  let run name batch machine budget seed workers measure_timeout
+  let run name batch machine budget seed save workers measure_timeout
       batch_deadline stats_json snapshot resume stop_after_rounds =
     or_die (check_resume_flags resume snapshot);
-    let net =
-      match name with
-      | "resnet50" -> Ok (Ansor.Workloads.resnet50 ~batch)
-      | "mobilenet_v2" -> Ok (Ansor.Workloads.mobilenet_v2 ~batch)
-      | "resnet3d_18" -> Ok (Ansor.Workloads.resnet3d_18 ~batch)
-      | "dcgan" -> Ok (Ansor.Workloads.dcgan ~batch)
-      | "bert" -> Ok (Ansor.Workloads.bert ~batch)
-      | n -> Error (Printf.sprintf "unknown network %s" n)
-    in
-    let net = or_die net in
+    let net = or_die (net_of_name name batch) in
     let machine = or_die (lookup_machine machine) in
+    compact_record_log ~resume save;
     let should_stop, on_round, summarize = session_control stop_after_rounds in
     let results, stats =
       Ansor.tune_networks_with_stats ~seed ~trial_budget:budget
         ~service_config:(service_config workers measure_timeout batch_deadline)
-        ?snapshot_path:snapshot ~resume ~should_stop ~on_round machine [ net ]
+        ?snapshot_path:snapshot ~resume ?record_log:save ~should_stop
+        ~on_round machine [ net ]
     in
     summarize ();
     List.iter
@@ -385,19 +404,209 @@ let network_cmd =
           (fun (n, l) -> Printf.printf "  %-28s %10.4f ms\n" n (l *. 1e3))
           r.per_task)
       results;
+    (match save with
+    | Some path -> Printf.printf "record log updated: %s\n" path
+    | None -> ());
     emit_stats stats_json stats
   in
   Cmd.v
     (Cmd.info "network"
        ~doc:"Tune a whole network with the task scheduler.")
     Term.(
-      const run $ name_arg $ batch_arg $ machine_arg $ budget_arg $ seed_arg
-      $ workers_arg $ measure_timeout_arg $ batch_deadline_arg
-      $ stats_json_arg $ snapshot_arg $ resume_arg $ stop_after_rounds_arg)
+      const run $ net_name_arg $ batch_arg $ machine_arg $ budget_arg
+      $ seed_arg $ save_arg $ workers_arg $ measure_timeout_arg
+      $ batch_deadline_arg $ stats_json_arg $ snapshot_arg $ resume_arg
+      $ stop_after_rounds_arg)
+
+(* ---- registry ----------------------------------------------------------- *)
+
+let registry_out_arg =
+  let doc = "Output registry file." in
+  Arg.(required & opt (some string) None & info [ "o"; "out" ] ~doc)
+
+let warn_skipped ~what skipped =
+  if skipped > 0 then
+    Printf.eprintf "warning: %s: skipped %d malformed line%s\n" what skipped
+      (if skipped = 1 then "" else "s")
+
+let registry_build_cmd =
+  let from_arg =
+    let doc = "Tuning log written by tune/network --save (repeatable)." in
+    Arg.(non_empty & opt_all string [] & info [ "from" ] ~doc)
+  in
+  let run out paths =
+    let reg, skipped = or_die (Ansor.Registry.build_from_logs ~paths) in
+    warn_skipped ~what:(String.concat ", " paths) skipped;
+    Ansor.Registry.save ~path:out reg;
+    Printf.printf "registry %s: %d task%s from %d log%s\n" out
+      (Ansor.Registry.size reg)
+      (if Ansor.Registry.size reg = 1 then "" else "s")
+      (List.length paths)
+      (if List.length paths = 1 then "" else "s")
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:"Build a best-schedule registry from tuning logs.")
+    Term.(const run $ registry_out_arg $ from_arg)
+
+let registry_merge_cmd =
+  let paths_arg =
+    let doc = "Registry files to merge." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"REGISTRY" ~doc)
+  in
+  let run out paths =
+    let dst = Ansor.Registry.create () in
+    List.iter
+      (fun path ->
+        let reg = or_die (Ansor.Registry.load ~path) in
+        let changed = Ansor.Registry.merge_into ~dst reg in
+        Printf.printf "%s: %d entries, %d kept as best\n" path
+          (Ansor.Registry.size reg) changed)
+      paths;
+    Ansor.Registry.save ~path:out dst;
+    Printf.printf "merged registry %s: %d task%s\n" out
+      (Ansor.Registry.size dst)
+      (if Ansor.Registry.size dst = 1 then "" else "s")
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:"Merge registries, keeping the per-task best schedule.")
+    Term.(const run $ registry_out_arg $ paths_arg)
+
+let registry_path_arg =
+  let doc = "Registry file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"REGISTRY" ~doc)
+
+let registry_compact_cmd =
+  let run path =
+    let dropped = or_die (Ansor.Registry.compact_file ~path) in
+    Printf.printf "%s compacted: %d line%s dropped\n" path dropped
+      (if dropped = 1 then "" else "s")
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:"Rewrite a registry in canonical form (best per task, sorted).")
+    Term.(const run $ registry_path_arg)
+
+let registry_show_cmd =
+  let run path =
+    let reg = or_die (Ansor.Registry.load ~path) in
+    Printf.printf "%s: %d task%s\n" path (Ansor.Registry.size reg)
+      (if Ansor.Registry.size reg = 1 then "" else "s");
+    List.iter
+      (fun (e : Ansor.Record.entry) ->
+        Printf.printf "  %-60s %10.4f ms  %2d steps\n" e.task_key
+          (e.latency *. 1e3)
+          (List.length e.steps))
+      (Ansor.Registry.entries reg)
+  in
+  Cmd.v (Cmd.info "show" ~doc:"List the entries of a registry.")
+    Term.(const run $ registry_path_arg)
+
+let registry_cmd =
+  Cmd.group
+    (Cmd.info "registry"
+       ~doc:"Maintain the persistent best-schedule database.")
+    [ registry_build_cmd; registry_merge_cmd; registry_compact_cmd;
+      registry_show_cmd ]
+
+(* ---- serve -------------------------------------------------------------- *)
+
+let serve_cmd =
+  let registry_arg =
+    let doc = "Schedule registry built by 'registry build'." in
+    Arg.(value & opt (some string) None & info [ "registry" ] ~doc)
+  in
+  let requests_arg =
+    let doc = "End-to-end inference requests to dispatch." in
+    Arg.(value & opt int 100 & info [ "requests" ] ~doc)
+  in
+  let request_batch_arg =
+    let doc = "Requests per dispatch batch." in
+    Arg.(value & opt int 16 & info [ "request-batch" ] ~doc)
+  in
+  let capacity_arg =
+    let doc = "Compiled-program LRU capacity." in
+    Arg.(value & opt int 64 & info [ "capacity" ] ~doc)
+  in
+  let naive_arg =
+    let doc = "Bypass the registry and serve naive default schedules." in
+    Arg.(value & flag & info [ "naive" ] ~doc)
+  in
+  let noise_arg =
+    let doc = "Execution-jitter stddev (0 = deterministic latencies)." in
+    Arg.(value & opt float 0.03 & info [ "noise" ] ~doc)
+  in
+  let net_arg =
+    let doc =
+      "Network to serve (resnet50, mobilenet_v2, resnet3d_18, dcgan, bert). \
+       Omit to serve the single workload named by -o/-i/-b."
+    in
+    Arg.(value & opt (some string) None & info [ "n"; "network" ] ~doc)
+  in
+  let run net_name op index batch machine registry_path requests
+      request_batch capacity workers naive noise seed stats_json resume =
+    (* --resume here means: the registry is still being written by a live
+       tuning session, so salvage-load it instead of failing on a torn
+       line.  Without a registry there is nothing to salvage. *)
+    if resume && registry_path = None then
+      or_die
+        (Error
+           "serve: --resume requires --registry PATH (resume salvage-loads \
+            a registry still being written by a tuning session); without a \
+            registry use --naive");
+    let machine = or_die (lookup_machine machine) in
+    let net =
+      match net_name with
+      | Some name -> or_die (net_of_name name batch)
+      | None ->
+        let case = or_die (case_of op index batch) in
+        {
+          Ansor.Workloads.net_name = case.case_name;
+          layers = [ (case, 1) ];
+        }
+    in
+    let registry =
+      match registry_path with
+      | None -> Ansor.Registry.create ()
+      | Some path when resume ->
+        let reg, skipped = or_die (Ansor.Registry.load_salvage ~path) in
+        warn_skipped ~what:path skipped;
+        reg
+      | Some path -> or_die (Ansor.Registry.load ~path)
+    in
+    let config =
+      {
+        Ansor.Dispatcher.capacity;
+        num_workers = workers;
+        batch = request_batch;
+        noise;
+        naive;
+        seed;
+      }
+    in
+    let d = Ansor.Dispatcher.create ~config ~registry ~machine net in
+    Ansor.Dispatcher.serve d ~requests;
+    print_string (Ansor.Dispatcher.report d);
+    emit_json ~what:"serving stats" stats_json
+      (Ansor.Dispatcher.stats_json (Ansor.Dispatcher.stats d))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve inference requests from a schedule registry.")
+    Term.(
+      const run $ net_arg $ op_arg $ index_arg $ batch_arg $ machine_arg
+      $ registry_arg $ requests_arg $ request_batch_arg $ capacity_arg
+      $ workers_arg $ naive_arg $ noise_arg $ seed_arg $ stats_json_arg
+      $ resume_arg)
 
 let () =
   let info =
     Cmd.info "ansor-cli" ~version:"1.0.0"
       ~doc:"Auto-scheduling tensor programs (Ansor, OSDI 2020) on simulated machines."
   in
-  exit (Cmd.eval (Cmd.group info [ machines_cmd; sketches_cmd; tune_cmd; replay_cmd; network_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ machines_cmd; sketches_cmd; tune_cmd; replay_cmd; network_cmd;
+            registry_cmd; serve_cmd ]))

@@ -38,6 +38,10 @@ module Tuner = Ansor_search.Tuner
 module Record = Ansor_search.Record
 module Scheduler = Ansor_scheduler.Scheduler
 module Checkpoint = Ansor_checkpoint.Checkpoint
+module Registry = Ansor_registry.Registry
+module Lru = Ansor_serve.Lru
+module Histogram = Ansor_serve.Histogram
+module Dispatcher = Ansor_serve.Dispatcher
 module Baselines = Ansor_baselines.Baselines
 module Workloads = Ansor_workloads.Workloads
 
@@ -96,7 +100,8 @@ let try_resume ~resume ~snapshot_path ~seed ~machine_name ~task_keys apply =
 
 let tune ?(seed = 0) ?(trials = 200) ?(options = Tuner.ansor_options)
     ?(service_config = Measure_service.default_config) ?cache ?snapshot_path
-    ?(resume = false) ?(should_stop = fun () -> false) ?on_round machine dag =
+    ?(resume = false) ?record_log ?(should_stop = fun () -> false) ?on_round
+    machine dag =
   let task = Task.create ~name:"tune" ~machine dag in
   let service =
     Measure_service.create ~config:service_config ?cache ~seed:(seed + 17)
@@ -116,6 +121,26 @@ let tune ?(seed = 0) ?(trials = 200) ?(options = Tuner.ansor_options)
         Telemetry.restore (Measure_service.telemetry service) stats;
         restored := Some tuner;
         Ok ());
+  (* per-round improvement logging: one atomic batch append per round
+     (Record.append_batch), so a crash preserves every earlier best and a
+     long session pays one rewrite per round, not per entry *)
+  let last_logged =
+    ref
+      (match !restored with
+      | Some (snap : Tuner.Snapshot.t) -> (
+        match snap.Tuner.Snapshot.best with Some (_, l) -> l | None -> infinity)
+      | None -> infinity)
+  in
+  let log_improvement t =
+    match record_log with
+    | None -> ()
+    | Some path -> (
+      match Record.entry_of_tuner t with
+      | Some e when e.Record.latency < !last_logged ->
+        Record.append_batch ~path [ e ];
+        last_logged := e.Record.latency
+      | _ -> ())
+  in
   let checkpoint t =
     match snapshot_path with
     | None -> ()
@@ -142,6 +167,7 @@ let tune ?(seed = 0) ?(trials = 200) ?(options = Tuner.ansor_options)
   let tuner, service =
     Tuner.tune ~seed ~shared ~service ?snapshot:!restored ~should_stop
       ~on_round:(fun t ->
+        log_improvement t;
         checkpoint t;
         match on_round with Some f -> f () | None -> ())
       options ~trials task
@@ -163,7 +189,8 @@ type network_result = {
 let tune_networks_with_stats ?(seed = 0) ?trial_budget
     ?(objective = Scheduler.F1_sum) ?(tuner_options = Tuner.ansor_options)
     ?(service_config = Measure_service.default_config) ?snapshot_path
-    ?(resume = false) ?(should_stop = fun () -> false) ?on_round machine nets =
+    ?(resume = false) ?record_log ?(should_stop = fun () -> false) ?on_round
+    machine nets =
   (* deduplicate tasks shared between networks by workload key *)
   let table = Hashtbl.create 32 in
   let order = ref [] in
@@ -208,6 +235,34 @@ let tune_networks_with_stats ?(seed = 0) ?trial_budget
     ~task_keys (function
     | Checkpoint.Single _ -> Error "snapshot is a single-task session"
     | Checkpoint.Session snap -> Scheduler.restore sched snap);
+  (* per-allocation improvement logging, batched: every task whose best
+     improved this round lands in one atomic Record.append_batch *)
+  let last_logged =
+    Array.init (Array.length tasks) (fun i -> Scheduler.best_latency sched i)
+  in
+  let log_improvements sched =
+    match record_log with
+    | None -> ()
+    | Some path ->
+      let improved = ref [] in
+      Array.iteri
+        (fun i task ->
+          let lat = Scheduler.best_latency sched i in
+          if Float.is_finite lat && lat < last_logged.(i) then
+            match Scheduler.best_state sched i with
+            | Some st ->
+              last_logged.(i) <- lat;
+              improved :=
+                {
+                  Record.task_key = Task.key task;
+                  latency = lat;
+                  steps = st.State.history;
+                }
+                :: !improved
+            | None -> ())
+        tasks;
+      Record.append_batch ~path (List.rev !improved)
+  in
   let checkpoint sched =
     match snapshot_path with
     | None -> ()
@@ -226,6 +281,7 @@ let tune_networks_with_stats ?(seed = 0) ?trial_budget
   in
   Scheduler.run ~should_stop
     ~on_round:(fun s ->
+      log_improvements s;
       checkpoint s;
       match on_round with Some f -> f () | None -> ())
     sched ~trial_budget:budget;

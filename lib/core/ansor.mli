@@ -69,6 +69,17 @@ module Scheduler = Ansor_scheduler.Scheduler
     {!Checkpoint.Shutdown}). *)
 
 module Checkpoint = Ansor_checkpoint.Checkpoint
+
+(** The serving subsystem: a persistent best-schedule database built from
+    {!Record} logs (with a similarity fallback for untuned workloads), and
+    an inference dispatcher that compiles each subgraph once, caches
+    compiled programs in a bounded LRU and executes requests on a domain
+    pool (see {!Registry.resolve}, {!Dispatcher.serve}). *)
+
+module Registry = Ansor_registry.Registry
+module Lru = Ansor_serve.Lru
+module Histogram = Ansor_serve.Histogram
+module Dispatcher = Ansor_serve.Dispatcher
 module Baselines = Ansor_baselines.Baselines
 module Workloads = Ansor_workloads.Workloads
 
@@ -91,6 +102,7 @@ val tune :
   ?cache:Measure_cache.t ->
   ?snapshot_path:string ->
   ?resume:bool ->
+  ?record_log:string ->
   ?should_stop:(unit -> bool) ->
   ?on_round:(unit -> unit) ->
   Machine.t ->
@@ -111,7 +123,13 @@ val tune :
     snapshot degrades to a fresh start with a warning on stderr, never an
     error.  [should_stop] is polled between rounds (wire it to
     {!Checkpoint.Shutdown.requested} for graceful Ctrl-C); [on_round] runs
-    after each round's checkpoint. *)
+    after each round's checkpoint.
+
+    [record_log] appends the session's best program to the given
+    {!Record} log whenever a round improves it — one atomic batch append
+    per round ({!Record.append_batch}), so a killed session keeps every
+    earlier best.  Feed the log to {!Registry.build_from_logs} (or
+    [ansor-cli registry build]) to serve the result. *)
 
 type network_result = {
   net : Workloads.net;
@@ -140,6 +158,7 @@ val tune_networks_with_stats :
   ?service_config:Measure_service.config ->
   ?snapshot_path:string ->
   ?resume:bool ->
+  ?record_log:string ->
   ?should_stop:(unit -> bool) ->
   ?on_round:(unit -> unit) ->
   Machine.t ->
@@ -147,9 +166,10 @@ val tune_networks_with_stats :
   network_result list * Telemetry.stats
 (** Same, also returning the aggregated measurement telemetry of the whole
     session (trials, failures, cache hits, phase timings).
-    [snapshot_path] / [resume] / [should_stop] / [on_round] work as in
-    {!tune}, checkpointing the whole scheduler session (every task's
-    tuner, budget allocation, caches, telemetry) after each allocation. *)
+    [snapshot_path] / [resume] / [record_log] / [should_stop] / [on_round]
+    work as in {!tune}, checkpointing the whole scheduler session (every
+    task's tuner, budget allocation, caches, telemetry) after each
+    allocation and batch-logging every task whose best improved. *)
 
 val verify_state : State.t -> (unit, string) result
 (** Checks a scheduled program two ways: statically ({!Validate.check},

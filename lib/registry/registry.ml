@@ -1,0 +1,345 @@
+open Ansor_search
+module State = Ansor_sched.State
+module Step = Ansor_sched.Step
+module Lower = Ansor_sched.Lower
+module Validate = Ansor_sched.Validate
+module Factorize = Ansor_util.Factorize
+
+let magic = "ansor-registry-v1"
+
+type t = (string, Record.entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+let size (t : t) = Hashtbl.length t
+
+let keys (t : t) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+
+let entries (t : t) = List.map (Hashtbl.find t) (keys t)
+let find (t : t) ~task_key = Hashtbl.find_opt t task_key
+
+let add (t : t) (e : Record.entry) =
+  match Hashtbl.find_opt t e.Record.task_key with
+  | None ->
+    Hashtbl.replace t e.Record.task_key e;
+    `Added
+  | Some b when e.Record.latency < b.Record.latency ->
+    Hashtbl.replace t e.Record.task_key e;
+    `Improved
+  | Some _ -> `Kept
+
+let add_all t es =
+  List.fold_left
+    (fun n e -> match add t e with `Kept -> n | `Added | `Improved -> n + 1)
+    0 es
+
+let of_entries es =
+  let t = create () in
+  ignore (add_all t es);
+  t
+
+let merge_into ~dst src = add_all dst (entries src)
+
+let prune (t : t) ~keep =
+  let doomed =
+    Hashtbl.fold (fun k e acc -> if keep e then acc else k :: acc) t []
+  in
+  List.iter (Hashtbl.remove t) doomed;
+  List.length doomed
+
+(* ---- persistence -------------------------------------------------------- *)
+
+let save ~path t =
+  Ansor_util.Atomic_file.write ~path (fun oc ->
+      output_string oc magic;
+      output_char oc '\n';
+      List.iter
+        (fun e ->
+          output_string oc (Record.to_line e);
+          output_char oc '\n')
+        (entries t))
+
+let load_lines ~path ~strict =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match input_line ic with
+        | exception End_of_file ->
+          Error (Printf.sprintf "%s: empty file (missing %s header)" path magic)
+        | header when not (String.equal header magic) ->
+          Error
+            (Printf.sprintf
+               "%s: not a schedule registry (expected %s header; raw record \
+                logs go through `registry build`)"
+               path magic)
+        | _header ->
+          let t = create () in
+          let skipped = ref 0 in
+          let rec go lineno =
+            match input_line ic with
+            | exception End_of_file -> Ok (t, !skipped)
+            | "" -> go (lineno + 1)
+            | line -> (
+              match Record.of_line line with
+              | Ok e ->
+                ignore (add t e);
+                go (lineno + 1)
+              | Error msg ->
+                if strict then
+                  Error (Printf.sprintf "%s: line %d: %s" path lineno msg)
+                else begin
+                  incr skipped;
+                  go (lineno + 1)
+                end)
+          in
+          go 2)
+
+let load ~path =
+  Result.map (fun (t, _) -> t) (load_lines ~path ~strict:true)
+
+let load_salvage ~path = load_lines ~path ~strict:false
+
+let build_from_logs ~paths =
+  let t = create () in
+  let rec go skipped = function
+    | [] -> Ok (t, skipped)
+    | path :: rest -> (
+      match Record.load_salvage ~path with
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+      | Ok (es, s) ->
+        ignore (add_all t es);
+        go (skipped + s) rest)
+  in
+  go 0 paths
+
+let compact_file ~path =
+  match load_salvage ~path with
+  | Error msg -> Error msg
+  | Ok (t, _skipped) ->
+    (* physical entry-line count before, for an honest drop count (stale
+       non-best duplicates and malformed lines all get dropped) *)
+    let before =
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let n = ref 0 in
+          (try
+             while true do
+               if not (String.equal (input_line ic) "") then incr n
+             done
+           with End_of_file -> ());
+          max 0 (!n - 1))
+    in
+    save ~path t;
+    Ok (max 0 (before - size t))
+
+(* ---- similarity --------------------------------------------------------- *)
+
+(* Structure class: the task key with concrete sizes blanked — the same
+   grouping the task scheduler uses for its Appendix-A similarity term.
+   Each digit run collapses to one '#', so 512 and 1024 share a class. *)
+let class_key key =
+  let b = Buffer.create (String.length key) in
+  let in_num = ref false in
+  String.iter
+    (fun c ->
+      if c >= '0' && c <= '9' then begin
+        if not !in_num then Buffer.add_char b '#';
+        in_num := true
+      end
+      else begin
+        in_num := false;
+        Buffer.add_char b c
+      end)
+    key;
+  Buffer.contents b
+
+(* Shape features: every concrete size in the key, in order.  Two keys of
+   one structure class always yield equal-length vectors (the non-digit
+   skeleton is identical). *)
+let shape_features key =
+  let feats = ref [] and cur = ref 0 and in_num = ref false in
+  String.iter
+    (fun c ->
+      if c >= '0' && c <= '9' then begin
+        cur := (!cur * 10) + (Char.code c - Char.code '0');
+        in_num := true
+      end
+      else if !in_num then begin
+        feats := !cur :: !feats;
+        cur := 0;
+        in_num := false
+      end)
+    key;
+  if !in_num then feats := !cur :: !feats;
+  List.rev_map (fun n -> log (float_of_int (max 1 n))) !feats
+
+let shape_distance a b =
+  let fa = shape_features a and fb = shape_features b in
+  if List.length fa <> List.length fb then infinity
+  else List.fold_left2 (fun acc x y -> acc +. Float.abs (x -. y)) 0.0 fa fb
+
+let similar_keys (t : t) ~task_key =
+  let cls = class_key task_key in
+  Hashtbl.fold
+    (fun k _ acc ->
+      if String.equal k task_key || not (String.equal (class_key k) cls) then
+        acc
+      else
+        let d = shape_distance k task_key in
+        if Float.is_finite d then (k, d) :: acc else acc)
+    t []
+  |> List.sort (fun (k1, d1) (k2, d2) ->
+         match Float.compare d1 d2 with 0 -> String.compare k1 k2 | c -> c)
+
+(* ---- adaptation --------------------------------------------------------- *)
+
+(* Re-fit a split's tile sizes to a new extent: same number of parts,
+   product equal to the extent.  Prefer rescaling only the outermost
+   length — that keeps every inner tile extent identical to the recorded
+   schedule, so splits of different stages over the same loop refit
+   consistently and cross-stage bindings (compute_at) still line up.
+   When the extent ratio is not integral, fall back to the factorization
+   log-closest to the recorded sizes (inner tiles may then drift, and a
+   later binding step can fail — the adapt loop handles that). *)
+let refit_lengths ~extent lengths =
+  let k = List.length lengths in
+  let product = List.fold_left ( * ) 1 lengths in
+  let rescaled =
+    match lengths with
+    | l0 :: rest when product > 0 && extent mod product = 0 ->
+      Some ((l0 * (extent / product)) :: rest)
+    | l0 :: rest
+      when extent > 0 && product mod extent = 0
+           && l0 mod (product / extent) = 0 ->
+      Some ((l0 / (product / extent)) :: rest)
+    | _ -> None
+  in
+  match rescaled with
+  | Some _ -> rescaled
+  | None -> (
+    let target = List.map (fun l -> log (float_of_int (max 1 l))) lengths in
+    let score cand =
+      List.fold_left2
+        (fun acc c t ->
+          let d = log (float_of_int c) -. t in
+          acc +. (d *. d))
+        0.0 cand target
+    in
+    match Factorize.factorizations extent k with
+    | [] -> None
+    | cands ->
+      let best =
+        List.fold_left
+          (fun (bc, bs) c ->
+            let s = score c in
+            if s < bs then (c, s) else (bc, bs))
+          ([], infinity) cands
+      in
+      (match best with [], _ -> None | c, _ -> Some c))
+
+let refit_step st (step : Step.t) =
+  let extent_of stage_name iv =
+    match State.find_stage st stage_name with
+    | exception Not_found -> None
+    | stage -> (
+      match State.ivar stage iv with
+      | info -> Some info.State.extent
+      | exception _ -> None)
+  in
+  match step with
+  | Step.Split { stage; iv; lengths; tbd } ->
+    Option.bind (extent_of stage iv) (fun extent ->
+        Option.map
+          (fun lengths -> Step.Split { stage; iv; lengths; tbd })
+          (refit_lengths ~extent lengths))
+  | Step.Rfactor { stage; iv; lengths; tbd } ->
+    Option.bind (extent_of stage iv) (fun extent ->
+        Option.map
+          (fun lengths -> Step.Rfactor { stage; iv; lengths; tbd })
+          (refit_lengths ~extent lengths))
+  | _ -> None
+
+(* Replay a recorded history on a (possibly different-shaped) DAG,
+   re-fitting tile sizes when the recorded ones no longer divide the query
+   extents.  Total: [None] when some step cannot be made to apply. *)
+let adapt_replay dag steps =
+  let rec go st = function
+    | [] -> Some st
+    | step :: rest -> (
+      match State.apply_checked st step with
+      | Ok st' -> go st' rest
+      | Error _ -> (
+        match refit_step st step with
+        | None -> None
+        | Some step' -> (
+          match State.apply_checked st step' with
+          | Ok st' -> go st' rest
+          | Error _ -> None)))
+  in
+  match State.init dag with
+  | exception _ -> None
+  | st0 -> ( try go st0 steps with _ -> None)
+
+(* ---- resolution --------------------------------------------------------- *)
+
+type outcome =
+  | Exact
+  | Adapted of { source_key : string; distance : float }
+  | Defaulted of string
+
+let outcome_to_string = function
+  | Exact -> "exact"
+  | Adapted { source_key; distance } ->
+    Printf.sprintf "adapted from %s (distance %.3f)" source_key distance
+  | Defaulted reason -> Printf.sprintf "default (%s)" reason
+
+let pp_outcome fmt o = Format.pp_print_string fmt (outcome_to_string o)
+
+(* The serving bar: the state must lower and pass static validation.
+   Interpreting it would be exact but shape-bounded; the static check works
+   at any size (see lib/sched/validate.mli). *)
+let lowers_validated st =
+  match Lower.lower st with
+  | exception _ -> false
+  | prog -> ( match Validate.check prog with [] -> true | _ :: _ -> false)
+
+let try_entry dag (e : Record.entry) =
+  match State.replay_checked dag e.Record.steps with
+  | Ok st when lowers_validated st -> Some st
+  | _ -> (
+    match adapt_replay dag e.Record.steps with
+    | Some st when lowers_validated st -> Some st
+    | _ -> None)
+
+let resolve (t : t) (task : Task.t) =
+  let dag = task.Task.dag in
+  let key = Task.key task in
+  let exact =
+    match find t ~task_key:key with
+    | None -> None
+    | Some e -> Option.map (fun st -> (st, Exact)) (try_entry dag e)
+  in
+  match exact with
+  | Some r -> r
+  | None -> (
+    let rec nearest = function
+      | [] -> None
+      | (k, d) :: rest -> (
+        match try_entry dag (Hashtbl.find t k) with
+        | Some st -> Some (st, Adapted { source_key = k; distance = d })
+        | None -> nearest rest)
+    in
+    match nearest (similar_keys t ~task_key:key) with
+    | Some r -> r
+    | None ->
+      let reason =
+        if Hashtbl.mem t key then "registered steps do not replay"
+        else if similar_keys t ~task_key:key = [] then "no tuned record"
+        else "no similar record adapted"
+      in
+      (State.init dag, Defaulted reason))

@@ -186,6 +186,9 @@ let save ~path entries =
 
 let append ~path entry = Ansor_util.Atomic_file.append_line ~path (to_line entry)
 
+let append_batch ~path entries =
+  Ansor_util.Atomic_file.append_lines ~path (List.map to_line entries)
+
 let fold_lines ~path ~on_line ~init =
   match open_in path with
   | exception Sys_error e -> Error e
@@ -220,6 +223,32 @@ let load_salvage ~path =
          match of_line line with
          | Ok e -> Ok (e :: acc, skipped)
          | Error _ -> Ok (acc, skipped + 1)))
+
+(* Keep the best (lowest-latency) entry of every task key, preserving the
+   file order of the survivors.  Ties keep the earliest entry, so a log of
+   identical entries compacts to its first line. *)
+let compact_entries entries =
+  let best = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt best e.task_key with
+      | Some b when b.latency <= e.latency -> ()
+      | _ -> Hashtbl.replace best e.task_key e)
+    entries;
+  List.filter
+    (fun e ->
+      match Hashtbl.find_opt best e.task_key with
+      | Some b -> b == e
+      | None -> false)
+    entries
+
+let compact ~path =
+  match load_salvage ~path with
+  | Error msg -> Error msg
+  | Ok (entries, skipped) ->
+    let kept = compact_entries entries in
+    save ~path kept;
+    Ok (List.length entries - List.length kept + skipped)
 
 let best_for entries ~task_key =
   List.fold_left

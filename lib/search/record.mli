@@ -38,6 +38,19 @@ val append : path:string -> entry -> unit
     torn append can lose the new entry but never corrupt the entries
     already in the log. *)
 
+val append_batch : path:string -> entry list -> unit
+(** Appends a whole batch with {e one} copy + rename — one O(file-size)
+    rewrite per batch instead of per entry, the right call for per-round
+    logging.  The empty batch is a no-op. *)
+
+val compact : path:string -> (int, string) result
+(** Rewrites the log keeping only the best (lowest-latency) entry of each
+    task key, preserving the file order of the survivors; ties keep the
+    earliest entry.  Malformed lines are dropped (salvage semantics).
+    Returns the number of lines removed; [Error] only when the file cannot
+    be opened.  Long sessions call this on resume so improvement logs stop
+    growing unboundedly. *)
+
 val load : path:string -> (entry list, string) result
 (** Strict: all entries; [Error] describes the first malformed line. Empty
     lines are skipped. *)

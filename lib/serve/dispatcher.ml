@@ -1,0 +1,229 @@
+module Registry = Ansor_registry.Registry
+module Task = Ansor_search.Task
+module State = Ansor_sched.State
+module Lower = Ansor_sched.Lower
+module Prog = Ansor_sched.Prog
+module Simulator = Ansor_machine.Simulator
+module Machine = Ansor_machine.Machine
+module Interp = Ansor_interp.Interp
+module Pool = Ansor_measure_service.Pool
+module Rng = Ansor_util.Rng
+module Workloads = Ansor_workloads.Workloads
+
+type config = {
+  capacity : int;
+  num_workers : int;
+  batch : int;
+  noise : float;
+  naive : bool;
+  seed : int;
+}
+
+let default_config =
+  {
+    capacity = 64;
+    num_workers = 1;
+    batch = 16;
+    noise = 0.03;
+    naive = false;
+    seed = 0;
+  }
+
+type compiled = { prog : Prog.t; outcome : Registry.outcome }
+
+type t = {
+  config : config;
+  machine : Machine.t;
+  registry : Registry.t;
+  net : Workloads.net;
+  layers : (Task.t * int) array;  (* unique subgraphs with weights *)
+  cache : compiled Lru.t;
+  hist : Histogram.t;
+  mutable requests : int;
+  mutable layer_runs : int;
+  mutable exact : int;
+  mutable adapted : int;
+  mutable defaulted : int;
+  mutable wall_seconds : float;
+  mutable next_request : int;  (* monotone request-id source *)
+}
+
+let create ?(config = default_config) ~registry ~machine net =
+  if config.capacity < 1 then invalid_arg "Dispatcher.create: capacity < 1";
+  if config.batch < 1 then invalid_arg "Dispatcher.create: batch < 1";
+  let layers = Array.of_list (Workloads.net_tasks ~machine net) in
+  if Array.length layers = 0 then
+    invalid_arg "Dispatcher.create: network has no layers";
+  {
+    config;
+    machine;
+    registry;
+    net;
+    layers;
+    cache = Lru.create ~capacity:config.capacity;
+    hist = Histogram.create ();
+    requests = 0;
+    layer_runs = 0;
+    exact = 0;
+    adapted = 0;
+    defaulted = 0;
+    wall_seconds = 0.0;
+    next_request = 0;
+  }
+
+let net t = t.net
+let machine t = t.machine
+
+(* Compile one subgraph: registry resolution -> lower.  Every resolution
+   outcome lowers (the registry validates tuned steps and degrades to the
+   always-legal naive program), so compilation is total. *)
+let compile t (task : Task.t) =
+  let state, outcome =
+    if t.config.naive then (State.init task.Task.dag, Registry.Defaulted "naive dispatch")
+    else Registry.resolve t.registry task
+  in
+  (match outcome with
+  | Registry.Exact -> t.exact <- t.exact + 1
+  | Registry.Adapted _ -> t.adapted <- t.adapted + 1
+  | Registry.Defaulted _ -> t.defaulted <- t.defaulted + 1);
+  { prog = Lower.lower state; outcome }
+
+(* Fetch through the LRU; compiles on a miss.  Calling domain only. *)
+let fetch t task =
+  let key = Task.key task in
+  match Lru.find t.cache key with
+  | Some c -> c
+  | None ->
+    let c = compile t task in
+    Lru.add t.cache key c;
+    c
+
+let warm t = Array.iter (fun (task, _) -> ignore (fetch t task)) t.layers
+
+(* One end-to-end request: every subgraph "executed" through the
+   analytical simulator, weighted by appearance count, with log-normal
+   execution jitter drawn from a private per-request stream (pure function
+   of the request id: deterministic for any worker count). *)
+let run_request ~machine ~noise ~seed progs weights rid =
+  let rng = Rng.create (seed + (7919 * rid) + 1) in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i prog ->
+      let base = Simulator.estimate machine prog in
+      let jitter = if noise <= 0.0 then 1.0 else exp (noise *. Rng.gaussian rng) in
+      total := !total +. (float_of_int weights.(i) *. base *. jitter))
+    progs;
+  !total
+
+let serve t ~requests =
+  let t0 = Unix.gettimeofday () in
+  let remaining = ref requests in
+  while !remaining > 0 do
+    let chunk = min !remaining t.config.batch in
+    (* compile phase: calling domain touches LRU and counters *)
+    let progs = Array.map (fun (task, _) -> (fetch t task).prog) t.layers in
+    let weights = Array.map snd t.layers in
+    let ids = Array.init chunk (fun i -> t.next_request + i) in
+    t.next_request <- t.next_request + chunk;
+    (* execute phase: workers only read immutable snapshots *)
+    let latencies =
+      Pool.run ~num_workers:t.config.num_workers
+        (run_request ~machine:t.machine ~noise:t.config.noise
+           ~seed:t.config.seed progs weights)
+        ids
+    in
+    Array.iter (Histogram.add t.hist) latencies;
+    t.requests <- t.requests + chunk;
+    t.layer_runs <- t.layer_runs + (chunk * Array.length t.layers);
+    remaining := !remaining - chunk
+  done;
+  t.wall_seconds <- t.wall_seconds +. (Unix.gettimeofday () -. t0)
+
+let verify_outputs ?tol ?(seed = 2024) t =
+  let rec go i =
+    if i >= Array.length t.layers then Ok ()
+    else begin
+      let task, _ = t.layers.(i) in
+      let dag = task.Task.dag in
+      let compiled = fetch t task in
+      let inputs = Interp.random_inputs (Rng.create (seed + i)) dag in
+      match Interp.check_equivalent ?tol dag compiled.prog ~inputs with
+      | Ok () -> go (i + 1)
+      | Error msg ->
+        Error (Printf.sprintf "layer %s (%s): %s" task.Task.name
+                 (Registry.outcome_to_string compiled.outcome) msg)
+    end
+  in
+  go 0
+
+(* ---- telemetry ---------------------------------------------------------- *)
+
+type stats = {
+  requests : int;
+  layer_runs : int;
+  cache_hits : int;
+  cache_misses : int;
+  evictions : int;
+  exact : int;
+  adapted : int;
+  defaulted : int;
+  latency : Histogram.summary;
+  wall_seconds : float;
+}
+
+let fallbacks s = s.adapted + s.defaulted
+
+let stats (t : t) =
+  {
+    requests = t.requests;
+    layer_runs = t.layer_runs;
+    cache_hits = Lru.hits t.cache;
+    cache_misses = Lru.misses t.cache;
+    evictions = Lru.evictions t.cache;
+    exact = t.exact;
+    adapted = t.adapted;
+    defaulted = t.defaulted;
+    latency = Histogram.summary t.hist;
+    wall_seconds = t.wall_seconds;
+  }
+
+let histogram t = t.hist
+
+let stats_json s =
+  let l = s.latency in
+  Printf.sprintf
+    "{\"requests\": %d, \"layer_runs\": %d, \"cache_hits\": %d, \
+     \"cache_misses\": %d, \"evictions\": %d, \"exact\": %d, \"adapted\": \
+     %d, \"defaulted\": %d, \"fallbacks\": %d, \"mean_latency\": %.9e, \
+     \"min_latency\": %.9e, \"max_latency\": %.9e, \"p50\": %.9e, \"p95\": \
+     %.9e, \"p99\": %.9e, \"wall_seconds\": %.3f}"
+    s.requests s.layer_runs s.cache_hits s.cache_misses s.evictions s.exact
+    s.adapted s.defaulted (fallbacks s) l.Histogram.mean l.Histogram.min
+    l.Histogram.max l.Histogram.p50 l.Histogram.p95 l.Histogram.p99
+    s.wall_seconds
+
+let report (t : t) =
+  let s = stats t in
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "%s on %s: %d request%s, %d layer runs\n"
+       t.net.Workloads.net_name t.machine.Machine.name s.requests
+       (if s.requests = 1 then "" else "s")
+       s.layer_runs);
+  Buffer.add_string b
+    (Printf.sprintf "latency: %s\n" (Histogram.summary_line s.latency));
+  Buffer.add_string b
+    (Printf.sprintf
+       "compile cache: %d hit%s %d miss%s %d eviction%s (capacity %d)\n"
+       s.cache_hits
+       (if s.cache_hits = 1 then "" else "s")
+       s.cache_misses
+       (if s.cache_misses = 1 then "" else "es")
+       s.evictions
+       (if s.evictions = 1 then "" else "s")
+       (Lru.capacity t.cache));
+  Buffer.add_string b
+    (Printf.sprintf "registry: %d exact, %d adapted, %d default\n" s.exact
+       s.adapted s.defaulted);
+  Buffer.add_string b (Histogram.render t.hist);
+  Buffer.contents b

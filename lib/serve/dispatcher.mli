@@ -1,0 +1,96 @@
+(** The inference dispatcher: serve a network from a schedule registry.
+
+    The tuning side of the repo {e finds} good programs; this module
+    {e runs} them.  Given a {!Ansor_workloads.Workloads.net} and a
+    {!Ansor_registry.Registry}, the dispatcher compiles each subgraph once
+    (registry resolution → {!Ansor_sched.Lower} → {!Ansor_sched.Prog}),
+    holds the compiled programs in a bounded {!Lru} keyed by
+    {!Ansor_search.Task.key}, and executes inference requests on a
+    reusable domain pool ({!Ansor_measure_service.Pool}, the measurement
+    service's worker machinery).
+
+    A {e request} is one end-to-end inference of the network: every unique
+    subgraph executed through the analytical {!Ansor_machine.Simulator}
+    (weighted by its appearance count, with per-request log-normal
+    execution jitter like the measurer's), yielding one end-to-end latency
+    sample for the {!Histogram}.  {!verify_outputs} additionally executes
+    the {e same compiled programs} on real tensors through
+    {!Ansor_interp.Interp} and compares against the naive evaluation — the
+    serving-side soundness check (keep shapes small).
+
+    Requests are dispatched in batches.  Compilation and all counter /
+    cache mutation happen on the calling domain; workers only evaluate
+    immutable per-batch snapshots with private RNG streams derived from
+    the request id, so results are identical for any worker count. *)
+
+open Ansor_workloads
+
+type config = {
+  capacity : int;  (** LRU capacity, in compiled programs *)
+  num_workers : int;  (** request-execution domains (1 = run inline) *)
+  batch : int;  (** requests per dispatch batch *)
+  noise : float;  (** execution-jitter stddev (0 = deterministic latencies) *)
+  naive : bool;  (** bypass the registry and serve naive default schedules *)
+  seed : int;
+}
+
+val default_config : config
+(** capacity 64, 1 worker, batch 16, noise 0.03, registry dispatch, seed 0. *)
+
+type t
+
+val create :
+  ?config:config ->
+  registry:Ansor_registry.Registry.t ->
+  machine:Ansor_machine.Machine.t ->
+  Workloads.net ->
+  t
+(** @raise Invalid_argument on a network with no layers or a config with
+    non-positive capacity/batch. *)
+
+val net : t -> Workloads.net
+val machine : t -> Ansor_machine.Machine.t
+
+val serve : t -> requests:int -> unit
+(** Dispatches [requests] end-to-end inference requests (in batches of
+    [config.batch]); all telemetry accumulates in the dispatcher. *)
+
+val warm : t -> unit
+(** Compiles every layer without serving a request (cold-start control). *)
+
+val verify_outputs : ?tol:float -> ?seed:int -> t -> (unit, string) result
+(** Executes every layer's {e compiled} program on random inputs through
+    the interpreter and compares against the naive DAG evaluation
+    ({!Ansor_interp.Interp.check_equivalent}, default tolerance).  [Error]
+    names the first mismatching layer.  Interprets real arrays — small
+    shapes only. *)
+
+(** {1 Telemetry} *)
+
+type stats = {
+  requests : int;
+  layer_runs : int;  (** subgraph executions, appearance counts included *)
+  cache_hits : int;  (** compiled-program LRU hits *)
+  cache_misses : int;  (** misses = compilations *)
+  evictions : int;
+  exact : int;  (** compilations served by an exact registry record *)
+  adapted : int;  (** ... by similarity adaptation *)
+  defaulted : int;  (** ... by the naive default schedule *)
+  latency : Histogram.summary;  (** per-request end-to-end latency *)
+  wall_seconds : float;  (** wall-clock time spent inside {!serve} *)
+}
+
+val fallbacks : stats -> int
+(** [adapted + defaulted] — compilations that did not hit an exact tuned
+    record. *)
+
+val stats : t -> stats
+val histogram : t -> Histogram.t
+
+val stats_json : stats -> string
+(** Stable single-object JSON with every counter, the fallback total and
+    the latency summary (seconds). *)
+
+val report : t -> string
+(** Human latency report: request/latency summary, counter lines and the
+    ASCII histogram. *)

@@ -1,0 +1,112 @@
+type t = {
+  mutable samples : float array;  (* growable buffer; first [n] are live *)
+  mutable n : int;
+  mutable sorted : float array option;  (* cache, invalidated by add *)
+}
+
+let create () = { samples = Array.make 64 0.0; n = 0; sorted = None }
+
+let add t x =
+  if (not (Float.is_finite x)) || x < 0.0 then
+    invalid_arg "Histogram.add: latency must be finite and non-negative";
+  if t.n = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.n) 0.0 in
+    Array.blit t.samples 0 bigger 0 t.n;
+    t.samples <- bigger
+  end;
+  t.samples.(t.n) <- x;
+  t.n <- t.n + 1;
+  t.sorted <- None
+
+let count t = t.n
+
+let sorted t =
+  match t.sorted with
+  | Some s -> s
+  | None ->
+    let s = Array.sub t.samples 0 t.n in
+    Array.sort Float.compare s;
+    t.sorted <- Some s;
+    s
+
+let quantile t q =
+  let s = sorted t in
+  let n = Array.length s in
+  if n = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    (s.(lo) *. (1.0 -. frac)) +. (s.(hi) *. frac)
+  end
+
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let summary t =
+  if t.n = 0 then
+    { count = 0; mean = 0.0; min = 0.0; max = 0.0; p50 = 0.0; p95 = 0.0; p99 = 0.0 }
+  else begin
+    let s = sorted t in
+    let sum = Array.fold_left ( +. ) 0.0 s in
+    {
+      count = t.n;
+      mean = sum /. float_of_int t.n;
+      min = s.(0);
+      max = s.(Array.length s - 1);
+      p50 = quantile t 0.5;
+      p95 = quantile t 0.95;
+      p99 = quantile t 0.99;
+    }
+  end
+
+let summary_line s =
+  Printf.sprintf "n=%d mean=%.4fms p50=%.4fms p95=%.4fms p99=%.4fms" s.count
+    (s.mean *. 1e3) (s.p50 *. 1e3) (s.p95 *. 1e3) (s.p99 *. 1e3)
+
+(* Power-of-two buckets over the sample range, anchored at the smallest
+   positive sample; at most 20 lines. *)
+let render t =
+  if t.n = 0 then "(no samples)\n"
+  else begin
+    let s = sorted t in
+    let lo =
+      match Array.find_opt (fun x -> x > 0.0) s with
+      | Some x -> x
+      | None -> 1e-9
+    in
+    let hi = Float.max s.(Array.length s - 1) lo in
+    let nbuckets =
+      min 20 (max 1 (1 + int_of_float (Float.ceil (Float.log2 (hi /. lo)))))
+    in
+    let counts = Array.make nbuckets 0 in
+    Array.iter
+      (fun x ->
+        let b =
+          if x <= lo then 0
+          else
+            min (nbuckets - 1) (int_of_float (Float.ceil (Float.log2 (x /. lo))))
+        in
+        counts.(b) <- counts.(b) + 1)
+      s;
+    let peak = Array.fold_left max 1 counts in
+    let buf = Buffer.create 256 in
+    Array.iteri
+      (fun i c ->
+        let blo = if i = 0 then 0.0 else lo *. Float.pow 2.0 (float_of_int (i - 1)) in
+        let bhi = lo *. Float.pow 2.0 (float_of_int i) in
+        Buffer.add_string buf
+          (Printf.sprintf "%10.4f-%8.4fms %6d %s\n" (blo *. 1e3) (bhi *. 1e3) c
+             (String.make (30 * c / peak) '#')))
+      counts;
+    Buffer.contents buf
+  end

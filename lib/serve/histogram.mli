@@ -1,0 +1,37 @@
+(** Per-request latency histogram.
+
+    Retains every sample (serving batches are bounded, and exact
+    percentiles beat bucketed approximations for latency reports) plus
+    power-of-two bucket counts for a compact ASCII rendering.  Quantiles
+    use the same linear interpolation as {!Ansor_util.Stats.quantile}. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+(** @raise Invalid_argument on negative or non-finite samples. *)
+
+val count : t -> int
+
+type summary = {
+  count : int;
+  mean : float;  (** 0 when empty, like the quantiles *)
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summary : t -> summary
+
+val quantile : t -> float -> float
+(** [quantile t q] with [q] in [0,1]; 0 when empty. *)
+
+val summary_line : summary -> string
+(** e.g. ["n=100 mean=1.23ms p50=1.20ms p95=1.40ms p99=1.55ms"] (times in
+    milliseconds). *)
+
+val render : t -> string
+(** ASCII bucket chart, one power-of-two latency bucket per line; the
+    empty histogram renders as ["(no samples)\n"]. *)

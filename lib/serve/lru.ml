@@ -1,0 +1,88 @@
+(* Doubly-linked recency list + hashtable index; O(1) find/add/evict. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  cap : int;
+  index : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;  (* most recently used *)
+  mutable tail : 'a node option;  (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity < 1";
+  {
+    cap = capacity;
+    index = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+let size t = Hashtbl.length t.index
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let mem t key = Hashtbl.mem t.index key
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t key =
+  match Hashtbl.find_opt t.index key with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some n ->
+    t.hits <- t.hits + 1;
+    unlink t n;
+    push_front t n;
+    Some n.value
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.index n.key;
+    t.evictions <- t.evictions + 1
+
+let add t key value =
+  (match Hashtbl.find_opt t.index key with
+  | Some n ->
+    n.value <- value;
+    unlink t n;
+    push_front t n
+  | None ->
+    if size t >= t.cap then evict_lru t;
+    let n = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.index key n;
+    push_front t n);
+  ()
+
+let keys t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.head

@@ -1,0 +1,36 @@
+(** A bounded least-recently-used cache (string keys).
+
+    The dispatcher holds compiled programs in one of these, keyed by
+    {!Ansor_search.Task.key}: a serving process bounds its resident
+    compiled-program footprint, and a cold or evicted subgraph is simply
+    recompiled on the next request that needs it.  Hit / miss / eviction
+    counters feed the serving telemetry.
+
+    Not domain-safe: the dispatcher only touches the cache from the
+    calling domain (workers receive immutable per-batch snapshots). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val size : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Bumps the entry to most-recently-used and counts a hit; a miss is
+    counted otherwise. *)
+
+val mem : 'a t -> string -> bool
+(** No recency bump, no counter. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Inserts (or replaces) as most-recently-used, evicting the
+    least-recently-used entry if the cache would exceed capacity. *)
+
+val keys : 'a t -> string list
+(** Most-recently-used first. *)
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int

@@ -16,8 +16,12 @@ val write : path:string -> (out_channel -> unit) -> unit
 val write_string : path:string -> string -> unit
 (** [write_string ~path s] atomically replaces [path]'s content with [s]. *)
 
+val append_lines : path:string -> string list -> unit
+(** [append_lines ~path lines] appends every line (each followed by ["\n"])
+    with {e one} copy + rename, so appending a batch costs one O(file-size)
+    rewrite instead of one per line.  A torn append can lose the new batch,
+    but never corrupts the lines already present.  The empty batch is a
+    no-op (the file is not even touched). *)
+
 val append_line : path:string -> string -> unit
-(** [append_line ~path line] appends [line ^ "\n"] by copying the existing
-    bytes (if any) plus the new line to a temp file and renaming it over
-    [path]: a torn append can lose the new line, but never corrupt the
-    lines already present. *)
+(** [append_line ~path line] = [append_lines ~path [line]]. *)

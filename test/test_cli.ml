@@ -93,6 +93,88 @@ let test_network_command () =
   check_int "exit 0" 0 code;
   check_bool "end-to-end reported" true (contains out "end-to-end")
 
+let in_temp_dir body =
+  (* registry/serve tests juggle several files; keep them together *)
+  let dir = Filename.temp_file "ansor_cli" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> body (fun name -> Filename.concat dir name))
+
+let test_registry_and_serve () =
+  require_cli ();
+  in_temp_dir (fun path ->
+      let log = path "tune.log" and reg = path "sched.reg" in
+      let code, _ =
+        run_cli (Printf.sprintf "tune -o GMM -i 1 -t 32 --save %s" log)
+      in
+      check_int "tune exit 0" 0 code;
+      let code, out =
+        run_cli (Printf.sprintf "registry build -o %s --from %s" reg log)
+      in
+      check_int "build exit 0" 0 code;
+      check_bool "build reports" true (contains out "1 task");
+      let code, out = run_cli (Printf.sprintf "registry show %s" reg) in
+      check_int "show exit 0" 0 code;
+      check_bool "shows the key" true (contains out "intel-cpu/");
+      let code, out = run_cli (Printf.sprintf "registry compact %s" reg) in
+      check_int "compact exit 0" 0 code;
+      check_bool "canonical already" true (contains out "0 lines dropped");
+      let merged = path "merged.reg" in
+      let code, out =
+        run_cli (Printf.sprintf "registry merge -o %s %s %s" merged reg reg)
+      in
+      check_int "merge exit 0" 0 code;
+      check_bool "merged size" true (contains out "1 task");
+      (* serve the tuned shape: exact hits, zero fallbacks in the JSON *)
+      let code, out =
+        run_cli
+          (Printf.sprintf
+             "serve -o GMM -i 1 --registry %s --requests 40 --stats-json -"
+             reg)
+      in
+      check_int "serve exit 0" 0 code;
+      check_bool "exact dispatch" true (contains out "1 exact");
+      check_bool "zero fallbacks" true (contains out "\"fallbacks\": 0");
+      (* an untuned shape is answered by the similarity fallback *)
+      let code, out =
+        run_cli
+          (Printf.sprintf
+             "serve -o GMM -i 2 --registry %s --requests 10 --stats-json -" reg)
+      in
+      check_int "untuned serve exit 0" 0 code;
+      check_bool "adapted dispatch" true (contains out "\"adapted\": 1"))
+
+let test_serve_errors () =
+  require_cli ();
+  (* --resume without --registry: a usage error, not a backtrace *)
+  let code, out = run_cli "serve -o GMM -i 1 --resume --requests 1" in
+  check_int "usage error exits 1" 1 code;
+  check_bool "explains the fix" true
+    (contains out "--resume requires --registry");
+  check_bool "no backtrace" false (contains out "Raised at");
+  (* a raw tuning log is not a registry *)
+  in_temp_dir (fun path ->
+      let log = path "tune.log" in
+      let code, _ =
+        run_cli (Printf.sprintf "tune -o GMM -i 1 -t 16 --save %s" log)
+      in
+      check_int "tune exit 0" 0 code;
+      let code, out =
+        run_cli (Printf.sprintf "serve -o GMM -i 1 --registry %s" log)
+      in
+      check_int "raw log rejected" 1 code;
+      check_bool "explains" true (contains out "registry build"))
+
+let test_serve_naive () =
+  require_cli ();
+  let code, out = run_cli "serve -o GMM -i 1 --naive --requests 8" in
+  check_int "exit 0" 0 code;
+  check_bool "default dispatch" true (contains out "1 default")
+
 let () =
   Alcotest.run "cli"
     [
@@ -104,5 +186,12 @@ let () =
           case "tune --curve" test_tune_curve;
           case "argument validation" test_bad_arguments;
           case "network" test_network_command;
+        ] );
+      ( "serving",
+        [
+          case "registry build/show/compact/merge + serve"
+            test_registry_and_serve;
+          case "serve error handling" test_serve_errors;
+          case "serve --naive" test_serve_naive;
         ] );
     ]

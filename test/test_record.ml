@@ -106,6 +106,55 @@ let test_file_roundtrip () =
         check_bool "missing key" true
           (Record.best_for entries ~task_key:"nope" = None))
 
+let test_append_batch () =
+  let path = Filename.temp_file "ansor_records" ".log" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      (* an empty batch is a no-op: no file appears *)
+      Record.append_batch ~path [];
+      check_bool "empty batch writes nothing" false (Sys.file_exists path);
+      let e1 = sample_entry 1 and e2 = sample_entry 2 in
+      Record.append_batch ~path [ e1; { e2 with task_key = "k2" } ];
+      Record.append_batch ~path [ { e1 with latency = 0.5 } ];
+      match Record.load ~path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok entries ->
+        check_int "all batches landed" 3 (List.length entries);
+        check_bool "order preserved" true
+          ((List.nth entries 1).task_key = "k2"))
+
+let test_compact () =
+  let path = Filename.temp_file "ansor_records" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let e = sample_entry 1 in
+      Record.save ~path
+        [
+          { e with task_key = "a"; latency = 3.0 };
+          { e with task_key = "b"; latency = 1.0 };
+          { e with task_key = "a"; latency = 1.0 };
+          { e with task_key = "a"; latency = 2.0 };
+        ];
+      (match Record.compact ~path with
+      | Error m -> Alcotest.failf "compact failed: %s" m
+      | Ok removed -> check_int "two stale entries removed" 2 removed);
+      match Record.load ~path with
+      | Error e -> Alcotest.failf "reload failed: %s" e
+      | Ok entries ->
+        check_int "best per key" 2 (List.length entries);
+        (* file order is preserved: "b" was recorded before the best "a" *)
+        check_string "first key" "b" (List.hd entries).task_key;
+        (match Record.best_for entries ~task_key:"a" with
+        | Some best -> check_float "best a" 1.0 best.latency
+        | None -> Alcotest.fail "key a lost");
+        (* compacting a compact log is a no-op *)
+        match Record.compact ~path with
+        | Ok removed -> check_int "idempotent" 0 removed
+        | Error m -> Alcotest.failf "second compact failed: %s" m)
+
 let test_load_reports_bad_line () =
   let path = Filename.temp_file "ansor_records" ".log" in
   Fun.protect
@@ -157,6 +206,8 @@ let () =
       ( "files",
         [
           case "save/append/load/best_for" test_file_roundtrip;
+          case "append_batch" test_append_batch;
+          case "compact keeps per-key best" test_compact;
           case "malformed line reported" test_load_reports_bad_line;
         ] );
       ("replay", [ case "tuned schedule round-trips" test_replay_recorded_schedule ]);

@@ -1,0 +1,262 @@
+(* The serving subsystem: LRU cache, latency histogram and the
+   inference dispatcher (serve-equivalence, telemetry, determinism). *)
+
+open Helpers
+module Lru = Ansor.Lru
+module Histogram = Ansor.Histogram
+module Dispatcher = Ansor.Dispatcher
+module Registry = Ansor.Registry
+module Record = Ansor.Record
+module Task = Ansor.Task
+
+let machine = Ansor.Machine.intel_cpu
+
+(* ---- LRU ---------------------------------------------------------------- *)
+
+let test_lru_eviction () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  check_bool "a cached" true (Lru.find c "a" = Some 1);
+  (* "a" is now most-recent, so inserting "c" evicts "b" *)
+  Lru.add c "c" 3;
+  check_bool "b evicted" true (Lru.find c "b" = None);
+  check_bool "a survives" true (Lru.find c "a" = Some 1);
+  check_bool "c cached" true (Lru.find c "c" = Some 3);
+  check_int "one eviction" 1 (Lru.evictions c);
+  check_int "size at capacity" 2 (Lru.size c);
+  check_bool "MRU first" true (List.hd (Lru.keys c) = "c")
+
+let test_lru_replace_and_counters () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "a" 10;
+  check_int "replace keeps one slot" 1 (Lru.size c);
+  check_bool "replaced value" true (Lru.find c "a" = Some 10);
+  ignore (Lru.find c "missing");
+  check_int "hits" 1 (Lru.hits c);
+  check_int "misses" 1 (Lru.misses c);
+  check_int "no eviction on replace" 0 (Lru.evictions c)
+
+let test_lru_invalid_capacity () =
+  match Lru.create ~capacity:0 with
+  | _ -> Alcotest.fail "capacity 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+let prop_lru_never_exceeds_capacity =
+  qcheck ~count:50 "LRU never exceeds capacity"
+    QCheck2.Gen.(pair (int_range 1 8) (list_size (int_range 0 40) (int_range 0 12)))
+    (fun (cap, ops) ->
+      let c = Lru.create ~capacity:cap in
+      List.iter (fun k -> Lru.add c (string_of_int k) k) ops;
+      Lru.size c <= cap
+      && List.length (Lru.keys c) = Lru.size c)
+
+(* ---- histogram ---------------------------------------------------------- *)
+
+let test_histogram_quantiles () =
+  let h = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.add h (float_of_int i)
+  done;
+  let s = Histogram.summary h in
+  check_int "count" 100 s.Histogram.count;
+  check_float "min" 1.0 s.Histogram.min;
+  check_float "max" 100.0 s.Histogram.max;
+  check_floatish "mean" 50.5 s.Histogram.mean;
+  check_bool "p50 near the median" true
+    (Float.abs (s.Histogram.p50 -. 50.5) <= 1.0);
+  check_bool "p95 below max" true (s.Histogram.p95 < s.Histogram.max);
+  check_bool "quantiles ordered" true
+    (s.Histogram.p50 <= s.Histogram.p95 && s.Histogram.p95 <= s.Histogram.p99)
+
+let test_histogram_rejects_bad_samples () =
+  let h = Histogram.create () in
+  (match Histogram.add h (-1.0) with
+  | _ -> Alcotest.fail "negative accepted"
+  | exception Invalid_argument _ -> ());
+  match Histogram.add h Float.nan with
+  | _ -> Alcotest.fail "nan accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---- dispatcher --------------------------------------------------------- *)
+
+let small_case name dag = { Ansor.Workloads.case_name = name; dag }
+
+let small_net () =
+  {
+    Ansor.Workloads.net_name = "tiny";
+    layers =
+      [
+        (small_case "mm" (Ansor.Nn.matmul ~m:16 ~n:16 ~k:16 ()), 2);
+        (small_case "mmr" (small_matmul_relu ()), 1);
+      ];
+  }
+
+(* registry with a sampled (legal, non-trivial) schedule per layer *)
+let registry_for net =
+  let r = Registry.create () in
+  List.iter
+    (fun ((case : Ansor.Workloads.case), _) ->
+      let task = Task.create ~name:case.case_name ~machine case.dag in
+      match sample_programs ~seed:3 ~n:1 case.dag with
+      | [ st ] ->
+        ignore
+          (Registry.add r
+             {
+               Record.task_key = Task.key task;
+               latency = 1e-3;
+               steps = st.Ansor.State.history;
+             })
+      | _ -> Alcotest.fail "sampling failed")
+    net.Ansor.Workloads.layers;
+  r
+
+let test_serve_counts_and_stats () =
+  let net = small_net () in
+  let d =
+    Dispatcher.create ~registry:(registry_for net) ~machine net
+  in
+  Dispatcher.serve d ~requests:25;
+  let s = Dispatcher.stats d in
+  check_int "requests" 25 s.Dispatcher.requests;
+  check_int "layer runs" 50 s.Dispatcher.layer_runs;
+  check_int "one compile per layer" 2 s.Dispatcher.cache_misses;
+  check_bool "cache hits accrue" true (s.Dispatcher.cache_hits > 0);
+  check_int "all exact" 2 s.Dispatcher.exact;
+  check_int "no fallbacks" 0 (Dispatcher.fallbacks s);
+  check_int "latency samples" 25 s.Dispatcher.latency.Ansor.Histogram.count;
+  check_bool "positive latency" true
+    (s.Dispatcher.latency.Ansor.Histogram.mean > 0.0);
+  let json = Dispatcher.stats_json s in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun key -> check_bool (key ^ " in json") true (contains json key))
+    [ "requests"; "fallbacks"; "cache_hits"; "p99" ]
+
+let test_serve_equivalence () =
+  (* the serving-side soundness oracle: every compiled program the
+     dispatcher would serve computes the same outputs as the naive
+     evaluation of its DAG *)
+  let net = small_net () in
+  let d = Dispatcher.create ~registry:(registry_for net) ~machine net in
+  Dispatcher.warm d;
+  match Dispatcher.verify_outputs d with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "served outputs diverge: %s" msg
+
+let test_naive_dispatch () =
+  let net = small_net () in
+  let config = { Dispatcher.default_config with naive = true } in
+  let d = Dispatcher.create ~config ~registry:(registry_for net) ~machine net in
+  Dispatcher.serve d ~requests:4;
+  let s = Dispatcher.stats d in
+  check_int "all defaulted" 2 s.Dispatcher.defaulted;
+  check_int "no exact" 0 s.Dispatcher.exact;
+  match Dispatcher.verify_outputs d with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "naive outputs diverge: %s" msg
+
+let test_registry_beats_naive () =
+  (* the acceptance bar: serving from a tuned registry is faster than
+     naive dispatch of the same net.  Use a real (tuned, not sampled)
+     record so the claim is about the system, not sampling luck. *)
+  let case = small_case "mm" (Ansor.Nn.matmul ~m:32 ~n:32 ~k:32 ()) in
+  let net = { Ansor.Workloads.net_name = "one"; layers = [ (case, 1) ] } in
+  let task = Task.create ~name:case.case_name ~machine case.dag in
+  let tuner, _ =
+    Ansor.Tuner.tune ~seed:4 Ansor.Tuner.ansor_options ~trials:48 task
+  in
+  let r = Registry.create () in
+  (match Record.entry_of_tuner tuner with
+  | Some e -> ignore (Registry.add r e)
+  | None -> Alcotest.fail "tuning found nothing");
+  let noise_free = { Dispatcher.default_config with noise = 0.0 } in
+  let serve config =
+    let d = Dispatcher.create ~config ~registry:r ~machine net in
+    Dispatcher.serve d ~requests:10;
+    (Dispatcher.stats d).Dispatcher.latency.Ansor.Histogram.mean
+  in
+  let tuned = serve noise_free in
+  let naive = serve { noise_free with naive = true } in
+  check_bool "tuned dispatch is faster" true (tuned < naive)
+
+let test_worker_count_invariance () =
+  (* per-request jitter streams are a pure function of the request id, so
+     latencies are identical for any worker count *)
+  let net = small_net () in
+  let serve workers =
+    let config = { Dispatcher.default_config with num_workers = workers } in
+    let d =
+      Dispatcher.create ~config ~registry:(registry_for net) ~machine net
+    in
+    Dispatcher.serve d ~requests:20;
+    let s = Dispatcher.stats d in
+    ( s.Dispatcher.latency.Ansor.Histogram.mean,
+      s.Dispatcher.latency.Ansor.Histogram.p99 )
+  in
+  let m1, p1 = serve 1 and m3, p3 = serve 3 in
+  check_float "mean invariant" m1 m3;
+  check_float "p99 invariant" p1 p3
+
+let test_dispatcher_lru_eviction () =
+  (* capacity smaller than the layer count: every batch recompiles and
+     the eviction counter moves *)
+  let net = small_net () in
+  let config = { Dispatcher.default_config with capacity = 1; batch = 4 } in
+  let d = Dispatcher.create ~config ~registry:(registry_for net) ~machine net in
+  Dispatcher.serve d ~requests:8;
+  let s = Dispatcher.stats d in
+  check_bool "evictions happened" true (s.Dispatcher.evictions > 0);
+  check_bool "recompiles happened" true (s.Dispatcher.cache_misses > 2);
+  match Dispatcher.verify_outputs d with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "outputs diverge under eviction: %s" msg
+
+let test_create_validation () =
+  let net = small_net () in
+  let r = Registry.create () in
+  (match
+     Dispatcher.create
+       ~config:{ Dispatcher.default_config with capacity = 0 }
+       ~registry:r ~machine net
+   with
+  | _ -> Alcotest.fail "capacity 0 accepted"
+  | exception Invalid_argument _ -> ());
+  match
+    Dispatcher.create ~registry:r ~machine
+      { Ansor.Workloads.net_name = "empty"; layers = [] }
+  with
+  | _ -> Alcotest.fail "empty net accepted"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "lru",
+        [
+          case "eviction order" test_lru_eviction;
+          case "replace and counters" test_lru_replace_and_counters;
+          case "invalid capacity" test_lru_invalid_capacity;
+          prop_lru_never_exceeds_capacity;
+        ] );
+      ( "histogram",
+        [
+          case "quantiles" test_histogram_quantiles;
+          case "bad samples rejected" test_histogram_rejects_bad_samples;
+        ] );
+      ( "dispatcher",
+        [
+          case "serve counts and stats json" test_serve_counts_and_stats;
+          case "served outputs match naive evaluation" test_serve_equivalence;
+          case "naive dispatch" test_naive_dispatch;
+          case "registry dispatch beats naive" test_registry_beats_naive;
+          case "worker-count invariance" test_worker_count_invariance;
+          case "LRU eviction under pressure" test_dispatcher_lru_eviction;
+          case "creation validation" test_create_validation;
+        ] );
+    ]
