@@ -23,12 +23,16 @@ let run () =
   let curves =
     List.map
       (fun (name, options) ->
-        let (tuner, _), elapsed =
+        let (tuner, service), elapsed =
           time_of (fun () -> Ansor.Tuner.tune ~seed options ~trials task)
         in
-        Printf.printf "  %-16s best %8.4f ms (%.1fs)\n%!" name
+        let stats = Ansor.Measure_service.stats service in
+        Printf.printf
+          "  %-16s best %8.4f ms (%.1fs, %d racy mutants filtered before \
+           measurement)\n%!"
+          name
           (Ansor.Tuner.best_latency tuner *. 1e3)
-          elapsed;
+          elapsed stats.Ansor.Telemetry.statically_rejected;
         (name, Ansor.Tuner.curve tuner, Ansor.Tuner.best_latency tuner))
       variants
   in

@@ -600,6 +600,186 @@ let serve_cmd =
       $ workers_arg $ naive_arg $ noise_arg $ seed_arg $ stats_json_arg
       $ resume_arg)
 
+(* ---- lint --------------------------------------------------------------- *)
+
+(* Record logs and registries identify programs by task key only, so
+   linting them needs the key -> (machine, DAG) mapping back: index every
+   built-in workload on every machine model. *)
+let dag_index () =
+  let tbl = Hashtbl.create 1024 in
+  let add_case (c : Ansor.Workloads.case) =
+    List.iter
+      (fun (m : Ansor.Machine.t) ->
+        let key = m.name ^ "/" ^ Ansor.Dag.workload_key c.dag in
+        if not (Hashtbl.mem tbl key) then Hashtbl.replace tbl key (m, c.dag))
+      Ansor.Machine.all
+  in
+  List.iter
+    (fun batch ->
+      List.iter
+        (fun (_, cases) -> List.iter add_case cases)
+        (Ansor.Workloads.single_op_suite ~batch);
+      List.iter add_case (Ansor.Workloads.conv_layer_cases ~batch);
+      List.iter add_case (Ansor.Workloads.tbg_cases ~batch);
+      List.iter
+        (fun (net : Ansor.Workloads.net) ->
+          List.iter (fun (c, _) -> add_case c) net.layers)
+        (Ansor.Workloads.networks ~batch))
+    [ 1; 2; 4; 8; 16 ];
+  tbl
+
+let lint_cmd =
+  let from_arg =
+    let doc = "Lint every entry of this tuning log (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "from" ] ~doc)
+  in
+  let registry_arg =
+    let doc = "Lint every entry of this schedule registry." in
+    Arg.(value & opt (some string) None & info [ "registry" ] ~doc)
+  in
+  let sample_arg =
+    let doc =
+      "Lint N freshly sampled programs of the workload named by -o/-i/-b \
+       on machine -m (sampler-cleanliness check)."
+    in
+    Arg.(value & opt (some int) None & info [ "sample" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit machine-readable JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run op index batch machine_name seed logs registry_path sample json =
+    if logs = [] && registry_path = None && sample = None then
+      or_die (Error "lint: nothing to analyze (use --from, --registry or --sample)");
+    let machine = or_die (lookup_machine machine_name) in
+    let index_tbl = lazy (dag_index ()) in
+    let targets = ref [] and skipped = ref 0 in
+    let config_for (m : Ansor.Machine.t) dag =
+      {
+        Ansor.Analysis.default_config with
+        workers = m.num_workers;
+        vector_lanes = m.vector_lanes;
+        outputs =
+          List.map
+            (fun i -> Ansor.Op.name (Ansor.Dag.op dag i))
+            (Ansor.Dag.outputs dag);
+      }
+    in
+    let skip ~what fmt =
+      Printf.ksprintf
+        (fun msg ->
+          incr skipped;
+          Printf.eprintf "warning: %s: %s\n" what msg)
+        fmt
+    in
+    let lint_prog ~label config prog =
+      targets := (label, Ansor.Analysis.analyze ~config prog) :: !targets
+    in
+    let lint_entry ~what (e : Ansor.Record.entry) =
+      match Hashtbl.find_opt (Lazy.force index_tbl) e.task_key with
+      | None -> skip ~what "unknown task key %s (not a built-in workload)" e.task_key
+      | Some (m, dag) -> (
+        match Ansor.Record.best_state e dag with
+        | Error msg -> skip ~what "%s: %s" e.task_key msg
+        | Ok st -> (
+          match Ansor.Lower.lower st with
+          | exception Ansor.State.Illegal msg ->
+            skip ~what "%s: does not lower: %s" e.task_key msg
+          | prog -> lint_prog ~label:e.task_key (config_for m dag) prog))
+    in
+    List.iter
+      (fun path ->
+        let entries =
+          match Ansor.Record.load_salvage ~path with
+          | Ok (e, torn) ->
+            warn_skipped ~what:path torn;
+            e
+          | Error m -> or_die (Error m)
+        in
+        List.iter (lint_entry ~what:path) entries)
+      logs;
+    (match registry_path with
+    | None -> ()
+    | Some path ->
+      let reg = or_die (Ansor.Registry.load ~path) in
+      List.iter (lint_entry ~what:path) (Ansor.Registry.entries reg));
+    (match sample with
+    | None -> ()
+    | Some n ->
+      let case = or_die (case_of op index batch) in
+      let task = Ansor.Task.create ~name:case.case_name ~machine case.dag in
+      let rng = Ansor.Rng.create seed in
+      let sketches = Ansor.Sketch_gen.generate case.dag in
+      let config = config_for machine case.dag in
+      let states =
+        Ansor.Sampler.sample rng (Ansor.Task.policy task) case.dag ~sketches ~n
+      in
+      List.iteri
+        (fun i st ->
+          match Ansor.Lower.lower st with
+          | exception Ansor.State.Illegal msg ->
+            skip ~what:"sample" "#%d: does not lower: %s" i msg
+          | prog ->
+            lint_prog ~label:(Printf.sprintf "%s sample#%d" case.case_name i)
+              config prog)
+        states);
+    let targets = List.rev !targets in
+    let count sev =
+      List.fold_left
+        (fun acc (_, ds) ->
+          acc
+          + List.length
+              (List.filter (fun d -> d.Ansor.Diagnostic.severity = sev) ds))
+        0 targets
+    in
+    let errors = count Ansor.Diagnostic.Error in
+    let warns = count Ansor.Diagnostic.Warn in
+    let infos = count Ansor.Diagnostic.Info in
+    if json then
+      Printf.printf
+        "{\"targets\":[%s],\"analyzed\":%d,\"skipped\":%d,\"errors\":%d,\
+         \"warnings\":%d,\"infos\":%d}\n"
+        (String.concat ","
+           (List.map
+              (fun (label, ds) ->
+                Printf.sprintf "{\"name\":\"%s\",\"diagnostics\":%s}"
+                  (Ansor.Diagnostic.json_escape label)
+                  (Ansor.Diagnostic.list_to_json ds))
+              targets))
+        (List.length targets) !skipped errors warns infos
+    else begin
+      List.iter
+        (fun (label, ds) ->
+          if ds <> [] then begin
+            Printf.printf "%s:\n" label;
+            List.iter
+              (fun d -> Printf.printf "  %s\n" (Ansor.Diagnostic.to_string d))
+              ds
+          end)
+        targets;
+      Printf.printf "%d program%s analyzed (%d skipped): %d error%s, %d \
+                     warning%s, %d hint%s\n"
+        (List.length targets)
+        (if List.length targets = 1 then "" else "s")
+        !skipped errors
+        (if errors = 1 then "" else "s")
+        warns
+        (if warns = 1 then "" else "s")
+        infos
+        (if infos = 1 then "" else "s")
+    end;
+    if errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze schedules (race detector + linter) from a \
+          tuning log, a registry, or fresh samples; exits non-zero on any \
+          error-severity diagnostic.")
+    Term.(
+      const run $ op_arg $ index_arg $ batch_arg $ machine_arg $ seed_arg
+      $ from_arg $ registry_arg $ sample_arg $ json_arg)
+
 let () =
   let info =
     Cmd.info "ansor-cli" ~version:"1.0.0"
@@ -609,4 +789,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ machines_cmd; sketches_cmd; tune_cmd; replay_cmd; network_cmd;
-            registry_cmd; serve_cmd ]))
+            registry_cmd; serve_cmd; lint_cmd ]))

@@ -27,6 +27,6 @@ let () =
     | [] -> print_endline "static validation: OK"
     | issues ->
       List.iter
-        (fun i -> Format.printf "issue: %a@." Ansor.Validate.pp_issue i)
+        (fun d -> Format.printf "issue: %a@." Ansor.Diagnostic.pp d)
         issues);
     print_endline (Ansor.Prog.to_string prog)

@@ -1,0 +1,22 @@
+open Ansor_sched
+
+type config = Lint.config = {
+  workers : int;
+  vector_lanes : int;
+  max_unroll_default : int;
+  outputs : string list;
+}
+
+let default_config = Lint.default_config
+
+let races = Races.check
+let lint = Lint.check
+
+let static_checks prog = Validate.check prog @ Races.check prog
+
+let static_errors prog = Diagnostic.errors (static_checks prog)
+
+let race_free prog = not (Diagnostic.has_errors (Races.check prog))
+
+let analyze ?(config = default_config) prog =
+  Diagnostic.sort (static_checks prog @ Lint.check config prog)

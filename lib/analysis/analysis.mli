@@ -1,0 +1,41 @@
+(** Static analysis of lowered programs: the dependence/race detector
+    ({!Races}), the schedule linter ({!Lint}), and the bounds validator
+    ({!Ansor_sched.Validate}) behind one entry point.
+
+    Severity contract: an [Error] means the program is provably wrong —
+    the detector only claims one on a constructive cross-iteration race
+    (a concrete pair of parallel iterations hitting the same element).
+    [Warn] marks suspicious-but-legal shapes, [Info] is purely advisory.
+    Consumers that gate on the analysis (evolution's mutant filter, the
+    registry's serving bar, `ansor lint`'s exit code) must key on
+    [Error] only. *)
+
+type config = Lint.config = {
+  workers : int;
+  vector_lanes : int;
+  max_unroll_default : int;
+  outputs : string list;
+}
+
+val default_config : config
+
+val races : Ansor_sched.Prog.t -> Ansor_sched.Diagnostic.t list
+(** Cross-iteration dependence analysis of every [Parallel]/[Vectorize]
+    loop; see {!Races.check}. *)
+
+val lint : config -> Ansor_sched.Prog.t -> Ansor_sched.Diagnostic.t list
+(** Structural and performance lints; see {!Lint.check}. *)
+
+val static_checks : Ansor_sched.Prog.t -> Ansor_sched.Diagnostic.t list
+(** Validator plus race detector — the size-independent correctness
+    oracle used to gate search and serving. *)
+
+val static_errors : Ansor_sched.Prog.t -> Ansor_sched.Diagnostic.t list
+(** The [Error]-severity subset of {!static_checks}. *)
+
+val race_free : Ansor_sched.Prog.t -> bool
+(** No [Error]-severity race diagnostics. *)
+
+val analyze : ?config:config -> Ansor_sched.Prog.t -> Ansor_sched.Diagnostic.t list
+(** Everything: validator, race detector, and linter, sorted worst
+    severity first. *)

@@ -1,0 +1,177 @@
+open Ansor_te
+module Validate = Ansor_sched.Validate
+
+(* Linear decomposition of an index expression over opaque atoms.
+
+   An atom is a subterm the affine view cannot see through: a plain axis
+   variable, or a whole [Idiv]/[Imod]/[Imin]/[Imax] subterm.  Every index
+   expression then reads as
+
+     e  =  const + sum_k coeff_k * atom_k
+
+   which is exact (not an approximation): lowering only ever produces
+   sums of scaled axis variables and div/mod "digit" subterms, so the
+   decomposition loses nothing on real programs. *)
+
+type t = { const : int; terms : (Expr.iexpr * int) list }
+
+let const n = { const = n; terms = [] }
+
+let add_term terms atom coeff =
+  if coeff = 0 then terms
+  else
+    let rec go = function
+      | [] -> [ (atom, coeff) ]
+      | (a, c) :: rest when a = atom ->
+        if c + coeff = 0 then rest else (a, c + coeff) :: rest
+      | t :: rest -> t :: go rest
+    in
+    go terms
+
+let combine k a b =
+  {
+    const = a.const + (k * b.const);
+    terms =
+      List.fold_left
+        (fun acc (atom, c) -> add_term acc atom (k * c))
+        a.terms b.terms;
+  }
+
+let scale k a =
+  if k = 0 then const 0
+  else { const = k * a.const; terms = List.map (fun (at, c) -> (at, k * c)) a.terms }
+
+let rec of_iexpr (e : Expr.iexpr) : t =
+  match e with
+  | Expr.Int n -> const n
+  | Expr.Axis _ -> { const = 0; terms = [ (e, 1) ] }
+  | Expr.Iadd (a, b) -> combine 1 (of_iexpr a) (of_iexpr b)
+  | Expr.Isub (a, b) -> combine (-1) (of_iexpr a) (of_iexpr b)
+  | Expr.Imul (a, b) -> (
+    let la = of_iexpr a and lb = of_iexpr b in
+    match (la.terms, lb.terms) with
+    | _, [] -> scale lb.const la
+    | [], _ -> scale la.const lb
+    | _ -> { const = 0; terms = [ (e, 1) ] })
+  | Expr.Idiv _ | Expr.Imod _ | Expr.Imin _ | Expr.Imax _ ->
+    { const = 0; terms = [ (e, 1) ] }
+
+exception Unanalyzable
+
+(* Linear form of a flattened row-major offset. *)
+let of_access ~shape ~indices =
+  let rec go lf = function
+    | [] -> lf
+    | (d, i) :: rest -> go (combine 1 (scale d lf) (of_iexpr i)) rest
+  in
+  match List.combine shape indices with
+  | pairs -> go (const 0) pairs
+  | exception Invalid_argument _ -> raise Unanalyzable
+
+let mentions v atom = List.mem v (Expr.iexpr_axes atom)
+
+(* Split a linear form into terms that mention the variable [v] and the
+   rest (constant included in the rest). *)
+let partition v lf =
+  let on_v, rest = List.partition (fun (atom, _) -> mentions v atom) lf.terms in
+  (on_v, { const = lf.const; terms = rest })
+
+(* ---- digit recognition ---------------------------------------------------
+
+   Lowering expresses a fused or split iterator's components as
+   [(p / stride) mod len] over the loop variable [p] (with the mod elided
+   on the top component and the div elided when stride = 1).  A "digit"
+   is one such component: its value at iteration [p] is
+   [(p / stride) mod len]. *)
+
+type digit = { stride : int; len : int }
+
+let digit_value d p = p / d.stride mod d.len
+
+let digit_of ~p ~extent (atom : Expr.iexpr) =
+  match atom with
+  | Expr.Axis v when String.equal v p -> Some { stride = 1; len = extent }
+  | Expr.Imod (Expr.Axis v, Expr.Int m) when String.equal v p && m > 0 ->
+    Some { stride = 1; len = m }
+  | Expr.Idiv (Expr.Axis v, Expr.Int s) when String.equal v p && s > 0 ->
+    Some { stride = s; len = ((extent - 1) / s) + 1 }
+  | Expr.Imod (Expr.Idiv (Expr.Axis v, Expr.Int s), Expr.Int l)
+    when String.equal v p && s > 0 && l > 0 ->
+    Some { stride = s; len = l }
+  | Expr.Idiv (Expr.Imod (Expr.Axis v, Expr.Int m), Expr.Int s)
+    when String.equal v p && s > 0 && m > 0 && m mod s = 0 ->
+    Some { stride = s; len = m / s }
+  | _ -> None
+
+(* Recognize every [p]-mentioning term as a digit; [None] when one is
+   beyond the digit grammar. *)
+let digits_of ~p ~extent terms =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | (atom, c) :: rest -> (
+      match digit_of ~p ~extent atom with
+      | Some d -> go ((d, c) :: acc) rest
+      | None -> None)
+  in
+  go [] terms
+
+(* Merge equal digits, drop zero coefficients. *)
+let merge_digits ds =
+  List.fold_left
+    (fun acc (d, c) ->
+      let rec go = function
+        | [] -> [ (d, c) ]
+        | (d', c') :: rest when d' = d ->
+          if c + c' = 0 then rest else (d', c + c') :: rest
+        | t :: rest -> t :: go rest
+      in
+      go acc)
+    [] ds
+
+(* Do the digits jointly determine p over [0, extent)?  Walk strides in
+   ascending order, growing the determined prefix [0, upto). *)
+let covers ~extent digits =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> compare a.stride b.stride) digits
+  in
+  let upto =
+    List.fold_left
+      (fun upto (d, _) ->
+        if d.stride <= upto then max upto (d.stride * d.len) else upto)
+      1 sorted
+  in
+  upto >= extent
+
+(* Minimum nonzero |sum_k c_k * (d_k - d_k')| over distinct digit
+   vectors, via the positional argument: sorted by |c| ascending, each
+   coefficient must dominate the reach of all smaller ones.  [None] when
+   the condition fails (the map may not be injective). *)
+let min_gap digits =
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> compare (abs a) (abs b)) digits
+  in
+  let rec go reach gap = function
+    | [] -> gap
+    | (d, c) :: rest ->
+      let c = abs c in
+      if c <= reach then None
+      else
+        let this_gap = c - reach in
+        let gap =
+          match gap with
+          | None -> Some this_gap
+          | Some g -> Some (min g this_gap)
+        in
+        go (reach + (c * (d.len - 1))) gap rest
+  in
+  go 0 None sorted
+
+(* A constructive collision: a pair of iterations agreeing on every
+   digit.  Searches q in [1, extent) (capped), pairing with iteration 0. *)
+let collision ~extent digits =
+  let cap = min (extent - 1) 65535 in
+  let agree q =
+    List.for_all (fun (d, _) -> digit_value d q = digit_value d 0) digits
+  in
+  let rec go q = if q > cap then None else if agree q then Some (0, q) else go (q + 1) in
+  go 1

@@ -34,7 +34,9 @@ let is_standard_op dag =
       | Ansor_te.Expr.Int _ | Ansor_te.Expr.Axis _ -> false
       | Ansor_te.Expr.Iadd (a, b)
       | Ansor_te.Expr.Isub (a, b)
-      | Ansor_te.Expr.Imul (a, b) ->
+      | Ansor_te.Expr.Imul (a, b)
+      | Ansor_te.Expr.Imin (a, b)
+      | Ansor_te.Expr.Imax (a, b) ->
         goi a || goi b
       | Ansor_te.Expr.Idiv _ | Ansor_te.Expr.Imod _ -> true
     in

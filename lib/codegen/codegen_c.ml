@@ -53,6 +53,8 @@ static inline int floormod(int a, int b) {
   int r = a % b;
   return (r != 0 && ((r < 0) != (b < 0))) ? r + b : r;
 }
+static inline int imin(int a, int b) { return a < b ? a : b; }
+static inline int imax(int a, int b) { return a > b ? a : b; }
 |}
 
 type ctx = {
@@ -72,6 +74,10 @@ let rec emit_iexpr ctx (e : Expr.iexpr) =
     Printf.sprintf "floordiv(%s, %s)" (emit_iexpr ctx a) (emit_iexpr ctx b)
   | Expr.Imod (a, b) ->
     Printf.sprintf "floormod(%s, %s)" (emit_iexpr ctx a) (emit_iexpr ctx b)
+  | Expr.Imin (a, b) ->
+    Printf.sprintf "imin(%s, %s)" (emit_iexpr ctx a) (emit_iexpr ctx b)
+  | Expr.Imax (a, b) ->
+    Printf.sprintf "imax(%s, %s)" (emit_iexpr ctx a) (emit_iexpr ctx b)
 
 let rec emit_bexpr ctx (e : Expr.bexpr) =
   match e with

@@ -13,6 +13,8 @@ module Prog = Ansor_sched.Prog
 module Lower = Ansor_sched.Lower
 module Access = Ansor_sched.Access
 module Validate = Ansor_sched.Validate
+module Diagnostic = Ansor_sched.Diagnostic
+module Analysis = Ansor_analysis.Analysis
 module Interp = Ansor_interp.Interp
 module Codegen_c = Ansor_codegen.Codegen_c
 module Deploy = Ansor_codegen.Deploy
@@ -316,9 +318,9 @@ let verify_state (st : State.t) =
   match Lower.lower st with
   | exception State.Illegal msg -> Error msg
   | prog -> (
-    (* static validation first: it works at any size *)
-    match Validate.check prog with
-    | issue :: _ -> Error (Format.asprintf "%a" Validate.pp_issue issue)
+    (* static validation and race analysis first: both work at any size *)
+    match Analysis.static_errors prog with
+    | d :: _ -> Error (Format.asprintf "%a" Diagnostic.pp d)
     | [] ->
       let inputs = Interp.random_inputs (Rng.create 2024) dag in
       Interp.check_equivalent dag prog ~inputs)

@@ -33,6 +33,8 @@ module Prog = Ansor_sched.Prog
 module Lower = Ansor_sched.Lower
 module Access = Ansor_sched.Access
 module Validate = Ansor_sched.Validate
+module Diagnostic = Ansor_sched.Diagnostic
+module Analysis = Ansor_analysis.Analysis
 module Interp = Ansor_interp.Interp
 module Codegen_c = Ansor_codegen.Codegen_c
 module Deploy = Ansor_codegen.Deploy
@@ -172,7 +174,8 @@ val tune_networks_with_stats :
     allocation and batch-logging every task whose best improved. *)
 
 val verify_state : State.t -> (unit, string) result
-(** Checks a scheduled program two ways: statically ({!Validate.check},
-    any size) and dynamically against the naive evaluation of its DAG on
-    random inputs — the system-wide soundness oracle.  The dynamic check
-    executes the program, so keep shapes small. *)
+(** Checks a scheduled program two ways: statically
+    ({!Analysis.static_errors} — bounds validation plus the data-race
+    detector, any size) and dynamically against the naive evaluation of
+    its DAG on random inputs — the system-wide soundness oracle.  The
+    dynamic check executes the program, so keep shapes small. *)

@@ -32,15 +32,23 @@ let node_of_stage name =
   in
   strip ".local" (strip ".rf" name)
 
-(* Replays an edited history and checks it lowers; the verification step
-   of §5.1. *)
-let verify dag steps =
+(* Replays an edited history, checks it lowers, and statically rejects
+   mutants the race detector proves wrong — the verification step of
+   §5.1 plus the pre-measurement filter.  [on_reject] fires only for the
+   static-analysis rejections (telemetry's [statically_rejected]);
+   replay/lowering failures are ordinary dead offspring. *)
+let verify ?on_reject dag steps =
   match Annotate.replay_constrained dag steps ~fill:Annotate.Keep with
   | Error _ -> None
   | Ok st -> (
     match Lower.lower st with
-    | _ -> Some st
-    | exception State.Illegal _ -> None)
+    | exception State.Illegal _ -> None
+    | prog ->
+      if Ansor_analysis.Analysis.static_errors prog = [] then Some st
+      else begin
+        Option.iter (fun f -> f ()) on_reject;
+        None
+      end)
 
 let steps_of (st : State.t) = st.history
 
@@ -53,7 +61,7 @@ let consumer_stages steps =
 
 let replace_nth l n x = List.mapi (fun i y -> if i = n then x else y) l
 
-let mutate_tile_sizes rng dag st =
+let mutate_tile_sizes ?on_reject rng dag st =
   let steps = steps_of st in
   let consumers = consumer_stages steps in
   let candidates =
@@ -98,10 +106,10 @@ let mutate_tile_sizes rng dag st =
           if p = src then l / factor else if p = dst then l * factor else l)
         lengths
     in
-    verify dag
+    verify ?on_reject dag
       (replace_nth steps i (Step.Split { stage; iv; lengths; tbd = false }))
 
-let mutate_annotation rng dag st =
+let mutate_annotation ?on_reject rng dag st =
   let steps = steps_of st in
   let indexed = List.mapi (fun i s -> (i, s)) steps in
   let ann_edits =
@@ -111,28 +119,46 @@ let mutate_annotation rng dag st =
         | Step.Annotate { stage; iv; ann } ->
           let flips =
             match ann with
-            | Step.Vectorize -> [ Step.Unroll; Step.No_ann ]
-            | Step.Unroll -> [ Step.Vectorize; Step.No_ann ]
+            | Step.Vectorize -> [ Step.Unroll; Step.No_ann; Step.Parallel ]
+            | Step.Unroll -> [ Step.Vectorize; Step.No_ann; Step.Parallel ]
             | Step.Parallel -> [ Step.No_ann ]
-            | Step.No_ann -> [ Step.Vectorize; Step.Unroll ]
+            | Step.No_ann -> [ Step.Vectorize; Step.Unroll; Step.Parallel ]
           in
           List.map
-            (fun ann' -> (i, Step.Annotate { stage; iv; ann = ann' }))
+            (fun ann' -> `Replace (i, Step.Annotate { stage; iv; ann = ann' }))
             flips
         | Step.Fuse { stage; ivs } when List.length ivs >= 3 ->
           (* coarsen the parallel granularity: fuse one level fewer *)
           let shorter = List.filteri (fun j _ -> j < List.length ivs - 1) ivs in
-          [ (i, Step.Fuse { stage; ivs = shorter }) ]
+          [ `Replace (i, Step.Fuse { stage; ivs = shorter }) ]
         | _ -> [])
       indexed
   in
-  match ann_edits with
+  (* also annotate a currently-bare iterator: the step semantics accept
+     any placement (e.g. Parallel over a reduction axis) and the static
+     race filter in [verify] rejects the mutants that would miscompile *)
+  let fresh_edits =
+    List.concat_map
+      (fun name ->
+        let s = State.find_stage st name in
+        List.concat_map
+          (fun iv ->
+            if (State.ivar s iv).State.ann = Step.No_ann then
+              List.map
+                (fun ann -> `Append (Step.Annotate { stage = name; iv; ann }))
+                [ Step.Parallel; Step.Vectorize; Step.Unroll ]
+            else [])
+          s.State.leaves)
+      (State.stage_names st)
+  in
+  match ann_edits @ fresh_edits with
   | [] -> None
-  | _ ->
-    let i, step = Rng.choice_list rng ann_edits in
-    verify dag (replace_nth steps i step)
+  | edits -> (
+    match Rng.choice_list rng edits with
+    | `Replace (i, step) -> verify ?on_reject dag (replace_nth steps i step)
+    | `Append step -> verify ?on_reject dag (steps @ [ step ]))
 
-let mutate_pragma rng (policy : Ansor_sketch.Policy.t) dag st =
+let mutate_pragma ?on_reject rng (policy : Ansor_sketch.Policy.t) dag st =
   let steps = steps_of st in
   let candidates =
     List.mapi (fun i s -> (i, s)) steps
@@ -149,9 +175,10 @@ let mutate_pragma rng (policy : Ansor_sketch.Policy.t) dag st =
     if choices = [] then None
     else
       let max_step = Rng.choice_list rng choices in
-      verify dag (replace_nth steps i (Step.Pragma_unroll { stage; max_step }))
+      verify ?on_reject dag
+        (replace_nth steps i (Step.Pragma_unroll { stage; max_step }))
 
-let mutate_location rng dag st =
+let mutate_location ?on_reject rng dag st =
   let steps = steps_of st in
   (* last compute_at per stage decides its location *)
   let last_by_stage = Hashtbl.create 4 in
@@ -177,7 +204,7 @@ let mutate_location rng dag st =
         let bindings = Rng.choice_list rng variants in
         (* appending keeps the original step so consumer-split constraints
            stay solvable; the last step wins for placement *)
-        verify dag
+        verify ?on_reject dag
           (steps @ [ Step.Compute_at { stage; target; target_iv; bindings } ])
     | _ -> None)
 
@@ -220,7 +247,7 @@ let node_scores model (st : State.t) =
       infos scores;
     fun node -> Option.value ~default:0.0 (Hashtbl.find_opt tbl node)
 
-let crossover rng ~greedy_node_prob dag ~model a b =
+let crossover ?on_reject rng ~greedy_node_prob dag ~model a b =
   let score_a = node_scores model a and score_b = node_scores model b in
   let nodes =
     Array.to_list (Dag.ops dag)
@@ -278,11 +305,11 @@ let crossover rng ~greedy_node_prob dag ~model a b =
       List.filter (fun s -> from_a (Step.stage_of s)) a_ann
       @ List.filter (fun s -> not (from_a (Step.stage_of s))) b_ann
     in
-    verify dag (structural @ ann)
+    verify ?on_reject dag (structural @ ann)
 
 (* ---- main loop ---------------------------------------------------------- *)
 
-let evolve rng config policy dag ~model ~init ~out =
+let evolve ?on_reject rng config policy dag ~model ~init ~out =
   let fitness st =
     match Lower.lower st with
     | exception State.Illegal _ -> Float.neg_infinity
@@ -324,19 +351,19 @@ let evolve rng config policy dag ~model ~init ~out =
         let parent = select () in
         let child =
           if Rng.float rng 1.0 < config.crossover_prob then
-            crossover rng ~greedy_node_prob:config.greedy_node_prob dag ~model
-              parent (select ())
+            crossover ?on_reject rng ~greedy_node_prob:config.greedy_node_prob
+              dag ~model parent (select ())
           else begin
             (* chain 1-3 mutations (geometric): multi-step moves escape
                plateaus that single-factor steps cannot *)
             let mutate_once st =
               if config.mutate_annotations then
                 match Rng.int rng 4 with
-                | 0 -> mutate_tile_sizes rng dag st
-                | 1 -> mutate_annotation rng dag st
-                | 2 -> mutate_pragma rng policy dag st
-                | _ -> mutate_location rng dag st
-              else mutate_tile_sizes rng dag st
+                | 0 -> mutate_tile_sizes ?on_reject rng dag st
+                | 1 -> mutate_annotation ?on_reject rng dag st
+                | 2 -> mutate_pragma ?on_reject rng policy dag st
+                | _ -> mutate_location ?on_reject rng dag st
+              else mutate_tile_sizes ?on_reject rng dag st
             in
             let rec chain st changed =
               match mutate_once st with

@@ -6,7 +6,13 @@
     re-validates it with the constrained replay of
     {!Ansor_sketch.Annotate.replay_constrained} followed by a lowering
     check, mirroring the paper's "Ansor further verifies the merged
-    programs" — offspring that do not verify are discarded.
+    programs" — offspring that do not verify are discarded.  Offspring
+    that replay and lower but carry a provable data race (an
+    [Error]-severity diagnostic from {!Ansor_analysis.Analysis}, e.g. a
+    [Parallel] annotation on a reduction iterator) are discarded before
+    they can reach the measurer; every such rejection fires the
+    [on_reject] callback, which telemetry counts as
+    [statically_rejected].
 
     Operators:
     - {e tile-size mutation}: moves a factor between two levels of one
@@ -45,6 +51,7 @@ val default_config : config
 type scored = { state : State.t; fitness : float }
 
 val evolve :
+  ?on_reject:(unit -> unit) ->
   Ansor_util.Rng.t ->
   config ->
   Ansor_sketch.Policy.t ->
@@ -64,17 +71,23 @@ val evolve :
     verification. *)
 
 val mutate_tile_sizes :
+  ?on_reject:(unit -> unit) ->
   Ansor_util.Rng.t -> Dag.t -> State.t -> State.t option
 
 val mutate_annotation :
+  ?on_reject:(unit -> unit) ->
   Ansor_util.Rng.t -> Dag.t -> State.t -> State.t option
 
 val mutate_pragma :
+  ?on_reject:(unit -> unit) ->
   Ansor_util.Rng.t -> Ansor_sketch.Policy.t -> Dag.t -> State.t -> State.t option
 
-val mutate_location : Ansor_util.Rng.t -> Dag.t -> State.t -> State.t option
+val mutate_location :
+  ?on_reject:(unit -> unit) ->
+  Ansor_util.Rng.t -> Dag.t -> State.t -> State.t option
 
 val crossover :
+  ?on_reject:(unit -> unit) ->
   Ansor_util.Rng.t ->
   greedy_node_prob:float ->
   Dag.t ->

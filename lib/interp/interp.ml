@@ -58,10 +58,6 @@ module Env = struct
     let data, shape = find t name in
     data.(flatten name shape indices)
 
-  let store t name indices f =
-    let data, shape = find t name in
-    let i = flatten name shape indices in
-    data.(i) <- f data.(i)
 end
 
 let run_dag dag ~inputs =
@@ -113,7 +109,28 @@ let run_dag dag ~inputs =
     (Dag.ops dag);
   List.rev_map (fun n -> (n, fst (Env.find env n))) !computed
 
-let run_prog (prog : Prog.t) ~inputs =
+(* Iteration semantics for [Parallel] loops.  A legal schedule computes
+   the same tensors under every mode; a program with a cross-iteration
+   race diverges in at least one — this is the differential oracle the
+   static race detector (lib/analysis) is validated against. *)
+type exec_mode =
+  | Sequential  (** every loop low-to-high: the reference semantics *)
+  | Reversed_parallel  (** [Parallel] loops iterated high-to-low *)
+  | Snapshot_forward
+      (** each [Parallel] iteration reads the state at loop entry and
+          logs its writes; logs land in memory in iteration order —
+          models lost updates between concurrent workers *)
+  | Snapshot_reversed  (** as above, logs applied in reverse order *)
+
+let exec_mode_name = function
+  | Sequential -> "sequential"
+  | Reversed_parallel -> "reversed-parallel"
+  | Snapshot_forward -> "snapshot-forward"
+  | Snapshot_reversed -> "snapshot-reversed"
+
+let order_modes = [ Reversed_parallel; Snapshot_forward; Snapshot_reversed ]
+
+let run_prog_mode ~mode (prog : Prog.t) ~inputs =
   let env = Env.create () in
   let input_names = List.map fst inputs in
   List.iter
@@ -133,20 +150,92 @@ let run_prog (prog : Prog.t) ~inputs =
     | Some i -> i
     | None -> error "unbound loop variable %s" v
   in
-  let load = Env.load env in
+  (* Iteration-local copy-on-write view of written buffers, active while
+     executing one iteration of a snapshotted parallel loop. *)
+  let overlay : (string, float array) Hashtbl.t option ref = ref None in
+  let log : (string * int * float) list ref = ref [] in
+  let load name indices =
+    let data, shape = Env.find env name in
+    let i = flatten name shape indices in
+    match !overlay with
+    | Some o -> (
+      match Hashtbl.find_opt o name with
+      | Some local -> local.(i)
+      | None -> data.(i))
+    | None -> data.(i)
+  in
+  let store name indices f =
+    let data, shape = Env.find env name in
+    let i = flatten name shape indices in
+    match !overlay with
+    | None -> data.(i) <- f data.(i)
+    | Some o ->
+      let local =
+        match Hashtbl.find_opt o name with
+        | Some local -> local
+        | None ->
+          let local = Array.copy data in
+          Hashtbl.replace o name local;
+          local
+      in
+      local.(i) <- f local.(i);
+      log := (name, i, local.(i)) :: !log
+  in
   let rec exec = function
     | Prog.Stmt s ->
       let indices = List.map (Expr.eval_iexpr lookup) s.indices in
       let x = Expr.eval ~axis_value:lookup ~load s.rhs in
-      Env.store env s.tensor indices (fun old ->
+      store s.tensor indices (fun old ->
           match s.update with
           | None -> x
           | Some kind -> Op.combine kind old x)
     | Prog.Loop l ->
-      for i = 0 to l.extent - 1 do
-        Hashtbl.replace vars l.lvar i;
-        List.iter exec l.body
-      done
+      let snapshot =
+        (match mode with
+        | Snapshot_forward | Snapshot_reversed -> true
+        | Sequential | Reversed_parallel -> false)
+        && l.ann = Step.Parallel
+        && !overlay = None
+      in
+      if snapshot then (
+        (* Outermost parallel loop: every iteration runs against the
+           loop-entry state; cross-iteration dependences are lost. *)
+        let logs =
+          Array.init l.extent (fun i ->
+              overlay := Some (Hashtbl.create 4);
+              log := [];
+              Hashtbl.replace vars l.lvar i;
+              List.iter exec l.body;
+              let entries = List.rev !log in
+              overlay := None;
+              log := [];
+              entries)
+        in
+        let apply i =
+          List.iter
+            (fun (name, idx, v) ->
+              let data, _ = Env.find env name in
+              data.(idx) <- v)
+            logs.(i)
+        in
+        if mode = Snapshot_reversed then
+          for i = l.extent - 1 downto 0 do
+            apply i
+          done
+        else
+          for i = 0 to l.extent - 1 do
+            apply i
+          done)
+      else if mode = Reversed_parallel && l.ann = Step.Parallel then
+        for i = l.extent - 1 downto 0 do
+          Hashtbl.replace vars l.lvar i;
+          List.iter exec l.body
+        done
+      else
+        for i = 0 to l.extent - 1 do
+          Hashtbl.replace vars l.lvar i;
+          List.iter exec l.body
+        done
   in
   List.iter exec prog.items;
   List.filter_map
@@ -155,6 +244,8 @@ let run_prog (prog : Prog.t) ~inputs =
       else Some (name, fst (Env.find env name)))
     prog.buffers
 
+let run_prog prog ~inputs = run_prog_mode ~mode:Sequential prog ~inputs
+
 let max_abs_diff a b =
   if Array.length a <> Array.length b then
     error "max_abs_diff: length mismatch (%d vs %d)" (Array.length a)
@@ -162,6 +253,19 @@ let max_abs_diff a b =
   let d = ref 0.0 in
   Array.iteri (fun i x -> d := Float.max !d (Float.abs (x -. b.(i)))) a;
   !d
+
+let order_sensitive ?(tol = 1e-9) (prog : Prog.t) ~inputs =
+  let reference = run_prog_mode ~mode:Sequential prog ~inputs in
+  List.find_opt
+    (fun mode ->
+      let alt = run_prog_mode ~mode prog ~inputs in
+      List.exists
+        (fun (name, r) ->
+          match List.assoc_opt name alt with
+          | None -> true
+          | Some a -> max_abs_diff r a > tol)
+        reference)
+    order_modes
 
 let check_equivalent ?(tol = 1e-4) dag prog ~inputs =
   match (run_dag dag ~inputs, run_prog prog ~inputs) with

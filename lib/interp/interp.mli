@@ -28,6 +28,37 @@ val run_dag : Dag.t -> inputs:tensors -> tensors
 val run_prog : Prog.t -> inputs:tensors -> tensors
 (** Executes a lowered program. Returns all non-input buffers. *)
 
+(** Iteration semantics for [Parallel] loops.  A legal schedule computes
+    identical tensors under every mode; a cross-iteration race makes at
+    least one mode diverge from [Sequential].  This is the differential
+    oracle the static race detector ([Ansor_analysis]) is validated
+    against. *)
+type exec_mode =
+  | Sequential  (** every loop low-to-high: the reference semantics *)
+  | Reversed_parallel  (** [Parallel] loops iterated high-to-low *)
+  | Snapshot_forward
+      (** each iteration of an outermost [Parallel] loop reads the state
+          at loop entry and logs its writes; logs are then applied in
+          iteration order (last write wins) — models lost updates
+          between concurrent workers *)
+  | Snapshot_reversed  (** as [Snapshot_forward], logs applied in
+          reverse iteration order *)
+
+val exec_mode_name : exec_mode -> string
+
+val order_modes : exec_mode list
+(** The non-[Sequential] modes, in the order [order_sensitive] tries
+    them. *)
+
+val run_prog_mode : mode:exec_mode -> Prog.t -> inputs:tensors -> tensors
+(** [run_prog_mode ~mode:Sequential] is {!run_prog}. *)
+
+val order_sensitive : ?tol:float -> Prog.t -> inputs:tensors -> exec_mode option
+(** Runs the program under every mode and returns the first whose
+    outputs differ from [Sequential] by more than [tol] (default
+    [1e-9]), i.e. a concrete witness that the program's parallel
+    annotations are racy.  [None] means all orders agree. *)
+
 val max_abs_diff : float array -> float array -> float
 (** @raise Runtime_error on length mismatch. *)
 

@@ -134,7 +134,7 @@ let prepare t seen_in_batch (req : Protocol.request) =
       else Validate.check prog
     in
     match validation with
-    | issue :: _ -> Broken (Format.asprintf "%a" Validate.pp_issue issue)
+    | d :: _ -> Broken (Format.asprintf "%a" Diagnostic.pp d)
     | [] -> (
       let key = Cache.key_of_prog t.machine prog in
       match Cache.find t.cache key with

@@ -25,6 +25,7 @@ type stats = {
   timeouts : int;
   retries : int;
   batches : int;
+  statically_rejected : int;
   backoff_seconds : float;
   phase_seconds : (string * float) list;
 }
@@ -39,6 +40,7 @@ let empty_stats =
     timeouts = 0;
     retries = 0;
     batches = 0;
+    statically_rejected = 0;
     backoff_seconds = 0.0;
     phase_seconds = Array.to_list (Array.map (fun p -> (phase_name p, 0.0)) phases);
   }
@@ -55,6 +57,7 @@ let total stats =
         timeouts = acc.timeouts + s.timeouts;
         retries = acc.retries + s.retries;
         batches = acc.batches + s.batches;
+        statically_rejected = acc.statically_rejected + s.statically_rejected;
         backoff_seconds = acc.backoff_seconds +. s.backoff_seconds;
         phase_seconds =
           List.map2
@@ -69,9 +72,10 @@ let results s =
 let summary s =
   let counters =
     Printf.sprintf
-      "trials=%d ok=%d cache=%d build_err=%d run_err=%d timeout=%d retries=%d"
+      "trials=%d ok=%d cache=%d build_err=%d run_err=%d timeout=%d retries=%d \
+       static_rej=%d"
       s.trials s.measured s.cache_hits s.build_errors s.run_errors s.timeouts
-      s.retries
+      s.retries s.statically_rejected
   in
   let timers =
     String.concat " "
@@ -89,9 +93,10 @@ let to_json s =
   Printf.sprintf
     "{\"trials\":%d,\"measured\":%d,\"cache_hits\":%d,\"build_errors\":%d,\
      \"run_errors\":%d,\"timeouts\":%d,\"retries\":%d,\"batches\":%d,\
-     \"backoff_seconds\":%.6f,\"phase_seconds\":{%s}}"
+     \"statically_rejected\":%d,\"backoff_seconds\":%.6f,\
+     \"phase_seconds\":{%s}}"
     s.trials s.measured s.cache_hits s.build_errors s.run_errors s.timeouts
-    s.retries s.batches s.backoff_seconds phase_fields
+    s.retries s.batches s.statically_rejected s.backoff_seconds phase_fields
 
 type t = {
   mutable trials : int;
@@ -102,6 +107,7 @@ type t = {
   mutable timeouts : int;
   mutable retries : int;
   mutable batches : int;
+  mutable statically_rejected : int;
   mutable backoff_seconds : float;
   phase : float array;
 }
@@ -116,6 +122,7 @@ let create () =
     timeouts = 0;
     retries = 0;
     batches = 0;
+    statically_rejected = 0;
     backoff_seconds = 0.0;
     phase = Array.make (Array.length phases) 0.0;
   }
@@ -129,6 +136,7 @@ let reset t =
   t.timeouts <- 0;
   t.retries <- 0;
   t.batches <- 0;
+  t.statically_rejected <- 0;
   t.backoff_seconds <- 0.0;
   Array.fill t.phase 0 (Array.length t.phase) 0.0
 
@@ -142,6 +150,7 @@ let stats t =
     timeouts = t.timeouts;
     retries = t.retries;
     batches = t.batches;
+    statically_rejected = t.statically_rejected;
     backoff_seconds = t.backoff_seconds;
     phase_seconds =
       Array.to_list
@@ -157,6 +166,7 @@ let restore t (s : stats) =
   t.timeouts <- s.timeouts;
   t.retries <- s.retries;
   t.batches <- s.batches;
+  t.statically_rejected <- s.statically_rejected;
   t.backoff_seconds <- s.backoff_seconds;
   List.iteri
     (fun i (_, v) -> if i < Array.length t.phase then t.phase.(i) <- v)
@@ -182,4 +192,7 @@ let record_result t ?(attempts = 1) ?(cache_hit = false) latency =
     | Error Protocol.Timeout -> t.timeouts <- t.timeouts + 1
 
 let add_backoff t seconds = t.backoff_seconds <- t.backoff_seconds +. seconds
+
+let incr_statically_rejected t =
+  t.statically_rejected <- t.statically_rejected + 1
 let incr_batches t = t.batches <- t.batches + 1

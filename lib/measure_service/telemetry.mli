@@ -22,6 +22,9 @@ type stats = {
   timeouts : int;
   retries : int;  (** extra runs caused by transient failures *)
   batches : int;  (** measure-batch calls *)
+  statically_rejected : int;
+      (** evolution mutants discarded by the static race detector before
+          ever reaching the measurement backend *)
   backoff_seconds : float;  (** total retry backoff delay *)
   phase_seconds : (string * float) list;
       (** wall-clock seconds per phase, in declaration order *)
@@ -68,3 +71,6 @@ val record_result : t -> ?attempts:int -> ?cache_hit:bool ->
 
 val add_backoff : t -> float -> unit
 val incr_batches : t -> unit
+
+val incr_statically_rejected : t -> unit
+(** One evolution mutant rejected by the pre-measurement static filter. *)

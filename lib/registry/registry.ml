@@ -300,13 +300,16 @@ let outcome_to_string = function
 
 let pp_outcome fmt o = Format.pp_print_string fmt (outcome_to_string o)
 
-(* The serving bar: the state must lower and pass static validation.
-   Interpreting it would be exact but shape-bounded; the static check works
-   at any size (see lib/sched/validate.mli). *)
+(* The serving bar: the state must lower, pass static validation, and
+   carry no provable data race.  Interpreting it would be exact but
+   shape-bounded; the static checks work at any size (see
+   lib/sched/validate.mli and lib/analysis) — essential for
+   similarity-adapted schedules, whose replayed histories were never
+   measured on this exact shape. *)
 let lowers_validated st =
   match Lower.lower st with
   | exception _ -> false
-  | prog -> ( match Validate.check prog with [] -> true | _ :: _ -> false)
+  | prog -> Ansor_analysis.Analysis.static_errors prog = []
 
 let try_entry dag (e : Record.entry) =
   match State.replay_checked dag e.Record.steps with

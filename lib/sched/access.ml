@@ -95,7 +95,8 @@ let make_access buffers loop_vars extents ~tensor ~idx ~is_write ~count =
         let has_divmod =
           let rec go = function
             | Expr.Int _ | Expr.Axis _ -> false
-            | Expr.Iadd (a, b) | Expr.Isub (a, b) | Expr.Imul (a, b) ->
+            | Expr.Iadd (a, b) | Expr.Isub (a, b) | Expr.Imul (a, b)
+            | Expr.Imin (a, b) | Expr.Imax (a, b) ->
               go a || go b
             | Expr.Idiv _ | Expr.Imod _ -> true
           in
@@ -217,7 +218,8 @@ let select_zero_fraction info =
         | Expr.Int _ -> ()
         | Expr.Axis v -> add v
         | Expr.Iadd (a, b) | Expr.Isub (a, b) | Expr.Imul (a, b)
-        | Expr.Idiv (a, b) | Expr.Imod (a, b) ->
+        | Expr.Idiv (a, b) | Expr.Imod (a, b)
+        | Expr.Imin (a, b) | Expr.Imax (a, b) ->
           goi a;
           goi b
       in

@@ -394,13 +394,14 @@ let do_rfactor t ~stage:name ~iv ~lengths =
     let dag = replace_op_in_dag t.dag ~name ~with_ops:[ rf_op; final_op ] in
     { t with dag; stages = rebuild_stages t.stages dag }
 
+(* Note: [Parallel] on a reduction iterator is a data race, but it is the
+   static race detector's job (lib/analysis) to diagnose it, not the step
+   semantics' — evolution is allowed to propose such mutants and the
+   pre-measurement filter rejects them with a proper diagnostic. *)
 let do_annotate t ~stage:name ~iv ~ann =
   update_stage t name (fun s ->
       check_leaf s name iv;
       let info = s.ivars.(iv) in
-      if ann = Step.Parallel && info.kind = Reduce then
-        illegal "stage %s: cannot parallelize reduction iterator %s" name
-          info.iname;
       let ivars = Array.copy s.ivars in
       ivars.(iv) <- { info with ann };
       { s with ivars })

@@ -1,9 +1,5 @@
 open Ansor_te
 
-type issue = { where : string; message : string }
-
-let pp_issue fmt i = Format.fprintf fmt "%s: %s" i.where i.message
-
 module Interval = struct
   type t = { lo : int; hi : int }
 
@@ -20,12 +16,14 @@ module Interval = struct
       hi = List.fold_left max min_int products;
     }
 
+  let fdiv x d = if x >= 0 || x mod d = 0 then x / d else (x / d) - 1
+
   let floordiv_const a d =
     (* d > 0; floor division is monotone *)
-    let fd x =
-      if x >= 0 || x mod d = 0 then x / d else (x / d) - 1
-    in
-    { lo = fd a.lo; hi = fd a.hi }
+    { lo = fdiv a.lo d; hi = fdiv a.hi d }
+
+  let imin a b = { lo = min a.lo b.lo; hi = min a.hi b.hi }
+  let imax a b = { lo = max a.lo b.lo; hi = max a.hi b.hi }
 
   let rec of_iexpr env (e : Expr.iexpr) =
     match e with
@@ -34,15 +32,36 @@ module Interval = struct
     | Expr.Iadd (a, b) -> map2 add (of_iexpr env a) (of_iexpr env b)
     | Expr.Isub (a, b) -> map2 sub (of_iexpr env a) (of_iexpr env b)
     | Expr.Imul (a, b) -> map2 mul (of_iexpr env a) (of_iexpr env b)
+    | Expr.Imin (a, b) -> map2 imin (of_iexpr env a) (of_iexpr env b)
+    | Expr.Imax (a, b) -> map2 imax (of_iexpr env a) (of_iexpr env b)
     | Expr.Idiv (a, b) -> (
       match (of_iexpr env a, of_iexpr env b) with
       | Some a, Some { lo = d; hi = d' } when d = d' && d > 0 ->
         Some (floordiv_const a d)
+      | Some a, Some ({ lo; hi = _ } as b) when lo > 0 ->
+        (* floor(x/d) is monotone in x and, for fixed x, monotone in d
+           (toward 0 as d grows), so the extremes sit at endpoint pairs. *)
+        let cands =
+          [ fdiv a.lo b.lo; fdiv a.lo b.hi; fdiv a.hi b.lo; fdiv a.hi b.hi ]
+        in
+        Some
+          {
+            lo = List.fold_left min max_int cands;
+            hi = List.fold_left max min_int cands;
+          }
       | _ -> None)
-    | Expr.Imod (_, b) -> (
+    | Expr.Imod (a, b) -> (
       match of_iexpr env b with
-      | Some { lo = d; hi = d' } when d = d' && d > 0 ->
-        Some { lo = 0; hi = d - 1 }
+      | Some { lo = d; hi = d' } when d = d' && d > 0 -> (
+        match of_iexpr env a with
+        | Some a when a.lo >= 0 && a.hi < d ->
+          (* already within [0, d): mod is the identity *)
+          Some a
+        | Some a when fdiv a.lo d = fdiv a.hi d ->
+          (* whole interval inside one block of d: mod just shifts it *)
+          let k = fdiv a.lo d in
+          Some { lo = a.lo - (k * d); hi = a.hi - (k * d) }
+        | _ -> Some { lo = 0; hi = d - 1 })
       | _ -> None)
 
   and map2 f a b =
@@ -93,21 +112,29 @@ let reads_with_guard e =
 
 let check (prog : Prog.t) =
   let issues = ref [] in
-  let report where fmt =
-    Format.kasprintf (fun message -> issues := { where; message } :: !issues) fmt
+  let report ~code ~loc fmt =
+    Format.kasprintf
+      (fun message ->
+        issues :=
+          Diagnostic.make ~severity:Diagnostic.Error ~code ~loc message
+          :: !issues)
+      fmt
   in
   let shapes = prog.buffers in
   (* per-buffer write hull, for the coverage check *)
   let write_hull : (string, Interval.t) Hashtbl.t = Hashtbl.create 16 in
   let visit enclosing (stmt : Prog.stmt) =
-    let where = "statement of stage " ^ stmt.stage in
+    let loc = Diagnostic.Stage stmt.stage in
     (* loop scoping *)
     let seen = Hashtbl.create 16 in
     List.iter
       (fun (l : Prog.loop) ->
-        if l.extent < 1 then report where "loop %s has extent %d" l.lvar l.extent;
+        if l.extent < 1 then
+          report ~code:"loop-extent" ~loc:(Diagnostic.Loop l.lvar)
+            "loop %s of stage %s has extent %d" l.lvar stmt.stage l.extent;
         if Hashtbl.mem seen l.lvar then
-          report where "loop variable %s shadows an outer loop" l.lvar;
+          report ~code:"shadowed-loop-var" ~loc
+            "loop variable %s shadows an outer loop" l.lvar;
         Hashtbl.replace seen l.lvar ())
       enclosing;
     let env v =
@@ -120,15 +147,16 @@ let check (prog : Prog.t) =
     let shape_of t = List.assoc_opt t shapes in
     let check_access what t idx =
       match shape_of t with
-      | None -> report where "%s unknown buffer %s" what t
+      | None -> report ~code:"unknown-buffer" ~loc "%s unknown buffer %s" what t
       | Some shape -> (
         match offset_interval env shape idx with
         | None -> () (* non-affine beyond the analysis: no claim *)
         | Some iv ->
           let size = buffer_size shape in
           if iv.lo < 0 || iv.hi >= size then
-            report where "%s of %s may be out of bounds: offset in [%d, %d], size %d"
-              what t iv.lo iv.hi size;
+            report ~code:"out-of-bounds" ~loc
+              "%s of %s may be out of bounds: offset in [%d, %d], size %d" what
+              t iv.lo iv.hi size;
           if what = "write" then
             let cur =
               Option.value
@@ -144,7 +172,8 @@ let check (prog : Prog.t) =
       (reads_with_guard stmt.rhs);
     (* reduction discipline *)
     if stmt.update <> None && not (List.mem_assoc stmt.tensor prog.inits) then
-      report where "reduction into %s without initialization" stmt.tensor
+      report ~code:"uninit-reduction" ~loc
+        "reduction into %s without initialization" stmt.tensor
   in
   Prog.iter_stmts prog visit;
   (* write coverage: the hull of every written buffer reaches both ends *)
@@ -155,15 +184,8 @@ let check (prog : Prog.t) =
       | Some shape ->
         let size = buffer_size shape in
         if hull.lo > 0 || hull.hi < size - 1 then
-          (let where = "buffer " ^ t in
-           issues :=
-             {
-               where;
-               message =
-                 Printf.sprintf
-                   "writes only span offsets [%d, %d] of size %d" hull.lo
-                   hull.hi size;
-             }
-             :: !issues))
+          report ~code:"write-coverage" ~loc:(Diagnostic.Buffer t)
+            "writes only span offsets [%d, %d] of size %d" hull.lo hull.hi
+            size)
     write_hull;
   List.rev !issues

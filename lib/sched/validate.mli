@@ -15,23 +15,50 @@
       statically would need relational reasoning;
     - every reduction-updated buffer is initialized.
 
-    The sampler property tests run the interpreter on small shapes; this
-    validator is additionally exercised on every sampled program to catch
-    lowering regressions on realistic (large) shapes where interpretation
-    is infeasible. *)
+    Findings are reported as {!Diagnostic.t} values (all at severity
+    [Error]; the schedule linter in lib/analysis adds the [Warn]/[Info]
+    tiers).  The sampler property tests run the interpreter on small
+    shapes; this validator is additionally exercised on every sampled
+    program to catch lowering regressions on realistic (large) shapes
+    where interpretation is infeasible. *)
 
-type issue = { where : string; message : string }
-
-val pp_issue : Format.formatter -> issue -> unit
-
-val check : Prog.t -> issue list
+val check : Prog.t -> Diagnostic.t list
 (** Empty when the program passes all static checks. *)
 
-(** Interval arithmetic over index expressions, exposed for tests. *)
+(** Interval arithmetic over index expressions, exposed for the analyses
+    in lib/analysis and for tests. *)
 module Interval : sig
   type t = { lo : int; hi : int }
 
+  val point : int -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+
+  val floordiv_const : t -> int -> t
+  (** Floor-divide by a positive constant. *)
+
+  val imin : t -> t -> t
+  val imax : t -> t -> t
+
   val of_iexpr : (string -> t option) -> Ansor_te.Expr.iexpr -> t option
-  (** Interval of an expression given variable ranges; [None] when the
-      expression divides by a non-constant or a range is unknown. *)
+  (** Interval of an expression given variable ranges; [None] when a
+      variable's range is unknown or a divisor may be non-positive.
+      Division by a positive-interval divisor, [mod] by a positive
+      constant (tightened when the argument fits one block), and
+      [min]/[max] of known intervals all stay defined. *)
 end
+
+val buffer_size : int list -> int
+
+val offset_interval :
+  (string -> Interval.t option) ->
+  int list ->
+  Ansor_te.Expr.iexpr list ->
+  Interval.t option
+(** Interval of the flattened row-major offset of an access. *)
+
+val reads_with_guard :
+  Ansor_te.Expr.t -> (string * Ansor_te.Expr.iexpr list * bool) list
+(** Every tensor read in an expression, flagged [true] when a [select]
+    guards it. *)

@@ -330,7 +330,9 @@ let candidates t shared tm =
         |> List.map fst
       in
       Telemetry.time tm Telemetry.Evolve (fun () ->
-          Evolution.evolve t.rng t.options.evolution t.policy dag ~model
+          Evolution.evolve
+            ~on_reject:(fun () -> Telemetry.incr_statically_rejected tm)
+            t.rng t.options.evolution t.policy dag ~model
             ~init:(fresh @ seeds)
             ~out:(t.options.batch_size * 4)
           |> List.map (fun (s : Evolution.scored) -> s.state))
@@ -344,7 +346,7 @@ let candidates t shared tm =
    regardless of their model rank: a biased model cannot starve
    exploitation of the incumbent (important on tiny tasks where the model
    has little signal). *)
-let neighbors_of_best t =
+let neighbors_of_best ?on_reject t =
   match t.best with
   | None -> []
   | Some (best, _) ->
@@ -352,10 +354,10 @@ let neighbors_of_best t =
     List.filter_map
       (fun _ ->
         match Rng.int t.rng 4 with
-        | 0 -> Evolution.mutate_tile_sizes t.rng dag best
-        | 1 -> Evolution.mutate_annotation t.rng dag best
-        | 2 -> Evolution.mutate_pragma t.rng t.policy dag best
-        | _ -> Evolution.mutate_location t.rng dag best)
+        | 0 -> Evolution.mutate_tile_sizes ?on_reject t.rng dag best
+        | 1 -> Evolution.mutate_annotation ?on_reject t.rng dag best
+        | 2 -> Evolution.mutate_pragma ?on_reject t.rng t.policy dag best
+        | _ -> Evolution.mutate_location ?on_reject t.rng dag best)
       (List.init (max 1 (t.options.batch_size / 4)) Fun.id)
 
 let round t shared service =
@@ -378,7 +380,11 @@ let round t shared service =
   in
   let exploit =
     match t.options.strategy with
-    | Sketch_search { use_evolution = true; _ } -> prepare (neighbors_of_best t)
+    | Sketch_search { use_evolution = true; _ } ->
+      prepare
+        (neighbors_of_best
+           ~on_reject:(fun () -> Telemetry.incr_statically_rejected tm)
+           t)
     | Sketch_search { use_evolution = false; _ } | Beam_search _ -> []
   in
   let cands = prepare (candidates t shared tm) in

@@ -6,6 +6,8 @@ type iexpr =
   | Imul of iexpr * iexpr
   | Idiv of iexpr * iexpr
   | Imod of iexpr * iexpr
+  | Imin of iexpr * iexpr
+  | Imax of iexpr * iexpr
 
 type bexpr =
   | Blt of iexpr * iexpr
@@ -59,6 +61,8 @@ let rec eval_iexpr lookup = function
     else
       let r = eval_iexpr lookup a mod b in
       if r < 0 then r + abs b else r
+  | Imin (a, b) -> min (eval_iexpr lookup a) (eval_iexpr lookup b)
+  | Imax (a, b) -> max (eval_iexpr lookup a) (eval_iexpr lookup b)
 
 let rec eval_bexpr lookup = function
   | Blt (a, b) -> eval_iexpr lookup a < eval_iexpr lookup b
@@ -119,7 +123,8 @@ let iexpr_axes e =
   let rec go = function
     | Int _ -> ()
     | Axis v -> add v
-    | Iadd (a, b) | Isub (a, b) | Imul (a, b) | Idiv (a, b) | Imod (a, b) ->
+    | Iadd (a, b) | Isub (a, b) | Imul (a, b) | Idiv (a, b) | Imod (a, b)
+    | Imin (a, b) | Imax (a, b) ->
       go a;
       go b
   in
@@ -174,6 +179,8 @@ let rec subst_axes_iexpr env = function
   | Imul (a, b) -> Imul (subst_axes_iexpr env a, subst_axes_iexpr env b)
   | Idiv (a, b) -> Idiv (subst_axes_iexpr env a, subst_axes_iexpr env b)
   | Imod (a, b) -> Imod (subst_axes_iexpr env a, subst_axes_iexpr env b)
+  | Imin (a, b) -> Imin (subst_axes_iexpr env a, subst_axes_iexpr env b)
+  | Imax (a, b) -> Imax (subst_axes_iexpr env a, subst_axes_iexpr env b)
 
 let rec subst_axes_bexpr env = function
   | Blt (a, b) -> Blt (subst_axes_iexpr env a, subst_axes_iexpr env b)
@@ -235,6 +242,8 @@ let count_ops e =
     | Imul (a, b) -> goi (goi { c with int_mul = c.int_mul + 1 } a) b
     | Idiv (a, b) | Imod (a, b) ->
       goi (goi { c with int_div_mod = c.int_div_mod + 1 } a) b
+    | Imin (a, b) | Imax (a, b) ->
+      goi (goi { c with int_add_sub = c.int_add_sub + 1 } a) b
   in
   let rec gob c = function
     | Blt (a, b) | Ble (a, b) | Beq (a, b) ->
@@ -283,6 +292,8 @@ let rec pp_iexpr fmt = function
   | Imul (a, b) -> Format.fprintf fmt "(%a * %a)" pp_iexpr a pp_iexpr b
   | Idiv (a, b) -> Format.fprintf fmt "(%a / %a)" pp_iexpr a pp_iexpr b
   | Imod (a, b) -> Format.fprintf fmt "(%a %% %a)" pp_iexpr a pp_iexpr b
+  | Imin (a, b) -> Format.fprintf fmt "min(%a, %a)" pp_iexpr a pp_iexpr b
+  | Imax (a, b) -> Format.fprintf fmt "max(%a, %a)" pp_iexpr a pp_iexpr b
 
 let rec pp_bexpr fmt = function
   | Blt (a, b) -> Format.fprintf fmt "%a < %a" pp_iexpr a pp_iexpr b
@@ -360,6 +371,16 @@ let rec simplify_iexpr e =
          if r < 0 then r + abs y else r)
     | _, Int 1 -> Int 0
     | _ -> Imod (a, b))
+  | Imin (a, b) -> (
+    let a = simplify_iexpr a and b = simplify_iexpr b in
+    match (a, b) with
+    | Int x, Int y -> Int (min x y)
+    | _ -> if a = b then a else Imin (a, b))
+  | Imax (a, b) -> (
+    let a = simplify_iexpr a and b = simplify_iexpr b in
+    match (a, b) with
+    | Int x, Int y -> Int (max x y)
+    | _ -> if a = b then a else Imax (a, b))
 
 let rec simplify_bexpr e =
   match e with

@@ -16,6 +16,8 @@ type iexpr =
   | Imul of iexpr * iexpr
   | Idiv of iexpr * iexpr
   | Imod of iexpr * iexpr
+  | Imin of iexpr * iexpr
+  | Imax of iexpr * iexpr
 
 (** Boolean expressions over indices. *)
 type bexpr =

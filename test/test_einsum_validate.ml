@@ -3,6 +3,7 @@
 open Helpers
 module E = Ansor.Einsum
 module V = Ansor.Validate
+module D = Ansor.Diagnostic
 module State = Ansor.State
 module Lower = Ansor.Lower
 module Step = Ansor.Step
@@ -99,6 +100,50 @@ let test_interval_arithmetic () =
     check_int "sub hi" (-3) hi
   | None -> Alcotest.fail "interval expected"
 
+let test_interval_tightening () =
+  (* the cases Interval.of_iexpr used to lose or over-approximate *)
+  let env v =
+    match v with
+    | "i" -> Some { V.Interval.lo = 0; hi = 7 }
+    | "j" -> Some { V.Interval.lo = 3; hi = 5 }
+    | "d" -> Some { V.Interval.lo = 2; hi = 4 }
+    | _ -> None
+  in
+  let expect name e lo hi =
+    match V.Interval.of_iexpr env e with
+    | Some iv ->
+      check_int (name ^ " lo") lo iv.V.Interval.lo;
+      check_int (name ^ " hi") hi iv.V.Interval.hi
+    | None -> Alcotest.failf "%s: interval expected" name
+  in
+  (* mod passthrough: i in [0,8) already fits mod 16 *)
+  expect "mod passthrough" Ansor.Expr.(Imod (Axis "i", Int 16)) 0 7;
+  (* mod same-block: i+16 in [16,23] lies inside block [16,32) of mod 16 *)
+  expect "mod same-block"
+    Ansor.Expr.(Imod (Iadd (Axis "i", Int 16), Int 16))
+    0 7;
+  (* mod same-block, negative: i-8 in [-8,-1] is block [-16,0) of mod 16 *)
+  expect "mod negative block"
+    Ansor.Expr.(Imod (Isub (Axis "i", Int 8), Int 16))
+    8 15;
+  (* straddling blocks still falls back to [0, d) *)
+  expect "mod straddle" Ansor.Expr.(Imod (Iadd (Axis "i", Int 12), Int 16)) 0 15;
+  (* division by a positive non-constant interval *)
+  expect "div by interval" Ansor.Expr.(Idiv (Axis "i", Axis "d")) 0 3;
+  expect "div negative by interval"
+    Ansor.Expr.(Idiv (Isub (Axis "i", Int 7), Axis "d"))
+    (-4) 0;
+  (* min / max of known intervals *)
+  expect "min" Ansor.Expr.(Imin (Axis "i", Axis "j")) 0 5;
+  expect "max" Ansor.Expr.(Imax (Axis "i", Axis "j")) 3 7;
+  expect "min const" Ansor.Expr.(Imin (Axis "i", Int 4)) 0 4;
+  (* still None when a divisor may be zero or negative *)
+  (match
+     V.Interval.of_iexpr env Ansor.Expr.(Idiv (Axis "i", Isub (Axis "d", Int 2)))
+   with
+  | None -> ()
+  | Some _ -> Alcotest.fail "division by possibly-zero interval must be None")
+
 let test_valid_programs_pass () =
   List.iter
     (fun dag ->
@@ -109,8 +154,7 @@ let test_valid_programs_pass () =
           | [] -> ()
           | issues ->
             Alcotest.failf "unexpected issues: %s"
-              (String.concat "; "
-                 (List.map (Format.asprintf "%a" V.pp_issue) issues)))
+              (String.concat "; " (List.map D.to_string issues)))
         (sample_programs ~seed:9 ~n:6 dag))
     [
       Ansor.Nn.matmul_relu ~m:16 ~n:16 ~k:16 ();
@@ -128,8 +172,7 @@ let test_validator_works_at_scale () =
     List.iter
       (fun st ->
         Alcotest.(check (list string)) "no issues" []
-          (List.map (Format.asprintf "%a" V.pp_issue)
-             (V.check (Lower.lower st))))
+          (List.map D.to_string (V.check (Lower.lower st))))
       states
 
 let test_detects_out_of_bounds_write () =
@@ -165,9 +208,9 @@ let test_detects_out_of_bounds_write () =
   let issues = V.check prog in
   check_bool "flags OOB write" true
     (List.exists
-       (fun (i : V.issue) ->
-         i.message <> "" && String.length i.message > 0
-         && i.where = "statement of stage X")
+       (fun (d : D.t) ->
+         d.D.code = "out-of-bounds" && d.D.severity = D.Error
+         && d.D.loc = D.Stage "X")
        issues)
 
 let test_detects_uncovered_buffer () =
@@ -202,7 +245,7 @@ let test_detects_uncovered_buffer () =
   in
   check_bool "flags partial coverage" true
     (List.exists
-       (fun (i : V.issue) -> i.where = "buffer X")
+       (fun (d : D.t) -> d.D.code = "write-coverage" && d.D.loc = D.Buffer "X")
        (V.check prog))
 
 let test_detects_missing_init () =
@@ -236,11 +279,8 @@ let test_detects_missing_init () =
   in
   check_bool "flags missing init" true
     (List.exists
-       (fun (i : V.issue) ->
-         i.where = "statement of stage X"
-         &&
-         let m = i.message in
-         String.length m >= 9 && String.sub m 0 9 = "reduction")
+       (fun (d : D.t) ->
+         d.D.code = "uninit-reduction" && d.D.loc = D.Stage "X")
        (V.check prog))
 
 let () =
@@ -259,6 +299,7 @@ let () =
       ( "validator",
         [
           case "interval arithmetic" test_interval_arithmetic;
+          case "interval tightening" test_interval_tightening;
           case "valid programs pass" test_valid_programs_pass;
           case "works at scale" test_validator_works_at_scale;
           case "detects OOB write" test_detects_out_of_bounds_write;
