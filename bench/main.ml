@@ -22,6 +22,7 @@ let experiments =
     ("table2", "Table 2: multi-network objectives", Table2.run);
     ("ablation", "Design-choice ablations", Ablation.run);
     ("serving", "Serving: registry vs naive dispatch", Serving.run);
+    ("costmodel", "Batch cost-model scoring throughput", Costmodel.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

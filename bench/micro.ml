@@ -29,11 +29,46 @@ let setup () =
       states
   in
   let model = Ansor.Cost_model.train records in
-  (dag, sketches, policy, st, prog, model, records)
+  (dag, sketches, policy, states, st, prog, model, records)
+
+(* Where a real tuning round spends its time: the Telemetry phase timers
+   (sample / evolve / model-rank / measure / retrain) over a short run,
+   so Evolve and Model_rank cost is attributed instead of lumped into
+   per-call micro numbers. *)
+let phase_attribution () =
+  Common.subheader "Phase attribution (Telemetry timers, small tuning run)";
+  let dag =
+    Ansor.Nn.conv_layer ~n:1 ~c:64 ~h:28 ~w:28 ~f:64 ~kh:3 ~kw:3 ~stride:1
+      ~pad:1 ()
+  in
+  let task = Ansor.Task.create ~name:"micro-conv" ~machine dag in
+  let _, service =
+    Ansor.Tuner.tune ~seed:Common.seed Ansor.Tuner.ansor_options
+      ~trials:(Common.scaled 64) task
+  in
+  let stats = Ansor.Telemetry.stats (Ansor.Measure_service.telemetry service) in
+  let total =
+    List.fold_left (fun acc (_, s) -> acc +. s) 0.0 stats.Ansor.Telemetry.phase_seconds
+  in
+  List.iter
+    (fun (name, s) ->
+      Printf.printf "%-14s %9.3fs %5.1f%%\n" name s
+        (if total > 0.0 then 100.0 *. s /. total else 0.0))
+    stats.Ansor.Telemetry.phase_seconds;
+  Printf.printf
+    "score cache: hit=%d miss=%d evictions=%d fan-out speedup=%.2fx\n"
+    stats.Ansor.Telemetry.score_hits stats.Ansor.Telemetry.score_misses
+    stats.Ansor.Telemetry.score_evictions
+    (Ansor.Telemetry.score_speedup stats)
 
 let run () =
   Common.header "Micro-benchmarks (Bechamel): search hot paths";
-  let dag, sketches, policy, st, prog, model, records = setup () in
+  let dag, sketches, policy, states, st, prog, model, records = setup () in
+  let scorer =
+    let sc = Ansor.Score_service.create ~num_workers:1 machine in
+    Ansor.Score_service.set_model sc model;
+    sc
+  in
   let test =
     Test.make_grouped ~name:"ansor"
       [
@@ -44,6 +79,11 @@ let run () =
           (Staged.stage (fun () -> Ansor.Features.of_prog prog));
         Test.make ~name:"model-score"
           (Staged.stage (fun () -> Ansor.Cost_model.score_prog model prog));
+        Test.make ~name:"score-prog-cached"
+          (Staged.stage (fun () -> Ansor.Score_service.score_prog scorer prog));
+        Test.make ~name:"score-batch-40"
+          (Staged.stage (fun () ->
+               Ansor.Score_service.score_states scorer states));
         Test.make ~name:"sample-program"
           (Staged.stage
              (let rng = Ansor.Rng.create 42 in
@@ -74,4 +114,5 @@ let run () =
         else if ns > 1e3 then Printf.printf "%-26s %13.3f us\n" name (ns /. 1e3)
         else Printf.printf "%-26s %13.1f ns\n" name ns
       | _ -> Printf.printf "%-26s %16s\n" name "n/a")
-    (List.sort compare rows)
+    (List.sort compare rows);
+  phase_attribution ()

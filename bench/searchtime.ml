@@ -54,7 +54,8 @@ let run_one net =
     used,
     reference,
     matched,
-    final )
+    final,
+    Ansor.Scheduler.stats ansor_sched )
 
 let run () =
   header "Search-time study: trials for Ansor to match AutoTVM";
@@ -62,12 +63,15 @@ let run () =
     "AutoTVM (ms)" "Ansor match @" "Ansor final" "speedup";
   List.iter
     (fun net ->
-      let name, used, reference, matched, final = run_one net in
+      let name, used, reference, matched, final, stats = run_one net in
       Printf.printf "%-14s %14d %16.3f %18s %14.3f %8s\n%!" name used
         (reference *. 1e3)
         (match matched with
         | Some t -> Printf.sprintf "%d trials (%.1fx)" t (float_of_int used /. float_of_int (max t 1))
         | None -> "not matched")
         (final *. 1e3)
-        (Printf.sprintf "%.2fx" (reference /. final)))
+        (Printf.sprintf "%.2fx" (reference /. final));
+      (* attribute the search time: the Telemetry phase timers say how
+         much went to Evolve / Model_rank (batched scoring) vs measuring *)
+      Printf.printf "  ansor telemetry: %s\n%!" (Ansor.Telemetry.summary stats))
     [ Ansor.Workloads.mobilenet_v2 ~batch:1; Ansor.Workloads.dcgan ~batch:1 ]

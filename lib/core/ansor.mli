@@ -54,6 +54,7 @@ module Telemetry = Ansor_measure_service.Telemetry
 module Features = Ansor_features.Features
 module Gbdt = Ansor_gbdt.Gbdt
 module Cost_model = Ansor_cost_model.Cost_model
+module Score_service = Ansor_cost_model.Score_service
 module Rules = Ansor_sketch.Rules
 module Sketch_gen = Ansor_sketch.Gen
 module Policy = Ansor_sketch.Policy
@@ -79,7 +80,7 @@ module Checkpoint = Ansor_checkpoint.Checkpoint
     pool (see {!Registry.resolve}, {!Dispatcher.serve}). *)
 
 module Registry = Ansor_registry.Registry
-module Lru = Ansor_serve.Lru
+module Lru = Ansor_util.Lru
 module Histogram = Ansor_serve.Histogram
 module Dispatcher = Ansor_serve.Dispatcher
 module Baselines = Ansor_baselines.Baselines

@@ -53,6 +53,8 @@ let train ?params records =
       let model = Ansor_gbdt.Gbdt.train ?params ~x ~y ~w () in
       { model = Some model; n_records = List.length records }
 
+let gbdt t = t.model
+
 let score_stmts t features =
   match t.model with
   | None -> List.map (fun _ -> 0.0) features

@@ -34,6 +34,11 @@ val train : ?params:Ansor_gbdt.Gbdt.params -> record list -> t
 
 val num_records_trained_on : t -> int
 
+val gbdt : t -> Ansor_gbdt.Gbdt.t option
+(** The underlying boosted-tree model ([None] when untrained) — the
+    batch scoring service predicts through {!Ansor_gbdt.Gbdt.predict_batch}
+    directly. *)
+
 val score_stmts : t -> float array list -> float list
 (** Per-statement scores (used by node-based crossover to pick the better
     parent per DAG node). *)

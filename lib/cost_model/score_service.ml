@@ -1,0 +1,276 @@
+open Ansor_sched
+module Pool = Ansor_measure_service.Pool
+module Mcache = Ansor_measure_service.Cache
+module Telemetry = Ansor_measure_service.Telemetry
+module Lru = Ansor_util.Lru
+module Features = Ansor_features.Features
+module Gbdt = Ansor_gbdt.Gbdt
+
+(* One cached program: its per-statement feature vectors (valid forever —
+   featurization is a pure function of the lowered program) and the
+   scores computed from them, stamped with the model generation that
+   produced them (stale after a retrain, recomputed lazily). *)
+type entry = {
+  features : float array list;
+  n_rows : int;
+  mutable scored : (int * float list * float) option;
+      (* (model generation, per-statement scores, their sum) *)
+}
+
+type t = {
+  machine : Ansor_machine.Machine.t;
+  num_workers : int;
+  chunk : int;
+  cache : entry Lru.t;
+  telemetry : Telemetry.t option;
+  mutable model : Cost_model.t;
+  mutable generation : int;  (* bumped by every [set_model] *)
+  mutable upstream : int option;  (* last generation seen by [sync] *)
+}
+
+let default_capacity = 4096
+
+(* Fixed fan-out granularity: chunk boundaries depend only on the batch,
+   never on the worker count, so the work partition (and therefore every
+   result) is identical for any [num_workers]. *)
+let default_chunk = 8
+
+let create ?(capacity = default_capacity) ?telemetry ~num_workers machine =
+  {
+    machine;
+    num_workers = max 1 num_workers;
+    chunk = default_chunk;
+    cache = Lru.create ~capacity:(max 1 capacity);
+    telemetry;
+    model = Cost_model.empty;
+    generation = 0;
+    upstream = None;
+  }
+
+let machine t = t.machine
+let num_workers t = t.num_workers
+let model t = t.model
+let generation t = t.generation
+let capacity t = Lru.capacity t.cache
+let cache_size t = Lru.size t.cache
+
+type stats = { hits : int; misses : int; evictions : int }
+
+let stats t =
+  { hits = Lru.hits t.cache; misses = Lru.misses t.cache;
+    evictions = Lru.evictions t.cache }
+
+let set_model t model =
+  (* cached features survive a retrain; cached scores are invalidated by
+     the generation stamp, not by walking the LRU *)
+  t.model <- model;
+  t.generation <- t.generation + 1
+
+let sync t ~generation model =
+  if t.upstream <> Some generation then begin
+    t.upstream <- Some generation;
+    set_model t model
+  end
+
+let key_of_prog t prog = Mcache.key_of_prog t.machine prog
+
+(* ---- deterministic parallel fan-out ------------------------------------- *)
+
+(* Applies [f] to every item on the domain pool in fixed-size chunks;
+   results come back in input order.  [f] must be pure — that, plus the
+   worker-count-independent chunking, is the determinism argument.
+   Returns (results, wall seconds, summed per-chunk work seconds). *)
+let fan t f items =
+  let n = Array.length items in
+  if n = 0 then ([||], 0.0, 0.0)
+  else begin
+    let nchunks = (n + t.chunk - 1) / t.chunk in
+    let t0 = Unix.gettimeofday () in
+    let out =
+      Pool.run ~num_workers:t.num_workers
+        (fun c ->
+          let lo = c * t.chunk in
+          let len = min t.chunk (n - lo) in
+          let c0 = Unix.gettimeofday () in
+          let res = Array.init len (fun i -> f items.(lo + i)) in
+          (res, Unix.gettimeofday () -. c0))
+        (Array.init nchunks Fun.id)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let work = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 out in
+    let results = Array.concat (Array.to_list (Array.map fst out)) in
+    (results, wall, work)
+  end
+
+(* ---- scoring core ------------------------------------------------------- *)
+
+(* Per-statement scores of one entry under the current model, preserving
+   the accumulation order of the sequential path
+   ([Cost_model.score_stmts] + [Cost_model.score]'s fold). *)
+let compute_scores t entries =
+  match Cost_model.gbdt t.model with
+  | None ->
+    List.iter
+      (fun e ->
+        let ss = List.map (fun _ -> 0.0) e.features in
+        let total = List.fold_left ( +. ) 0.0 ss in
+        e.scored <- Some (t.generation, ss, total))
+      entries
+  | Some gbdt ->
+    let stale = List.filter (fun e -> e.n_rows > 0) entries in
+    (match stale with
+    | [] -> ()
+    | _ ->
+      let width =
+        match (List.hd stale).features with
+        | row :: _ -> Array.length row
+        | [] -> assert false
+      in
+      let matrix =
+        Array.concat (List.concat_map (fun e -> e.features) stale)
+      in
+      let preds = Gbdt.predict_batch gbdt ~width matrix in
+      let off = ref 0 in
+      List.iter
+        (fun e ->
+          let ss = List.init e.n_rows (fun i -> preds.(!off + i)) in
+          off := !off + e.n_rows;
+          let total = List.fold_left ( +. ) 0.0 ss in
+          e.scored <- Some (t.generation, ss, total))
+        stale);
+    List.iter
+      (fun e ->
+        if e.n_rows = 0 then e.scored <- Some (t.generation, [], 0.0))
+      entries
+
+let fresh_scored t e =
+  match e.scored with
+  | Some (g, ss, total) when g = t.generation -> Some (ss, total)
+  | _ -> None
+
+(* Scores a batch of already-lowered candidates ([None] = the state did
+   not lower).  All cache traffic happens on the calling domain; the pool
+   only ever featurizes cache misses. *)
+let score_lowered t ?(wall0 = 0.0) ?(work0 = 0.0)
+    (items : (string * Prog.t) option array) =
+  let hits = ref 0 and misses = ref 0 in
+  let ev0 = Lru.evictions t.cache in
+  (* probe: resolve every candidate to an entry, or mark it a unique miss
+     (first occurrence wins; later duplicates are hits on its entry) *)
+  let local : (string, entry) Hashtbl.t = Hashtbl.create 64 in
+  let miss_rev = ref [] in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (key, prog) -> (
+        if Hashtbl.mem local key then incr hits
+        else
+          match Lru.find t.cache key with
+          | Some e ->
+            incr hits;
+            Hashtbl.replace local key e
+          | None ->
+            incr misses;
+            (* placeholder claims the key so in-batch duplicates count as
+               hits and are featurized once *)
+            Hashtbl.replace local key { features = []; n_rows = 0; scored = None };
+            miss_rev := (key, prog) :: !miss_rev))
+    items;
+  (* featurize the unique misses on the pool, input order preserved *)
+  let miss_arr = Array.of_list (List.rev !miss_rev) in
+  let feats, wall, work =
+    fan t (fun (key, prog) -> (key, Features.of_prog prog)) miss_arr
+  in
+  Array.iter
+    (fun (key, features) ->
+      let e = { features; n_rows = List.length features; scored = None } in
+      Hashtbl.replace local key e;
+      Lru.add t.cache key e)
+    feats;
+  (* score every entry whose cached score is stale, one batched GBDT pass *)
+  let stale_rev = ref [] and seen = Hashtbl.create 64 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (key, _) ->
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          let e = Hashtbl.find local key in
+          if fresh_scored t e = None then stale_rev := e :: !stale_rev
+        end)
+    items;
+  compute_scores t (List.rev !stale_rev);
+  (match t.telemetry with
+  | Some tm ->
+    Telemetry.add_score_batch tm ~hits:!hits ~misses:!misses
+      ~evictions:(Lru.evictions t.cache - ev0)
+      ~wall:(wall0 +. wall) ~work:(work0 +. work)
+  | None -> ());
+  Array.map
+    (function
+      | None -> Float.neg_infinity
+      | Some (key, _) -> (
+        let e = Hashtbl.find local key in
+        match fresh_scored t e with
+        | Some (_, total) -> total
+        | None -> assert false))
+    items
+
+let score_progs t progs =
+  let arr = Array.of_list progs in
+  (* keys are digests of the lowered program: pure, so they fan out too *)
+  let keyed, wall, work =
+    fan t (fun prog -> Some (key_of_prog t prog, prog)) arr
+  in
+  Array.to_list (score_lowered t ~wall0:wall ~work0:work keyed)
+
+let score_states t states =
+  let arr = Array.of_list states in
+  let keyed, wall, work =
+    fan t
+      (fun st ->
+        match Lower.lower st with
+        | prog -> Some (key_of_prog t prog, prog)
+        | exception State.Illegal _ -> None)
+      arr
+  in
+  Array.to_list (score_lowered t ~wall0:wall ~work0:work keyed)
+
+(* ---- single-candidate path (beam search, crossover) --------------------- *)
+
+let entry_of_prog t prog =
+  let key = key_of_prog t prog in
+  match Lru.find t.cache key with
+  | Some e ->
+    (match t.telemetry with
+    | Some tm -> Telemetry.add_score_probe tm ~hit:true
+    | None -> ());
+    e
+  | None ->
+    (match t.telemetry with
+    | Some tm -> Telemetry.add_score_probe tm ~hit:false
+    | None -> ());
+    let features = Features.of_prog prog in
+    let e = { features; n_rows = List.length features; scored = None } in
+    Lru.add t.cache key e;
+    e
+
+let ensure_scored t e =
+  match fresh_scored t e with
+  | Some r -> r
+  | None ->
+    compute_scores t [ e ];
+    (match fresh_scored t e with Some r -> r | None -> assert false)
+
+let score_prog t prog =
+  let e = entry_of_prog t prog in
+  snd (ensure_scored t e)
+
+let stmt_scores_prog t prog =
+  let e = entry_of_prog t prog in
+  fst (ensure_scored t e)
+
+let score_state t st =
+  match Lower.lower st with
+  | exception State.Illegal _ -> Float.neg_infinity
+  | prog -> score_prog t prog

@@ -1,0 +1,84 @@
+(** Batched, cached cost-model scoring.
+
+    The evolutionary search scores thousands of candidate programs per
+    round, and most of the cost is not the GBDT at all — it is lowering
+    each state and extracting its per-statement feature vectors.  This
+    service turns that into a batch pipeline:
+
+    - lowering + featurization fan out over the measure service's domain
+      pool in {e fixed-size chunks}, so the work partition — and therefore
+      every float produced — is independent of [num_workers];
+    - feature vectors are memoized in an LRU keyed by the canonical
+      lowered-program digest ({!Ansor_measure_service.Cache.key_of_prog}),
+      so candidates that survive across generations (elites, re-sampled
+      mutants) are featurized once per session, not once per round;
+    - GBDT prediction runs through {!Ansor_gbdt.Gbdt.predict_batch}: one
+      pass per tree over a flat row matrix instead of one tree walk per
+      statement.
+
+    Cached {e scores} are stamped with a model generation and invalidated
+    by {!set_model} (retrains); cached {e features} are a pure function of
+    the program and survive retrains.
+
+    Bit-identity contract: for any batch and any worker count, the scores
+    returned are bitwise equal to the sequential
+    [Cost_model.score_prog] on each candidate — accumulation order inside
+    {!Ansor_gbdt.Gbdt.predict_batch} and the final per-statement sum
+    mirror the sequential folds exactly. *)
+
+open Ansor_sched
+
+type t
+
+val create :
+  ?capacity:int ->
+  ?telemetry:Ansor_measure_service.Telemetry.t ->
+  num_workers:int ->
+  Ansor_machine.Machine.t ->
+  t
+(** [capacity] bounds the LRU entry count (default 4096 programs);
+    [telemetry] receives score-cache hit/miss and fan-out timing counters;
+    [num_workers] is the domain-pool width (clamped to >= 1), normally
+    {!Ansor_measure_service.Service.num_workers} so [--workers] governs
+    both fan-outs. *)
+
+val set_model : t -> Cost_model.t -> unit
+(** Installs a (re)trained model and bumps the generation stamp: every
+    cached score is now stale and will be recomputed on next access.
+    Cached feature vectors are kept. *)
+
+val sync : t -> generation:int -> Cost_model.t -> unit
+(** Idempotent [set_model]: installs the model only if [generation]
+    differs from the last synced one.  Lets per-round callers pass the
+    tuner's retrain counter without spuriously invalidating the cache. *)
+
+val score_states : t -> State.t list -> float list
+(** Scores each state, in order.  States that fail to lower score
+    [Float.neg_infinity] (matching the sequential fitness path).
+    Duplicate states in the batch are lowered/featurized once. *)
+
+val score_progs : t -> Prog.t list -> float list
+(** Same, for already-lowered programs. *)
+
+val score_state : t -> State.t -> float
+(** Single-candidate path (cache-backed, no pool fan-out). *)
+
+val score_prog : t -> Prog.t -> float
+
+val stmt_scores_prog : t -> Prog.t -> float list
+(** Per-statement scores of one program (node-based crossover picks the
+    better parent per DAG node) — cache-backed like {!score_prog}. *)
+
+val machine : t -> Ansor_machine.Machine.t
+val num_workers : t -> int
+val model : t -> Cost_model.t
+val generation : t -> int
+(** Bumped by every {!set_model}; 0 for a fresh (untrained) service. *)
+
+val capacity : t -> int
+val cache_size : t -> int
+
+type stats = { hits : int; misses : int; evictions : int }
+
+val stats : t -> stats
+(** Lifetime cache counters (also mirrored into [telemetry] if given). *)

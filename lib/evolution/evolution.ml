@@ -4,6 +4,7 @@ module Rng = Ansor_util.Rng
 module Factorize = Ansor_util.Factorize
 module Annotate = Ansor_sketch.Annotate
 module Cost_model = Ansor_cost_model.Cost_model
+module Score_service = Ansor_cost_model.Score_service
 
 type config = {
   population : int;
@@ -231,13 +232,15 @@ let classify steps =
       end)
     steps
 
-let node_scores model (st : State.t) =
+(* [stmt_scores prog] must return one score per innermost statement in
+   [Access.analyze] order — either the plain model or the caching
+   scoring service (bit-identical by its contract). *)
+let node_scores stmt_scores (st : State.t) =
   match Lower.lower st with
   | exception State.Illegal _ -> fun _ -> 0.0
   | prog ->
     let infos = Access.analyze prog in
-    let features = List.map Ansor_features.Features.of_stmt_info infos in
-    let scores = Cost_model.score_stmts model features in
+    let scores = stmt_scores prog in
     let tbl = Hashtbl.create 8 in
     List.iter2
       (fun (info : Access.stmt_info) s ->
@@ -247,8 +250,18 @@ let node_scores model (st : State.t) =
       infos scores;
     fun node -> Option.value ~default:0.0 (Hashtbl.find_opt tbl node)
 
-let crossover ?on_reject rng ~greedy_node_prob dag ~model a b =
-  let score_a = node_scores model a and score_b = node_scores model b in
+let stmt_scores_fn ?scorer model =
+  match scorer with
+  | Some sc -> Score_service.stmt_scores_prog sc
+  | None ->
+    fun prog ->
+      Cost_model.score_stmts model
+        (List.map Ansor_features.Features.of_stmt_info (Access.analyze prog))
+
+let crossover ?on_reject ?scorer rng ~greedy_node_prob dag ~model a b =
+  let stmt_scores = stmt_scores_fn ?scorer model in
+  let score_a = node_scores stmt_scores a
+  and score_b = node_scores stmt_scores b in
   let nodes =
     Array.to_list (Dag.ops dag)
     |> List.filter_map (fun op ->
@@ -309,11 +322,23 @@ let crossover ?on_reject rng ~greedy_node_prob dag ~model a b =
 
 (* ---- main loop ---------------------------------------------------------- *)
 
-let evolve ?on_reject rng config policy dag ~model ~init ~out =
-  let fitness st =
-    match Lower.lower st with
-    | exception State.Illegal _ -> Float.neg_infinity
-    | prog -> Cost_model.score model (Ansor_features.Features.of_prog prog)
+let evolve ?on_reject ?scorer rng config policy dag ~model ~init ~out =
+  (* Batch fitness: one call per generation instead of one lowering +
+     featurization per child.  The scoring service's bit-identity
+     contract keeps results equal to the sequential per-state fold, and
+     fitness consumes no RNG, so deferring it after child generation
+     leaves the random stream untouched. *)
+  let fitness_all states =
+    match scorer with
+    | Some sc -> Score_service.score_states sc states
+    | None ->
+      List.map
+        (fun st ->
+          match Lower.lower st with
+          | exception State.Illegal _ -> Float.neg_infinity
+          | prog ->
+            Cost_model.score model (Ansor_features.Features.of_prog prog))
+        states
   in
   let best = Hashtbl.create 64 in
   let remember st f =
@@ -323,7 +348,9 @@ let evolve ?on_reject rng config policy dag ~model ~init ~out =
     | _ -> Hashtbl.replace best key (st, f)
   in
   let population =
-    Array.of_list (List.map (fun st -> { state = st; fitness = fitness st }) init)
+    let fits = fitness_all init in
+    Array.of_list
+      (List.map2 (fun st f -> { state = st; fitness = f }) init fits)
   in
   Array.iter (fun s -> remember s.state s.fitness) population;
   let pop = ref population in
@@ -343,16 +370,18 @@ let evolve ?on_reject rng config policy dag ~model ~init ~out =
       let sorted = Array.copy cur in
       Array.sort (fun a b -> compare b.fitness a.fitness) sorted;
       let elite = max 1 (target_size / 10) in
-      let next = ref [] in
-      for i = 0 to min elite (Array.length sorted) - 1 do
-        next := sorted.(i) :: !next
-      done;
-      while List.length !next < target_size do
+      let n_elites = min elite (Array.length sorted) in
+      let elites = List.init n_elites (fun i -> sorted.(i)) in
+      (* generate the whole offspring wave first (all RNG consumption),
+         then score it in one batch *)
+      let children_rev = ref [] in
+      for _ = 1 to target_size - n_elites do
         let parent = select () in
         let child =
           if Rng.float rng 1.0 < config.crossover_prob then
-            crossover ?on_reject rng ~greedy_node_prob:config.greedy_node_prob
-              dag ~model parent (select ())
+            crossover ?on_reject ?scorer rng
+              ~greedy_node_prob:config.greedy_node_prob dag ~model parent
+              (select ())
           else begin
             (* chain 1-3 mutations (geometric): multi-step moves escape
                plateaus that single-factor steps cannot *)
@@ -375,11 +404,17 @@ let evolve ?on_reject rng config policy dag ~model ~init ~out =
           end
         in
         let st = match child with Some st -> st | None -> parent in
-        let f = fitness st in
-        remember st f;
-        next := { state = st; fitness = f } :: !next
+        children_rev := st :: !children_rev
       done;
-      pop := Array.of_list !next
+      let children = List.rev !children_rev in
+      let fits = fitness_all children in
+      let scored_children =
+        List.map2 (fun st f -> { state = st; fitness = f }) children fits
+      in
+      List.iter (fun s -> remember s.state s.fitness) scored_children;
+      (* same array layout the incremental loop produced:
+         [c_m .. c_1, elite_{e-1} .. elite_0] *)
+      pop := Array.of_list (List.rev_append scored_children (List.rev elites))
     end
   done;
   Hashtbl.fold (fun _ (st, f) acc -> { state = st; fitness = f } :: acc) best []

@@ -52,6 +52,7 @@ type scored = { state : State.t; fitness : float }
 
 val evolve :
   ?on_reject:(unit -> unit) ->
+  ?scorer:Ansor_cost_model.Score_service.t ->
   Ansor_util.Rng.t ->
   config ->
   Ansor_sketch.Policy.t ->
@@ -64,7 +65,15 @@ val evolve :
     (sampled programs plus previously-measured good ones) and returns the
     [out] best {e distinct} programs seen, best first.  With an untrained
     model all fitnesses are 0 and selection degenerates to uniform, as in
-    the paper's first iteration. *)
+    the paper's first iteration.
+
+    When [scorer] is given, each generation is fitness-scored in one
+    batched {!Ansor_cost_model.Score_service.score_states} call (parallel
+    lowering/featurization, cross-generation feature cache) instead of
+    per-child sequential scoring; the caller must have installed [model]
+    into the scorer ({!Ansor_cost_model.Score_service.sync}).  Results —
+    including the RNG stream — are bit-identical to the sequential path
+    at any worker count. *)
 
 (** The individual operators, exposed for testing and for the ablation
     benchmarks. Each returns [None] when the edited history fails
@@ -88,6 +97,7 @@ val mutate_location :
 
 val crossover :
   ?on_reject:(unit -> unit) ->
+  ?scorer:Ansor_cost_model.Score_service.t ->
   Ansor_util.Rng.t ->
   greedy_node_prob:float ->
   Dag.t ->
@@ -95,6 +105,8 @@ val crossover :
   State.t ->
   State.t ->
   State.t option
+(** [scorer], when given, serves the per-node parent scores from its
+    feature/score cache instead of featurizing both parents afresh. *)
 
 val node_of_stage : string -> string
 (** Maps derived stage names (["C.local"], ["C.rf"]) back to their DAG

@@ -198,6 +198,34 @@ let predict t row =
 
 let predict_many t rows = Array.map (predict t) rows
 
+(* Same bounds-check semantics as [eval], over one row of a flat
+   row-major matrix whose rows are [width] wide. *)
+let rec eval_flat tree m off width =
+  match tree with
+  | Leaf v -> v
+  | Node { feature; threshold; left; right } ->
+    if feature >= width then eval_flat left m off width
+    else if m.(off + feature) < threshold then eval_flat left m off width
+    else eval_flat right m off width
+
+let predict_batch t ~width m =
+  if width <= 0 then invalid_arg "Gbdt.predict_batch: width <= 0";
+  let len = Array.length m in
+  if len mod width <> 0 then
+    invalid_arg "Gbdt.predict_batch: matrix length not a multiple of width";
+  let n_rows = len / width in
+  let out = Array.make n_rows t.base in
+  (* one pass per tree over all rows, accumulating in the same order as
+     [predict]'s fold (base, then trees in order): the result is
+     bit-identical to calling [predict] per row *)
+  List.iter
+    (fun tree ->
+      for r = 0 to n_rows - 1 do
+        out.(r) <- out.(r) +. eval_flat tree m (r * width) width
+      done)
+    t.trees;
+  out
+
 let num_trees t = List.length t.trees
 
 let feature_importance t =

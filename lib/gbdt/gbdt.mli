@@ -40,6 +40,16 @@ val predict : t -> float array -> float
 
 val predict_many : t -> float array array -> float array
 
+val predict_batch : t -> width:int -> float array -> float array
+(** [predict_batch t ~width m] predicts every row of the flat row-major
+    matrix [m] (each row [width] floats) in a single pass per tree over
+    all rows — the batch-prediction fast path of the scoring service.
+    Results are bit-identical to {!predict} applied to each row: the
+    per-row accumulation order (base value, then trees in training
+    order) is the same.
+    @raise Invalid_argument if [width <= 0] or [Array.length m] is not a
+    multiple of [width]. *)
+
 val num_trees : t -> int
 
 val feature_importance : t -> float array

@@ -49,6 +49,7 @@ let create ?(config = default_config) ?cache ?fault_hook ~seed machine =
 
 let machine t = t.machine
 let measurer t = t.measurer
+let num_workers t = t.config.num_workers
 let cache t = t.cache
 let telemetry t = t.telemetry
 let stats t = Telemetry.stats t.telemetry

@@ -68,6 +68,12 @@ val create :
 
 val machine : t -> Ansor_machine.Machine.t
 val measurer : t -> Ansor_machine.Measurer.t
+
+val num_workers : t -> int
+(** [num_workers t] is the configured domain-pool width — shared with the
+    cost model's batch scoring service so [--workers] governs both
+    fan-outs. *)
+
 val cache : t -> Cache.t
 val telemetry : t -> Telemetry.t
 

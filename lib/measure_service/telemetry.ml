@@ -27,6 +27,12 @@ type stats = {
   batches : int;
   statically_rejected : int;
   backoff_seconds : float;
+  score_hits : int;
+  score_misses : int;
+  score_evictions : int;
+  score_batches : int;
+  score_wall_seconds : float;
+  score_work_seconds : float;
   phase_seconds : (string * float) list;
 }
 
@@ -42,6 +48,12 @@ let empty_stats =
     batches = 0;
     statically_rejected = 0;
     backoff_seconds = 0.0;
+    score_hits = 0;
+    score_misses = 0;
+    score_evictions = 0;
+    score_batches = 0;
+    score_wall_seconds = 0.0;
+    score_work_seconds = 0.0;
     phase_seconds = Array.to_list (Array.map (fun p -> (phase_name p, 0.0)) phases);
   }
 
@@ -59,6 +71,12 @@ let total stats =
         batches = acc.batches + s.batches;
         statically_rejected = acc.statically_rejected + s.statically_rejected;
         backoff_seconds = acc.backoff_seconds +. s.backoff_seconds;
+        score_hits = acc.score_hits + s.score_hits;
+        score_misses = acc.score_misses + s.score_misses;
+        score_evictions = acc.score_evictions + s.score_evictions;
+        score_batches = acc.score_batches + s.score_batches;
+        score_wall_seconds = acc.score_wall_seconds +. s.score_wall_seconds;
+        score_work_seconds = acc.score_work_seconds +. s.score_work_seconds;
         phase_seconds =
           List.map2
             (fun (name, a) (_, b) -> (name, a +. b))
@@ -69,13 +87,18 @@ let total stats =
 let results s =
   s.measured + s.cache_hits + s.build_errors + s.run_errors + s.timeouts
 
+let score_speedup s =
+  if s.score_wall_seconds > 0.0 then s.score_work_seconds /. s.score_wall_seconds
+  else 1.0
+
 let summary s =
   let counters =
     Printf.sprintf
       "trials=%d ok=%d cache=%d build_err=%d run_err=%d timeout=%d retries=%d \
-       static_rej=%d"
+       static_rej=%d score_hit=%d score_miss=%d score_speedup=%.2fx"
       s.trials s.measured s.cache_hits s.build_errors s.run_errors s.timeouts
-      s.retries s.statically_rejected
+      s.retries s.statically_rejected s.score_hits s.score_misses
+      (score_speedup s)
   in
   let timers =
     String.concat " "
@@ -94,9 +117,14 @@ let to_json s =
     "{\"trials\":%d,\"measured\":%d,\"cache_hits\":%d,\"build_errors\":%d,\
      \"run_errors\":%d,\"timeouts\":%d,\"retries\":%d,\"batches\":%d,\
      \"statically_rejected\":%d,\"backoff_seconds\":%.6f,\
+     \"score_hits\":%d,\"score_misses\":%d,\"score_evictions\":%d,\
+     \"score_batches\":%d,\"score_wall_seconds\":%.6f,\
+     \"score_work_seconds\":%.6f,\"score_parallel_speedup\":%.6f,\
      \"phase_seconds\":{%s}}"
     s.trials s.measured s.cache_hits s.build_errors s.run_errors s.timeouts
-    s.retries s.batches s.statically_rejected s.backoff_seconds phase_fields
+    s.retries s.batches s.statically_rejected s.backoff_seconds s.score_hits
+    s.score_misses s.score_evictions s.score_batches s.score_wall_seconds
+    s.score_work_seconds (score_speedup s) phase_fields
 
 type t = {
   mutable trials : int;
@@ -109,6 +137,12 @@ type t = {
   mutable batches : int;
   mutable statically_rejected : int;
   mutable backoff_seconds : float;
+  mutable score_hits : int;
+  mutable score_misses : int;
+  mutable score_evictions : int;
+  mutable score_batches : int;
+  mutable score_wall_seconds : float;
+  mutable score_work_seconds : float;
   phase : float array;
 }
 
@@ -124,6 +158,12 @@ let create () =
     batches = 0;
     statically_rejected = 0;
     backoff_seconds = 0.0;
+    score_hits = 0;
+    score_misses = 0;
+    score_evictions = 0;
+    score_batches = 0;
+    score_wall_seconds = 0.0;
+    score_work_seconds = 0.0;
     phase = Array.make (Array.length phases) 0.0;
   }
 
@@ -138,6 +178,12 @@ let reset t =
   t.batches <- 0;
   t.statically_rejected <- 0;
   t.backoff_seconds <- 0.0;
+  t.score_hits <- 0;
+  t.score_misses <- 0;
+  t.score_evictions <- 0;
+  t.score_batches <- 0;
+  t.score_wall_seconds <- 0.0;
+  t.score_work_seconds <- 0.0;
   Array.fill t.phase 0 (Array.length t.phase) 0.0
 
 let stats t =
@@ -152,6 +198,12 @@ let stats t =
     batches = t.batches;
     statically_rejected = t.statically_rejected;
     backoff_seconds = t.backoff_seconds;
+    score_hits = t.score_hits;
+    score_misses = t.score_misses;
+    score_evictions = t.score_evictions;
+    score_batches = t.score_batches;
+    score_wall_seconds = t.score_wall_seconds;
+    score_work_seconds = t.score_work_seconds;
     phase_seconds =
       Array.to_list
         (Array.map (fun p -> (phase_name p, t.phase.(phase_index p))) phases);
@@ -168,6 +220,12 @@ let restore t (s : stats) =
   t.batches <- s.batches;
   t.statically_rejected <- s.statically_rejected;
   t.backoff_seconds <- s.backoff_seconds;
+  t.score_hits <- s.score_hits;
+  t.score_misses <- s.score_misses;
+  t.score_evictions <- s.score_evictions;
+  t.score_batches <- s.score_batches;
+  t.score_wall_seconds <- s.score_wall_seconds;
+  t.score_work_seconds <- s.score_work_seconds;
   List.iteri
     (fun i (_, v) -> if i < Array.length t.phase then t.phase.(i) <- v)
     s.phase_seconds
@@ -196,3 +254,15 @@ let add_backoff t seconds = t.backoff_seconds <- t.backoff_seconds +. seconds
 let incr_statically_rejected t =
   t.statically_rejected <- t.statically_rejected + 1
 let incr_batches t = t.batches <- t.batches + 1
+
+let add_score_probe t ~hit =
+  if hit then t.score_hits <- t.score_hits + 1
+  else t.score_misses <- t.score_misses + 1
+
+let add_score_batch t ~hits ~misses ~evictions ~wall ~work =
+  t.score_hits <- t.score_hits + hits;
+  t.score_misses <- t.score_misses + misses;
+  t.score_evictions <- t.score_evictions + evictions;
+  t.score_batches <- t.score_batches + 1;
+  t.score_wall_seconds <- t.score_wall_seconds +. wall;
+  t.score_work_seconds <- t.score_work_seconds +. work

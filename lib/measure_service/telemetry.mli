@@ -26,6 +26,19 @@ type stats = {
       (** evolution mutants discarded by the static race detector before
           ever reaching the measurement backend *)
   backoff_seconds : float;  (** total retry backoff delay *)
+  score_hits : int;
+      (** batch-scoring candidates served from the feature/score cache
+          (featurization skipped) *)
+  score_misses : int;  (** candidates lowered + featurized from scratch *)
+  score_evictions : int;  (** score-cache LRU evictions *)
+  score_batches : int;  (** batch-scoring calls *)
+  score_wall_seconds : float;
+      (** wall-clock time spent in the scoring service's parallel
+          fan-out *)
+  score_work_seconds : float;
+      (** summed per-chunk work time of the same fan-outs; the ratio
+          [score_work_seconds / score_wall_seconds] is the realized
+          parallel speedup (~1.0 with one worker) *)
   phase_seconds : (string * float) list;
       (** wall-clock seconds per phase, in declaration order *)
 }
@@ -74,3 +87,18 @@ val incr_batches : t -> unit
 
 val incr_statically_rejected : t -> unit
 (** One evolution mutant rejected by the pre-measurement static filter. *)
+
+val score_speedup : stats -> float
+(** Realized parallel speedup of the scoring fan-out
+    ([score_work_seconds / score_wall_seconds]; 1.0 when no batch ran). *)
+
+val add_score_probe : t -> hit:bool -> unit
+(** Accounts one single-candidate score-cache probe (the non-batched
+    scoring path: beam search, crossover node scores). *)
+
+val add_score_batch :
+  t -> hits:int -> misses:int -> evictions:int -> wall:float -> work:float ->
+  unit
+(** Accounts one batch-scoring call from the cost model's scoring
+    service: cache hit/miss/eviction deltas plus wall-clock and summed
+    per-chunk work seconds of its parallel fan-out. *)

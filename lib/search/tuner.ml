@@ -1,6 +1,7 @@
 open Ansor_sched
 module Rng = Ansor_util.Rng
 module Cost_model = Ansor_cost_model.Cost_model
+module Score_service = Ansor_cost_model.Score_service
 module Evolution = Ansor_evolution.Evolution
 module Rules = Ansor_sketch.Rules
 module Gen = Ansor_sketch.Gen
@@ -84,6 +85,7 @@ module Shared = struct
     mutable model : Cost_model.t;
     mutable records : Cost_model.record list;  (* newest first *)
     mutable rounds_since_train : int;
+    mutable generation : int;  (* bumped whenever [model] is replaced *)
     train_every : int;
     max_records : int;
   }
@@ -93,6 +95,7 @@ module Shared = struct
       model = Cost_model.empty;
       records = [];
       rounds_since_train = 0;
+      generation = 0;
       train_every;
       max_records;
     }
@@ -100,6 +103,7 @@ module Shared = struct
   let model t = t.model
   let records t = t.records
   let num_records t = List.length t.records
+  let generation t = t.generation
 
   let add_records t recs =
     t.records <- recs @ t.records;
@@ -107,6 +111,7 @@ module Shared = struct
     if t.rounds_since_train >= t.train_every && t.records <> [] then begin
       let capped = List.filteri (fun i _ -> i < t.max_records) t.records in
       t.model <- Cost_model.train capped;
+      t.generation <- t.generation + 1;
       t.rounds_since_train <- 0
     end
 
@@ -130,7 +135,8 @@ module Shared = struct
       (if s.snap_trained then
          let capped = List.filteri (fun i _ -> i < t.max_records) s.snap_records in
          Cost_model.train capped
-       else Cost_model.empty)
+       else Cost_model.empty);
+    t.generation <- t.generation + 1
 end
 
 type t = {
@@ -140,6 +146,10 @@ type t = {
   policy : Ansor_sketch.Policy.t;
   sketches : State.t list;  (* empty for beam search *)
   measured : (string, unit) Hashtbl.t;
+  mutable scorer : Score_service.t option;
+      (* created on the first round from the measure service's
+         configuration; lives as long as the tuner so the feature cache
+         spans rounds *)
   mutable best : (State.t * float) option;
   mutable good : (State.t * float) list;  (* ascending latency *)
   mutable curve_rev : (int * float) list;
@@ -173,6 +183,7 @@ let create ?(seed = 0) ?(warm_start = []) options task =
        else p);
     sketches = Gen.generate ~rules task.Task.dag;
     measured = Hashtbl.create 64;
+    scorer = None;
     best = None;
     good = List.map (fun st -> (st, infinity)) seeds;
     curve_rev = [];
@@ -231,18 +242,13 @@ let best_state t = Option.map fst t.best
 let rounds_done t = t.rounds
 let curve t = List.rev t.curve_rev
 
-let score_state model st =
-  match Lower.lower st with
-  | exception State.Illegal _ -> Float.neg_infinity
-  | prog -> Cost_model.score_prog model prog
-
 (* Sequential construction with beam pruning: expands the DAG node by
    node, immediately sampling concrete tile sizes for new structure, and
    prunes with the cost model on the still-incomplete programs — the
    Halide-auto-scheduler design point whose weakness Figure 3 explains. *)
-let beam_construct rng model dag policy ~beam_width ~rollouts =
+let beam_construct rng ~score dag policy ~beam_width ~rollouts =
   let dedup = Hashtbl.create 64 in
-  let score (st : State.t) = score_state model st in
+  let score (st : State.t) : float = score st in
   let expand (st, i) =
     if i < 0 then [ ((st, i), score st) ]
     else
@@ -311,13 +317,15 @@ let beam_construct rng model dag policy ~beam_width ~rollouts =
         (List.init 2 Fun.id))
     terminals
 
-let candidates t shared tm =
+let candidates t shared scorer tm =
   let dag = t.task.Task.dag in
   let model = Shared.model shared in
   match t.options.strategy with
   | Beam_search { beam_width; rollouts } ->
     Telemetry.time tm Telemetry.Sample (fun () ->
-        beam_construct t.rng model dag t.policy ~beam_width ~rollouts)
+        beam_construct t.rng
+          ~score:(Score_service.score_state scorer)
+          dag t.policy ~beam_width ~rollouts)
   | Sketch_search { use_evolution; _ } ->
     let fresh =
       Telemetry.time tm Telemetry.Sample (fun () ->
@@ -332,7 +340,7 @@ let candidates t shared tm =
       Telemetry.time tm Telemetry.Evolve (fun () ->
           Evolution.evolve
             ~on_reject:(fun () -> Telemetry.incr_statically_rejected tm)
-            t.rng t.options.evolution t.policy dag ~model
+            ~scorer t.rng t.options.evolution t.policy dag ~model
             ~init:(fresh @ seeds)
             ~out:(t.options.batch_size * 4)
           |> List.map (fun (s : Evolution.scored) -> s.state))
@@ -360,9 +368,24 @@ let neighbors_of_best ?on_reject t =
         | _ -> Evolution.mutate_location ?on_reject t.rng dag best)
       (List.init (max 1 (t.options.batch_size / 4)) Fun.id)
 
+let scorer_of t service =
+  match t.scorer with
+  | Some sc -> sc
+  | None ->
+    let sc =
+      Score_service.create
+        ~telemetry:(Service.telemetry service)
+        ~num_workers:(Service.num_workers service)
+        t.task.Task.machine
+    in
+    t.scorer <- Some sc;
+    sc
+
 let round t shared service =
   let tm = Service.telemetry service in
   let model = Shared.model shared in
+  let scorer = scorer_of t service in
+  Score_service.sync scorer ~generation:(Shared.generation shared) model;
   let seen = Hashtbl.create 64 in
   let prepare states =
     (* skip already-measured programs, reject unlowerable ones, dedupe *)
@@ -387,14 +410,18 @@ let round t shared service =
            t)
     | Sketch_search { use_evolution = false; _ } | Beam_search _ -> []
   in
-  let cands = prepare (candidates t shared tm) in
+  let cands = prepare (candidates t shared scorer tm) in
   let sorted =
     Telemetry.time tm Telemetry.Model_rank (fun () ->
+        (* one batched scoring call; [List.sort] is stable, so equal
+           scores keep candidate order exactly as the sequential
+           per-candidate path did *)
+        let scores =
+          Score_service.score_progs scorer
+            (List.map (fun (_, prog, _) -> prog) cands)
+        in
         let scored =
-          List.map
-            (fun (st, prog, key) ->
-              (st, prog, key, Cost_model.score_prog model prog))
-            cands
+          List.map2 (fun (st, prog, key) s -> (st, prog, key, s)) cands scores
         in
         List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a) scored)
   in

@@ -68,6 +68,12 @@ module Shared : sig
   val records : t -> Ansor_cost_model.Cost_model.record list
   val num_records : t -> int
 
+  val generation : t -> int
+  (** Retrain counter: bumped every time {!model} is replaced (periodic
+      retrains and {!restore}).  The batch scoring service syncs on it to
+      invalidate cached scores exactly once per new model
+      ({!Ansor_cost_model.Score_service.sync}). *)
+
   (** Checkpoint image of the shared state: the full training set (newest
       first, order preserved) plus whether a model had been trained.  Pure
       data — safe to marshal. *)

@@ -7,6 +7,7 @@ module Simulator = Ansor_machine.Simulator
 module Machine = Ansor_machine.Machine
 module Interp = Ansor_interp.Interp
 module Pool = Ansor_measure_service.Pool
+module Lru = Ansor_util.Lru
 module Rng = Ansor_util.Rng
 module Workloads = Ansor_workloads.Workloads
 

@@ -1,13 +1,14 @@
 (** A bounded least-recently-used cache (string keys).
 
-    The dispatcher holds compiled programs in one of these, keyed by
-    {!Ansor_search.Task.key}: a serving process bounds its resident
-    compiled-program footprint, and a cold or evicted subgraph is simply
-    recompiled on the next request that needs it.  Hit / miss / eviction
-    counters feed the serving telemetry.
+    Two subsystems build on it: the serving dispatcher holds compiled
+    programs keyed by task key (a cold or evicted subgraph is simply
+    recompiled on the next request), and the cost model's batch scoring
+    service memoizes per-program feature vectors and scores keyed by the
+    canonical lowered-program hash.  Hit / miss / eviction counters feed
+    each owner's telemetry.
 
-    Not domain-safe: the dispatcher only touches the cache from the
-    calling domain (workers receive immutable per-batch snapshots). *)
+    Not domain-safe: owners only touch the cache from the calling domain
+    (worker domains receive immutable per-batch inputs). *)
 
 type 'a t
 

@@ -1,0 +1,362 @@
+(* The batch scoring service: the hard invariant is bit-identity — for
+   any batch and any worker count, scores equal the sequential
+   per-candidate path float for float.  Plus the cache machinery around
+   it: LRU eviction and hit accounting, retrain invalidation via
+   generation stamps, telemetry threading, and resume equivalence with
+   the (transient, non-checkpointed) score cache active. *)
+
+open Helpers
+module Gbdt = Ansor.Gbdt
+module Rng = Ansor.Rng
+module Score_service = Ansor.Score_service
+module Telemetry = Ansor.Telemetry
+
+let machine = Ansor.Machine.intel_cpu
+
+let bits = Int64.bits_of_float
+
+let check_bits msg a b =
+  Alcotest.(check int64) msg (bits a) (bits b)
+
+let check_bits_list msg a b =
+  Alcotest.(check (list int64)) msg (List.map bits a) (List.map bits b)
+
+(* ---- Gbdt.predict_batch ≡ predict ---------------------------------------- *)
+
+let test_predict_batch_matches () =
+  let rng = Rng.create 5 in
+  for trial = 1 to 5 do
+    let dims = 3 + Rng.int rng 6 in
+    let n = 40 + Rng.int rng 60 in
+    let x =
+      Array.init n (fun _ -> Array.init dims (fun _ -> Rng.float rng 1.0))
+    in
+    let y = Array.map (fun r -> r.(0) -. (2.0 *. r.(1)) +. r.(dims - 1)) x in
+    let model = Gbdt.train ~x ~y () in
+    let rows = 1 + Rng.int rng 30 in
+    let m =
+      Array.init (rows * dims) (fun _ -> Rng.float rng 1.0)
+    in
+    let batch = Gbdt.predict_batch model ~width:dims m in
+    check_int (Printf.sprintf "trial %d: row count" trial) rows
+      (Array.length batch);
+    for r = 0 to rows - 1 do
+      let row = Array.sub m (r * dims) dims in
+      check_bits
+        (Printf.sprintf "trial %d row %d" trial r)
+        (Gbdt.predict model row) batch.(r)
+    done
+  done
+
+let test_predict_batch_short_rows () =
+  (* rows narrower than the trained width hit [eval]'s bounds-check
+     (missing feature -> left subtree) identically in both paths *)
+  let rng = Rng.create 6 in
+  let x = Array.init 80 (fun _ -> Array.init 6 (fun _ -> Rng.float rng 1.0)) in
+  let y = Array.map (fun r -> (10.0 *. r.(4)) -. r.(5)) x in
+  let model = Gbdt.train ~x ~y () in
+  let m = Array.init (5 * 2) (fun _ -> Rng.float rng 1.0) in
+  let batch = Gbdt.predict_batch model ~width:2 m in
+  Array.iteri
+    (fun r b ->
+      check_bits
+        (Printf.sprintf "short row %d" r)
+        (Gbdt.predict model (Array.sub m (r * 2) 2))
+        b)
+    batch
+
+let test_predict_batch_validation () =
+  let model = Gbdt.train ~x:[| [| 0.0 |] |] ~y:[| 1.0 |] () in
+  (match Gbdt.predict_batch model ~width:0 [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "width 0 accepted");
+  (match Gbdt.predict_batch model ~width:3 (Array.make 4 0.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ragged matrix accepted");
+  check_int "empty matrix -> no rows" 0
+    (Array.length (Gbdt.predict_batch model ~width:3 [||]))
+
+(* ---- service vs sequential, worker invariance ----------------------------- *)
+
+let conv_dag () =
+  Ansor.Nn.conv_layer ~n:1 ~c:16 ~h:14 ~w:14 ~f:16 ~kh:3 ~kw:3 ~stride:1
+    ~pad:1 ()
+
+let states_and_model ?(n = 20) dag =
+  let states = sample_programs ~seed:3 ~n dag in
+  let records =
+    List.filter_map
+      (fun st ->
+        match Ansor.Lower.lower st with
+        | exception Ansor.State.Illegal _ -> None
+        | prog ->
+          let latency = Ansor.Simulator.estimate machine prog in
+          Some (Ansor.Cost_model.record_of_prog ~task_key:"t" ~latency prog))
+      states
+  in
+  (states, Ansor.Cost_model.train records)
+
+let sequential_scores model states =
+  List.map
+    (fun st ->
+      match Ansor.Lower.lower st with
+      | exception Ansor.State.Illegal _ -> Float.neg_infinity
+      | prog -> Ansor.Cost_model.score_prog model prog)
+    states
+
+let service ?capacity ?telemetry ~workers model =
+  let sc = Score_service.create ?capacity ?telemetry ~num_workers:workers machine in
+  Score_service.set_model sc model;
+  sc
+
+let test_batch_matches_sequential () =
+  let states, model = states_and_model (conv_dag ()) in
+  check_bool "model trained" true (Ansor.Cost_model.is_trained model);
+  let expected = sequential_scores model states in
+  let sc = service ~workers:1 model in
+  check_bits_list "cold batch" expected (Score_service.score_states sc states);
+  check_bits_list "warm batch (all cache hits)" expected
+    (Score_service.score_states sc states);
+  (* single-candidate path agrees too *)
+  List.iter2
+    (fun st e ->
+      check_bits "score_state" e (Score_service.score_state sc st))
+    states expected
+
+let test_worker_count_invariance () =
+  let states, model = states_and_model ~n:23 (conv_dag ()) in
+  let score workers =
+    Score_service.score_states (service ~workers model) states
+  in
+  let one = score 1 in
+  check_bits_list "1 vs 4 workers" one (score 4);
+  check_bits_list "1 vs 3 workers (ragged chunks)" one (score 3);
+  check_bits_list "vs sequential" (sequential_scores model states) one
+
+let test_untrained_model_matches () =
+  let states = sample_programs ~seed:4 ~n:8 (small_matmul_relu ()) in
+  let model = Ansor.Cost_model.empty in
+  let sc = service ~workers:4 model in
+  check_bits_list "untrained: zeros and neg_infinity as sequential"
+    (sequential_scores model states)
+    (Score_service.score_states sc states)
+
+(* ---- LRU accounting ------------------------------------------------------- *)
+
+let test_hit_accounting () =
+  let states, model = states_and_model ~n:12 (conv_dag ()) in
+  let sc = service ~workers:1 model in
+  let _ = Score_service.score_states sc states in
+  let s1 = Score_service.stats sc in
+  check_int "cold run has no hits" 0 s1.Score_service.hits;
+  check_bool "cold run misses every unique program" true
+    (s1.Score_service.misses > 0);
+  let _ = Score_service.score_states sc states in
+  let s2 = Score_service.stats sc in
+  check_int "warm run hits exactly the cold run's misses"
+    s1.Score_service.misses
+    s2.Score_service.hits;
+  check_int "no new misses" s1.Score_service.misses s2.Score_service.misses
+
+let test_lru_eviction () =
+  let states, model = states_and_model ~n:12 (conv_dag ()) in
+  let tiny = service ~capacity:2 ~workers:1 model in
+  let expected = sequential_scores model states in
+  check_bits_list "capacity smaller than the batch still scores right"
+    expected
+    (Score_service.score_states tiny states);
+  let s = Score_service.stats tiny in
+  check_bool "evictions happened" true (s.Score_service.evictions > 0);
+  check_int "cache bounded" 2 (Score_service.cache_size tiny)
+
+(* ---- retrain invalidation ------------------------------------------------- *)
+
+let test_retrain_invalidation () =
+  let states, model1 = states_and_model (conv_dag ()) in
+  (* a second model trained on inverted latencies ranks differently *)
+  let records2 =
+    List.filter_map
+      (fun st ->
+        match Ansor.Lower.lower st with
+        | exception Ansor.State.Illegal _ -> None
+        | prog ->
+          let latency = 1.0 /. Ansor.Simulator.estimate machine prog in
+          Some (Ansor.Cost_model.record_of_prog ~task_key:"t" ~latency prog))
+      states
+  in
+  let model2 = Ansor.Cost_model.train records2 in
+  let sc = service ~workers:1 model1 in
+  check_bits_list "scores under model 1"
+    (sequential_scores model1 states)
+    (Score_service.score_states sc states);
+  let g1 = Score_service.generation sc in
+  Score_service.set_model sc model2;
+  check_int "retrain bumps the generation" (g1 + 1)
+    (Score_service.generation sc);
+  (* features were cached; scores must be recomputed under model 2 *)
+  check_bits_list "scores under model 2, from cached features"
+    (sequential_scores model2 states)
+    (Score_service.score_states sc states);
+  ignore (Score_service.stats sc)
+
+let test_retrain_keeps_features () =
+  let states, model1 = states_and_model (conv_dag ()) in
+  let sc = service ~workers:1 model1 in
+  let _ = Score_service.score_states sc states in
+  let cold = (Score_service.stats sc).Score_service.misses in
+  Score_service.set_model sc Ansor.Cost_model.empty;
+  let _ = Score_service.score_states sc states in
+  check_int "no refeaturization after retrain (features survive)" cold
+    (Score_service.stats sc).Score_service.misses
+
+let test_sync_is_idempotent () =
+  let _, model = states_and_model ~n:4 (small_matmul_relu ()) in
+  let sc = Score_service.create ~num_workers:1 machine in
+  Score_service.sync sc ~generation:7 model;
+  let g = Score_service.generation sc in
+  Score_service.sync sc ~generation:7 model;
+  check_int "same upstream generation does not invalidate" g
+    (Score_service.generation sc);
+  Score_service.sync sc ~generation:8 model;
+  check_int "new upstream generation does" (g + 1)
+    (Score_service.generation sc)
+
+(* ---- telemetry threading -------------------------------------------------- *)
+
+let test_telemetry_counters () =
+  let states, model = states_and_model ~n:10 (conv_dag ()) in
+  let tm = Telemetry.create () in
+  let sc = service ~telemetry:tm ~workers:1 model in
+  let _ = Score_service.score_states sc states in
+  let _ = Score_service.score_states sc states in
+  let s = Telemetry.stats tm in
+  check_int "two batches accounted" 2 s.Telemetry.score_batches;
+  check_bool "misses accounted" true (s.Telemetry.score_misses > 0);
+  check_bool "hits accounted" true (s.Telemetry.score_hits > 0);
+  check_bool "fan-out wall time accounted" true
+    (s.Telemetry.score_wall_seconds > 0.0);
+  let contains ~sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let json = Telemetry.to_json s in
+  List.iter
+    (fun field ->
+      check_bool field true
+        (contains ~sub:(Printf.sprintf "\"%s\"" field) json))
+    [
+      "score_hits"; "score_misses"; "score_evictions"; "score_batches";
+      "score_parallel_speedup";
+    ]
+
+(* ---- evolution equivalence ------------------------------------------------ *)
+
+let test_evolve_scorer_equivalence () =
+  (* the whole point of ?scorer: same RNG stream, same output, any
+     worker count *)
+  let dag = conv_dag () in
+  let states, model = states_and_model dag in
+  let policy = Ansor.Policy.cpu ~workers:20 in
+  let config =
+    { Ansor.Evolution.default_config with population = 24; generations = 2 }
+  in
+  let run scorer =
+    let rng = Rng.create 11 in
+    Ansor.Evolution.evolve ?scorer rng config policy dag ~model ~init:states
+      ~out:8
+  in
+  let plain = run None in
+  let check workers =
+    let sc = service ~workers model in
+    let batched = run (Some sc) in
+    check_int
+      (Printf.sprintf "%dw: same output size" workers)
+      (List.length plain) (List.length batched);
+    List.iter2
+      (fun (a : Ansor.Evolution.scored) (b : Ansor.Evolution.scored) ->
+        check_bits
+          (Printf.sprintf "%dw: same fitness" workers)
+          a.fitness b.fitness;
+        check_bool "same program" true
+          (a.state.Ansor.State.history = b.state.Ansor.State.history))
+      plain batched
+  in
+  check 1;
+  check 4
+
+(* ---- resume equivalence with the score cache active ----------------------- *)
+
+let temp_path suffix =
+  let p = Filename.temp_file "ansor_score" suffix in
+  Sys.remove p;
+  p
+
+let test_resume_equivalence_with_cache () =
+  let p = temp_path ".snap" in
+  let cleanup () =
+    List.iter
+      (fun q -> if Sys.file_exists q then Sys.remove q)
+      [ p; p ^ ".prev" ]
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let dag = Ansor.Nn.matmul ~m:32 ~n:32 ~k:32 () in
+      let tune ?snapshot_path ?(resume = false) ?should_stop ?on_round () =
+        Ansor.tune ~seed:7 ~trials:64
+          ~service_config:
+            { Ansor.Measure_service.default_config with num_workers = 4 }
+          ?snapshot_path ~resume ?should_stop ?on_round machine dag
+      in
+      let reference = tune () in
+      let rounds = ref 0 in
+      let interrupted =
+        tune ~snapshot_path:p
+          ~should_stop:(fun () -> !rounds >= 2)
+          ~on_round:(fun () -> incr rounds)
+          ()
+      in
+      check_bool "interrupted early" true
+        (interrupted.Ansor.trials_used < reference.Ansor.trials_used);
+      (* the resumed session starts with a cold score cache (it is not
+         checkpointed) but must land on the same results: cached scores
+         are bit-identical to freshly computed ones *)
+      let resumed = tune ~snapshot_path:p ~resume:true () in
+      check_int "same trial budget" reference.Ansor.trials_used
+        resumed.Ansor.trials_used;
+      check_bits "same best latency" reference.Ansor.best_latency
+        resumed.Ansor.best_latency;
+      check_bool "score cache was exercised" true
+        (resumed.Ansor.stats.Telemetry.score_hits > 0))
+
+let () =
+  Alcotest.run "score_service"
+    [
+      ( "predict_batch",
+        [
+          case "batch equals per-row predict" test_predict_batch_matches;
+          case "short rows use bounds-check path" test_predict_batch_short_rows;
+          case "input validation" test_predict_batch_validation;
+        ] );
+      ( "bit_identity",
+        [
+          case "batch equals sequential scoring" test_batch_matches_sequential;
+          case "worker-count invariance" test_worker_count_invariance;
+          case "untrained model" test_untrained_model_matches;
+        ] );
+      ( "cache",
+        [
+          case "hit accounting" test_hit_accounting;
+          case "LRU eviction" test_lru_eviction;
+          case "retrain invalidation" test_retrain_invalidation;
+          case "retrain keeps cached features" test_retrain_keeps_features;
+          case "sync idempotence" test_sync_is_idempotent;
+          case "telemetry counters" test_telemetry_counters;
+        ] );
+      ( "integration",
+        [
+          case "evolution with scorer is equivalent"
+            test_evolve_scorer_equivalence;
+          case "resume equivalence with score cache"
+            test_resume_equivalence_with_cache;
+        ] );
+    ]
