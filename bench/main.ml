@@ -23,6 +23,7 @@ let experiments =
     ("ablation", "Design-choice ablations", Ablation.run);
     ("serving", "Serving: registry vs naive dispatch", Serving.run);
     ("costmodel", "Batch cost-model scoring throughput", Costmodel.run);
+    ("native", "Native backend: batch compilation throughput", Native.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

@@ -100,12 +100,32 @@ let stop_after_rounds_arg =
   in
   Arg.(value & opt (some int) None & info [ "stop-after-rounds" ] ~doc)
 
-let service_config workers measure_timeout batch_deadline =
+let backend_arg =
+  let doc =
+    "Measurement backend: sim (the analytical machine simulator) or \
+     native (candidates compiled with gcc -O3 -fopenmp -march=native and \
+     timed on this host)."
+  in
+  Arg.(value & opt string "sim" & info [ "backend" ] ~doc)
+
+let lookup_backend name =
+  match Ansor.Measure_protocol.backend_of_string name with
+  | Error _ as e -> e
+  | Ok Ansor.Measure_protocol.Native
+    when not (Ansor.Measure_native.available ()) ->
+    Error
+      "backend native: no working C compiler (install gcc or point \
+       ANSOR_CC at one)"
+  | Ok b -> Ok b
+
+let service_config ?(backend = Ansor.Measure_protocol.Sim) workers
+    measure_timeout batch_deadline =
   {
     Ansor.Measure_service.default_config with
     num_workers = workers;
     timeout = Option.value measure_timeout ~default:infinity;
     batch_deadline = Option.value batch_deadline ~default:infinity;
+    backend;
   }
 
 (* Graceful interruption: SIGINT/SIGTERM set a flag the tuning loop polls
@@ -273,18 +293,20 @@ let curve_arg =
 
 let tune_cmd =
   let run op index batch machine trials seed strategy save curve workers
-      measure_timeout batch_deadline stats_json snapshot resume
+      measure_timeout batch_deadline backend stats_json snapshot resume
       stop_after_rounds =
     or_die (check_resume_flags resume snapshot);
     let case = or_die (case_of op index batch) in
     let machine = or_die (lookup_machine machine) in
     let options = or_die (lookup_strategy strategy) in
+    let backend = or_die (lookup_backend backend) in
     let cache = load_cache save in
     compact_record_log ~resume save;
     let should_stop, on_round, summarize = session_control stop_after_rounds in
     let result =
       Ansor.tune ~seed ~trials ~options
-        ~service_config:(service_config workers measure_timeout batch_deadline)
+        ~service_config:
+          (service_config ~backend workers measure_timeout batch_deadline)
         ~cache ?snapshot_path:snapshot ~resume ?record_log:save ~should_stop
         ~on_round machine case.dag
     in
@@ -322,8 +344,8 @@ let tune_cmd =
     Term.(
       const run $ op_arg $ index_arg $ batch_arg $ machine_arg $ trials_arg
       $ seed_arg $ strategy_arg $ save_arg $ curve_arg $ workers_arg
-      $ measure_timeout_arg $ batch_deadline_arg $ stats_json_arg
-      $ snapshot_arg $ resume_arg $ stop_after_rounds_arg)
+      $ measure_timeout_arg $ batch_deadline_arg $ backend_arg
+      $ stats_json_arg $ snapshot_arg $ resume_arg $ stop_after_rounds_arg)
 
 let replay_cmd =
   let from_arg =
@@ -383,15 +405,17 @@ let network_cmd =
     Arg.(value & opt int 500 & info [ "budget" ] ~doc)
   in
   let run name batch machine budget seed save workers measure_timeout
-      batch_deadline stats_json snapshot resume stop_after_rounds =
+      batch_deadline backend stats_json snapshot resume stop_after_rounds =
     or_die (check_resume_flags resume snapshot);
     let net = or_die (net_of_name name batch) in
     let machine = or_die (lookup_machine machine) in
+    let backend = or_die (lookup_backend backend) in
     compact_record_log ~resume save;
     let should_stop, on_round, summarize = session_control stop_after_rounds in
     let results, stats =
       Ansor.tune_networks_with_stats ~seed ~trial_budget:budget
-        ~service_config:(service_config workers measure_timeout batch_deadline)
+        ~service_config:
+          (service_config ~backend workers measure_timeout batch_deadline)
         ?snapshot_path:snapshot ~resume ?record_log:save ~should_stop
         ~on_round machine [ net ]
     in
@@ -415,8 +439,8 @@ let network_cmd =
     Term.(
       const run $ net_name_arg $ batch_arg $ machine_arg $ budget_arg
       $ seed_arg $ save_arg $ workers_arg $ measure_timeout_arg
-      $ batch_deadline_arg $ stats_json_arg $ snapshot_arg $ resume_arg
-      $ stop_after_rounds_arg)
+      $ batch_deadline_arg $ backend_arg $ stats_json_arg $ snapshot_arg
+      $ resume_arg $ stop_after_rounds_arg)
 
 (* ---- registry ----------------------------------------------------------- *)
 
@@ -780,6 +804,61 @@ let lint_cmd =
       const run $ op_arg $ index_arg $ batch_arg $ machine_arg $ seed_arg
       $ from_arg $ registry_arg $ sample_arg $ json_arg)
 
+(* ---- xcheck ------------------------------------------------------------- *)
+
+let xcheck_cmd =
+  let sample_arg =
+    let doc = "Random complete programs sampled per task." in
+    Arg.(value & opt int 32 & info [ "sample" ] ~docv:"K" ~doc)
+  in
+  let net_opt_arg =
+    let doc =
+      "Cross-check every unique layer of this network instead of the \
+       single workload named by -o/-i/-b."
+    in
+    Arg.(value & opt (some string) None & info [ "n"; "network" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Write the JSON report to this file ('-' for stdout)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc)
+  in
+  let run op index batch net machine sample seed json =
+    let machine = or_die (lookup_machine machine) in
+    (match lookup_backend "native" with
+    | Ok _ -> ()
+    | Error _ as e -> or_die e);
+    let cases =
+      match net with
+      | Some name ->
+        let net = or_die (net_of_name name batch) in
+        (* layers repeat within a network; each unique case once *)
+        let seen = Hashtbl.create 16 in
+        List.filter_map
+          (fun ((c : Ansor.Workloads.case), _) ->
+            if Hashtbl.mem seen c.case_name then None
+            else begin
+              Hashtbl.replace seen c.case_name ();
+              Some (c.case_name, c.dag)
+            end)
+          net.layers
+      | None ->
+        let case = or_die (case_of op index batch) in
+        [ (case.Ansor.Workloads.case_name, case.dag) ]
+    in
+    let report = Ansor.Xcheck.run ~sample ~seed ~machine cases in
+    print_endline (Ansor.Xcheck.summary report);
+    emit_json ~what:"xcheck report" json (Ansor.Xcheck.to_json report)
+  in
+  Cmd.v
+    (Cmd.info "xcheck"
+       ~doc:
+         "Cross-check the simulator against native gcc measurement: \
+          sample K programs per task, measure both backends, report the \
+          Spearman rank correlation and top-1/top-5 agreement.")
+    Term.(
+      const run $ op_arg $ index_arg $ batch_arg $ net_opt_arg $ machine_arg
+      $ sample_arg $ seed_arg $ json_arg)
+
 let () =
   let info =
     Cmd.info "ansor-cli" ~version:"1.0.0"
@@ -789,4 +868,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ machines_cmd; sketches_cmd; tune_cmd; replay_cmd; network_cmd;
-            registry_cmd; serve_cmd; lint_cmd ]))
+            registry_cmd; serve_cmd; lint_cmd; xcheck_cmd ]))

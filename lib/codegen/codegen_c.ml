@@ -159,16 +159,22 @@ let emit_stmt ctx (s : Prog.stmt) =
 
 let emit_items ctx buf items =
   let indent n = String.make (2 * n) ' ' in
-  let rec go depth = function
+  (* [in_simd]: OpenMP forbids a [parallel for] construct nested inside a
+     [simd] region (a simd lane cannot host a thread team), and gcc rejects
+     the TU outright.  The search space does propose Parallel-under-Vectorize
+     schedules (the linter only warns), so inside a simd region a Parallel
+     annotation degrades to a plain loop instead of an illegal pragma. *)
+  let rec go ~in_simd depth = function
     | Prog.Stmt s ->
       Buffer.add_string buf (indent depth);
       Buffer.add_string buf (emit_stmt ctx s);
       Buffer.add_char buf '\n'
     | Prog.Loop l ->
       (match l.ann with
-      | Step.Parallel ->
+      | Step.Parallel when not in_simd ->
         Buffer.add_string buf (indent depth);
         Buffer.add_string buf "#pragma omp parallel for\n"
+      | Step.Parallel -> ()
       | Step.Vectorize ->
         Buffer.add_string buf (indent depth);
         Buffer.add_string buf "#pragma omp simd\n"
@@ -176,15 +182,16 @@ let emit_items ctx buf items =
         Buffer.add_string buf (indent depth);
         Buffer.add_string buf (Printf.sprintf "#pragma GCC unroll %d\n" l.extent)
       | Step.No_ann -> ());
+      let in_simd = in_simd || l.ann = Step.Vectorize in
       let v = ctx.var_id l.lvar in
       Buffer.add_string buf (indent depth);
       Buffer.add_string buf
         (Printf.sprintf "for (int %s = 0; %s < %d; %s++) {\n" v v l.extent v);
-      List.iter (go (depth + 1)) l.body;
+      List.iter (go ~in_simd (depth + 1)) l.body;
       Buffer.add_string buf (indent depth);
       Buffer.add_string buf "}\n"
   in
-  List.iter (go 1) items
+  List.iter (go ~in_simd:false 1) items
 
 let buffer_size shape = List.fold_left ( * ) 1 shape
 
@@ -205,12 +212,9 @@ let make_ctx (prog : Prog.t) =
     shapes = prog.buffers;
   }
 
-let emit_kernel ?(name = "kernel") (prog : Prog.t) =
+let emit_kernel_fn ?(static_fn = false) ~name (prog : Prog.t) =
   let ctx = make_ctx prog in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "#include <math.h>\n\n";
-  Buffer.add_string buf helpers;
-  Buffer.add_char buf '\n';
   let param_list =
     String.concat ", "
       (List.map
@@ -219,7 +223,10 @@ let emit_kernel ?(name = "kernel") (prog : Prog.t) =
            Printf.sprintf "float * restrict %s" id)
          (params prog))
   in
-  Buffer.add_string buf (Printf.sprintf "void %s(%s) {\n" name param_list);
+  Buffer.add_string buf
+    (Printf.sprintf "%svoid %s(%s) {\n"
+       (if static_fn then "static " else "")
+       name param_list);
   (* reduction-buffer initialization *)
   List.iter
     (fun (tensor, v) ->
@@ -240,6 +247,9 @@ let emit_kernel ?(name = "kernel") (prog : Prog.t) =
   emit_items ctx buf prog.items;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
+
+let emit_kernel ?(name = "kernel") (prog : Prog.t) =
+  "#include <math.h>\n\n" ^ helpers ^ "\n" ^ emit_kernel_fn ~name prog
 
 let emit_test_main (prog : Prog.t) ~inputs =
   let names = params prog in
@@ -286,4 +296,149 @@ let emit_test_main (prog : Prog.t) ~inputs =
       end)
     prog.buffers;
   Buffer.add_string buf "  return 0;\n}\n";
+  Buffer.contents buf
+
+(* ---- batched benchmark translation units -------------------------------- *)
+
+(* Buffers never stored to by the program (and not reduction-initialized)
+   are its inputs; for a lowered schedule this is exactly the DAG's input
+   set, whatever surgery steps (cache stages, rfactor) added in between. *)
+let input_buffers (prog : Prog.t) =
+  let written = Hashtbl.create 16 in
+  let rec go = function
+    | Prog.Stmt s -> Hashtbl.replace written s.Prog.tensor ()
+    | Prog.Loop l -> List.iter go l.Prog.body
+  in
+  List.iter go prog.items;
+  List.iter (fun (t, _) -> Hashtbl.replace written t ()) prog.inits;
+  List.filter (fun (n, _) -> not (Hashtbl.mem written n)) prog.buffers
+
+(* The C side fills input buffers with a 32-bit LCG; every value is a
+   multiple of 2^-16 in [-0.5, 0.5), hence exactly representable in both
+   float32 (C) and float64 (the interpreter), so [bench_inputs] reproduces
+   the identical tensors without shipping data into the TU. *)
+let lcg_fill ~seed n =
+  let s = ref (seed land 0xFFFFFFFF) in
+  Array.init n (fun _ ->
+      s := ((!s * 1664525) + 1013904223) land 0xFFFFFFFF;
+      (float_of_int ((!s lsr 8) land 0xFFFF) /. 65536.0) -. 0.5)
+
+(* seed: a Weyl step over the buffer's position, so every buffer gets a
+   distinct well-mixed stream and the C side can embed the constant *)
+let fill_seed bi = 0x9E3779B9 * (bi + 1) land 0xFFFFFFFF
+
+let bench_inputs (prog : Prog.t) =
+  let inputs = List.map fst (input_buffers prog) in
+  List.mapi (fun bi (name, shape) -> (bi, name, shape)) prog.buffers
+  |> List.filter_map (fun (bi, name, shape) ->
+         if List.mem name inputs then
+           Some (name, lcg_fill ~seed:(fill_seed bi) (buffer_size shape))
+         else None)
+
+let bench_main_help =
+  "  /* usage: <exe> KERNEL_INDEX [time REPEAT WARMUP | dump] */\n"
+
+let emit_bench_tu (progs : Prog.t list) =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf
+    "#include <math.h>\n#include <stdio.h>\n#include <stdlib.h>\n\
+     #include <string.h>\n#include <time.h>\n\n";
+  Buffer.add_string buf helpers;
+  Buffer.add_string buf
+    {|static void fill(float *a, int n, unsigned s) {
+  for (int i = 0; i < n; i++) {
+    s = s * 1664525u + 1013904223u;
+    a[i] = (float)((s >> 8) & 0xFFFFu) / 65536.0f - 0.5f;
+  }
+}
+static double now_sec(void) {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec;
+}
+|};
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun i prog ->
+      Buffer.add_string buf
+        (emit_kernel_fn ~static_fn:true ~name:(Printf.sprintf "k%d" i) prog);
+      Buffer.add_char buf '\n')
+    progs;
+  (* one runner per kernel: allocate + deterministically fill the buffers,
+     optionally dump the outputs (equivalence checks), otherwise time
+     warmup + repeat runs and return the minimum *)
+  List.iteri
+    (fun ki (prog : Prog.t) ->
+      let inputs = List.map fst (input_buffers prog) in
+      let n_bufs = List.length prog.buffers in
+      Buffer.add_string buf
+        (Printf.sprintf "static double run_%d(int dump, int repeat, int warmup) {\n"
+           ki);
+      List.iteri
+        (fun bi (name, shape) ->
+          let n = buffer_size shape in
+          if List.mem name inputs then begin
+            Buffer.add_string buf
+              (Printf.sprintf "  float *b%d = malloc(%d * sizeof(float));\n" bi n);
+            Buffer.add_string buf
+              (Printf.sprintf "  fill(b%d, %d, %uu);\n" bi n (fill_seed bi))
+          end
+          else
+            Buffer.add_string buf
+              (Printf.sprintf "  float *b%d = calloc(%d, sizeof(float));\n" bi n))
+        prog.buffers;
+      let args =
+        String.concat ", " (List.init n_bufs (fun bi -> Printf.sprintf "b%d" bi))
+      in
+      Buffer.add_string buf (Printf.sprintf "  double best = INFINITY;\n");
+      Buffer.add_string buf "  if (dump) {\n";
+      Buffer.add_string buf (Printf.sprintf "    k%d(%s);\n" ki args);
+      List.iteri
+        (fun bi (name, shape) ->
+          if not (List.mem name inputs) then
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "    for (int i = 0; i < %d; i++) printf(\"%%.9g\\n\", \
+                  (double)b%d[i]);\n"
+                 (buffer_size shape) bi))
+        prog.buffers;
+      Buffer.add_string buf "    best = 0.0;\n  } else {\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    for (int w = 0; w < warmup; w++) k%d(%s);\n" ki args);
+      Buffer.add_string buf "    for (int r = 0; r < repeat; r++) {\n";
+      Buffer.add_string buf "      double t0 = now_sec();\n";
+      Buffer.add_string buf (Printf.sprintf "      k%d(%s);\n" ki args);
+      Buffer.add_string buf "      double dt = now_sec() - t0;\n";
+      Buffer.add_string buf "      if (dt < best) best = dt;\n    }\n  }\n";
+      List.iteri
+        (fun bi _ -> Buffer.add_string buf (Printf.sprintf "  free(b%d);\n" bi))
+        prog.buffers;
+      Buffer.add_string buf "  return best;\n}\n\n")
+    progs;
+  Buffer.add_string buf "int main(int argc, char **argv) {\n";
+  Buffer.add_string buf bench_main_help;
+  Buffer.add_string buf
+    {|  if (argc < 2) return 2;
+  int idx = atoi(argv[1]);
+  int dump = argc > 2 && strcmp(argv[2], "dump") == 0;
+  int repeat = argc > 3 ? atoi(argv[3]) : 3;
+  int warmup = argc > 4 ? atoi(argv[4]) : 1;
+  if (repeat < 1) repeat = 1;
+  if (warmup < 0) warmup = 0;
+  double t;
+  switch (idx) {
+|};
+  List.iteri
+    (fun ki _ ->
+      Buffer.add_string buf
+        (Printf.sprintf "  case %d: t = run_%d(dump, repeat, warmup); break;\n"
+           ki ki))
+    progs;
+  Buffer.add_string buf
+    {|  default: return 2;
+  }
+  if (!dump) printf("%.9e\n", t);
+  return 0;
+}
+|};
   Buffer.contents buf

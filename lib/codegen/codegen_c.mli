@@ -44,6 +44,42 @@ val emit_kernel : ?name:string -> Prog.t -> string
 (** The kernel function (plus the division helpers), as a compilable C
     fragment. [name] defaults to ["kernel"]. *)
 
+val emit_kernel_fn : ?static_fn:bool -> name:string -> Prog.t -> string
+(** Just the kernel function, without includes or helpers — for callers
+    assembling multi-kernel translation units (emit {!helpers} once, then
+    one [emit_kernel_fn] per kernel).  [static_fn] gives the function
+    internal linkage. *)
+
+val helpers : string
+(** The shared integer-division/min/max helper block every kernel relies
+    on; emit exactly once per translation unit. *)
+
+val input_buffers : Prog.t -> (string * int list) list
+(** The program's input buffers — those it never stores to (and never
+    reduction-initializes) — with their shapes, in buffer order. *)
+
+val emit_bench_tu : Prog.t list -> string
+(** One self-contained benchmark translation unit over N kernels — the
+    native measurement backend's batch-compilation hot path (one gcc
+    invocation amortizes process spawn and header parsing over the whole
+    batch).  The [main] selects the kernel by [argv] index, dlopen-free:
+
+    - [exe IDX time REPEAT WARMUP] allocates the kernel's buffers, fills
+      the inputs deterministically, runs WARMUP untimed then REPEAT timed
+      invocations ([clock_gettime(CLOCK_MONOTONIC)]) and prints the
+      minimum in seconds ([%.9e]);
+    - [exe IDX dump] runs the kernel once and prints every non-input
+      buffer element ([%.9g], buffer order) — the equivalence hook:
+      feeding {!bench_inputs} to the interpreter must reproduce exactly
+      these outputs;
+    - an out-of-range index exits with status 2. *)
+
+val bench_inputs : Prog.t -> (string * float array) list
+(** The exact input tensors the benchmark TU's deterministic fill
+    produces for this program (a 32-bit LCG whose values are exactly
+    representable in float32), keyed by buffer name — run the interpreter
+    on these to cross-check a [dump] invocation. *)
+
 val emit_test_main :
   Prog.t -> inputs:(string * float array) list -> string
 (** A complete translation unit: the kernel plus a [main] that initializes

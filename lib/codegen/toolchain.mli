@@ -1,0 +1,59 @@
+(** Driving the system C compiler and the binaries it produces.
+
+    The single shared gcc front-end: the codegen differential tests, the
+    deployment smoke checks, the native measurement backend and the
+    benches all compile through {!compile}/{!compile_string} and execute
+    through {!run}, so every failure message carries the captured stderr
+    (no [cc.err] temp files to chase) and every caller agrees on compiler
+    discovery ([$ANSOR_CC], default [gcc]). *)
+
+val cc : unit -> string
+(** Compiler command: [$ANSOR_CC] if set, else ["gcc"]. *)
+
+val available : unit -> bool
+(** Whether {!cc} runs at all (memoized probe). Gate compiler-dependent
+    tests and backends on this. *)
+
+val default_flags : string list
+(** Quick correctness-check flags ([-O1]). *)
+
+val native_flags : string list
+(** Performance-measurement flags ([-O3 -fopenmp -march=native]). *)
+
+val with_temp_dir : prefix:string -> (string -> 'a) -> 'a
+(** Runs the function with a fresh private directory, removing it (and
+    any files left inside) afterwards, also on exceptions. *)
+
+val compile :
+  ?flags:string list -> src:string -> out:string -> unit -> (unit, string) result
+(** Compiles one C translation unit to an executable ([-lm] appended).
+    [Error] carries the compiler's exit code and its captured stderr,
+    truncated to a bounded length. *)
+
+val compile_string :
+  ?flags:string list ->
+  dir:string ->
+  basename:string ->
+  string ->
+  (string, string) result
+(** Writes the source to [dir/basename.c], compiles it to
+    [dir/basename], and returns the executable path. *)
+
+type run_error =
+  | Nonzero_exit of int * string  (** exit code, captured stderr *)
+  | Signaled of int * string  (** fatal signal (killed, segfault, ...) *)
+  | Timed_out of float  (** wall-clock limit in seconds *)
+
+val run_error_to_string : run_error -> string
+
+val run :
+  ?timeout:float -> string -> string list -> (string list, run_error) result
+(** [run exe args] executes the binary with stdout captured; returns its
+    non-empty stdout lines.  [timeout] is a wall-clock limit in seconds —
+    on expiry the process is killed ([SIGKILL]) and {!Timed_out} is
+    returned.  Never raises on process failure: non-zero exits and fatal
+    signals come back classified, with stderr attached. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] (re)writes a file — convenience for
+    callers staging sources into a temp dir. *)

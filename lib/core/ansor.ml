@@ -18,6 +18,7 @@ module Analysis = Ansor_analysis.Analysis
 module Interp = Ansor_interp.Interp
 module Codegen_c = Ansor_codegen.Codegen_c
 module Deploy = Ansor_codegen.Deploy
+module Toolchain = Ansor_codegen.Toolchain
 module Machine = Ansor_machine.Machine
 module Simulator = Ansor_machine.Simulator
 module Measurer = Ansor_machine.Measurer
@@ -26,6 +27,8 @@ module Measure_service = Ansor_measure_service.Service
 module Measure_protocol = Ansor_measure_service.Protocol
 module Measure_cache = Ansor_measure_service.Cache
 module Telemetry = Ansor_measure_service.Telemetry
+module Measure_native = Ansor_measure_native.Measure_native
+module Xcheck = Ansor_measure_native.Xcheck
 module Features = Ansor_features.Features
 module Gbdt = Ansor_gbdt.Gbdt
 module Cost_model = Ansor_cost_model.Cost_model
@@ -107,8 +110,12 @@ let tune ?(seed = 0) ?(trials = 200) ?(options = Tuner.ansor_options)
     machine dag =
   let task = Task.create ~name:"tune" ~machine dag in
   let service =
-    Measure_service.create ~config:service_config ?cache ~seed:(seed + 17)
-      machine
+    (* the native runner is always supplied: a Sim-backend config never
+       calls it, and a Native one gets gcc measurement with no extra
+       plumbing at the call sites *)
+    Measure_service.create ~config:service_config ?cache
+      ~native_runner:(Measure_native.runner ())
+      ~seed:(seed + 17) machine
   in
   let shared = Tuner.Shared.create () in
   let restored = ref None in
@@ -224,6 +231,7 @@ let tune_networks_with_stats ?(seed = 0) ?trial_budget
   in
   let sched =
     Scheduler.create
+      ~native_runner:(Measure_native.runner ())
       {
         Scheduler.default_options with
         objective;

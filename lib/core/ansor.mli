@@ -38,6 +38,7 @@ module Analysis = Ansor_analysis.Analysis
 module Interp = Ansor_interp.Interp
 module Codegen_c = Ansor_codegen.Codegen_c
 module Deploy = Ansor_codegen.Deploy
+module Toolchain = Ansor_codegen.Toolchain
 module Machine = Ansor_machine.Machine
 module Simulator = Ansor_machine.Simulator
 module Measurer = Ansor_machine.Measurer
@@ -51,6 +52,13 @@ module Measure_service = Ansor_measure_service.Service
 module Measure_protocol = Ansor_measure_service.Protocol
 module Measure_cache = Ansor_measure_service.Cache
 module Telemetry = Ansor_measure_service.Telemetry
+
+(** Native measurement: candidates compiled with gcc and timed on the host
+    CPU, selected with [service_config.backend = Native]; {!Xcheck} reports
+    the sim-vs-native rank correlation ([ansor xcheck]). *)
+
+module Measure_native = Ansor_measure_native.Measure_native
+module Xcheck = Ansor_measure_native.Xcheck
 module Features = Ansor_features.Features
 module Gbdt = Ansor_gbdt.Gbdt
 module Cost_model = Ansor_cost_model.Cost_model

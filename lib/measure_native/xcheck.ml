@@ -1,0 +1,152 @@
+open Ansor_sched
+module Rng = Ansor_util.Rng
+module Stats = Ansor_util.Stats
+module Machine = Ansor_machine.Machine
+module Simulator = Ansor_machine.Simulator
+module Cache = Ansor_measure_service.Cache
+module Protocol = Ansor_measure_service.Protocol
+module Task = Ansor_search.Task
+module Sampler = Ansor_sketch.Sampler
+module Sketch_gen = Ansor_sketch.Gen
+
+type task_report = {
+  xr_task : string;
+  xr_sampled : int;
+  xr_unique : int;
+  xr_measured : int;
+  xr_compile_errors : int;
+  xr_run_failures : int;
+  xr_spearman : float;
+  xr_top1_agree : bool;
+  xr_top5_overlap : float;
+}
+
+type report = {
+  x_machine : string;
+  x_sample : int;
+  x_seed : int;
+  x_tasks : task_report list;
+}
+
+(* indices of the [k] smallest values, ties broken by index (stable) *)
+let top_k k xs =
+  let a = Array.of_list xs in
+  let order = Array.init (Array.length a) (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      match compare a.(i) a.(j) with 0 -> compare i j | c -> c)
+    order;
+  Array.to_list (Array.sub order 0 (min k (Array.length order)))
+
+let overlap k xs ys =
+  let ka = top_k k xs and kb = top_k k ys in
+  let n = List.length (List.filter (fun i -> List.mem i kb) ka) in
+  if ka = [] then 0.0 else float_of_int n /. float_of_int (List.length ka)
+
+let check_task ?(config = Measure_native.default_config) ~sample ~seed
+    ~(machine : Machine.t) name dag =
+  let task = Task.create ~name ~machine dag in
+  let sketches = Sketch_gen.generate dag in
+  let rng = Rng.create (seed lxor Hashtbl.hash name) in
+  let states = Sampler.sample rng (Task.policy task) dag ~sketches ~n:sample in
+  (* dedup by canonical lowered program: identical programs would only
+     inflate the rank correlation with tied duplicates *)
+  let seen = Hashtbl.create 64 in
+  let unique =
+    List.filter_map
+      (fun st ->
+        match Lower.lower st with
+        | exception State.Illegal _ -> None
+        | prog ->
+          let key = Cache.key_of_prog machine prog in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.replace seen key ();
+            Some (key, prog)
+          end)
+      states
+  in
+  let misses = Array.of_list unique in
+  let runner = Measure_native.runner ~config () in
+  let report =
+    runner ~timeout:infinity ~deadline:None ~max_retries:1 ~num_workers:1
+      misses
+  in
+  let by_key = Hashtbl.create (Array.length misses) in
+  Array.iter
+    (fun (key, (o : Protocol.outcome)) -> Hashtbl.replace by_key key o)
+    report.Protocol.nr_outcomes;
+  let compile_errors = ref 0 and run_failures = ref 0 in
+  let pairs =
+    List.filter_map
+      (fun (key, prog) ->
+        match Hashtbl.find_opt by_key key with
+        | Some { Protocol.out_latency = Ok native; _ } ->
+          Some (Simulator.estimate machine prog, native)
+        | Some { Protocol.out_latency = Error (Protocol.Compile_error _); _ }
+          ->
+          incr compile_errors;
+          None
+        | Some _ ->
+          incr run_failures;
+          None
+        | None ->
+          incr run_failures;
+          None)
+      unique
+  in
+  let sims = List.map fst pairs and natives = List.map snd pairs in
+  {
+    xr_task = name;
+    xr_sampled = List.length states;
+    xr_unique = List.length unique;
+    xr_measured = List.length pairs;
+    xr_compile_errors = !compile_errors;
+    xr_run_failures = !run_failures;
+    xr_spearman = Stats.spearman sims natives;
+    xr_top1_agree =
+      (match (top_k 1 sims, top_k 1 natives) with
+      | [ a ], [ b ] -> a = b
+      | _ -> false);
+    xr_top5_overlap = overlap 5 sims natives;
+  }
+
+let run ?config ?(sample = 32) ?(seed = 0) ~(machine : Machine.t) cases =
+  {
+    x_machine = machine.Machine.name;
+    x_sample = sample;
+    x_seed = seed;
+    x_tasks =
+      List.map
+        (fun (name, dag) ->
+          check_task ?config ~sample ~seed ~machine name dag)
+        cases;
+  }
+
+let task_to_json r =
+  Printf.sprintf
+    "{\"task\":%S,\"sampled\":%d,\"unique\":%d,\"measured\":%d,\
+     \"compile_errors\":%d,\"run_failures\":%d,\"spearman\":%.6f,\
+     \"top1_agree\":%b,\"top5_overlap\":%.6f}"
+    r.xr_task r.xr_sampled r.xr_unique r.xr_measured r.xr_compile_errors
+    r.xr_run_failures r.xr_spearman r.xr_top1_agree r.xr_top5_overlap
+
+let to_json r =
+  Printf.sprintf "{\"machine\":%S,\"sample\":%d,\"seed\":%d,\"tasks\":[%s]}"
+    r.x_machine r.x_sample r.x_seed
+    (String.concat "," (List.map task_to_json r.x_tasks))
+
+let summary r =
+  String.concat "\n"
+    (List.map
+       (fun t ->
+         Printf.sprintf
+           "%-24s measured %d/%d  spearman %+.3f  top1 %s  top5 %.0f%%%s"
+           t.xr_task t.xr_measured t.xr_unique t.xr_spearman
+           (if t.xr_top1_agree then "agree" else "differ")
+           (100.0 *. t.xr_top5_overlap)
+           (if t.xr_compile_errors + t.xr_run_failures > 0 then
+              Printf.sprintf "  (%d compile err, %d run fail)"
+                t.xr_compile_errors t.xr_run_failures
+            else ""))
+       r.x_tasks)

@@ -2,15 +2,27 @@ type t = { table : (string, float) Hashtbl.t }
 
 let create () = { table = Hashtbl.create 256 }
 
-let key_of_prog (machine : Ansor_machine.Machine.t) (prog : Ansor_sched.Prog.t) =
+let key_of_prog ?(backend = Protocol.Sim) (machine : Ansor_machine.Machine.t)
+    (prog : Ansor_sched.Prog.t) =
   (* the structural fields fully determine the simulator estimate; the step
-     history that produced the program does not participate *)
+     history that produced the program does not participate.  The backend
+     participates: a native wall-clock measurement must never satisfy a
+     simulator lookup (or vice versa), even through a shared cache file.
+     Sim keys keep the historical unprefixed form so caches persisted by
+     older sessions stay valid. *)
   let payload =
     Marshal.to_string
       (prog.Ansor_sched.Prog.items, prog.buffers, prog.inits)
       [ Marshal.No_sharing ]
   in
-  Digest.to_hex (Digest.string (machine.Ansor_machine.Machine.name ^ "\x00" ^ payload))
+  let tag =
+    match backend with
+    | Protocol.Sim -> ""
+    | b -> Protocol.backend_name b ^ "\x00"
+  in
+  Digest.to_hex
+    (Digest.string
+       (tag ^ machine.Ansor_machine.Machine.name ^ "\x00" ^ payload))
 
 let find t key = Hashtbl.find_opt t.table key
 

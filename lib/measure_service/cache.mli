@@ -16,10 +16,17 @@ type t
 
 val create : unit -> t
 
-val key_of_prog : Ansor_machine.Machine.t -> Ansor_sched.Prog.t -> string
+val key_of_prog :
+  ?backend:Protocol.backend ->
+  Ansor_machine.Machine.t ->
+  Ansor_sched.Prog.t ->
+  string
 (** Canonical key: a digest of the machine name and the structural content
     of the lowered program (loops, statements, buffers, initializations) —
-    independent of the step history that produced it. *)
+    independent of the step history that produced it.  [backend] (default
+    {!Protocol.Sim}) is folded in so simulator estimates and native
+    wall-clock timings never alias, even in a shared cache file; [Sim]
+    keys are unchanged from historical caches. *)
 
 val find : t -> string -> float option
 val add : t -> string -> float -> unit

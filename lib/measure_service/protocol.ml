@@ -2,15 +2,26 @@ open Ansor_sched
 
 type failure =
   | Build_error of string
+  | Compile_error of string
   | Run_error of string
   | Timeout
 
 let pp_failure fmt = function
   | Build_error msg -> Format.fprintf fmt "build error: %s" msg
+  | Compile_error msg -> Format.fprintf fmt "compile error: %s" msg
   | Run_error msg -> Format.fprintf fmt "run error: %s" msg
   | Timeout -> Format.pp_print_string fmt "timeout"
 
 let failure_to_string f = Format.asprintf "%a" pp_failure f
+
+type backend = Sim | Native
+
+let backend_name = function Sim -> "sim" | Native -> "native"
+
+let backend_of_string = function
+  | "sim" -> Ok Sim
+  | "native" -> Ok Native
+  | s -> Error (Printf.sprintf "unknown backend %s (expected: sim, native)" s)
 
 type request = { state : State.t; prog : Prog.t option }
 
@@ -24,3 +35,25 @@ type result = {
 }
 
 let is_ok r = Result.is_ok r.latency
+
+type outcome = {
+  out_latency : (float, failure) Stdlib.result;
+  out_attempts : int;
+}
+
+type native_report = {
+  nr_outcomes : (string * outcome) array;
+  nr_compile_seconds : float;
+  nr_run_seconds : float;
+  nr_compiles : int;
+  nr_kernels : int;
+}
+
+let empty_native_report =
+  {
+    nr_outcomes = [||];
+    nr_compile_seconds = 0.0;
+    nr_run_seconds = 0.0;
+    nr_compiles = 0;
+    nr_kernels = 0;
+  }

@@ -11,6 +11,7 @@ type config = {
   backoff : float;
   noise : float;
   validate : bool;
+  backend : Protocol.backend;
 }
 
 let default_config =
@@ -22,9 +23,18 @@ let default_config =
     backoff = 0.0;
     noise = 0.03;
     validate = false;
+    backend = Protocol.Sim;
   }
 
 type fault_hook = key:string -> attempt:int -> Protocol.failure option
+
+type native_runner =
+  timeout:float ->
+  deadline:float option ->
+  max_retries:int ->
+  num_workers:int ->
+  (string * Prog.t) array ->
+  Protocol.native_report
 
 type t = {
   config : config;
@@ -34,9 +44,17 @@ type t = {
   telemetry : Telemetry.t;
   seed : int;
   fault_hook : fault_hook option;
+  native_runner : native_runner option;
 }
 
-let create ?(config = default_config) ?cache ?fault_hook ~seed machine =
+let create ?(config = default_config) ?cache ?fault_hook ?native_runner ~seed
+    machine =
+  (match (config.backend, native_runner) with
+  | Protocol.Native, None ->
+    invalid_arg
+      "Measure_service.create: backend Native requires a native_runner \
+       (see Ansor_measure_native.Measure_native.runner)"
+  | _ -> ());
   {
     config;
     machine;
@@ -45,7 +63,10 @@ let create ?(config = default_config) ?cache ?fault_hook ~seed machine =
     telemetry = Telemetry.create ();
     seed;
     fault_hook;
+    native_runner;
   }
+
+let backend t = t.config.backend
 
 let machine t = t.machine
 let measurer t = t.measurer
@@ -137,7 +158,7 @@ let prepare t seen_in_batch (req : Protocol.request) =
     match validation with
     | d :: _ -> Broken (Format.asprintf "%a" Diagnostic.pp d)
     | [] -> (
-      let key = Cache.key_of_prog t.machine prog in
+      let key = Cache.key_of_prog ~backend:t.config.backend t.machine prog in
       match Cache.find t.cache key with
       | Some latency -> Hit (key, latency)
       | None ->
@@ -174,10 +195,34 @@ let measure_batch t reqs =
           } )
       in
       let outcomes =
-        Pool.run ?deadline ~on_expired:expired_outcome
-          ~num_workers:t.config.num_workers
-          (fun (key, prog) -> (key, measure_candidate ?deadline t key prog))
-          misses
+        match (t.config.backend, t.native_runner) with
+        | Protocol.Sim, _ | Protocol.Native, None ->
+          Pool.run ?deadline ~on_expired:expired_outcome
+            ~num_workers:t.config.num_workers
+            (fun (key, prog) -> (key, measure_candidate ?deadline t key prog))
+            misses
+        | Protocol.Native, Some runner ->
+          let report =
+            runner ~timeout:t.config.timeout ~deadline
+              ~max_retries:t.config.max_retries
+              ~num_workers:t.config.num_workers misses
+          in
+          Telemetry.add_phase t.telemetry Telemetry.Compile
+            report.Protocol.nr_compile_seconds;
+          Telemetry.add_phase t.telemetry Telemetry.Native_run
+            report.Protocol.nr_run_seconds;
+          Telemetry.add_native_compiles t.telemetry
+            ~compiles:report.Protocol.nr_compiles
+            ~kernels:report.Protocol.nr_kernels;
+          Array.map
+            (fun (key, (o : Protocol.outcome)) ->
+              ( key,
+                {
+                  run_latency = o.Protocol.out_latency;
+                  run_attempts = o.Protocol.out_attempts;
+                  run_backoff = 0.0;
+                } ))
+            report.Protocol.nr_outcomes
       in
       let by_key = Hashtbl.create (Array.length outcomes) in
       Array.iter (fun (key, o) -> Hashtbl.replace by_key key o) outcomes;

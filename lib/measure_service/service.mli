@@ -42,11 +42,17 @@ type config = {
       (** statically validate each program before running it, classifying
           issues as {!Protocol.Build_error} (off by default: the search
           layers pre-filter candidates) *)
+  backend : Protocol.backend;
+      (** where cache-miss candidates are measured: {!Protocol.Sim} runs
+          the analytical simulator on the domain pool; {!Protocol.Native}
+          hands the whole miss set to the injected {!native_runner} (gcc
+          compile + wall-clock timing).  Cache keys are backend-tagged, so
+          the two backends never serve each other's entries. *)
 }
 
 val default_config : config
 (** 1 worker, no timeout, no batch deadline, 2 retries, no backoff delay,
-    noise 0.03, no validation. *)
+    noise 0.03, no validation, [Sim] backend. *)
 
 type fault_hook = key:string -> attempt:int -> Protocol.failure option
 (** Fault injection for tests: consulted before each backend run with the
@@ -54,17 +60,39 @@ type fault_hook = key:string -> attempt:int -> Protocol.failure option
     [Some failure] injects it.  Must be a pure function of its arguments
     (it runs on worker domains). *)
 
+type native_runner =
+  timeout:float ->
+  deadline:float option ->
+  max_retries:int ->
+  num_workers:int ->
+  (string * Prog.t) array ->
+  Protocol.native_report
+(** A pluggable batch backend: given the unique cache misses of one batch
+    as (canonical key, lowered program) pairs, returns a classified
+    {!Protocol.outcome} per pair plus compile/run attribution.  Injected
+    as a closure so this library never depends on the codegen layer
+    (see [Ansor_measure_native.Measure_native.runner]).  [timeout] is the
+    per-program latency ceiling, [deadline] the batch's absolute
+    wall-clock cutoff, both straight from {!config}. *)
+
 type t
 
 val create :
   ?config:config ->
   ?cache:Cache.t ->
   ?fault_hook:fault_hook ->
+  ?native_runner:native_runner ->
   seed:int ->
   Ansor_machine.Machine.t ->
   t
 (** [cache] shares or preloads a dedup cache (e.g. {!Cache.load}ed from a
-    previous session); a fresh one is created otherwise. *)
+    previous session); a fresh one is created otherwise.
+
+    @raise Invalid_argument
+      when [config.backend] is {!Protocol.Native} and no [native_runner]
+      was supplied. *)
+
+val backend : t -> Protocol.backend
 
 val machine : t -> Ansor_machine.Machine.t
 val measurer : t -> Ansor_machine.Measurer.t

@@ -1,6 +1,6 @@
-type phase = Sample | Evolve | Model_rank | Measure | Retrain
+type phase = Sample | Evolve | Model_rank | Measure | Retrain | Compile | Native_run
 
-let phases = [| Sample; Evolve; Model_rank; Measure; Retrain |]
+let phases = [| Sample; Evolve; Model_rank; Measure; Retrain; Compile; Native_run |]
 
 let phase_index = function
   | Sample -> 0
@@ -8,6 +8,8 @@ let phase_index = function
   | Model_rank -> 2
   | Measure -> 3
   | Retrain -> 4
+  | Compile -> 5
+  | Native_run -> 6
 
 let phase_name = function
   | Sample -> "sample"
@@ -15,17 +17,22 @@ let phase_name = function
   | Model_rank -> "model_rank"
   | Measure -> "measure"
   | Retrain -> "retrain"
+  | Compile -> "compile"
+  | Native_run -> "native_run"
 
 type stats = {
   trials : int;
   measured : int;
   cache_hits : int;
   build_errors : int;
+  compile_errors : int;
   run_errors : int;
   timeouts : int;
   retries : int;
   batches : int;
   statically_rejected : int;
+  native_compiles : int;
+  native_kernels : int;
   backoff_seconds : float;
   score_hits : int;
   score_misses : int;
@@ -42,11 +49,14 @@ let empty_stats =
     measured = 0;
     cache_hits = 0;
     build_errors = 0;
+    compile_errors = 0;
     run_errors = 0;
     timeouts = 0;
     retries = 0;
     batches = 0;
     statically_rejected = 0;
+    native_compiles = 0;
+    native_kernels = 0;
     backoff_seconds = 0.0;
     score_hits = 0;
     score_misses = 0;
@@ -65,11 +75,14 @@ let total stats =
         measured = acc.measured + s.measured;
         cache_hits = acc.cache_hits + s.cache_hits;
         build_errors = acc.build_errors + s.build_errors;
+        compile_errors = acc.compile_errors + s.compile_errors;
         run_errors = acc.run_errors + s.run_errors;
         timeouts = acc.timeouts + s.timeouts;
         retries = acc.retries + s.retries;
         batches = acc.batches + s.batches;
         statically_rejected = acc.statically_rejected + s.statically_rejected;
+        native_compiles = acc.native_compiles + s.native_compiles;
+        native_kernels = acc.native_kernels + s.native_kernels;
         backoff_seconds = acc.backoff_seconds +. s.backoff_seconds;
         score_hits = acc.score_hits + s.score_hits;
         score_misses = acc.score_misses + s.score_misses;
@@ -85,7 +98,8 @@ let total stats =
     empty_stats stats
 
 let results s =
-  s.measured + s.cache_hits + s.build_errors + s.run_errors + s.timeouts
+  s.measured + s.cache_hits + s.build_errors + s.compile_errors + s.run_errors
+  + s.timeouts
 
 let score_speedup s =
   if s.score_wall_seconds > 0.0 then s.score_work_seconds /. s.score_wall_seconds
@@ -94,11 +108,12 @@ let score_speedup s =
 let summary s =
   let counters =
     Printf.sprintf
-      "trials=%d ok=%d cache=%d build_err=%d run_err=%d timeout=%d retries=%d \
-       static_rej=%d score_hit=%d score_miss=%d score_speedup=%.2fx"
-      s.trials s.measured s.cache_hits s.build_errors s.run_errors s.timeouts
-      s.retries s.statically_rejected s.score_hits s.score_misses
-      (score_speedup s)
+      "trials=%d ok=%d cache=%d build_err=%d compile_err=%d run_err=%d \
+       timeout=%d retries=%d static_rej=%d native_cc=%d score_hit=%d \
+       score_miss=%d score_speedup=%.2fx"
+      s.trials s.measured s.cache_hits s.build_errors s.compile_errors
+      s.run_errors s.timeouts s.retries s.statically_rejected
+      s.native_compiles s.score_hits s.score_misses (score_speedup s)
   in
   let timers =
     String.concat " "
@@ -115,14 +130,17 @@ let to_json s =
   in
   Printf.sprintf
     "{\"trials\":%d,\"measured\":%d,\"cache_hits\":%d,\"build_errors\":%d,\
+     \"compile_errors\":%d,\
      \"run_errors\":%d,\"timeouts\":%d,\"retries\":%d,\"batches\":%d,\
-     \"statically_rejected\":%d,\"backoff_seconds\":%.6f,\
+     \"statically_rejected\":%d,\"native_compiles\":%d,\
+     \"native_kernels\":%d,\"backoff_seconds\":%.6f,\
      \"score_hits\":%d,\"score_misses\":%d,\"score_evictions\":%d,\
      \"score_batches\":%d,\"score_wall_seconds\":%.6f,\
      \"score_work_seconds\":%.6f,\"score_parallel_speedup\":%.6f,\
      \"phase_seconds\":{%s}}"
-    s.trials s.measured s.cache_hits s.build_errors s.run_errors s.timeouts
-    s.retries s.batches s.statically_rejected s.backoff_seconds s.score_hits
+    s.trials s.measured s.cache_hits s.build_errors s.compile_errors
+    s.run_errors s.timeouts s.retries s.batches s.statically_rejected
+    s.native_compiles s.native_kernels s.backoff_seconds s.score_hits
     s.score_misses s.score_evictions s.score_batches s.score_wall_seconds
     s.score_work_seconds (score_speedup s) phase_fields
 
@@ -131,11 +149,14 @@ type t = {
   mutable measured : int;
   mutable cache_hits : int;
   mutable build_errors : int;
+  mutable compile_errors : int;
   mutable run_errors : int;
   mutable timeouts : int;
   mutable retries : int;
   mutable batches : int;
   mutable statically_rejected : int;
+  mutable native_compiles : int;
+  mutable native_kernels : int;
   mutable backoff_seconds : float;
   mutable score_hits : int;
   mutable score_misses : int;
@@ -152,11 +173,14 @@ let create () =
     measured = 0;
     cache_hits = 0;
     build_errors = 0;
+    compile_errors = 0;
     run_errors = 0;
     timeouts = 0;
     retries = 0;
     batches = 0;
     statically_rejected = 0;
+    native_compiles = 0;
+    native_kernels = 0;
     backoff_seconds = 0.0;
     score_hits = 0;
     score_misses = 0;
@@ -172,11 +196,14 @@ let reset t =
   t.measured <- 0;
   t.cache_hits <- 0;
   t.build_errors <- 0;
+  t.compile_errors <- 0;
   t.run_errors <- 0;
   t.timeouts <- 0;
   t.retries <- 0;
   t.batches <- 0;
   t.statically_rejected <- 0;
+  t.native_compiles <- 0;
+  t.native_kernels <- 0;
   t.backoff_seconds <- 0.0;
   t.score_hits <- 0;
   t.score_misses <- 0;
@@ -192,11 +219,14 @@ let stats t =
     measured = t.measured;
     cache_hits = t.cache_hits;
     build_errors = t.build_errors;
+    compile_errors = t.compile_errors;
     run_errors = t.run_errors;
     timeouts = t.timeouts;
     retries = t.retries;
     batches = t.batches;
     statically_rejected = t.statically_rejected;
+    native_compiles = t.native_compiles;
+    native_kernels = t.native_kernels;
     backoff_seconds = t.backoff_seconds;
     score_hits = t.score_hits;
     score_misses = t.score_misses;
@@ -214,11 +244,14 @@ let restore t (s : stats) =
   t.measured <- s.measured;
   t.cache_hits <- s.cache_hits;
   t.build_errors <- s.build_errors;
+  t.compile_errors <- s.compile_errors;
   t.run_errors <- s.run_errors;
   t.timeouts <- s.timeouts;
   t.retries <- s.retries;
   t.batches <- s.batches;
   t.statically_rejected <- s.statically_rejected;
+  t.native_compiles <- s.native_compiles;
+  t.native_kernels <- s.native_kernels;
   t.backoff_seconds <- s.backoff_seconds;
   t.score_hits <- s.score_hits;
   t.score_misses <- s.score_misses;
@@ -246,6 +279,8 @@ let record_result t ?(attempts = 1) ?(cache_hit = false) latency =
     match latency with
     | Ok _ -> t.measured <- t.measured + 1
     | Error (Protocol.Build_error _) -> t.build_errors <- t.build_errors + 1
+    | Error (Protocol.Compile_error _) ->
+      t.compile_errors <- t.compile_errors + 1
     | Error (Protocol.Run_error _) -> t.run_errors <- t.run_errors + 1
     | Error Protocol.Timeout -> t.timeouts <- t.timeouts + 1
 
@@ -253,6 +288,10 @@ let add_backoff t seconds = t.backoff_seconds <- t.backoff_seconds +. seconds
 
 let incr_statically_rejected t =
   t.statically_rejected <- t.statically_rejected + 1
+
+let add_native_compiles t ~compiles ~kernels =
+  t.native_compiles <- t.native_compiles + compiles;
+  t.native_kernels <- t.native_kernels + kernels
 let incr_batches t = t.batches <- t.batches + 1
 
 let add_score_probe t ~hit =

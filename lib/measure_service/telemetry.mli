@@ -8,7 +8,7 @@
     (sample / evolve / model-rank / measure / retrain), answering "where
     does round time go". *)
 
-type phase = Sample | Evolve | Model_rank | Measure | Retrain
+type phase = Sample | Evolve | Model_rank | Measure | Retrain | Compile | Native_run
 
 val phase_name : phase -> string
 
@@ -18,6 +18,9 @@ type stats = {
   measured : int;  (** candidates that returned an [Ok] latency *)
   cache_hits : int;  (** candidates served from the dedup cache *)
   build_errors : int;
+  compile_errors : int;
+      (** native-backend candidates the C compiler rejected (deterministic,
+          never retried, no trials consumed) *)
   run_errors : int;  (** candidates that exhausted their retries *)
   timeouts : int;
   retries : int;  (** extra runs caused by transient failures *)
@@ -25,6 +28,11 @@ type stats = {
   statically_rejected : int;
       (** evolution mutants discarded by the static race detector before
           ever reaching the measurement backend *)
+  native_compiles : int;
+      (** native-backend compiler invocations (one per batched TU) *)
+  native_kernels : int;
+      (** kernels submitted to those invocations; [native_kernels /
+          native_compiles] is the realized batching factor *)
   backoff_seconds : float;  (** total retry backoff delay *)
   score_hits : int;
       (** batch-scoring candidates served from the feature/score cache
@@ -87,6 +95,10 @@ val incr_batches : t -> unit
 
 val incr_statically_rejected : t -> unit
 (** One evolution mutant rejected by the pre-measurement static filter. *)
+
+val add_native_compiles : t -> compiles:int -> kernels:int -> unit
+(** Accounts one native batch's compilation fan-out: [compiles] gcc
+    invocations covering [kernels] kernels. *)
 
 val score_speedup : stats -> float
 (** Realized parallel speedup of the scoring fan-out

@@ -62,7 +62,7 @@ let class_key task =
   let key = Task.key task in
   String.map (fun c -> if c >= '0' && c <= '9' then '#' else c) key
 
-let create options ~tasks ~networks =
+let create ?native_runner options ~tasks ~networks =
   if Array.length tasks = 0 then invalid_arg "Scheduler.create: no tasks";
   if networks = [] then invalid_arg "Scheduler.create: no networks";
   List.iter
@@ -80,7 +80,7 @@ let create options ~tasks ~networks =
         {
           tuner = Tuner.create ~seed:(options.seed + i) options.tuner_options task;
           service =
-            Service.create ~config:options.service_config
+            Service.create ~config:options.service_config ?native_runner
               ~seed:(options.seed + (31 * i) + 7)
               task.Task.machine;
           history = [];

@@ -55,8 +55,18 @@ val default_options : options
 
 type t
 
-val create : options -> tasks:Ansor_search.Task.t array -> networks:network list -> t
-(** @raise Invalid_argument on empty tasks, empty networks or references
+val create :
+  ?native_runner:Ansor_measure_service.Service.native_runner ->
+  options ->
+  tasks:Ansor_search.Task.t array ->
+  networks:network list ->
+  t
+(** [native_runner] is forwarded to every per-task measurement service —
+    required when [options.service_config.backend] is
+    {!Ansor_measure_service.Protocol.Native} (a create-time parameter, not
+    an option field, so the marshal-safe snapshot never holds a closure).
+
+    @raise Invalid_argument on empty tasks, empty networks or references
     to out-of-range task indices. *)
 
 (** Checkpoint image of a whole scheduling session: every task's tuner

@@ -47,6 +47,26 @@ let argmin score xs = argmax (fun x -> -.score x) xs
 
 let clamp ~lo ~hi x = Float.min hi (Float.max lo x)
 
+(* fractional ranks with ties sharing their average rank (1-based) *)
+let ranks xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare a.(i) a.(j)) order;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && a.(order.(!j + 1)) = a.(order.(!i)) do incr j done;
+    (* positions !i..!j hold equal values: average their 1-based ranks *)
+    let avg = float_of_int (!i + !j + 2) /. 2.0 in
+    for k = !i to !j do
+      r.(order.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  Array.to_list r
+
 let pearson xs ys =
   let n = List.length xs in
   if n <> List.length ys || n < 2 then 0.0
@@ -58,3 +78,7 @@ let pearson xs ys =
     let sx = stddev xs and sy = stddev ys in
     let denom = float_of_int n *. sx *. sy in
     if denom <= 1e-12 then 0.0 else num /. denom
+
+let spearman xs ys =
+  if List.length xs <> List.length ys || List.length xs < 2 then 0.0
+  else pearson (ranks xs) (ranks ys)

@@ -26,3 +26,12 @@ val clamp : lo:float -> hi:float -> float -> float
 
 val pearson : float list -> float list -> float
 (** Pearson correlation of two equal-length series; 0. when undefined. *)
+
+val ranks : float list -> float list
+(** Fractional 1-based ranks of the values (ties share their average
+    rank), in input order. *)
+
+val spearman : float list -> float list -> float
+(** Spearman rank correlation of two equal-length series: {!pearson} over
+    {!ranks}; 0. when undefined (length mismatch, < 2 points, or a
+    constant series). *)

@@ -12,52 +12,18 @@ module Lower = Ansor.Lower
 module Interp = Ansor.Interp
 module Prog = Ansor.Prog
 
-let have_gcc = lazy (Sys.command "gcc --version > /dev/null 2>&1" = 0)
-
-let require_gcc () =
-  if not (Lazy.force have_gcc) then
-    Alcotest.skip ()
+let require_gcc () = if not (Ansor.Toolchain.available ()) then Alcotest.skip ()
 
 (* compile + run a C translation unit; returns stdout lines as floats *)
 let run_c source =
-  let dir = Filename.temp_file "ansor_cg" "" in
-  Sys.remove dir;
-  Unix.mkdir dir 0o755;
-  let c_file = Filename.concat dir "t.c" in
-  let exe = Filename.concat dir "t" in
-  let oc = open_out c_file in
-  output_string oc source;
-  close_out oc;
-  let cmd =
-    Printf.sprintf "gcc -O1 -o %s %s -lm 2> %s/cc.err"
-      (Filename.quote exe) (Filename.quote c_file) (Filename.quote dir)
-  in
-  if Sys.command cmd <> 0 then begin
-    let err =
-      try
-        let ic = open_in (Filename.concat dir "cc.err") in
-        let n = in_channel_length ic in
-        let s = really_input_string ic n in
-        close_in ic;
-        s
-      with _ -> "?"
-    in
-    Alcotest.failf "gcc failed: %s" err
-  end;
-  let ic = Unix.open_process_in exe in
-  let rec read acc =
-    match input_line ic with
-    | line -> read (float_of_string line :: acc)
-    | exception End_of_file -> List.rev acc
-  in
-  let values = read [] in
-  ignore (Unix.close_process_in ic);
-  (* best-effort cleanup *)
-  List.iter
-    (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
-    [ "t.c"; "t"; "cc.err" ];
-  (try Unix.rmdir dir with _ -> ());
-  values
+  Ansor.Toolchain.with_temp_dir ~prefix:"ansor_cg" (fun dir ->
+      match Ansor.Toolchain.compile_string ~dir ~basename:"t" source with
+      | Error msg -> Alcotest.failf "gcc failed: %s" msg
+      | Ok exe -> (
+        match Ansor.Toolchain.run exe [] with
+        | Error e ->
+          Alcotest.failf "run failed: %s" (Ansor.Toolchain.run_error_to_string e)
+        | Ok lines -> List.map float_of_string lines))
 
 let differential_check (st : State.t) =
   let dag = st.State.dag in
@@ -133,6 +99,29 @@ let test_kernel_structure () =
   check_bool "accumulation" true (contains src "+=");
   check_bool "restrict params" true (contains src "float * restrict")
 
+(* Parallel nested under Vectorize: OpenMP forbids [parallel for] inside a
+   [simd] region, and gcc rejects the TU.  The search space proposes such
+   schedules (the linter only warns), so the emitter must degrade the inner
+   Parallel to a plain loop — keeping the program compilable and correct. *)
+let parallel_under_simd_state () =
+  let dag = Ansor.Nn.matmul ~m:8 ~n:8 ~k:8 () in
+  State.replay dag
+    Ansor.Step.
+      [
+        Annotate { stage = "C"; iv = 0; ann = Vectorize };
+        Annotate { stage = "C"; iv = 1; ann = Parallel };
+      ]
+
+let test_parallel_under_simd_structure () =
+  let src = C.emit_kernel (Lower.lower (parallel_under_simd_state ())) in
+  check_bool "omp simd kept" true (contains src "#pragma omp simd");
+  check_bool "no parallel for inside simd" false
+    (contains src "#pragma omp parallel for")
+
+let test_parallel_under_simd_compiles () =
+  require_gcc ();
+  differential_check (parallel_under_simd_state ())
+
 let test_max_reduction_emits_fmax () =
   let dag = Ansor.Nn.max_pool2d ~n:1 ~c:2 ~h:4 ~w:4 ~k:2 ~stride:2 () in
   let src = C.emit_kernel (Lower.lower (State.init dag)) in
@@ -147,6 +136,7 @@ let () =
           case "identifier sanitization" test_sanitize;
           case "unique parameters" test_params_unique;
           case "kernel structure" test_kernel_structure;
+          case "parallel under simd degrades" test_parallel_under_simd_structure;
           case "max reduction" test_max_reduction_emits_fmax;
         ] );
       ( "differential vs interpreter (gcc)",
@@ -169,6 +159,8 @@ let () =
             (test_scheduled "cl"
                (Ansor.Nn.conv_layer ~n:1 ~c:4 ~h:6 ~w:6 ~f:4 ~kh:3 ~kw:3
                   ~stride:1 ~pad:1 ()));
+          case "parallel under simd compiles"
+            test_parallel_under_simd_compiles;
         ] );
     ]
 
@@ -225,22 +217,13 @@ let test_deploy_compiles () =
     ]
   in
   let src = Ansor.Deploy.emit ~machine ~records:[] subgraphs in
-  let dir = Filename.temp_file "ansor_deploy" "" in
-  Sys.remove dir;
-  Unix.mkdir dir 0o755;
-  let c_file = Filename.concat dir "net.c" in
-  let oc = open_out c_file in
-  output_string oc src;
-  close_out oc;
-  let code =
-    Sys.command
-      (Printf.sprintf "gcc -c -O1 -o %s/net.o %s 2> %s/err"
-         (Filename.quote dir) (Filename.quote c_file) (Filename.quote dir))
-  in
-  List.iter (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
-    [ "net.c"; "net.o"; "err" ];
-  (try Unix.rmdir dir with _ -> ());
-  check_int "compiles as a translation unit" 0 code
+  (* a stub main makes the library TU a complete program, so one
+     Toolchain.compile_string both compiles and links it *)
+  let src = src ^ "\nint main(void) { return 0; }\n" in
+  Ansor.Toolchain.with_temp_dir ~prefix:"ansor_deploy" (fun dir ->
+      match Ansor.Toolchain.compile_string ~dir ~basename:"net" src with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "deploy TU does not compile: %s" msg)
 
 let () =
   Alcotest.run "codegen_deploy"

@@ -1,0 +1,259 @@
+(* The native measurement backend, end to end: the batched translation
+   unit computes what the interpreter computes, the dedup cache absorbs
+   repeats, compiler rejections are classified (and never retried), a
+   native session checkpoints and resumes, and the toolchain wrapper
+   captures stderr and enforces run timeouts.
+
+   Every case needing a real compiler skips cleanly when gcc is absent. *)
+
+open Helpers
+module Protocol = Ansor.Measure_protocol
+module Service = Ansor.Measure_service
+module Toolchain = Ansor.Toolchain
+module Native = Ansor.Measure_native
+module C = Ansor.Codegen_c
+module State = Ansor.State
+module Lower = Ansor.Lower
+
+let require_gcc () = if not (Toolchain.available ()) then Alcotest.skip ()
+
+(* -O1 everywhere: these tests check plumbing and classification, not
+   kernel speed, and -O3 -march=native costs seconds per TU *)
+let fast_config = { Native.default_config with cflags = Toolchain.default_flags }
+
+(* ---- batched TU output equivalence vs the interpreter ------------------- *)
+
+let dump_kernel exe idx =
+  match Toolchain.run exe [ string_of_int idx; "dump" ] with
+  | Error e -> Alcotest.failf "dump run failed: %s" (Toolchain.run_error_to_string e)
+  | Ok lines -> List.map float_of_string lines
+
+let check_equivalent exe idx (prog : Ansor.Prog.t) =
+  let inputs = C.bench_inputs prog in
+  let reference = Ansor.Interp.run_prog prog ~inputs in
+  let input_names = List.map fst inputs in
+  let expected =
+    List.concat_map
+      (fun (name, _) ->
+        if List.mem name input_names then []
+        else Array.to_list (List.assoc name reference))
+      prog.buffers
+  in
+  let got = dump_kernel exe idx in
+  check_int "same number of dumped values" (List.length expected)
+    (List.length got);
+  List.iteri
+    (fun i (want, have) ->
+      if Float.abs (want -. have) > 1e-3 *. Float.max 1.0 (Float.abs want)
+      then
+        Alcotest.failf "kernel %d value %d differs: interpreter %.9g, C %.9g"
+          idx i want have)
+    (List.combine expected got)
+
+let test_batch_tu_equivalence () =
+  require_gcc ();
+  let progs =
+    List.map
+      (fun st -> Lower.lower st)
+      (State.init (Ansor.Nn.matmul_relu ~m:8 ~n:8 ~k:8 ())
+      :: State.init
+           (Ansor.Nn.conv2d ~n:1 ~c:2 ~h:5 ~w:5 ~f:2 ~kh:3 ~kw:3 ~stride:1
+              ~pad:1 ())
+      :: sample_programs ~seed:23 ~n:2 (Ansor.Nn.matmul_relu ~m:8 ~n:8 ~k:8 ()))
+  in
+  Toolchain.with_temp_dir ~prefix:"native_equiv" (fun dir ->
+      match
+        Toolchain.compile_string ~dir ~basename:"batch" (C.emit_bench_tu progs)
+      with
+      | Error msg -> Alcotest.failf "batch TU does not compile: %s" msg
+      | Ok exe ->
+        List.iteri (fun i prog -> check_equivalent exe i prog) progs;
+        (* out-of-range kernel index is a clean error exit, not a crash *)
+        (match Toolchain.run exe [ string_of_int (List.length progs); "dump" ] with
+        | Error (Toolchain.Nonzero_exit (2, _)) -> ()
+        | Error e ->
+          Alcotest.failf "bad-index run misclassified: %s"
+            (Toolchain.run_error_to_string e)
+        | Ok _ -> Alcotest.fail "out-of-range kernel index did not fail"))
+
+(* ---- the native service: dedup, classification, accounting -------------- *)
+
+let native_service ?(config = fast_config) ?(service_config = Service.default_config)
+    () =
+  let machine = Ansor.Machine.intel_cpu in
+  let sc = { service_config with backend = Protocol.Native } in
+  Service.create ~config:sc ~native_runner:(Native.runner ~config ()) ~seed:11
+    machine
+
+let some_state () =
+  State.init (Ansor.Nn.matmul ~m:8 ~n:8 ~k:8 ())
+
+let test_native_measures_and_dedups () =
+  require_gcc ();
+  let service = native_service () in
+  let st = some_state () in
+  let reqs = [ Protocol.request st; Protocol.request st ] in
+  (match Service.measure_batch service reqs with
+  | [ a; b ] ->
+    check_bool "first measured ok" true (Protocol.is_ok a);
+    check_bool "first is a real measurement" false a.Protocol.cache_hit;
+    check_bool "duplicate served from cache" true b.Protocol.cache_hit;
+    (match a.Protocol.latency with
+    | Ok l -> check_bool "latency positive" true (l > 0.0)
+    | Error f -> Alcotest.failf "unexpected failure: %s" (Protocol.failure_to_string f))
+  | _ -> Alcotest.fail "wrong result count");
+  (* the same program again: a cross-batch cache hit, no new compile *)
+  let stats1 = Service.stats service in
+  (match Service.measure_batch service [ Protocol.request (some_state ()) ] with
+  | [ r ] -> check_bool "re-measure is a cache hit" true r.Protocol.cache_hit
+  | _ -> Alcotest.fail "wrong result count");
+  let stats2 = Service.stats service in
+  check_int "one kernel ever compiled" 1 stats1.Ansor.Telemetry.native_kernels;
+  check_int "no further compiles" stats1.Ansor.Telemetry.native_compiles
+    stats2.Ansor.Telemetry.native_compiles;
+  check_bool "compile phase attributed" true
+    (List.assoc "compile" stats2.Ansor.Telemetry.phase_seconds > 0.0);
+  check_bool "native_run phase attributed" true
+    (List.assoc "native_run" stats2.Ansor.Telemetry.phase_seconds > 0.0)
+
+let test_compile_error_classified_not_retried () =
+  require_gcc ();
+  let broken =
+    { fast_config with cflags = [ "-O1"; "-fplease-reject-this-flag" ] }
+  in
+  let service = native_service ~config:broken () in
+  (match Service.measure_batch service [ Protocol.request (some_state ()) ] with
+  | [ r ] -> (
+    match r.Protocol.latency with
+    | Error (Protocol.Compile_error msg) ->
+      check_bool "stderr captured in the message" true
+        (String.length msg > 0);
+      check_int "no runs attempted" 0 r.Protocol.attempts
+    | Error f ->
+      Alcotest.failf "misclassified: %s" (Protocol.failure_to_string f)
+    | Ok _ -> Alcotest.fail "compile should have failed")
+  | _ -> Alcotest.fail "wrong result count");
+  let stats = Service.stats service in
+  check_int "counted as compile error" 1 stats.Ansor.Telemetry.compile_errors;
+  check_int "no trials consumed" 0 stats.Ansor.Telemetry.trials;
+  check_int "never retried" 0 stats.Ansor.Telemetry.retries
+
+(* ---- checkpoint/resume with a native-backend session -------------------- *)
+
+let test_native_session_resumes () =
+  require_gcc ();
+  Toolchain.with_temp_dir ~prefix:"native_snap" (fun dir ->
+      let snap = Filename.concat dir "session.snap" in
+      let machine = Ansor.Machine.intel_cpu in
+      let dag = Ansor.Nn.matmul ~m:12 ~n:12 ~k:12 () in
+      let service_config =
+        { Service.default_config with backend = Protocol.Native; timeout = 5.0 }
+      in
+      let rounds = ref 0 in
+      let r1 =
+        Ansor.tune ~seed:5 ~trials:12 ~service_config ~snapshot_path:snap
+          ~should_stop:(fun () -> !rounds >= 1)
+          ~on_round:(fun () -> incr rounds)
+          machine dag
+      in
+      check_bool "snapshot written" true (Sys.file_exists snap);
+      check_bool "first leg measured something" true (r1.trials_used > 0);
+      let r2 =
+        Ansor.tune ~seed:5 ~trials:12 ~service_config ~snapshot_path:snap
+          ~resume:true machine dag
+      in
+      check_bool "resumed trials continue, not restart" true
+        (r2.trials_used >= r1.trials_used);
+      check_bool "resumed best is finite" true (Float.is_finite r2.best_latency);
+      check_bool "resume kept or improved the best" true
+        (r2.best_latency <= r1.best_latency))
+
+(* ---- toolchain wrapper --------------------------------------------------- *)
+
+let test_toolchain_captures_stderr () =
+  require_gcc ();
+  Toolchain.with_temp_dir ~prefix:"toolchain_err" (fun dir ->
+      match
+        Toolchain.compile_string ~dir ~basename:"bad"
+          "int main(void) { return undeclared_identifier; }\n"
+      with
+      | Ok _ -> Alcotest.fail "broken C compiled"
+      | Error msg ->
+        check_bool "stderr mentions the identifier" true
+          (let needle = "undeclared_identifier" in
+           let n = String.length needle and h = String.length msg in
+           let rec go i =
+             i + n <= h && (String.sub msg i n = needle || go (i + 1))
+           in
+           go 0))
+
+let test_toolchain_run_timeout_and_exit () =
+  require_gcc ();
+  Toolchain.with_temp_dir ~prefix:"toolchain_run" (fun dir ->
+      (match
+         Toolchain.compile_string ~dir ~basename:"spin"
+           "int main(void) { for (;;) {} return 0; }\n"
+       with
+      | Error msg -> Alcotest.failf "spin does not compile: %s" msg
+      | Ok exe -> (
+        match Toolchain.run ~timeout:0.3 exe [] with
+        | Error (Toolchain.Timed_out _) -> ()
+        | Error e ->
+          Alcotest.failf "expected timeout, got %s"
+            (Toolchain.run_error_to_string e)
+        | Ok _ -> Alcotest.fail "infinite loop returned"));
+      match
+        Toolchain.compile_string ~dir ~basename:"exit3"
+          "#include <stdio.h>\nint main(void) { fprintf(stderr, \"boom\\n\"); return 3; }\n"
+      with
+      | Error msg -> Alcotest.failf "exit3 does not compile: %s" msg
+      | Ok exe -> (
+        match Toolchain.run exe [] with
+        | Error (Toolchain.Nonzero_exit (3, err)) ->
+          check_bool "stderr captured" true
+            (String.length err >= 4 && String.sub err 0 4 = "boom")
+        | Error e ->
+          Alcotest.failf "expected exit 3, got %s"
+            (Toolchain.run_error_to_string e)
+        | Ok _ -> Alcotest.fail "exit 3 reported success"))
+
+(* ---- xcheck -------------------------------------------------------------- *)
+
+let test_xcheck_smoke () =
+  require_gcc ();
+  let machine = Ansor.Machine.intel_cpu in
+  let r =
+    Ansor.Xcheck.run ~config:fast_config ~sample:4 ~seed:3 ~machine
+      [ ("mm", Ansor.Nn.matmul ~m:8 ~n:8 ~k:8 ()) ]
+  in
+  (match r.Ansor.Xcheck.x_tasks with
+  | [ t ] ->
+    check_bool "measured something" true (t.Ansor.Xcheck.xr_measured >= 1);
+    check_bool "spearman in range" true
+      (t.xr_spearman >= -1.0 && t.xr_spearman <= 1.0);
+    check_bool "top5 overlap in range" true
+      (t.xr_top5_overlap >= 0.0 && t.xr_top5_overlap <= 1.0)
+  | _ -> Alcotest.fail "one task expected");
+  let json = Ansor.Xcheck.to_json r in
+  check_bool "json has spearman" true
+    (let needle = "\"spearman\"" in
+     let n = String.length needle and h = String.length json in
+     let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+     go 0)
+
+let () =
+  Alcotest.run "measure_native"
+    [
+      ( "native backend (gcc)",
+        [
+          case "batched TU matches the interpreter" test_batch_tu_equivalence;
+          case "measures, dedups, attributes phases" test_native_measures_and_dedups;
+          case "compile errors classified, not retried"
+            test_compile_error_classified_not_retried;
+          case "checkpoint/resume" test_native_session_resumes;
+          case "toolchain captures stderr" test_toolchain_captures_stderr;
+          case "toolchain run timeout and exit codes"
+            test_toolchain_run_timeout_and_exit;
+          case "xcheck smoke" test_xcheck_smoke;
+        ] );
+    ]

@@ -228,6 +228,27 @@ let test_pearson () =
   check_floatish "anti" (-1.0) (Stats.pearson [ 1.; 2.; 3. ] [ 3.; 2.; 1. ]);
   check_float "degenerate" 0.0 (Stats.pearson [ 1.; 1. ] [ 1.; 2. ])
 
+let test_ranks () =
+  Alcotest.(check (list (float 1e-9)))
+    "distinct" [ 2.0; 1.0; 3.0 ]
+    (Stats.ranks [ 5.0; 1.0; 9.0 ]);
+  Alcotest.(check (list (float 1e-9)))
+    "ties average" [ 1.5; 1.5; 3.0 ]
+    (Stats.ranks [ 4.0; 4.0; 7.0 ]);
+  Alcotest.(check (list (float 1e-9))) "empty" [] (Stats.ranks [])
+
+let test_spearman () =
+  (* monotone but non-linear: rank correlation is exactly 1 *)
+  check_floatish "monotone" 1.0
+    (Stats.spearman [ 1.; 2.; 3.; 4. ] [ 1.; 10.; 100.; 1000. ]);
+  check_floatish "reversed" (-1.0)
+    (Stats.spearman [ 1.; 2.; 3. ] [ 9.; 5.; 1. ]);
+  check_float "too short" 0.0 (Stats.spearman [ 1.0 ] [ 2.0 ]);
+  check_float "length mismatch" 0.0 (Stats.spearman [ 1.0; 2.0 ] [ 1.0 ]);
+  (* a known worked example: d^2 = 4 over n=5 -> rho = 1 - 24/120 = 0.8 *)
+  check_floatish "textbook" 0.8
+    (Stats.spearman [ 1.; 2.; 3.; 4.; 5. ] [ 2.; 1.; 3.; 5.; 4. ])
+
 let () =
   Alcotest.run "util"
     [
@@ -268,5 +289,7 @@ let () =
           case "argmax/argmin" test_argmax_argmin;
           case "clamp" test_clamp;
           case "pearson" test_pearson;
+          case "ranks" test_ranks;
+          case "spearman" test_spearman;
         ] );
     ]
