@@ -1,9 +1,9 @@
 (* Serving study: end-to-end request latency of the dispatcher, registry
-   dispatch vs naive dispatch.
+   dispatch vs naive dispatch, plus the streaming tier under load.
 
-   Tunes each subgraph of a small synthetic network briefly, builds a
-   schedule registry from the results, then serves the same request
-   stream three ways:
+   Part 1 tunes each subgraph of a small synthetic network briefly,
+   builds a schedule registry from the results, then serves the same
+   request stream three ways:
 
    - naive: every layer runs its default (unscheduled) program;
    - registry: every layer runs its tuned program (exact hits);
@@ -14,7 +14,21 @@
    The claim to check mirrors §7's end-to-end story on the serving side:
    registry dispatch beats naive by roughly the tuned speedup of its
    layers, and the similarity fallback lands much closer to tuned than
-   to naive. *)
+   to naive.
+
+   Part 2 drives the streaming tier (open-loop Poisson arrivals through
+   admission control) on the tuned registry: sustained throughput and
+   accepted-tail latency as the worker/shard count scales, and a 10x
+   burst spike against a bounded queue — overload must shed (classified,
+   conserved) while the accepted p99 stays bounded.  Emits
+   BENCH_serving.json for the CI bench gate, which checks conservation,
+   a non-zero shed count under the spike, and the p99 containment
+   ratio. *)
+
+let json_path =
+  match Sys.getenv_opt "ANSOR_BENCH_JSON" with
+  | Some p -> p
+  | None -> "BENCH_serving.json"
 
 let net_of cases name =
   { Ansor.Workloads.net_name = name; layers = List.map (fun c -> (c, 1)) cases }
@@ -105,4 +119,112 @@ let run () =
     Printf.printf
       "  similarity fallback speedup over naive (untuned shapes): %.1fx\n"
       (naive_untuned.latency.Ansor.Histogram.mean
-      /. adapted.latency.Ansor.Histogram.mean)
+      /. adapted.latency.Ansor.Histogram.mean);
+
+  (* ---- part 2: the streaming tier under open-loop load ------------------ *)
+  Common.subheader "Streaming tier: sustained load and a 10x burst spike";
+  let stream_config ~workers ~shards ~queue_bound ~utilization ~bursts ~nominal
+      =
+    let rate = utilization *. float_of_int workers /. nominal in
+    {
+      Ansor.Server.default_config with
+      Ansor.Server.shards;
+      service_workers = workers;
+      noise = 0.02;
+      seed = Common.seed;
+      load =
+        {
+          Ansor.Loadgen.arrival_rate = rate;
+          bursts;
+          tenants = [ Ansor.Loadgen.default_tenant ];
+          seed = Common.seed;
+        };
+      admission =
+        { Ansor.Admission.default_config with Ansor.Admission.queue_bound };
+    }
+  in
+  let stream_stats config n =
+    let s = Ansor.Server.create ~config ~registry ~machine tuned_net in
+    Ansor.Server.run s ~requests:n;
+    Ansor.Server.stats s
+  in
+  let nominal =
+    Ansor.Server.nominal_latency
+      (Ansor.Server.create ~registry ~machine tuned_net)
+  in
+  Printf.printf "  nominal service time: %.4f ms/request\n\n" (nominal *. 1e3);
+  (* sustained: 60% utilization of each worker pool, default queue bound *)
+  let sustained_n = Common.scaled 400 in
+  Printf.printf "  %-18s %12s %14s %12s\n" "pool" "req/s" "p99 sojourn" "shed";
+  let sustained =
+    List.map
+      (fun (workers, shards) ->
+        let s =
+          stream_stats
+            (stream_config ~workers ~shards ~queue_bound:64 ~utilization:0.6
+               ~bursts:[] ~nominal)
+            sustained_n
+        in
+        let rps =
+          float_of_int s.Ansor.Server.served /. Float.max s.Ansor.Server.vtime 1e-9
+        in
+        let p99 = s.Ansor.Server.sojourn.Ansor.Histogram.p99 in
+        Printf.printf "  %2dw / %d shards   %12.0f %11.4f ms %12d\n" workers
+          shards rps (p99 *. 1e3) s.Ansor.Server.shed;
+        assert (Ansor.Server.conserved s);
+        (workers, shards, rps, p99))
+      [ (1, 1); (2, 2); (4, 4) ]
+  in
+  (* spike: a 10x burst against a 2-deep queue; sheds absorb the
+     overload, the accepted tail stays bounded *)
+  let spike_n = Common.scaled 300 in
+  let spike bursts =
+    stream_stats
+      (stream_config ~workers:2 ~shards:2 ~queue_bound:2 ~utilization:0.5
+         ~bursts ~nominal)
+      spike_n
+  in
+  let calm = spike [] in
+  let burst =
+    spike
+      [
+        {
+          Ansor.Loadgen.after = 50.0 *. nominal;
+          len = 400.0 *. nominal;
+          factor = 10.0;
+        };
+      ]
+  in
+  let p99_calm = calm.Ansor.Server.sojourn.Ansor.Histogram.p99 in
+  let p99_burst = burst.Ansor.Server.sojourn.Ansor.Histogram.p99 in
+  let p99_ratio = p99_burst /. Float.max p99_calm 1e-12 in
+  Printf.printf
+    "\n  spike (10x burst, queue bound 2): %d offered = %d served + %d shed \
+     + %d quota\n"
+    burst.Ansor.Server.offered burst.Ansor.Server.served
+    burst.Ansor.Server.shed burst.Ansor.Server.quota_rejected;
+  Printf.printf
+    "  accepted p99: %.4f ms calm vs %.4f ms under burst (%.2fx, gate <= \
+     2.0x)\n"
+    (p99_calm *. 1e3) (p99_burst *. 1e3) p99_ratio;
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\"requests\":%d,\"nominal_ms\":%.6f,\"sustained\":[%s],\
+     \"spike_offered\":%d,\"spike_served\":%d,\"burst_shed\":%d,\
+     \"spike_quota\":%d,\"baseline_conserved\":%b,\"burst_conserved\":%b,\
+     \"baseline_p99_ms\":%.6f,\"burst_p99_ms\":%.6f,\"p99_ratio\":%.4f}\n"
+    sustained_n (nominal *. 1e3)
+    (String.concat ","
+       (List.map
+          (fun (w, sh, rps, p99) ->
+            Printf.sprintf
+              "{\"workers\":%d,\"shards\":%d,\"rps\":%.1f,\"p99_ms\":%.6f}" w
+              sh rps (p99 *. 1e3))
+          sustained))
+    burst.Ansor.Server.offered burst.Ansor.Server.served
+    burst.Ansor.Server.shed burst.Ansor.Server.quota_rejected
+    (Ansor.Server.conserved calm)
+    (Ansor.Server.conserved burst)
+    (p99_calm *. 1e3) (p99_burst *. 1e3) p99_ratio;
+  close_out oc;
+  Printf.printf "  wrote %s\n" json_path

@@ -568,8 +568,65 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "n"; "network" ] ~doc)
   in
+  let arrival_rate_arg =
+    let doc =
+      "Open-loop arrival rate (requests per virtual second).  0 keeps the \
+       legacy closed-loop dispatcher; any positive rate switches to the \
+       streaming tier (admission control, sharding, canary rollout)."
+    in
+    Arg.(value & opt float 0.0 & info [ "arrival-rate" ] ~doc)
+  in
+  let burst_arg =
+    let doc =
+      "Burst episode START:LEN:FACTOR (virtual seconds; repeatable; \
+       overlapping episodes compose multiplicatively)."
+    in
+    Arg.(value & opt_all string [] & info [ "burst" ] ~docv:"SPEC" ~doc)
+  in
+  let queue_bound_arg =
+    let doc = "Admission queue bound (waiting requests)." in
+    Arg.(value & opt int 64 & info [ "queue-bound" ] ~doc)
+  in
+  let shed_policy_arg =
+    let doc = "Overload shed policy: reject-newest or drop-oldest." in
+    Arg.(value & opt string "reject-newest" & info [ "shed-policy" ] ~doc)
+  in
+  let discipline_arg =
+    let doc = "Admission queue discipline: fifo or priority." in
+    Arg.(value & opt string "fifo" & info [ "queue-discipline" ] ~doc)
+  in
+  let tenants_arg =
+    let doc =
+      "Tenant mix NAME:WEIGHT[:QUOTA_RATE[:QUOTA_BURST[:PRIORITY]]],... \
+       (omitted quota fields mean unlimited)."
+    in
+    Arg.(value & opt string "" & info [ "tenants" ] ~docv:"SPEC" ~doc)
+  in
+  let shards_arg =
+    let doc = "Compiled-program cache shards." in
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc)
+  in
+  let canary_arg =
+    let doc =
+      "Share of a key's traffic routed to a canary candidate, in (0,1)."
+    in
+    Arg.(value & opt float 0.2 & info [ "canary" ] ~doc)
+  in
+  let tune_every_arg =
+    let doc =
+      "Background-tuner round interval in virtual seconds (0 disables \
+       background tuning)."
+    in
+    Arg.(value & opt float 0.0 & info [ "tune-every" ] ~doc)
+  in
+  let tune_trials_arg =
+    let doc = "Measurement trials per background-tuner round." in
+    Arg.(value & opt int 8 & info [ "tune-trials" ] ~doc)
+  in
   let run net_name op index batch machine registry_path requests
-      request_batch capacity workers naive noise seed stats_json resume =
+      request_batch capacity workers naive noise seed stats_json resume
+      arrival_rate bursts queue_bound shed_policy discipline tenants shards
+      canary tune_every tune_trials =
     (* --resume here means: the registry is still being written by a live
        tuning session, so salvage-load it instead of failing on a torn
        line.  Without a registry there is nothing to salvage. *)
@@ -599,21 +656,56 @@ let serve_cmd =
         reg
       | Some path -> or_die (Ansor.Registry.load ~path)
     in
-    let config =
-      {
-        Ansor.Dispatcher.capacity;
-        num_workers = workers;
-        batch = request_batch;
-        noise;
-        naive;
-        seed;
-      }
-    in
-    let d = Ansor.Dispatcher.create ~config ~registry ~machine net in
-    Ansor.Dispatcher.serve d ~requests;
-    print_string (Ansor.Dispatcher.report d);
-    emit_json ~what:"serving stats" stats_json
-      (Ansor.Dispatcher.stats_json (Ansor.Dispatcher.stats d))
+    if arrival_rate > 0.0 then begin
+      (* streaming tier: open-loop arrivals through admission control *)
+      let bursts =
+        List.map (fun s -> or_die (Ansor.Loadgen.burst_of_spec s)) bursts
+      in
+      let tenants = or_die (Ansor.Loadgen.tenants_of_spec tenants) in
+      let shed_policy = or_die (Ansor.Admission.shed_policy_of_string shed_policy) in
+      let discipline = or_die (Ansor.Admission.discipline_of_string discipline) in
+      let config =
+        {
+          Ansor.Server.shards;
+          capacity;
+          service_workers = workers;
+          pool_workers = 1;
+          noise;
+          seed;
+          naive;
+          load = { Ansor.Loadgen.arrival_rate; bursts; tenants; seed };
+          admission =
+            { Ansor.Admission.queue_bound; shed_policy; discipline };
+          canary = { Ansor.Server.default_canary with fraction = canary };
+          tuner =
+            (if tune_every > 0.0 then
+               Some { Ansor.Server.every = tune_every; trials = tune_trials }
+             else None);
+        }
+      in
+      let s = Ansor.Server.create ~config ~registry ~machine net in
+      Ansor.Server.run s ~requests;
+      print_string (Ansor.Server.report s);
+      emit_json ~what:"serving stats" stats_json
+        (Ansor.Server.stats_json (Ansor.Server.stats s))
+    end
+    else begin
+      let config =
+        {
+          Ansor.Dispatcher.capacity;
+          num_workers = workers;
+          batch = request_batch;
+          noise;
+          naive;
+          seed;
+        }
+      in
+      let d = Ansor.Dispatcher.create ~config ~registry ~machine net in
+      Ansor.Dispatcher.serve d ~requests;
+      print_string (Ansor.Dispatcher.report d);
+      emit_json ~what:"serving stats" stats_json
+        (Ansor.Dispatcher.stats_json (Ansor.Dispatcher.stats d))
+    end
   in
   Cmd.v
     (Cmd.info "serve"
@@ -622,7 +714,9 @@ let serve_cmd =
       const run $ net_arg $ op_arg $ index_arg $ batch_arg $ machine_arg
       $ registry_arg $ requests_arg $ request_batch_arg $ capacity_arg
       $ workers_arg $ naive_arg $ noise_arg $ seed_arg $ stats_json_arg
-      $ resume_arg)
+      $ resume_arg $ arrival_rate_arg $ burst_arg $ queue_bound_arg
+      $ shed_policy_arg $ discipline_arg $ tenants_arg $ shards_arg
+      $ canary_arg $ tune_every_arg $ tune_trials_arg)
 
 (* ---- lint --------------------------------------------------------------- *)
 

@@ -48,6 +48,9 @@ module Registry = Ansor_registry.Registry
 module Lru = Ansor_util.Lru
 module Histogram = Ansor_serve.Histogram
 module Dispatcher = Ansor_serve.Dispatcher
+module Loadgen = Ansor_serve.Loadgen
+module Admission = Ansor_serve.Admission
+module Server = Ansor_serve.Server
 module Baselines = Ansor_baselines.Baselines
 module Workloads = Ansor_workloads.Workloads
 

@@ -91,6 +91,16 @@ module Registry = Ansor_registry.Registry
 module Lru = Ansor_util.Lru
 module Histogram = Ansor_serve.Histogram
 module Dispatcher = Ansor_serve.Dispatcher
+
+(** The streaming serving tier: open-loop load generation ({!Loadgen}),
+    bounded-queue admission control with per-tenant quotas ({!Admission})
+    and the sharded virtual-time server with background tuning and
+    canary-gated live schedule rollout ({!Server.run},
+    {!Server.propose}). *)
+
+module Loadgen = Ansor_serve.Loadgen
+module Admission = Ansor_serve.Admission
+module Server = Ansor_serve.Server
 module Baselines = Ansor_baselines.Baselines
 module Workloads = Ansor_workloads.Workloads
 

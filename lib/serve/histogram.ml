@@ -42,6 +42,14 @@ let quantile t q =
     (s.(lo) *. (1.0 -. frac)) +. (s.(hi) *. frac)
   end
 
+(* Merge retains every sample, so the quantiles of a merged histogram are
+   exactly the quantiles of the concatenated sample sets — the per-shard
+   histograms of the serving tier combine without approximation error. *)
+let merge ts =
+  let h = create () in
+  List.iter (fun t -> Array.iter (add h) (Array.sub t.samples 0 t.n)) ts;
+  h
+
 type summary = {
   count : int;
   mean : float;
@@ -50,11 +58,13 @@ type summary = {
   p50 : float;
   p95 : float;
   p99 : float;
+  p999 : float;
 }
 
 let summary t =
   if t.n = 0 then
-    { count = 0; mean = 0.0; min = 0.0; max = 0.0; p50 = 0.0; p95 = 0.0; p99 = 0.0 }
+    { count = 0; mean = 0.0; min = 0.0; max = 0.0; p50 = 0.0; p95 = 0.0;
+      p99 = 0.0; p999 = 0.0 }
   else begin
     let s = sorted t in
     let sum = Array.fold_left ( +. ) 0.0 s in
@@ -66,12 +76,14 @@ let summary t =
       p50 = quantile t 0.5;
       p95 = quantile t 0.95;
       p99 = quantile t 0.99;
+      p999 = quantile t 0.999;
     }
   end
 
 let summary_line s =
-  Printf.sprintf "n=%d mean=%.4fms p50=%.4fms p95=%.4fms p99=%.4fms" s.count
-    (s.mean *. 1e3) (s.p50 *. 1e3) (s.p95 *. 1e3) (s.p99 *. 1e3)
+  Printf.sprintf "n=%d mean=%.4fms p50=%.4fms p95=%.4fms p99=%.4fms p99.9=%.4fms"
+    s.count (s.mean *. 1e3) (s.p50 *. 1e3) (s.p95 *. 1e3) (s.p99 *. 1e3)
+    (s.p999 *. 1e3)
 
 (* Power-of-two buckets over the sample range, anchored at the smallest
    positive sample; at most 20 lines. *)

@@ -13,6 +13,13 @@ val add : t -> float -> unit
 
 val count : t -> int
 
+val merge : t list -> t
+(** A fresh histogram holding every sample of the inputs (which are left
+    untouched).  Because samples are retained exactly, quantiles of the
+    merged histogram equal quantiles of the concatenated sample sets —
+    how the serving tier combines per-shard histograms into a global
+    view. *)
+
 type summary = {
   count : int;
   mean : float;  (** 0 when empty, like the quantiles *)
@@ -21,6 +28,7 @@ type summary = {
   p50 : float;
   p95 : float;
   p99 : float;
+  p999 : float;
 }
 
 val summary : t -> summary
@@ -29,8 +37,8 @@ val quantile : t -> float -> float
 (** [quantile t q] with [q] in [0,1]; 0 when empty. *)
 
 val summary_line : summary -> string
-(** e.g. ["n=100 mean=1.23ms p50=1.20ms p95=1.40ms p99=1.55ms"] (times in
-    milliseconds). *)
+(** e.g. ["n=100 mean=1.23ms p50=1.20ms p95=1.40ms p99=1.55ms p99.9=1.60ms"]
+    (times in milliseconds). *)
 
 val render : t -> string
 (** ASCII bucket chart, one power-of-two latency bucket per line; the

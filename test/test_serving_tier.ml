@@ -1,0 +1,631 @@
+(* The streaming serving tier: open-loop load generation, admission
+   control (quotas, bounded queues, shed policies), the sharded
+   virtual-time server with exact outcome conservation, and the
+   canary-gated live rollout (promotion and automatic rollback). *)
+
+open Helpers
+module Loadgen = Ansor.Loadgen
+module Admission = Ansor.Admission
+module Server = Ansor.Server
+module Registry = Ansor.Registry
+module Record = Ansor.Record
+module Task = Ansor.Task
+module Histogram = Ansor.Histogram
+
+let machine = Ansor.Machine.intel_cpu
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* ---- load generation ----------------------------------------------------- *)
+
+let test_loadgen_determinism () =
+  let config =
+    {
+      Loadgen.arrival_rate = 500.0;
+      bursts = [ { Loadgen.after = 0.05; len = 0.1; factor = 6.0 } ];
+      tenants =
+        [
+          { Loadgen.default_tenant with name = "a"; weight = 3.0 };
+          { Loadgen.default_tenant with name = "b"; weight = 1.0 };
+        ];
+      seed = 9;
+    }
+  in
+  let t1 = Loadgen.generate config ~n:200 in
+  let t2 = Loadgen.generate config ~n:200 in
+  check_int "trace length" 200 (Array.length t1);
+  Array.iteri
+    (fun i (r : Loadgen.request) ->
+      let s = t2.(i) in
+      check_int "id" r.Loadgen.id s.Loadgen.id;
+      check_string "tenant" r.Loadgen.tenant.Loadgen.name
+        s.Loadgen.tenant.Loadgen.name;
+      check_float "arrival" r.Loadgen.arrival s.Loadgen.arrival;
+      if i > 0 then
+        check_bool "arrivals nondecreasing" true
+          (t1.(i - 1).Loadgen.arrival <= r.Loadgen.arrival))
+    t1
+
+let test_loadgen_burst_density () =
+  (* a 10x burst episode must raise the local arrival density well above
+     the off-episode density *)
+  let burst = { Loadgen.after = 0.1; len = 0.1; factor = 10.0 } in
+  let config =
+    { Loadgen.default_config with arrival_rate = 400.0; bursts = [ burst ]; seed = 3 }
+  in
+  let trace = Loadgen.generate config ~n:600 in
+  let inside, outside = (ref 0, ref 0) in
+  Array.iter
+    (fun (r : Loadgen.request) ->
+      let a = r.Loadgen.arrival in
+      if a >= burst.Loadgen.after && a < burst.Loadgen.after +. burst.Loadgen.len
+      then incr inside
+      else incr outside)
+    trace;
+  check_bool "burst arrivals present" true (!inside > 0);
+  (* density ratio: episode holds [len] seconds of a 10x rate *)
+  let span = trace.(Array.length trace - 1).Loadgen.arrival in
+  let out_density = float_of_int !outside /. Float.max 1e-9 (span -. burst.Loadgen.len) in
+  let in_density = float_of_int !inside /. burst.Loadgen.len in
+  check_bool "episode at least 4x denser" true (in_density > 4.0 *. out_density);
+  check_float "rate factor inside" 10.0
+    (Loadgen.rate_factor [ burst ] (burst.Loadgen.after +. 0.01));
+  check_float "rate factor outside" 1.0 (Loadgen.rate_factor [ burst ] 0.0);
+  check_float "overlap multiplies" 6.0
+    (Loadgen.rate_factor
+       [
+         { Loadgen.after = 0.0; len = 1.0; factor = 2.0 };
+         { Loadgen.after = 0.5; len = 1.0; factor = 3.0 };
+       ]
+       0.7)
+
+let test_loadgen_tenant_mix () =
+  let config =
+    {
+      Loadgen.default_config with
+      arrival_rate = 1000.0;
+      tenants =
+        [
+          { Loadgen.default_tenant with name = "big"; weight = 9.0 };
+          { Loadgen.default_tenant with name = "small"; weight = 1.0 };
+        ];
+      seed = 5;
+    }
+  in
+  let trace = Loadgen.generate config ~n:1000 in
+  let big = ref 0 and small = ref 0 in
+  Array.iter
+    (fun (r : Loadgen.request) ->
+      match r.Loadgen.tenant.Loadgen.name with
+      | "big" -> incr big
+      | "small" -> incr small
+      | name -> Alcotest.failf "unknown tenant %s" name)
+    trace;
+  check_int "all assigned" 1000 (!big + !small);
+  check_bool "mix near 9:1" true (!big > 800 && !small > 30)
+
+let test_loadgen_specs () =
+  (match Loadgen.burst_of_spec "0.1:0.2:8" with
+  | Ok b ->
+    check_float "after" 0.1 b.Loadgen.after;
+    check_float "len" 0.2 b.Loadgen.len;
+    check_float "factor" 8.0 b.Loadgen.factor
+  | Error e -> Alcotest.fail e);
+  (match Loadgen.burst_of_spec "nope" with
+  | Ok _ -> Alcotest.fail "malformed burst accepted"
+  | Error _ -> ());
+  (match Loadgen.tenant_of_spec "gold:3:100:20:2" with
+  | Ok t ->
+    check_string "name" "gold" t.Loadgen.name;
+    check_float "weight" 3.0 t.Loadgen.weight;
+    check_float "quota rate" 100.0 t.Loadgen.quota_rate;
+    check_float "quota burst" 20.0 t.Loadgen.quota_burst;
+    check_int "priority" 2 t.Loadgen.priority
+  | Error e -> Alcotest.fail e);
+  (match Loadgen.tenant_of_spec "free:1:50" with
+  | Ok t ->
+    check_float "burst defaults to rate" 50.0 t.Loadgen.quota_burst
+  | Error e -> Alcotest.fail e);
+  (match Loadgen.tenants_of_spec "" with
+  | Ok [ t ] -> check_string "empty spec is default tenant" "default" t.Loadgen.name
+  | Ok _ -> Alcotest.fail "expected a single default tenant"
+  | Error e -> Alcotest.fail e);
+  (match Loadgen.tenants_of_spec "a:1,a:2" with
+  | Ok _ -> Alcotest.fail "duplicate tenant accepted"
+  | Error _ -> ());
+  match Loadgen.generate { Loadgen.default_config with arrival_rate = 0.0 } ~n:1 with
+  | _ -> Alcotest.fail "zero rate accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---- admission ----------------------------------------------------------- *)
+
+let tenant ?(quota_rate = infinity) ?(quota_burst = infinity) ?(priority = 0) name
+    =
+  { Loadgen.name; weight = 1.0; quota_rate; quota_burst; priority }
+
+let test_admission_quota () =
+  let a = Admission.create () in
+  let limited = tenant ~quota_rate:10.0 ~quota_burst:2.0 "limited" in
+  (* burst capacity 2: two tokens at t=0, then dry until refill *)
+  check_bool "first admitted" true (Admission.offer a ~now:0.0 ~tenant:limited 1 = `Admitted);
+  check_bool "second admitted" true (Admission.offer a ~now:0.0 ~tenant:limited 2 = `Admitted);
+  check_bool "third over quota" true
+    (Admission.offer a ~now:0.0 ~tenant:limited 3 = `Quota_exceeded);
+  (* 0.1s at 10 tokens/s refills one token *)
+  check_bool "refill admits" true
+    (Admission.offer a ~now:0.1 ~tenant:limited 4 = `Admitted);
+  let s = Admission.stats a in
+  check_int "offered" 4 s.Admission.offered;
+  check_int "admitted" 3 s.Admission.admitted;
+  check_int "quota rejected" 1 s.Admission.quota_rejected
+
+let test_admission_shed_policies () =
+  let bound = { Admission.default_config with queue_bound = 2 } in
+  (* reject-newest: the queue is untouched, the arrival is shed *)
+  let a = Admission.create ~config:bound () in
+  let t0 = tenant "t" in
+  ignore (Admission.offer a ~now:0.0 ~tenant:t0 "a");
+  ignore (Admission.offer a ~now:0.0 ~tenant:t0 "b");
+  (match Admission.offer a ~now:0.0 ~tenant:t0 "c" with
+  | `Shed_queue_full -> ()
+  | _ -> Alcotest.fail "expected queue-full shed");
+  check_bool "head preserved" true (Admission.take a = Some "a");
+  (* drop-oldest: the oldest waiting request is displaced, the arrival
+     is admitted *)
+  let d =
+    Admission.create
+      ~config:{ bound with Admission.shed_policy = Admission.Drop_oldest }
+      ()
+  in
+  ignore (Admission.offer d ~now:0.0 ~tenant:t0 "a");
+  ignore (Admission.offer d ~now:0.0 ~tenant:t0 "b");
+  (match Admission.offer d ~now:0.0 ~tenant:t0 "c" with
+  | `Displaced "a" -> ()
+  | `Displaced v -> Alcotest.failf "displaced %s, want a" v
+  | _ -> Alcotest.fail "expected displacement");
+  check_bool "b now head" true (Admission.take d = Some "b");
+  check_bool "c admitted" true (Admission.take d = Some "c");
+  check_bool "drained" true (Admission.take d = None);
+  let s = Admission.stats d in
+  check_int "displaced counted" 1 s.Admission.shed_displaced;
+  check_int "max depth" 2 s.Admission.max_depth
+
+let test_admission_priority () =
+  let config =
+    {
+      Admission.queue_bound = 3;
+      shed_policy = Admission.Drop_oldest;
+      discipline = Admission.Priority;
+    }
+  in
+  let a = Admission.create ~config () in
+  ignore (Admission.offer a ~now:0.0 ~tenant:(tenant ~priority:0 "low") "low1");
+  ignore (Admission.offer a ~now:0.0 ~tenant:(tenant ~priority:2 "high") "high1");
+  ignore (Admission.offer a ~now:0.0 ~tenant:(tenant ~priority:0 "low") "low2");
+  (* full: a high-priority arrival displaces the oldest lowest-priority
+     item (low1), not the newest *)
+  (match Admission.offer a ~now:0.0 ~tenant:(tenant ~priority:1 "mid") "mid1" with
+  | `Displaced "low1" -> ()
+  | `Displaced v -> Alcotest.failf "displaced %s, want low1" v
+  | _ -> Alcotest.fail "expected displacement");
+  check_bool "highest first" true (Admission.take a = Some "high1");
+  check_bool "then mid" true (Admission.take a = Some "mid1");
+  check_bool "then remaining low" true (Admission.take a = Some "low2")
+
+(* ---- server fixtures ------------------------------------------------------ *)
+
+let small_case name dag = { Ansor.Workloads.case_name = name; dag }
+
+let small_net () =
+  {
+    Ansor.Workloads.net_name = "tiny";
+    layers =
+      [
+        (small_case "mm" (Ansor.Nn.matmul ~m:16 ~n:16 ~k:16 ()), 2);
+        (small_case "mmr" (small_matmul_relu ()), 1);
+      ];
+  }
+
+let registry_for net =
+  let r = Registry.create () in
+  List.iter
+    (fun ((case : Ansor.Workloads.case), _) ->
+      let task = Task.create ~name:case.case_name ~machine case.dag in
+      match sample_programs ~seed:3 ~n:1 case.dag with
+      | [ st ] ->
+        ignore
+          (Registry.add r
+             {
+               Record.task_key = Task.key task;
+               latency = 1e-3;
+               steps = st.Ansor.State.history;
+             })
+      | _ -> Alcotest.fail "sampling failed")
+    net.Ansor.Workloads.layers;
+  r
+
+(* a server config paced off the net's own service time: [utilization] of
+   the worker pool's capacity at the base rate *)
+let paced_config ?(workers = 2) ?(queue_bound = 2) ?(noise = 0.02)
+    ?(bursts = []) ?(tenants = [ Loadgen.default_tenant ]) ?(seed = 0)
+    ?(utilization = 0.5) ~nominal () =
+  let rate = utilization *. float_of_int workers /. nominal in
+  {
+    Server.default_config with
+    Server.shards = 2;
+    service_workers = workers;
+    noise;
+    seed;
+    naive = true;
+    load = { Loadgen.arrival_rate = rate; bursts; tenants; seed };
+    admission = { Admission.default_config with queue_bound };
+  }
+
+let nominal_of net =
+  let s =
+    Server.create
+      ~config:{ Server.default_config with Server.naive = true }
+      ~registry:(Registry.create ()) ~machine net
+  in
+  Server.nominal_latency s
+
+(* ---- the acceptance overload test ---------------------------------------- *)
+
+let test_overload_burst () =
+  let net = small_net () in
+  let nominal = nominal_of net in
+  check_bool "positive nominal latency" true (nominal > 0.0);
+  let run config =
+    let s = Server.create ~config ~registry:(Registry.create ()) ~machine net in
+    Server.run s ~requests:300;
+    Server.stats s
+  in
+  let baseline = run (paced_config ~nominal ()) in
+  check_bool "baseline conserved" true (Server.conserved baseline);
+  check_int "baseline offered" 300 baseline.Server.offered;
+  (* a 10x burst past the queue bound: overload must shed, every offered
+     request must be classified, and the accepted tail must stay bounded
+     by the queue bound *)
+  let burst =
+    { Loadgen.after = 50.0 *. nominal; len = 400.0 *. nominal; factor = 10.0 }
+  in
+  let loaded = run (paced_config ~bursts:[ burst ] ~nominal ()) in
+  check_bool "loaded conserved exactly" true (Server.conserved loaded);
+  check_int "loaded offered" 300 loaded.Server.offered;
+  check_bool "overload sheds" true (loaded.Server.shed > 0);
+  check_bool "sheds classified" true
+    (loaded.Server.shed
+    = loaded.Server.shed_queue_full + loaded.Server.shed_displaced);
+  check_bool "some requests still served" true (loaded.Server.served > 0);
+  let p99b = baseline.Server.sojourn.Histogram.p99 in
+  let p99l = loaded.Server.sojourn.Histogram.p99 in
+  check_bool
+    (Printf.sprintf "accepted p99 bounded (%.4fms <= 2 x %.4fms)" (p99l *. 1e3)
+       (p99b *. 1e3))
+    true
+    (p99l <= 2.0 *. p99b);
+  (* bit-determinism: the whole run (modulo wall_seconds) replays *)
+  let again = run (paced_config ~bursts:[ burst ] ~nominal ()) in
+  check_int "served replays" loaded.Server.served again.Server.served;
+  check_int "shed replays" loaded.Server.shed again.Server.shed;
+  check_float "sojourn mean replays" loaded.Server.sojourn.Histogram.mean
+    again.Server.sojourn.Histogram.mean;
+  check_float "sojourn p999 replays" loaded.Server.sojourn.Histogram.p999
+    again.Server.sojourn.Histogram.p999;
+  check_float "vtime replays" loaded.Server.vtime again.Server.vtime
+
+let test_quota_starved_tenant () =
+  let net = small_net () in
+  let nominal = nominal_of net in
+  let tenants =
+    [
+      { Loadgen.default_tenant with name = "paying"; weight = 1.0 };
+      {
+        Loadgen.default_tenant with
+        name = "starved";
+        weight = 1.0;
+        quota_rate = 0.0;
+        quota_burst = 0.0;
+      };
+    ]
+  in
+  let config = paced_config ~tenants ~nominal () in
+  let s = Server.create ~config ~registry:(Registry.create ()) ~machine net in
+  Server.run s ~requests:200;
+  let st = Server.stats s in
+  check_bool "conserved" true (Server.conserved st);
+  let find name =
+    match List.find_opt (fun t -> t.Server.tenant = name) st.Server.tenants with
+    | Some t -> t
+    | None -> Alcotest.failf "tenant %s missing from stats" name
+  in
+  let starved = find "starved" and paying = find "paying" in
+  check_bool "starved tenant offered traffic" true (starved.Server.offered > 0);
+  check_int "starved tenant fully quota-rejected" starved.Server.offered
+    starved.Server.quota_rejected;
+  check_int "starved tenant never served" 0 starved.Server.served;
+  check_bool "paying tenant served" true (paying.Server.served > 0);
+  check_int "paying tenant no quota rejects" 0 paying.Server.quota_rejected
+
+let test_corrupted_registry_salvage () =
+  (* fault injection: a tuning session is still appending to the registry
+     when the server salvage-loads it — torn and garbage lines must be
+     skipped, valid entries must still resolve Exact, and serving must
+     complete with every request classified *)
+  let net = small_net () in
+  let reg = registry_for net in
+  let path = Filename.temp_file "ansor_serving" ".reg" in
+  Registry.save ~path reg;
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"task_key\": \"torn entry with no closing";
+  close_out oc;
+  let salvaged, skipped =
+    match Registry.load_salvage ~path with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "salvage failed: %s" e
+  in
+  Sys.remove path;
+  check_bool "torn line skipped" true (skipped > 0);
+  check_int "valid entries survive" (Registry.size reg) (Registry.size salvaged);
+  let nominal = nominal_of net in
+  let config = { (paced_config ~nominal ()) with Server.naive = false } in
+  let s = Server.create ~config ~registry:salvaged ~machine net in
+  Server.run s ~requests:150;
+  let st = Server.stats s in
+  check_bool "conserved after salvage" true (Server.conserved st);
+  check_int "both layers exact" 2 st.Server.exact;
+  check_bool "requests served" true (st.Server.served > 0)
+
+(* ---- canary gate ---------------------------------------------------------- *)
+
+(* a single-layer net plus two programs with strictly ordered simulator
+   estimates: [slow] (the sampled schedule or the naive init, whichever is
+   worse) and [fast] (the other) *)
+let ordered_pair () =
+  let case = small_case "mm" (Ansor.Nn.matmul ~m:16 ~n:16 ~k:16 ()) in
+  let net = { Ansor.Workloads.net_name = "one"; layers = [ (case, 1) ] } in
+  let task = Task.create ~name:case.case_name ~machine case.dag in
+  let estimate st = Ansor.Simulator.estimate machine (Ansor.Lower.lower st) in
+  let naive = Ansor.State.init case.dag in
+  let sampled =
+    match sample_programs ~seed:3 ~n:8 case.dag with
+    | [] -> Alcotest.fail "sampling failed"
+    | sts ->
+      (* the sample whose estimate differs most from naive *)
+      List.fold_left
+        (fun best st ->
+          if
+            Float.abs (estimate st -. estimate naive)
+            > Float.abs (estimate best -. estimate naive)
+          then st
+          else best)
+        (List.hd sts) sts
+  in
+  if estimate sampled = estimate naive then
+    Alcotest.fail "could not find two programs with distinct estimates";
+  let slow, fast =
+    if estimate sampled > estimate naive then (sampled, naive)
+    else (naive, sampled)
+  in
+  (net, task, slow, fast)
+
+let canary_server ?(seed = 1) net task slow =
+  let reg = Registry.create () in
+  ignore
+    (Registry.add reg
+       {
+         Record.task_key = Task.key task;
+         latency = 1e-3;
+         steps = slow.Ansor.State.history;
+       });
+  let nominal = 1e-4 in
+  ignore nominal;
+  let config =
+    {
+      Server.default_config with
+      Server.shards = 1;
+      noise = 0.0;
+      seed;
+      load =
+        {
+          Loadgen.default_config with
+          arrival_rate = 0.5 /. Ansor.Simulator.estimate machine (Ansor.Lower.lower slow);
+          seed;
+        };
+      canary = { Server.fraction = 0.5; min_samples = 8; margin = 0.05 };
+    }
+  in
+  Server.create ~config ~registry:reg ~machine net
+
+let test_canary_promotion () =
+  let net, task, slow, fast = ordered_pair () in
+  let s = canary_server net task slow in
+  let key = Task.key task in
+  let before =
+    match Server.incumbent_latency s ~key with
+    | Some l -> l
+    | None -> Alcotest.fail "incumbent missing"
+  in
+  (match Server.propose s ~origin:"test" ~key fast with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "propose failed: %s" e);
+  check_bool "candidate in flight" true (Server.candidate_active s ~key);
+  (* double propose is rejected while the canary is active *)
+  (match Server.propose s ~origin:"test" ~key fast with
+  | Ok () -> Alcotest.fail "second candidate accepted"
+  | Error _ -> ());
+  Server.run s ~requests:200;
+  let st = Server.stats s in
+  check_bool "conserved" true (Server.conserved st);
+  check_int "promoted" 1 st.Server.promotions;
+  check_int "no rollback" 0 st.Server.rollbacks;
+  check_bool "generation bumped" true (Server.generation s ~key = Some 1);
+  check_bool "candidate retired" true (not (Server.candidate_active s ~key));
+  (match Server.incumbent_latency s ~key with
+  | Some after -> check_bool "incumbent improved" true (after < before)
+  | None -> Alcotest.fail "incumbent missing after promotion");
+  check_bool "stale entries recompiled" true (st.Server.invalidations > 0);
+  check_bool "promotion event logged" true
+    (List.exists (fun (e : Server.event) -> e.Server.kind = Server.Promoted)
+       st.Server.events);
+  check_bool "json carries promotion" true
+    (contains (Server.stats_json st) "\"event\": \"promoted\"")
+
+let test_canary_rollback () =
+  (* a candidate with no real advantage (identical program, zero noise)
+     must fail the strict-improvement gate and roll back: the incumbent
+     is untouched, the generation does not move, and the regression is a
+     telemetry event *)
+  let net, task, slow, _fast = ordered_pair () in
+  let s = canary_server net task slow in
+  let key = Task.key task in
+  let before = Server.incumbent_latency s ~key in
+  (match Server.propose s ~origin:"test" ~key slow with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "propose failed: %s" e);
+  Server.run s ~requests:200;
+  let st = Server.stats s in
+  check_bool "conserved" true (Server.conserved st);
+  check_int "no promotion" 0 st.Server.promotions;
+  check_int "rolled back" 1 st.Server.rollbacks;
+  check_bool "generation unchanged" true (Server.generation s ~key = Some 0);
+  check_bool "candidate retired" true (not (Server.candidate_active s ~key));
+  check_bool "incumbent untouched" true (Server.incumbent_latency s ~key = before);
+  check_bool "rollback event logged" true
+    (List.exists (fun (e : Server.event) -> e.Server.kind = Server.Rolled_back)
+       st.Server.events);
+  check_bool "json carries rollback" true
+    (contains (Server.stats_json st) "\"event\": \"rolled_back\"");
+  check_bool "json conserved flag" true
+    (contains (Server.stats_json st) "\"conserved\": true")
+
+let test_unknown_key_rejected () =
+  let net = small_net () in
+  let nominal = nominal_of net in
+  let s =
+    Server.create
+      ~config:(paced_config ~nominal ())
+      ~registry:(Registry.create ()) ~machine net
+  in
+  match
+    Server.propose s ~origin:"test" ~key:"no-such-task"
+      (Ansor.State.init (Ansor.Nn.matmul ~m:8 ~n:8 ~k:8 ()))
+  with
+  | Ok () -> Alcotest.fail "unknown key accepted"
+  | Error _ -> ()
+
+(* ---- background tuner ----------------------------------------------------- *)
+
+let test_background_tuner () =
+  let net =
+    {
+      Ansor.Workloads.net_name = "one";
+      layers = [ (small_case "mm" (Ansor.Nn.matmul ~m:16 ~n:16 ~k:16 ()), 1) ];
+    }
+  in
+  let nominal = nominal_of net in
+  let rate = 1.0 /. nominal in
+  (* ~100 nominal service times of horizon; a tick every 20 gives the
+     tuner a handful of rounds *)
+  let config =
+    {
+      (paced_config ~nominal ~noise:0.0 ()) with
+      Server.load = { Loadgen.default_config with arrival_rate = rate; seed = 2 };
+      tuner = Some { Server.every = 20.0 *. nominal; trials = 4 };
+    }
+  in
+  let s = Server.create ~config ~registry:(Registry.create ()) ~machine net in
+  Server.run s ~requests:150;
+  let st = Server.stats s in
+  check_bool "conserved" true (Server.conserved st);
+  check_bool "tuner ran" true (st.Server.tuner_rounds > 0);
+  (* every tuner-originated proposal is in the event log *)
+  check_int "proposals logged" st.Server.proposals
+    (List.length
+       (List.filter
+          (fun (e : Server.event) -> e.Server.kind = Server.Proposed)
+          st.Server.events))
+
+(* ---- shards and validation ------------------------------------------------ *)
+
+let test_shard_accounting () =
+  let net = small_net () in
+  let nominal = nominal_of net in
+  let s =
+    Server.create
+      ~config:(paced_config ~nominal ())
+      ~registry:(Registry.create ()) ~machine net
+  in
+  Server.run s ~requests:120;
+  let st = Server.stats s in
+  let shard_runs =
+    List.fold_left (fun acc sh -> acc + sh.Server.runs) 0 st.Server.shards
+  in
+  check_int "shard runs cover every layer run" st.Server.layer_runs shard_runs;
+  check_int "merged service histogram is the shard union" st.Server.layer_runs
+    st.Server.service.Histogram.count;
+  check_int "two layers, one compile each" 2
+    (List.fold_left (fun acc sh -> acc + sh.Server.misses) 0 st.Server.shards);
+  check_int "sojourn counts the served" st.Server.served
+    st.Server.sojourn.Histogram.count
+
+let test_server_validation () =
+  let net = small_net () in
+  let reg = Registry.create () in
+  let bad config =
+    match Server.create ~config ~registry:reg ~machine net with
+    | _ -> Alcotest.fail "invalid config accepted"
+    | exception Invalid_argument _ -> ()
+  in
+  bad { Server.default_config with Server.shards = 0 };
+  bad
+    {
+      Server.default_config with
+      Server.canary = { Server.default_canary with fraction = 1.5 };
+    };
+  bad
+    {
+      Server.default_config with
+      Server.tuner = Some { Server.every = 0.0; trials = 4 };
+    };
+  let s = Server.create ~registry:reg ~machine net in
+  match Server.run s ~requests:0 with
+  | _ -> Alcotest.fail "zero requests accepted"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "serving_tier"
+    [
+      ( "loadgen",
+        [
+          case "deterministic traces" test_loadgen_determinism;
+          case "burst density" test_loadgen_burst_density;
+          case "tenant mix" test_loadgen_tenant_mix;
+          case "spec parsing" test_loadgen_specs;
+        ] );
+      ( "admission",
+        [
+          case "token-bucket quota" test_admission_quota;
+          case "shed policies" test_admission_shed_policies;
+          case "priority discipline" test_admission_priority;
+        ] );
+      ( "server",
+        [
+          case "overload burst: conservation, sheds, bounded p99"
+            test_overload_burst;
+          case "quota-starved tenant" test_quota_starved_tenant;
+          case "corrupted registry salvage" test_corrupted_registry_salvage;
+          case "shard accounting" test_shard_accounting;
+          case "creation validation" test_server_validation;
+        ] );
+      ( "rollout",
+        [
+          case "canary promotion" test_canary_promotion;
+          case "canary rollback" test_canary_rollback;
+          case "unknown key rejected" test_unknown_key_rejected;
+          case "background tuner" test_background_tuner;
+        ] );
+    ]
