@@ -24,6 +24,7 @@ let experiments =
     ("serving", "Serving: registry vs naive dispatch", Serving.run);
     ("costmodel", "Batch cost-model scoring throughput", Costmodel.run);
     ("native", "Native backend: batch compilation throughput", Native.run);
+    ("transfer", "Cross-task transfer: warm vs cold tuning", Transfer.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

@@ -1,0 +1,117 @@
+(* Cross-task transfer study: warm-start tuning from the model store.
+
+   Two sibling GMM shapes are tuned cold with an in-memory model store
+   attached, populating it with every measured sample; a pretrained
+   bundle (per-task, per-class, global GBDTs) is fitted from the corpus.
+   A held-out third shape of the same structure class is then tuned
+   twice at the same budget: cold (no store) and warm (store + bundle —
+   the class model seeds the cost model, the siblings' samples join the
+   training corpus).
+
+   The claim to check is the transfer-learning story (Chen et al.,
+   arXiv:1805.08166, adopted by the store): the warm session needs
+   strictly fewer measurement trials to reach 90% of the best observed
+   throughput.  Emits BENCH_transfer.json for the CI bench gate, which
+   checks warm < cold trials-to-90% and a non-zero store hit rate. *)
+
+let json_path =
+  match Sys.getenv_opt "ANSOR_BENCH_JSON" with
+  | Some p -> p
+  | None -> "BENCH_transfer.json"
+
+(* first cumulative-trial count whose best-so-far is within 90% of
+   [target] throughput; [budget + 1] when the curve never gets there *)
+let trials_to_90 ~budget ~target curve =
+  let threshold = target /. 0.9 in
+  let rec go = function
+    | [] -> budget + 1
+    | (t, lat) :: rest -> if lat <= threshold then t else go rest
+  in
+  go curve
+
+let run () =
+  Common.header "Cross-task transfer: warm-start tuning from the model store";
+  let machine = Ansor.Machine.intel_cpu in
+  let pilot_trials = Common.scaled 48 in
+  let trials = Common.scaled 64 in
+  let gmm = Ansor.Workloads.op_cases ~op:"GMM" ~batch:1 in
+  (* transfer to the middle shape from a smaller and a larger sibling *)
+  let pilots = [ List.nth gmm 0; List.nth gmm 2 ] in
+  let held_out = List.nth gmm 1 in
+
+  (* populate the store by tuning the siblings cold *)
+  let store = Ansor.Model_store.create () in
+  List.iter
+    (fun (case : Ansor.Workloads.case) ->
+      let result =
+        Ansor.tune ~seed:Common.seed ~trials:pilot_trials
+          ~model_store:(Ansor.Model_store.in_memory store)
+          machine case.dag
+      in
+      Printf.printf "  pilot %-14s best %.4f ms, %3d samples into the store\n"
+        case.case_name
+        (result.best_latency *. 1e3)
+        result.stats.Ansor.Telemetry.store_samples)
+    pilots;
+  let bundle = Ansor.Model_store.Pretrained.train store in
+  Printf.printf "  store: %d samples, %d pretrained model(s)\n"
+    (Ansor.Model_store.size store)
+    (Ansor.Model_store.Pretrained.num_models bundle);
+
+  (* the held-out shape, cold vs warm at the same budget *)
+  let task =
+    Ansor.Task.create ~name:held_out.case_name ~machine held_out.dag
+  in
+  let task_key = Ansor.Task.key task in
+  let aux_available =
+    List.length
+      (Ansor.Model_store.samples_for_class store
+         ~class_key:(Ansor.Task_key.class_key task_key))
+  in
+  let cold = Ansor.tune ~seed:Common.seed ~trials machine held_out.dag in
+  let warm =
+    Ansor.tune ~seed:Common.seed ~trials
+      ~model_store:
+        (Ansor.Model_store.in_memory ~pretrained:bundle
+           (* fresh copy: the warm leg must not mutate the corpus the
+              numbers above describe *)
+           (let c = Ansor.Model_store.create () in
+            ignore (Ansor.Model_store.add_all c (Ansor.Model_store.samples store));
+            c))
+      machine held_out.dag
+  in
+  let target = Float.min cold.best_latency warm.best_latency in
+  let cold_t90 = trials_to_90 ~budget:trials ~target cold.curve in
+  let warm_t90 = trials_to_90 ~budget:trials ~target warm.curve in
+  let hit_rate =
+    float_of_int aux_available /. float_of_int (max 1 (Ansor.Model_store.size store))
+  in
+  Common.subheader
+    (Printf.sprintf "held-out %s (%d trials each)" held_out.case_name trials);
+  Printf.printf "  cold: best %.4f ms, %d trials to 90%% of best\n"
+    (cold.best_latency *. 1e3) cold_t90;
+  Printf.printf
+    "  warm: best %.4f ms, %d trials to 90%% of best (%d warm start(s), %d \
+     fine-tune round(s), %d/%d store samples same-class)\n"
+    (warm.best_latency *. 1e3) warm_t90
+    warm.stats.Ansor.Telemetry.warm_starts
+    warm.stats.Ansor.Telemetry.finetune_rounds aux_available
+    (Ansor.Model_store.size store);
+  Printf.printf "  transfer saves %d trial(s) to the 90%% bar\n"
+    (cold_t90 - warm_t90);
+
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\"trials\":%d,\"pilot_trials\":%d,\"store_samples\":%d,\
+     \"aux_available\":%d,\"store_hit_rate\":%.4f,\"warm_starts\":%d,\
+     \"finetune_rounds\":%d,\"cold_best_ms\":%.6f,\"warm_best_ms\":%.6f,\
+     \"cold_trials_to_90\":%d,\"warm_trials_to_90\":%d}\n"
+    trials pilot_trials
+    (Ansor.Model_store.size store)
+    aux_available hit_rate warm.stats.Ansor.Telemetry.warm_starts
+    warm.stats.Ansor.Telemetry.finetune_rounds
+    (cold.best_latency *. 1e3)
+    (warm.best_latency *. 1e3)
+    cold_t90 warm_t90;
+  close_out oc;
+  Printf.printf "  wrote %s\n" json_path

@@ -250,6 +250,56 @@ let or_die = function
     prerr_endline ("error: " ^ msg);
     exit 1
 
+(* ---- cross-task model store --------------------------------------------- *)
+
+let model_store_arg =
+  let doc =
+    "Cross-task model store file: the session warm-starts from the \
+     pretrained model the exact/class/global ladder resolves for its \
+     task(s), folds the store's same-class samples into training, and \
+     appends its own measured batches back (see 'ansor-cli model')."
+  in
+  Arg.(value & opt (some string) None & info [ "model-store" ] ~docv:"FILE" ~doc)
+
+let open_model_store = function
+  | None -> None
+  | Some path ->
+    let ms = or_die (Ansor.Model_store.open_session ~path ()) in
+    if ms.Ansor.Model_store.salvaged > 0 then
+      Printf.eprintf "warning: model store %s: skipped %d malformed line%s\n"
+        path ms.salvaged
+        (if ms.salvaged = 1 then "" else "s");
+    (match ms.Ansor.Model_store.models_error with
+    | Some e ->
+      Printf.eprintf
+        "warning: %s unusable (%s); pretraining in-memory from the store\n"
+        (Ansor.Model_store.models_path path)
+        e
+    | None -> ());
+    Printf.printf "model store %s: %d sample%s, %d pretrained model%s\n" path
+      (Ansor.Model_store.size ms.Ansor.Model_store.store)
+      (if Ansor.Model_store.size ms.store = 1 then "" else "s")
+      (Ansor.Model_store.Pretrained.num_models ms.pretrained)
+      (if Ansor.Model_store.Pretrained.num_models ms.pretrained = 1 then ""
+       else "s");
+    Some ms
+
+(* tune's --stats-json: the telemetry object with the session outcome
+   (final best and the best-so-far curve) spliced in front, so one file
+   carries everything trials-to-quality analyses need.  The telemetry
+   fields keep their exact shape — existing consumers notice nothing. *)
+let tune_stats_json (result : Ansor.tune_result) =
+  let telemetry = Ansor.Telemetry.to_json result.stats in
+  let rest = String.sub telemetry 1 (String.length telemetry - 1) in
+  let curve =
+    String.concat ", "
+      (List.map
+         (fun (t, l) -> Printf.sprintf "[%d, %.9e]" t l)
+         result.curve)
+  in
+  Printf.sprintf "{\"best_latency\":%.9e,\"trials_used\":%d,\"curve\":[%s],%s"
+    result.best_latency result.trials_used curve rest
+
 (* ---- commands ----------------------------------------------------------- *)
 
 let machines_cmd =
@@ -294,27 +344,29 @@ let curve_arg =
 let tune_cmd =
   let run op index batch machine trials seed strategy save curve workers
       measure_timeout batch_deadline backend stats_json snapshot resume
-      stop_after_rounds =
+      stop_after_rounds model_store =
     or_die (check_resume_flags resume snapshot);
     let case = or_die (case_of op index batch) in
     let machine = or_die (lookup_machine machine) in
     let options = or_die (lookup_strategy strategy) in
     let backend = or_die (lookup_backend backend) in
     let cache = load_cache save in
+    let model_store = open_model_store model_store in
     compact_record_log ~resume save;
     let should_stop, on_round, summarize = session_control stop_after_rounds in
     let result =
       Ansor.tune ~seed ~trials ~options
         ~service_config:
           (service_config ~backend workers measure_timeout batch_deadline)
-        ~cache ?snapshot_path:snapshot ~resume ?record_log:save ~should_stop
-        ~on_round machine case.dag
+        ~cache ?model_store ?snapshot_path:snapshot ~resume ?record_log:save
+        ~should_stop ~on_round machine case.dag
     in
     summarize ();
     Printf.printf "%s on %s (%s, %d trials): best %.4f ms\n"
       case.case_name machine.name strategy result.trials_used
       (result.best_latency *. 1e3);
-    emit_stats stats_json result.stats;
+    Printf.printf "telemetry: %s\n" (Ansor.Telemetry.summary result.stats);
+    emit_json ~what:"telemetry" stats_json (tune_stats_json result);
     if curve then print_string (Ansor.Ascii_plot.render_latency_curve result.curve);
     (match result.best_state with
     | Some st ->
@@ -345,7 +397,8 @@ let tune_cmd =
       const run $ op_arg $ index_arg $ batch_arg $ machine_arg $ trials_arg
       $ seed_arg $ strategy_arg $ save_arg $ curve_arg $ workers_arg
       $ measure_timeout_arg $ batch_deadline_arg $ backend_arg
-      $ stats_json_arg $ snapshot_arg $ resume_arg $ stop_after_rounds_arg)
+      $ stats_json_arg $ snapshot_arg $ resume_arg $ stop_after_rounds_arg
+      $ model_store_arg)
 
 let replay_cmd =
   let from_arg =
@@ -405,19 +458,21 @@ let network_cmd =
     Arg.(value & opt int 500 & info [ "budget" ] ~doc)
   in
   let run name batch machine budget seed save workers measure_timeout
-      batch_deadline backend stats_json snapshot resume stop_after_rounds =
+      batch_deadline backend stats_json snapshot resume stop_after_rounds
+      model_store =
     or_die (check_resume_flags resume snapshot);
     let net = or_die (net_of_name name batch) in
     let machine = or_die (lookup_machine machine) in
     let backend = or_die (lookup_backend backend) in
+    let model_store = open_model_store model_store in
     compact_record_log ~resume save;
     let should_stop, on_round, summarize = session_control stop_after_rounds in
     let results, stats =
       Ansor.tune_networks_with_stats ~seed ~trial_budget:budget
         ~service_config:
           (service_config ~backend workers measure_timeout batch_deadline)
-        ?snapshot_path:snapshot ~resume ?record_log:save ~should_stop
-        ~on_round machine [ net ]
+        ?model_store ?snapshot_path:snapshot ~resume ?record_log:save
+        ~should_stop ~on_round machine [ net ]
     in
     summarize ();
     List.iter
@@ -440,7 +495,7 @@ let network_cmd =
       const run $ net_name_arg $ batch_arg $ machine_arg $ budget_arg
       $ seed_arg $ save_arg $ workers_arg $ measure_timeout_arg
       $ batch_deadline_arg $ backend_arg $ stats_json_arg $ snapshot_arg
-      $ resume_arg $ stop_after_rounds_arg)
+      $ resume_arg $ stop_after_rounds_arg $ model_store_arg)
 
 (* ---- registry ----------------------------------------------------------- *)
 
@@ -626,7 +681,7 @@ let serve_cmd =
   let run net_name op index batch machine registry_path requests
       request_batch capacity workers naive noise seed stats_json resume
       arrival_rate bursts queue_bound shed_policy discipline tenants shards
-      canary tune_every tune_trials =
+      canary tune_every tune_trials model_store =
     (* --resume here means: the registry is still being written by a live
        tuning session, so salvage-load it instead of failing on a torn
        line.  Without a registry there is nothing to salvage. *)
@@ -683,13 +738,18 @@ let serve_cmd =
              else None);
         }
       in
-      let s = Ansor.Server.create ~config ~registry ~machine net in
+      let model_store = open_model_store model_store in
+      let s = Ansor.Server.create ~config ?model_store ~registry ~machine net in
       Ansor.Server.run s ~requests;
       print_string (Ansor.Server.report s);
       emit_json ~what:"serving stats" stats_json
         (Ansor.Server.stats_json (Ansor.Server.stats s))
     end
     else begin
+      if model_store <> None then
+        Printf.eprintf
+          "warning: --model-store only applies to the streaming tier \
+           (--arrival-rate > 0); ignored by the closed-loop dispatcher\n";
       let config =
         {
           Ansor.Dispatcher.capacity;
@@ -716,7 +776,7 @@ let serve_cmd =
       $ workers_arg $ naive_arg $ noise_arg $ seed_arg $ stats_json_arg
       $ resume_arg $ arrival_rate_arg $ burst_arg $ queue_bound_arg
       $ shed_policy_arg $ discipline_arg $ tenants_arg $ shards_arg
-      $ canary_arg $ tune_every_arg $ tune_trials_arg)
+      $ canary_arg $ tune_every_arg $ tune_trials_arg $ model_store_arg)
 
 (* ---- lint --------------------------------------------------------------- *)
 
@@ -898,6 +958,217 @@ let lint_cmd =
       const run $ op_arg $ index_arg $ batch_arg $ machine_arg $ seed_arg
       $ from_arg $ registry_arg $ sample_arg $ json_arg)
 
+(* ---- model: the cross-task model store ---------------------------------- *)
+
+let store_pos_arg =
+  let doc = "Model store file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"STORE" ~doc)
+
+let load_store_salvage path =
+  if not (Sys.file_exists path) then (Ansor.Model_store.create (), 0)
+  else
+    match Ansor.Model_store.load_salvage ~path with
+    | Ok (store, skipped) ->
+      warn_skipped ~what:path skipped;
+      (store, skipped)
+    | Error m -> or_die (Error m)
+
+(* Record logs carry (task key, steps, latency) but no features: replay
+   each entry through the workload index (key -> machine + DAG), lower it
+   and featurize — exactly what a live tuning round would have stored. *)
+let import_record_log store ~index_tbl ~path =
+  let entries =
+    match Ansor.Record.load_salvage ~path with
+    | Ok (e, torn) ->
+      warn_skipped ~what:path torn;
+      e
+    | Error m -> or_die (Error m)
+  in
+  let skipped = ref 0 in
+  let fresh =
+    List.filter_map
+      (fun (e : Ansor.Record.entry) ->
+        match Hashtbl.find_opt index_tbl e.task_key with
+        | None ->
+          incr skipped;
+          None
+        | Some (machine, dag) -> (
+          match Ansor.Record.best_state e dag with
+          | Error _ ->
+            incr skipped;
+            None
+          | Ok st -> (
+            match Ansor.Lower.lower st with
+            | exception Ansor.State.Illegal _ ->
+              incr skipped;
+              None
+            | prog when e.latency > 0.0 ->
+              let s =
+                {
+                  Ansor.Model_store.task_key = e.task_key;
+                  prog_key = Ansor.Measure_cache.key_of_prog machine prog;
+                  latency = e.latency;
+                  features = Ansor.Features.of_prog prog;
+                }
+              in
+              if Ansor.Model_store.add store s then Some s else None
+            | _ ->
+              incr skipped;
+              None)))
+      entries
+  in
+  if !skipped > 0 then
+    Printf.eprintf
+      "warning: %s: %d entr%s not importable (unknown task key or \
+       non-replayable schedule)\n"
+      path !skipped
+      (if !skipped = 1 then "y" else "ies");
+  fresh
+
+let pretrained_summary bundle =
+  List.iter
+    (fun (kind, key, trees) ->
+      let kind =
+        match kind with `Task -> "task " | `Class -> "class" | `Global -> "global"
+      in
+      Printf.printf "  %-6s %-60s %3d trees\n" kind key trees)
+    (Ansor.Model_store.Pretrained.summary bundle)
+
+let model_pretrain_cmd =
+  let store_arg =
+    let doc =
+      "Model store file to pretrain from (and to append --from imports to)."
+    in
+    Arg.(required & opt (some string) None & info [ "store" ] ~docv:"FILE" ~doc)
+  in
+  let from_arg =
+    let doc =
+      "Import this tuning log's entries into the store first (repeatable): \
+       each record is replayed, lowered and featurized, then deduplicated \
+       by its canonical program hash."
+    in
+    Arg.(value & opt_all string [] & info [ "from" ] ~doc)
+  in
+  let min_samples_arg =
+    let doc = "Skip task/class/global groups with fewer samples than this." in
+    Arg.(value & opt int 8 & info [ "min-samples" ] ~doc)
+  in
+  let run store_path logs min_samples =
+    if min_samples < 1 then or_die (Error "pretrain: --min-samples must be >= 1");
+    let store, _ = load_store_salvage store_path in
+    let index_tbl = lazy (dag_index ()) in
+    List.iter
+      (fun path ->
+        let fresh =
+          import_record_log store ~index_tbl:(Lazy.force index_tbl) ~path
+        in
+        Ansor.Model_store.append_batch ~path:store_path fresh;
+        Printf.printf "%s: imported %d new sample%s\n" path (List.length fresh)
+          (if List.length fresh = 1 then "" else "s"))
+      logs;
+    if Ansor.Model_store.size store = 0 then
+      or_die (Error "pretrain: store is empty (import logs with --from, or \
+                     tune with --model-store first)");
+    let bundle = Ansor.Model_store.Pretrained.train ~min_samples store in
+    if Ansor.Model_store.Pretrained.num_models bundle = 0 then
+      or_die
+        (Error
+           (Printf.sprintf
+              "pretrain: no group reaches %d samples (store has %d total); \
+               lower --min-samples or import more logs"
+              min_samples
+              (Ansor.Model_store.size store)));
+    let mp = Ansor.Model_store.models_path store_path in
+    Ansor.Model_store.Pretrained.save ~path:mp bundle;
+    Printf.printf "pretrained %d model%s from %d sample%s -> %s\n"
+      (Ansor.Model_store.Pretrained.num_models bundle)
+      (if Ansor.Model_store.Pretrained.num_models bundle = 1 then "" else "s")
+      (Ansor.Model_store.size store)
+      (if Ansor.Model_store.size store = 1 then "" else "s")
+      mp;
+    pretrained_summary bundle
+  in
+  Cmd.v
+    (Cmd.info "pretrain"
+       ~doc:
+         "Fit the pretrained cost-model bundle (one GBDT per exact task, \
+          per structure class, and a global fallback) from a model store, \
+          optionally importing tuning logs first.")
+    Term.(const run $ store_arg $ from_arg $ min_samples_arg)
+
+let model_show_cmd =
+  let run path =
+    let store, _ = load_store_salvage path in
+    Printf.printf "%s: %d sample%s, %d task%s, %d class%s\n" path
+      (Ansor.Model_store.size store)
+      (if Ansor.Model_store.size store = 1 then "" else "s")
+      (List.length (Ansor.Model_store.task_keys store))
+      (if List.length (Ansor.Model_store.task_keys store) = 1 then "" else "s")
+      (List.length (Ansor.Model_store.class_keys store))
+      (if List.length (Ansor.Model_store.class_keys store) = 1 then ""
+       else "es");
+    List.iter
+      (fun cls ->
+        Printf.printf "  %-60s %5d sample%s\n" cls
+          (List.length (Ansor.Model_store.samples_for_class store ~class_key:cls))
+          (if List.length
+                (Ansor.Model_store.samples_for_class store ~class_key:cls)
+              = 1
+           then ""
+           else "s"))
+      (Ansor.Model_store.class_keys store);
+    let mp = Ansor.Model_store.models_path path in
+    if Sys.file_exists mp then
+      match Ansor.Model_store.Pretrained.load ~path:mp with
+      | Ok bundle ->
+        Printf.printf "%s: %d pretrained model%s\n" mp
+          (Ansor.Model_store.Pretrained.num_models bundle)
+          (if Ansor.Model_store.Pretrained.num_models bundle = 1 then ""
+           else "s");
+        pretrained_summary bundle
+      | Error e -> Printf.eprintf "warning: %s: %s\n" mp e
+    else Printf.printf "%s: absent (run 'model pretrain')\n" mp
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Summarize a model store and its pretrained bundle.")
+    Term.(const run $ store_pos_arg)
+
+let model_gc_cmd =
+  let keep_arg =
+    let doc = "Samples to keep per structure class (newest first)." in
+    Arg.(value & opt int 512 & info [ "keep-per-class" ] ~doc)
+  in
+  let run path keep =
+    if keep < 0 then or_die (Error "gc: --keep-per-class must be >= 0");
+    if not (Sys.file_exists path) then
+      or_die (Error (Printf.sprintf "gc: no store at %s" path));
+    let store, _ = load_store_salvage path in
+    let dropped = Ansor.Model_store.gc store ~keep_per_class:keep in
+    Ansor.Model_store.save ~path store;
+    Printf.printf "%s: dropped %d sample%s, kept %d\n" path dropped
+      (if dropped = 1 then "" else "s")
+      (Ansor.Model_store.size store);
+    if dropped > 0 && Sys.file_exists (Ansor.Model_store.models_path path) then
+      Printf.printf
+        "note: %s now predates the store; rerun 'model pretrain' to refresh\n"
+        (Ansor.Model_store.models_path path)
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "Compact a model store, keeping the newest samples of each \
+          structure class.")
+    Term.(const run $ store_pos_arg $ keep_arg)
+
+let model_cmd =
+  Cmd.group
+    (Cmd.info "model"
+       ~doc:
+         "Maintain the cross-task model store: persistent training samples \
+          and pretrained cost models for warm-start tuning.")
+    [ model_pretrain_cmd; model_show_cmd; model_gc_cmd ]
+
 (* ---- xcheck ------------------------------------------------------------- *)
 
 let xcheck_cmd =
@@ -962,4 +1233,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ machines_cmd; sketches_cmd; tune_cmd; replay_cmd; network_cmd;
-            registry_cmd; serve_cmd; lint_cmd; xcheck_cmd ]))
+            registry_cmd; serve_cmd; lint_cmd; model_cmd; xcheck_cmd ]))

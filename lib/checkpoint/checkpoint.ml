@@ -16,7 +16,11 @@ type payload =
 
 type image = { meta : meta; payload : payload }
 
-let version = 1
+(* v2: Shared.snapshot gained the cross-task warm-start fields
+   (pretrained base model, store-derived records, provenance).  The
+   version lives in the magic line, so a v1 snapshot from an older
+   binary is rejected cleanly instead of misparsed by Marshal. *)
+let version = 2
 
 let magic = Printf.sprintf "ansor-snapshot-v%d" version
 

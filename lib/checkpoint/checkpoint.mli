@@ -8,11 +8,17 @@
     versioned, digest-footed image:
 
     {v
-ansor-snapshot-v1\n
+ansor-snapshot-v2\n
 <payload byte length>\n
 <payload bytes (marshalled image)>
 md5:<hex digest of payload>\n
     v}
+
+    The shared-state part of the payload records the cost model's full
+    provenance — the session's training records, the pretrained base
+    model and its ladder rung (cold/exact/class/global), and the
+    store-derived sibling records — so a resumed session retrains
+    exactly the model the interrupted one had.
 
     Every save goes through {!Ansor_util.Atomic_file} (write-temp +
     rename) and rotates the previous image to [<path>.prev], so at any

@@ -42,6 +42,8 @@ module Evolution = Ansor_evolution.Evolution
 module Task = Ansor_search.Task
 module Tuner = Ansor_search.Tuner
 module Record = Ansor_search.Record
+module Task_key = Ansor_util.Task_key
+module Model_store = Ansor_model_store.Model_store
 module Scheduler = Ansor_scheduler.Scheduler
 module Checkpoint = Ansor_checkpoint.Checkpoint
 module Registry = Ansor_registry.Registry
@@ -107,10 +109,66 @@ let try_resume ~resume ~snapshot_path ~seed ~machine_name ~task_keys apply =
                %!"
               path msg)
 
+(* Attach a model-store session to a tuning session's shared state:
+   persist every measured batch, and adopt the resolved warm start +
+   sibling training samples.  Runs after any snapshot restore, so a
+   resumed session merges store samples that arrived after the snapshot
+   (its own past contributions are filtered out by hash) and a restored
+   fine-tuned model is never clobbered by a pretrained one.  With an
+   empty store this never bumps the generation: the session stays
+   bit-identical to a storeless one. *)
+let adopt_model_store ~shared ~telemetry ~task_keys (ms : Model_store.session) =
+  Tuner.Shared.attach_store ?path:ms.Model_store.path shared
+    ms.Model_store.store;
+  (match ms.Model_store.models_error with
+  | Some e ->
+    Printf.eprintf
+      "warning: pretrained models file unusable (%s); pretraining from the \
+       store\n\
+       %!"
+      e
+  | None -> ());
+  if ms.Model_store.salvaged > 0 then
+    Printf.eprintf "warning: model store: %d malformed line(s) skipped\n%!"
+      ms.Model_store.salvaged;
+  let classes =
+    List.sort_uniq String.compare (List.map Task_key.class_key task_keys)
+  in
+  let warm =
+    (* single task: the full exact -> class -> global ladder.  Several
+       tasks: one shared model must serve all of them, so use their
+       common class model when they share a class, else the global
+       fallback. *)
+    let resolved =
+      match (task_keys, classes) with
+      | [ key ], _ ->
+        Model_store.Pretrained.resolve ms.Model_store.pretrained ~task_key:key
+      | _, [ cls ] ->
+        Model_store.Pretrained.resolve_class ms.Model_store.pretrained
+          ~class_key:cls
+      | _ -> Model_store.Pretrained.global ms.Model_store.pretrained
+    in
+    Option.map
+      (fun (g, o) -> (Model_store.Pretrained.origin_name o, g))
+      resolved
+  in
+  let aux =
+    List.filter
+      (fun (s : Model_store.sample) ->
+        List.mem (Task_key.class_key s.Model_store.task_key) classes)
+      (Model_store.samples ms.Model_store.store)
+  in
+  if Tuner.Shared.adopt_store shared ~warm ~aux then begin
+    Telemetry.incr_warm_starts telemetry;
+    Printf.eprintf "model store: warm start (%s model, %d sibling samples)\n%!"
+      (Tuner.Shared.provenance shared)
+      (Tuner.Shared.num_aux shared)
+  end
+
 let tune ?(seed = 0) ?(trials = 200) ?(options = Tuner.ansor_options)
-    ?(service_config = Measure_service.default_config) ?cache ?snapshot_path
-    ?(resume = false) ?record_log ?(should_stop = fun () -> false) ?on_round
-    machine dag =
+    ?(service_config = Measure_service.default_config) ?cache ?model_store
+    ?snapshot_path ?(resume = false) ?record_log
+    ?(should_stop = fun () -> false) ?on_round machine dag =
   let task = Task.create ~name:"tune" ~machine dag in
   let service =
     (* the native runner is always supplied: a Sim-backend config never
@@ -134,6 +192,12 @@ let tune ?(seed = 0) ?(trials = 200) ?(options = Tuner.ansor_options)
         Telemetry.restore (Measure_service.telemetry service) stats;
         restored := Some tuner;
         Ok ());
+  (match model_store with
+  | None -> ()
+  | Some ms ->
+    adopt_model_store ~shared
+      ~telemetry:(Measure_service.telemetry service)
+      ~task_keys:[ Task.key task ] ms);
   (* per-round improvement logging: one atomic batch append per round
      (Record.append_batch), so a crash preserves every earlier best and a
      long session pays one rewrite per round, not per entry *)
@@ -201,9 +265,9 @@ type network_result = {
 
 let tune_networks_with_stats ?(seed = 0) ?trial_budget
     ?(objective = Scheduler.F1_sum) ?(tuner_options = Tuner.ansor_options)
-    ?(service_config = Measure_service.default_config) ?snapshot_path
-    ?(resume = false) ?record_log ?(should_stop = fun () -> false) ?on_round
-    machine nets =
+    ?(service_config = Measure_service.default_config) ?model_store
+    ?snapshot_path ?(resume = false) ?record_log
+    ?(should_stop = fun () -> false) ?on_round machine nets =
   (* deduplicate tasks shared between networks by workload key *)
   let table = Hashtbl.create 32 in
   let order = ref [] in
@@ -249,6 +313,11 @@ let tune_networks_with_stats ?(seed = 0) ?trial_budget
     ~task_keys (function
     | Checkpoint.Single _ -> Error "snapshot is a single-task session"
     | Checkpoint.Session snap -> Scheduler.restore sched snap);
+  (match model_store with
+  | None -> ()
+  | Some ms ->
+    adopt_model_store ~shared:(Scheduler.shared sched)
+      ~telemetry:(Scheduler.telemetry sched 0) ~task_keys ms);
   (* per-allocation improvement logging, batched: every task whose best
      improved this round lands in one atomic Record.append_batch *)
   let last_logged =

@@ -74,6 +74,14 @@ module Tuner = Ansor_search.Tuner
 module Record = Ansor_search.Record
 module Scheduler = Ansor_scheduler.Scheduler
 
+(** Cross-task transfer: the persistent training-sample store, the
+    pretrained per-class cost-model bundle and the shared
+    structure-class key ({!Model_store.Pretrained.resolve},
+    {!Task_key.class_key}). *)
+
+module Task_key = Ansor_util.Task_key
+module Model_store = Ansor_model_store.Model_store
+
 (** Crash-safe sessions: checkpoint images with atomic persistence and
     generation fallback, plus cooperative SIGINT/SIGTERM shutdown (see
     {!Checkpoint.save}, {!Checkpoint.load_latest},
@@ -121,6 +129,7 @@ val tune :
   ?options:Tuner.options ->
   ?service_config:Measure_service.config ->
   ?cache:Measure_cache.t ->
+  ?model_store:Model_store.session ->
   ?snapshot_path:string ->
   ?resume:bool ->
   ?record_log:string ->
@@ -150,7 +159,17 @@ val tune :
     {!Record} log whenever a round improves it — one atomic batch append
     per round ({!Record.append_batch}), so a killed session keeps every
     earlier best.  Feed the log to {!Registry.build_from_logs} (or
-    [ansor-cli registry build]) to serve the result. *)
+    [ansor-cli registry build]) to serve the result.
+
+    [model_store] attaches a cross-task model store
+    ({!Model_store.open_session}): the session warm-starts from the
+    pretrained model the exact -> class -> global ladder resolves for
+    the task, folds the store's same-class samples into every retrain,
+    and appends its own measured batches back to the store.  An empty or
+    absent store leaves the session bit-identical to a storeless one.
+    Composes with [resume]: store samples newer than the snapshot are
+    merged in (own past contributions deduplicated by program hash),
+    invalidating cached scores exactly once. *)
 
 type network_result = {
   net : Workloads.net;
@@ -177,6 +196,7 @@ val tune_networks_with_stats :
   ?objective:Scheduler.objective ->
   ?tuner_options:Tuner.options ->
   ?service_config:Measure_service.config ->
+  ?model_store:Model_store.session ->
   ?snapshot_path:string ->
   ?resume:bool ->
   ?record_log:string ->
@@ -190,7 +210,11 @@ val tune_networks_with_stats :
     [snapshot_path] / [resume] / [record_log] / [should_stop] / [on_round]
     work as in {!tune}, checkpointing the whole scheduler session (every
     task's tuner, budget allocation, caches, telemetry) after each
-    allocation and batch-logging every task whose best improved. *)
+    allocation and batch-logging every task whose best improved.
+    [model_store] warm-starts the session's single shared cost model:
+    tasks of one structure class get their class model, mixed sessions
+    the global fallback (the warm-start counter lands on task 0's
+    telemetry). *)
 
 val verify_state : State.t -> (unit, string) result
 (** Checks a scheduled program two ways: statically

@@ -16,9 +16,15 @@ let is_trained t = t.model <> None
 
 let num_records_trained_on t = t.n_records
 
-let train ?params records =
+(* A pretrained GBDT adopted as-is — what a warm-started tuner scores
+   with before its first fine-tuning retrain.  Counts as trained (the
+   search trusts it enough to run evolution) but as zero records (none
+   of this session's measurements are in it yet). *)
+let of_gbdt model = { model = Some model; n_records = 0 }
+
+let train ?params ?init records =
   match records with
-  | [] -> empty
+  | [] -> ( match init with Some m -> of_gbdt m | None -> empty)
   | records ->
     (* normalized throughput per record: 1/latency scaled to (0, 1] within
        each task group *)
@@ -47,10 +53,11 @@ let train ?params records =
         end)
       records;
     let x = Array.of_list !rows in
-    if Array.length x = 0 then empty
+    if Array.length x = 0 then
+      match init with Some m -> of_gbdt m | None -> empty
     else
       let y = Array.of_list !targets and w = Array.of_list !weights in
-      let model = Ansor_gbdt.Gbdt.train ?params ~x ~y ~w () in
+      let model = Ansor_gbdt.Gbdt.train ?params ?init ~x ~y ~w () in
       { model = Some model; n_records = List.length records }
 
 let gbdt t = t.model

@@ -28,9 +28,20 @@ val empty : t
 
 val is_trained : t -> bool
 
-val train : ?params:Ansor_gbdt.Gbdt.params -> record list -> t
+val train :
+  ?params:Ansor_gbdt.Gbdt.params -> ?init:Ansor_gbdt.Gbdt.t -> record list -> t
 (** Trains from scratch on all records (the paper retrains the model at
-    every search iteration). Returns {!empty} when no record exists. *)
+    every search iteration). Returns {!empty} when no record exists.
+
+    With [?init] the GBDT warm-starts from the given pretrained model
+    and the new trees fine-tune it on [records]
+    (see {!Ansor_gbdt.Gbdt.train}); on an empty record list the init
+    model is adopted as-is.  Omitting [init] is bit-identical to the
+    cold path. *)
+
+val of_gbdt : Ansor_gbdt.Gbdt.t -> t
+(** Adopt a pretrained boosted-tree model: {!is_trained} holds, while
+    {!num_records_trained_on} is 0 (no session measurement in it). *)
 
 val num_records_trained_on : t -> int
 

@@ -55,7 +55,19 @@ let bin_value edges v =
   done;
   !lo
 
-let train ?(params = default_params) ~x ~y ?w () =
+let rec eval tree row =
+  match tree with
+  | Leaf v -> v
+  | Node { feature; threshold; left; right } ->
+    if feature < Array.length row && row.(feature) < threshold then
+      eval left row
+    else if feature < Array.length row then eval right row
+    else eval left row
+
+let predict t row =
+  List.fold_left (fun acc tree -> acc +. eval tree row) t.base t.trees
+
+let train ?(params = default_params) ?init ~x ~y ?w () =
   let n = Array.length x in
   if n = 0 then invalid_arg "Gbdt.train: empty training set";
   let n_features = Array.length x.(0) in
@@ -73,13 +85,34 @@ let train ?(params = default_params) ~x ~y ?w () =
   let binned =
     Array.map (fun row -> Array.mapi (fun f v -> bin_value edges.(f) v) row) x
   in
+  (* Warm start: with [init], boosting continues from the pretrained
+     model's predictions — new trees fit the residuals the old model
+     leaves behind, and the result carries the old trees in front.  The
+     base then stays the init model's (its trees already encode any
+     shift toward the new data). *)
   let base =
-    let s = ref 0.0 in
-    Array.iteri (fun i yi -> s := !s +. (w.(i) *. yi)) y;
-    !s /. wsum
+    match init with
+    | Some m -> m.base
+    | None ->
+      let s = ref 0.0 in
+      Array.iteri (fun i yi -> s := !s +. (w.(i) *. yi)) y;
+      !s /. wsum
   in
-  let pred = Array.make n base in
-  let importance = Array.make n_features 0.0 in
+  let pred =
+    match init with
+    | Some m -> Array.map (predict m) x
+    | None -> Array.make n base
+  in
+  let out_features =
+    match init with Some m -> max m.n_features n_features | None -> n_features
+  in
+  let importance = Array.make out_features 0.0 in
+  (match init with
+  | Some m ->
+    Array.iteri
+      (fun f g -> if f < out_features then importance.(f) <- g)
+      m.importance
+  | None -> ());
   (* one boosting round: fit a tree to the (weighted) residuals *)
   let residual = Array.make n 0.0 in
   let build_tree () =
@@ -177,24 +210,13 @@ let train ?(params = default_params) ~x ~y ?w () =
     | Leaf v -> Leaf (params.learning_rate *. v)
     | Node n -> Node { n with left = scale n.left; right = scale n.right }
   in
+  let fresh = List.rev_map scale !trees in
   {
     base;
-    trees = List.rev_map scale !trees;
-    n_features;
+    trees = (match init with Some m -> m.trees @ fresh | None -> fresh);
+    n_features = out_features;
     importance;
   }
-
-let rec eval tree row =
-  match tree with
-  | Leaf v -> v
-  | Node { feature; threshold; left; right } ->
-    if feature < Array.length row && row.(feature) < threshold then
-      eval left row
-    else if feature < Array.length row then eval right row
-    else eval left row
-
-let predict t row =
-  List.fold_left (fun acc tree -> acc +. eval tree row) t.base t.trees
 
 let predict_many t rows = Array.map (predict t) rows
 
@@ -227,6 +249,51 @@ let predict_batch t ~width m =
   out
 
 let num_trees t = List.length t.trees
+
+(* ---- persistence --------------------------------------------------------
+   Same convention as Checkpoint: magic line, payload byte length,
+   marshalled payload, md5 digest foot.  Anything that fails a check is
+   reported as a clear [Error] — never a raw [Marshal] exception. *)
+
+let file_version = 1
+
+let file_magic = Printf.sprintf "ansor-gbdt-v%d" file_version
+
+let save ~path t =
+  let payload = Marshal.to_string (t : t) [] in
+  Ansor_util.Atomic_file.write ~path (fun oc ->
+      Printf.fprintf oc "%s\n%d\n" file_magic (String.length payload);
+      output_string oc payload;
+      Printf.fprintf oc "md5:%s\n" (Digest.to_hex (Digest.string payload)))
+
+let load ~path : (t, string) result =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          let header = input_line ic in
+          if not (String.equal header file_magic) then
+            Error
+              (Printf.sprintf "%s: bad magic %S (expected %s)" path header
+                 file_magic)
+          else
+            let len = int_of_string (input_line ic) in
+            if len < 0 then Error (path ^ ": bad payload length")
+            else begin
+              let payload = really_input_string ic len in
+              let footer = input_line ic in
+              let expect = "md5:" ^ Digest.to_hex (Digest.string payload) in
+              if not (String.equal footer expect) then
+                Error (path ^ ": digest mismatch: model file torn or corrupted")
+              else Ok (Marshal.from_string payload 0 : t)
+            end
+        with
+        | End_of_file -> Error (path ^ ": truncated model file")
+        | Failure _ -> Error (path ^ ": malformed model header")
+        | e -> Error (path ^ ": " ^ Printexc.to_string e))
 
 let feature_importance t =
   let total = Array.fold_left ( +. ) 0.0 t.importance in

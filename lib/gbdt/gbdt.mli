@@ -27,6 +27,7 @@ val max_bins : int
 
 val train :
   ?params:params ->
+  ?init:t ->
   x:float array array ->
   y:float array ->
   ?w:float array ->
@@ -34,6 +35,12 @@ val train :
   t
 (** [train ~x ~y ~w ()] fits boosted trees to rows [x] with targets [y]
     and optional non-negative sample weights [w] (default all-ones).
+
+    With [?init], boosting warm-starts from the given model: the new
+    trees fit the residuals [init] leaves on [(x, y)], and the result
+    keeps [init]'s trees in front, so
+    [predict result row = predict init row + correction].  Omitting
+    [init] is bit-identical to the cold path.
     @raise Invalid_argument on empty data or ragged inputs. *)
 
 val predict : t -> float array -> float
@@ -56,3 +63,13 @@ val feature_importance : t -> float array
 (** Total split gain accumulated per feature, normalized to sum to 1 (all
     zeros for a stump-only model). Length equals the feature count seen at
     training. *)
+
+val save : path:string -> t -> unit
+(** Atomically persist the model: magic [ansor-gbdt-v1], payload length,
+    marshalled payload, md5 digest foot — the {!Checkpoint} file
+    convention. *)
+
+val load : path:string -> (t, string) result
+(** Load a model written by {!save}.  Corrupt, truncated or foreign
+    files yield [Error] with a human-readable reason; [Marshal] is only
+    consulted after the digest foot verifies. *)

@@ -31,6 +31,9 @@ type stats = {
   retries : int;
   batches : int;
   statically_rejected : int;
+  warm_starts : int;
+  store_samples : int;
+  finetune_rounds : int;
   native_compiles : int;
   native_kernels : int;
   backoff_seconds : float;
@@ -55,6 +58,9 @@ let empty_stats =
     retries = 0;
     batches = 0;
     statically_rejected = 0;
+    warm_starts = 0;
+    store_samples = 0;
+    finetune_rounds = 0;
     native_compiles = 0;
     native_kernels = 0;
     backoff_seconds = 0.0;
@@ -81,6 +87,9 @@ let total stats =
         retries = acc.retries + s.retries;
         batches = acc.batches + s.batches;
         statically_rejected = acc.statically_rejected + s.statically_rejected;
+        warm_starts = acc.warm_starts + s.warm_starts;
+        store_samples = acc.store_samples + s.store_samples;
+        finetune_rounds = acc.finetune_rounds + s.finetune_rounds;
         native_compiles = acc.native_compiles + s.native_compiles;
         native_kernels = acc.native_kernels + s.native_kernels;
         backoff_seconds = acc.backoff_seconds +. s.backoff_seconds;
@@ -132,7 +141,9 @@ let to_json s =
     "{\"trials\":%d,\"measured\":%d,\"cache_hits\":%d,\"build_errors\":%d,\
      \"compile_errors\":%d,\
      \"run_errors\":%d,\"timeouts\":%d,\"retries\":%d,\"batches\":%d,\
-     \"statically_rejected\":%d,\"native_compiles\":%d,\
+     \"statically_rejected\":%d,\"warm_starts\":%d,\
+     \"store_samples\":%d,\"finetune_rounds\":%d,\
+     \"native_compiles\":%d,\
      \"native_kernels\":%d,\"backoff_seconds\":%.6f,\
      \"score_hits\":%d,\"score_misses\":%d,\"score_evictions\":%d,\
      \"score_batches\":%d,\"score_wall_seconds\":%.6f,\
@@ -140,6 +151,7 @@ let to_json s =
      \"phase_seconds\":{%s}}"
     s.trials s.measured s.cache_hits s.build_errors s.compile_errors
     s.run_errors s.timeouts s.retries s.batches s.statically_rejected
+    s.warm_starts s.store_samples s.finetune_rounds
     s.native_compiles s.native_kernels s.backoff_seconds s.score_hits
     s.score_misses s.score_evictions s.score_batches s.score_wall_seconds
     s.score_work_seconds (score_speedup s) phase_fields
@@ -155,6 +167,9 @@ type t = {
   mutable retries : int;
   mutable batches : int;
   mutable statically_rejected : int;
+  mutable warm_starts : int;
+  mutable store_samples : int;
+  mutable finetune_rounds : int;
   mutable native_compiles : int;
   mutable native_kernels : int;
   mutable backoff_seconds : float;
@@ -179,6 +194,9 @@ let create () =
     retries = 0;
     batches = 0;
     statically_rejected = 0;
+    warm_starts = 0;
+    store_samples = 0;
+    finetune_rounds = 0;
     native_compiles = 0;
     native_kernels = 0;
     backoff_seconds = 0.0;
@@ -202,6 +220,9 @@ let reset t =
   t.retries <- 0;
   t.batches <- 0;
   t.statically_rejected <- 0;
+  t.warm_starts <- 0;
+  t.store_samples <- 0;
+  t.finetune_rounds <- 0;
   t.native_compiles <- 0;
   t.native_kernels <- 0;
   t.backoff_seconds <- 0.0;
@@ -225,6 +246,9 @@ let stats t =
     retries = t.retries;
     batches = t.batches;
     statically_rejected = t.statically_rejected;
+    warm_starts = t.warm_starts;
+    store_samples = t.store_samples;
+    finetune_rounds = t.finetune_rounds;
     native_compiles = t.native_compiles;
     native_kernels = t.native_kernels;
     backoff_seconds = t.backoff_seconds;
@@ -250,6 +274,9 @@ let restore t (s : stats) =
   t.retries <- s.retries;
   t.batches <- s.batches;
   t.statically_rejected <- s.statically_rejected;
+  t.warm_starts <- s.warm_starts;
+  t.store_samples <- s.store_samples;
+  t.finetune_rounds <- s.finetune_rounds;
   t.native_compiles <- s.native_compiles;
   t.native_kernels <- s.native_kernels;
   t.backoff_seconds <- s.backoff_seconds;
@@ -288,6 +315,10 @@ let add_backoff t seconds = t.backoff_seconds <- t.backoff_seconds +. seconds
 
 let incr_statically_rejected t =
   t.statically_rejected <- t.statically_rejected + 1
+
+let incr_warm_starts t = t.warm_starts <- t.warm_starts + 1
+let add_store_samples t n = t.store_samples <- t.store_samples + n
+let incr_finetune_rounds t = t.finetune_rounds <- t.finetune_rounds + 1
 
 let add_native_compiles t ~compiles ~kernels =
   t.native_compiles <- t.native_compiles + compiles;

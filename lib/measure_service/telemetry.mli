@@ -28,6 +28,14 @@ type stats = {
   statically_rejected : int;
       (** evolution mutants discarded by the static race detector before
           ever reaching the measurement backend *)
+  warm_starts : int;
+      (** cost models seeded from a pretrained model-store bundle instead
+          of starting cold *)
+  store_samples : int;
+      (** measured samples newly appended to the cross-task model store *)
+  finetune_rounds : int;
+      (** retrains that fine-tuned a warm pretrained base (as opposed to
+          training from scratch) *)
   native_compiles : int;
       (** native-backend compiler invocations (one per batched TU) *)
   native_kernels : int;
@@ -95,6 +103,15 @@ val incr_batches : t -> unit
 
 val incr_statically_rejected : t -> unit
 (** One evolution mutant rejected by the pre-measurement static filter. *)
+
+val incr_warm_starts : t -> unit
+(** One cost model seeded from a pretrained store model. *)
+
+val add_store_samples : t -> int -> unit
+(** [n] measured samples newly persisted to the model store. *)
+
+val incr_finetune_rounds : t -> unit
+(** One retrain that fine-tuned a warm pretrained base. *)
 
 val add_native_compiles : t -> compiles:int -> kernels:int -> unit
 (** Accounts one native batch's compilation fan-out: [compiles] gcc

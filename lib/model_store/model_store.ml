@@ -1,0 +1,343 @@
+(* Cross-task training-data store and pretrained cost models.
+
+   Tuning sessions measure programs; those (features, latency) pairs are
+   only ever used for the session's own GBDT and then thrown away.  This
+   module persists them — one line per measured program, keyed by task
+   key and deduplicated by the canonical lowered-program hash the
+   measurement cache already computes — and pretrains shared models from
+   the accumulated corpus: one per exact task, one per digit-blanked
+   structure class (Ansor_util.Task_key), and one global fallback.  A
+   fresh tuning session then resolves exact -> class -> global -> cold
+   and fine-tunes from a warm model instead of from scratch
+   (Chen et al., "Learning to Optimize Tensor Programs").
+
+   File format (text, versioned, salvageable like Record/Registry):
+
+     ansor-store-v1
+     <task_key> \t <prog_key> \t <latency %h> \t <features>
+
+   where <features> is the per-statement feature vectors, statements
+   joined by ';', floats within a statement joined by ',' and printed
+   with %h so the round-trip is bit-exact.  Appends go through
+   Atomic_file; the salvage loader skips malformed lines and counts
+   them. *)
+
+module Task_key = Ansor_util.Task_key
+module Atomic_file = Ansor_util.Atomic_file
+module Gbdt = Ansor_gbdt.Gbdt
+module Cost_model = Ansor_cost_model.Cost_model
+
+let magic = "ansor-store-v1"
+
+type sample = {
+  task_key : string;
+  prog_key : string;  (* canonical lowered-program hash: the dedup key *)
+  latency : float;  (* measured seconds, > 0 *)
+  features : float array list;  (* per innermost statement *)
+}
+
+type t = {
+  mutable rev_samples : sample list;  (* newest first *)
+  index : (string, unit) Hashtbl.t;  (* prog_key set *)
+  mutable count : int;
+}
+
+let create () = { rev_samples = []; index = Hashtbl.create 256; count = 0 }
+
+let size t = t.count
+
+let mem t ~prog_key = Hashtbl.mem t.index prog_key
+
+let add t s =
+  if s.latency <= 0.0 then invalid_arg "Model_store.add: latency <= 0";
+  if Hashtbl.mem t.index s.prog_key then false
+  else begin
+    Hashtbl.add t.index s.prog_key ();
+    t.rev_samples <- s :: t.rev_samples;
+    t.count <- t.count + 1;
+    true
+  end
+
+let add_all t samples =
+  List.fold_left (fun n s -> if add t s then n + 1 else n) 0 samples
+
+let samples t = List.rev t.rev_samples
+
+let samples_for_task t ~task_key =
+  List.filter (fun s -> String.equal s.task_key task_key) (samples t)
+
+let samples_for_class t ~class_key =
+  List.filter
+    (fun s -> String.equal (Task_key.class_key s.task_key) class_key)
+    (samples t)
+
+let task_keys t =
+  List.sort_uniq String.compare (List.map (fun s -> s.task_key) (samples t))
+
+let class_keys t =
+  List.sort_uniq String.compare
+    (List.map (fun s -> Task_key.class_key s.task_key) (samples t))
+
+let to_record (s : sample) : Cost_model.record =
+  { features = s.features; task_key = s.task_key; latency = s.latency }
+
+(* ---- codec -------------------------------------------------------------- *)
+
+let encode_features features =
+  String.concat ";"
+    (List.map
+       (fun stmt ->
+         String.concat ","
+           (Array.to_list (Array.map (Printf.sprintf "%h") stmt)))
+       features)
+
+let decode_features str =
+  if String.equal str "" then []
+  else
+    String.split_on_char ';' str
+    |> List.map (fun stmt ->
+           String.split_on_char ',' stmt
+           |> List.map float_of_string |> Array.of_list)
+
+let encode_sample s =
+  if String.contains s.task_key '\t' || String.contains s.prog_key '\t' then
+    invalid_arg "Model_store: tab in key";
+  Printf.sprintf "%s\t%s\t%h\t%s" s.task_key s.prog_key s.latency
+    (encode_features s.features)
+
+let decode_sample line =
+  match String.split_on_char '\t' line with
+  | [ task_key; prog_key; lat; feats ] -> (
+    match float_of_string_opt lat with
+    | Some latency when latency > 0.0 && not (String.equal prog_key "") -> (
+      match decode_features feats with
+      | features -> Some { task_key; prog_key; latency; features }
+      | exception _ -> None)
+    | _ -> None)
+  | _ -> None
+
+(* ---- persistence -------------------------------------------------------- *)
+
+let save ~path t =
+  Atomic_file.write ~path (fun oc ->
+      output_string oc (magic ^ "\n");
+      List.iter (fun s -> output_string oc (encode_sample s ^ "\n")) (samples t))
+
+let load_lines ~strict path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match input_line ic with
+        | exception End_of_file -> Error (path ^ ": empty store file")
+        | header when not (String.equal header magic) ->
+          Error
+            (Printf.sprintf "%s: bad magic %S (expected %s)" path header magic)
+        | _ ->
+          let t = create () in
+          let skipped = ref 0 in
+          (try
+             while true do
+               let line = input_line ic in
+               if not (String.equal line "") then
+                 match decode_sample line with
+                 | Some s -> ignore (add t s)
+                 | None -> incr skipped
+             done
+           with End_of_file -> ());
+          if strict && !skipped > 0 then
+            Error (Printf.sprintf "%s: %d malformed line(s)" path !skipped)
+          else Ok (t, !skipped))
+
+let load ~path =
+  match load_lines ~strict:true path with Ok (t, _) -> Ok t | Error e -> Error e
+
+let load_salvage ~path = load_lines ~strict:false path
+
+let append_batch ~path samples =
+  if samples <> [] then
+    if Sys.file_exists path then
+      Atomic_file.append_lines ~path (List.map encode_sample samples)
+    else
+      Atomic_file.write ~path (fun oc ->
+          output_string oc (magic ^ "\n");
+          List.iter
+            (fun s -> output_string oc (encode_sample s ^ "\n"))
+            samples)
+
+(* Keep only the newest [keep_per_class] samples of each structure class
+   (newest = latest appended).  Returns the number dropped. *)
+let gc t ~keep_per_class =
+  if keep_per_class < 0 then invalid_arg "Model_store.gc: negative keep";
+  let kept_per_class = Hashtbl.create 16 in
+  let kept_rev = ref [] and dropped = ref 0 in
+  (* rev_samples is newest-first, so a simple scan keeps the newest *)
+  List.iter
+    (fun s ->
+      let cls = Task_key.class_key s.task_key in
+      let n = Option.value ~default:0 (Hashtbl.find_opt kept_per_class cls) in
+      if n < keep_per_class then begin
+        Hashtbl.replace kept_per_class cls (n + 1);
+        kept_rev := s :: !kept_rev
+      end
+      else begin
+        Hashtbl.remove t.index s.prog_key;
+        incr dropped
+      end)
+    t.rev_samples;
+  t.rev_samples <- List.rev !kept_rev;
+  t.count <- t.count - !dropped;
+  !dropped
+
+(* ---- pretrained bundle --------------------------------------------------- *)
+
+module Pretrained = struct
+  type origin = Exact | Class | Global
+
+  let origin_name = function
+    | Exact -> "exact"
+    | Class -> "class"
+    | Global -> "global"
+
+  type t = {
+    exact : (string * Gbdt.t) list;  (* task_key -> model *)
+    classes : (string * Gbdt.t) list;  (* class_key -> model *)
+    global : Gbdt.t option;
+  }
+
+  let empty = { exact = []; classes = []; global = None }
+
+  let num_models t =
+    List.length t.exact + List.length t.classes
+    + match t.global with Some _ -> 1 | None -> 0
+
+  let summary t =
+    List.map (fun (k, m) -> (`Task, k, Gbdt.num_trees m)) t.exact
+    @ List.map (fun (k, m) -> (`Class, k, Gbdt.num_trees m)) t.classes
+    @
+    match t.global with
+    | Some m -> [ (`Global, "*", Gbdt.num_trees m) ]
+    | None -> []
+
+  (* Fit one model per grouping with at least [min_samples] samples.
+     Cost_model.train normalizes throughput per task inside each group,
+     so classes mixing several concrete shapes compose correctly. *)
+  let train ?params ?(min_samples = 8) store =
+    let fit samples =
+      if List.length samples < min_samples then None
+      else Cost_model.gbdt (Cost_model.train ?params (List.map to_record samples))
+    in
+    let group_by key_of =
+      let keys =
+        List.sort_uniq String.compare (List.map key_of (samples store))
+      in
+      List.filter_map
+        (fun k ->
+          let group =
+            List.filter (fun s -> String.equal (key_of s) k) (samples store)
+          in
+          Option.map (fun m -> (k, m)) (fit group))
+        keys
+    in
+    {
+      exact = group_by (fun s -> s.task_key);
+      classes = group_by (fun s -> Task_key.class_key s.task_key);
+      global = fit (samples store);
+    }
+
+  let global t = Option.map (fun m -> (m, Global)) t.global
+
+  (* class -> global (for sessions spanning several tasks of one class) *)
+  let resolve_class t ~class_key =
+    match List.assoc_opt class_key t.classes with
+    | Some m -> Some (m, Class)
+    | None -> global t
+
+  (* exact -> class -> global -> cold *)
+  let resolve t ~task_key =
+    match List.assoc_opt task_key t.exact with
+    | Some m -> Some (m, Exact)
+    | None -> resolve_class t ~class_key:(Task_key.class_key task_key)
+
+  (* Persistence: Checkpoint convention (magic, length, marshal, digest). *)
+  let file_magic = "ansor-models-v1"
+
+  let save ~path t =
+    let payload = Marshal.to_string (t : t) [] in
+    Atomic_file.write ~path (fun oc ->
+        Printf.fprintf oc "%s\n%d\n" file_magic (String.length payload);
+        output_string oc payload;
+        Printf.fprintf oc "md5:%s\n" (Digest.to_hex (Digest.string payload)))
+
+  let load ~path : (t, string) result =
+    match open_in_bin path with
+    | exception Sys_error e -> Error e
+    | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          try
+            let header = input_line ic in
+            if not (String.equal header file_magic) then
+              Error
+                (Printf.sprintf "%s: bad magic %S (expected %s)" path header
+                   file_magic)
+            else
+              let len = int_of_string (input_line ic) in
+              if len < 0 then Error (path ^ ": bad payload length")
+              else begin
+                let payload = really_input_string ic len in
+                let footer = input_line ic in
+                let expect = "md5:" ^ Digest.to_hex (Digest.string payload) in
+                if not (String.equal footer expect) then
+                  Error (path ^ ": digest mismatch: models file torn")
+                else Ok (Marshal.from_string payload 0 : t)
+              end
+          with
+          | End_of_file -> Error (path ^ ": truncated models file")
+          | Failure _ -> Error (path ^ ": malformed models header")
+          | e -> Error (path ^ ": " ^ Printexc.to_string e))
+end
+
+(* ---- session ------------------------------------------------------------- *)
+
+(* Everything a tuning session needs from one --model-store flag: the
+   store itself (possibly empty for a fresh path), the append target,
+   and the pretrained bundle — loaded from <path>.models when a valid
+   one exists, else trained in-memory from the store. *)
+
+type session = {
+  store : t;
+  path : string option;
+  pretrained : Pretrained.t;
+  salvaged : int;  (* malformed store lines skipped at load *)
+  models_error : string option;  (* set when <path>.models was unusable *)
+}
+
+let models_path path = path ^ ".models"
+
+let in_memory ?(pretrained = Pretrained.empty) store =
+  { store; path = None; pretrained; salvaged = 0; models_error = None }
+
+let open_session ?params ~path () =
+  let loaded =
+    if Sys.file_exists path then load_salvage ~path
+    else Ok (create (), 0) (* fresh path: appends will create it *)
+  in
+  match loaded with
+  | Error e -> Error e
+  | Ok (store, salvaged) ->
+    let pretrain () =
+      if size store = 0 then Pretrained.empty else Pretrained.train ?params store
+    in
+    let pretrained, models_error =
+      let mp = models_path path in
+      if Sys.file_exists mp then
+        match Pretrained.load ~path:mp with
+        | Ok p -> (p, None)
+        | Error e -> (pretrain (), Some e) (* fall back to the raw store *)
+      else (pretrain (), None)
+    in
+    Ok { store; path = Some path; pretrained; salvaged; models_error }

@@ -4,6 +4,7 @@ module Step = Ansor_sched.Step
 module Lower = Ansor_sched.Lower
 module Validate = Ansor_sched.Validate
 module Factorize = Ansor_util.Factorize
+module Task_key = Ansor_util.Task_key
 
 let magic = "ansor-registry-v1"
 
@@ -140,48 +141,11 @@ let compact_file ~path =
 (* ---- similarity --------------------------------------------------------- *)
 
 (* Structure class: the task key with concrete sizes blanked — the same
-   grouping the task scheduler uses for its Appendix-A similarity term.
-   Each digit run collapses to one '#', so 512 and 1024 share a class. *)
-let class_key key =
-  let b = Buffer.create (String.length key) in
-  let in_num = ref false in
-  String.iter
-    (fun c ->
-      if c >= '0' && c <= '9' then begin
-        if not !in_num then Buffer.add_char b '#';
-        in_num := true
-      end
-      else begin
-        in_num := false;
-        Buffer.add_char b c
-      end)
-    key;
-  Buffer.contents b
-
-(* Shape features: every concrete size in the key, in order.  Two keys of
-   one structure class always yield equal-length vectors (the non-digit
-   skeleton is identical). *)
-let shape_features key =
-  let feats = ref [] and cur = ref 0 and in_num = ref false in
-  String.iter
-    (fun c ->
-      if c >= '0' && c <= '9' then begin
-        cur := (!cur * 10) + (Char.code c - Char.code '0');
-        in_num := true
-      end
-      else if !in_num then begin
-        feats := !cur :: !feats;
-        cur := 0;
-        in_num := false
-      end)
-    key;
-  if !in_num then feats := !cur :: !feats;
-  List.rev_map (fun n -> log (float_of_int (max 1 n))) !feats
-
-let shape_distance a b =
-  let fa = shape_features a and fb = shape_features b in
-  if List.length fa <> List.length fb then infinity
-  else List.fold_left2 (fun acc x y -> acc +. Float.abs (x -. y)) 0.0 fa fb
+   grouping the task scheduler uses for its Appendix-A similarity term
+   and the model store uses for pretrained-model lookup.  The shared
+   definition lives in Ansor_util.Task_key so the ladders never diverge. *)
+let class_key = Task_key.class_key
+let shape_distance = Task_key.shape_distance
 
 let similar_keys (t : t) ~task_key =
   let cls = class_key task_key in

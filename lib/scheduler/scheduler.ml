@@ -57,10 +57,10 @@ type t = {
 }
 
 (* Structural similarity class: the workload key with concrete sizes
-   blanked out — subgraphs of the same shape family land together. *)
-let class_key task =
-  let key = Task.key task in
-  String.map (fun c -> if c >= '0' && c <= '9' then '#' else c) key
+   blanked out — subgraphs of the same shape family land together.
+   Shared with the registry and the model store (Ansor_util.Task_key),
+   so 512 and 1024 variants of one operator fall in the same class. *)
+let class_key task = Ansor_util.Task_key.class_key (Task.key task)
 
 let create ?native_runner options ~tasks ~networks =
   if Array.length tasks = 0 then invalid_arg "Scheduler.create: no tasks";
@@ -171,6 +171,7 @@ let allocations t = Array.map (fun s -> List.length s.history) t.states
 let best_latency t i = Tuner.best_latency t.states.(i).tuner
 let best_state t i = Tuner.best_state t.states.(i).tuner
 let shared t = t.shr
+let telemetry t i = Service.telemetry t.states.(i).service
 
 let total_trials t =
   Array.fold_left (fun acc s -> acc + Service.trials s.service) 0 t.states

@@ -132,5 +132,10 @@ val curve : t -> (int * float array) list
 
 val shared : t -> Ansor_search.Tuner.Shared.t
 
+val telemetry : t -> int -> Ansor_measure_service.Telemetry.t
+(** Task [i]'s live service telemetry — session-level events (e.g. a
+    model-store warm start) are accounted on task 0's counters so they
+    appear exactly once in the {!stats} aggregate. *)
+
 val objective_value : t -> float
 (** Current value of the configured objective. *)

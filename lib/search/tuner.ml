@@ -1,6 +1,9 @@
 open Ansor_sched
 module Rng = Ansor_util.Rng
+module Gbdt = Ansor_gbdt.Gbdt
 module Cost_model = Ansor_cost_model.Cost_model
+module Model_store = Ansor_model_store.Model_store
+module Mcache = Ansor_measure_service.Cache
 module Score_service = Ansor_cost_model.Score_service
 module Evolution = Ansor_evolution.Evolution
 module Rules = Ansor_sketch.Rules
@@ -81,6 +84,8 @@ let flextensor_options =
   }
 
 module Shared = struct
+  type sink = { store : Model_store.t; sink_path : string option }
+
   type t = {
     mutable model : Cost_model.t;
     mutable records : Cost_model.record list;  (* newest first *)
@@ -88,6 +93,20 @@ module Shared = struct
     mutable generation : int;  (* bumped whenever [model] is replaced *)
     train_every : int;
     max_records : int;
+    (* cross-task warm start (model store) *)
+    mutable warm : Gbdt.t option;
+        (* pretrained base: every retrain fine-tunes from it *)
+    mutable provenance : string;  (* "cold" | "exact" | "class" | "global" *)
+    mutable aux : Cost_model.record list;
+        (* store-derived sibling records folded into every retrain,
+           oldest first; never part of [records] (the session's own) *)
+    own_keys : (string, unit) Hashtbl.t;
+        (* canonical prog hashes this session contributed to the store —
+           the resume path filters them out of [aux] so nothing is
+           trained on twice *)
+    mutable sink : sink option;
+    mutable warm_starts : int;
+    mutable store_added : int;
   }
 
   let create ?(train_every = 1) ?(max_records = 3000) () =
@@ -98,27 +117,118 @@ module Shared = struct
       generation = 0;
       train_every;
       max_records;
+      warm = None;
+      provenance = "cold";
+      aux = [];
+      own_keys = Hashtbl.create 64;
+      sink = None;
+      warm_starts = 0;
+      store_added = 0;
     }
 
   let model t = t.model
   let records t = t.records
   let num_records t = List.length t.records
   let generation t = t.generation
+  let provenance t = t.provenance
+  let is_warm t = t.warm <> None
+  let warm_starts t = t.warm_starts
+  let store_added t = t.store_added
+  let num_aux t = List.length t.aux
+  let has_store t = t.sink <> None
+
+  let attach_store ?path t store = t.sink <- Some { store; sink_path = path }
+
+  (* The full training corpus: the session's own records (capped, newest
+     first) followed by the store-derived sibling records. *)
+  let corpus t =
+    List.filteri (fun i _ -> i < t.max_records) t.records @ t.aux
+
+  let retrain t =
+    t.model <- Cost_model.train ?init:t.warm (corpus t);
+    t.generation <- t.generation + 1
 
   let add_records t recs =
     t.records <- recs @ t.records;
     t.rounds_since_train <- t.rounds_since_train + 1;
     if t.rounds_since_train >= t.train_every && t.records <> [] then begin
-      let capped = List.filteri (fun i _ -> i < t.max_records) t.records in
-      t.model <- Cost_model.train capped;
-      t.generation <- t.generation + 1;
+      retrain t;
       t.rounds_since_train <- 0
     end
+
+  (* Adopt what one --model-store flag resolved to: a warm pretrained
+     model (kept only while still cold — a restored fine-tuned session
+     keeps its provenance) and the store's sibling samples, with this
+     session's own contributions filtered out.  Bumps the generation at
+     most once, so the scoring service invalidates cached scores exactly
+     once; a no-op (empty store, no model) leaves the generation — and
+     therefore all downstream behavior — untouched.  Returns whether a
+     warm start happened. *)
+  let adopt_store t ~warm ~aux =
+    let warmed =
+      match (warm, String.equal t.provenance "cold") with
+      | Some (origin, g), true ->
+        t.warm <- Some g;
+        t.provenance <- origin;
+        t.warm_starts <- t.warm_starts + 1;
+        true
+      | _ -> false
+    in
+    let aux =
+      List.filter
+        (fun (s : Model_store.sample) ->
+          not (Hashtbl.mem t.own_keys s.Model_store.prog_key))
+        aux
+      |> List.map Model_store.to_record
+    in
+    let aux_changed = aux <> t.aux in
+    t.aux <- aux;
+    if corpus t <> [] then begin
+      if warmed || aux_changed then retrain t
+    end
+    else if warmed then begin
+      (* nothing measured yet: score with the pretrained model as-is *)
+      t.model <-
+        (match t.warm with Some g -> Cost_model.of_gbdt g | None -> t.model);
+      t.generation <- t.generation + 1
+    end;
+    warmed
+
+  (* Persist one measured batch: dedup against the attached store (and
+     remember our own hashes), append the new lines to the store file.
+     Returns how many samples were new. *)
+  let record_samples t samples =
+    match t.sink with
+    | None -> 0
+    | Some { store; sink_path } ->
+      List.iter
+        (fun (s : Model_store.sample) ->
+          Hashtbl.replace t.own_keys s.Model_store.prog_key ())
+        samples;
+      let fresh =
+        List.filter
+          (fun (s : Model_store.sample) ->
+            not (Model_store.mem store ~prog_key:s.Model_store.prog_key))
+          samples
+      in
+      let added = Model_store.add_all store fresh in
+      (match sink_path with
+      | Some path -> Model_store.append_batch ~path fresh
+      | None -> ());
+      t.store_added <- t.store_added + added;
+      added
 
   type snapshot = {
     snap_records : Cost_model.record list;
     snap_rounds_since_train : int;
     snap_trained : bool;
+    (* v2 fields: cross-task warm-start state, so a resumed session
+       retrains exactly the model the interrupted one had *)
+    snap_warm : Gbdt.t option;
+    snap_provenance : string;
+    snap_aux : Cost_model.record list;
+    snap_own_keys : string list;
+    snap_warm_starts : int;
   }
 
   let snapshot t =
@@ -126,16 +236,30 @@ module Shared = struct
       snap_records = t.records;
       snap_rounds_since_train = t.rounds_since_train;
       snap_trained = Cost_model.is_trained t.model;
+      snap_warm = t.warm;
+      snap_provenance = t.provenance;
+      snap_aux = t.aux;
+      snap_own_keys =
+        Hashtbl.fold (fun k () acc -> k :: acc) t.own_keys []
+        |> List.sort String.compare;
+      snap_warm_starts = t.warm_starts;
     }
 
   let restore t s =
     t.records <- s.snap_records;
     t.rounds_since_train <- s.snap_rounds_since_train;
+    t.warm <- s.snap_warm;
+    t.provenance <- s.snap_provenance;
+    t.aux <- s.snap_aux;
+    Hashtbl.reset t.own_keys;
+    List.iter (fun k -> Hashtbl.replace t.own_keys k ()) s.snap_own_keys;
+    t.warm_starts <- s.snap_warm_starts;
     t.model <-
-      (if s.snap_trained then
-         let capped = List.filteri (fun i _ -> i < t.max_records) s.snap_records in
-         Cost_model.train capped
-       else Cost_model.empty);
+      (if s.snap_trained then Cost_model.train ?init:t.warm (corpus t)
+       else
+         match t.warm with
+         | Some g -> Cost_model.of_gbdt g
+         | None -> Cost_model.empty);
     t.generation <- t.generation + 1
 end
 
@@ -458,7 +582,7 @@ let round t shared service =
     Service.measure_batch service
       (List.map (fun (st, prog, _, _) -> Protocol.request ~prog st) batch)
   in
-  let records =
+  let ok =
     List.filter_map Fun.id
       (List.map2
          (fun (st, prog, key, _) (res : Protocol.result) ->
@@ -467,7 +591,7 @@ let round t shared service =
            Hashtbl.replace t.measured key ();
            match res.Protocol.latency with
            | Error _ -> None
-           | Ok latency -> (
+           | Ok latency ->
              (match t.best with
              | Some (_, l) when l <= latency -> ()
              | _ -> t.best <- Some (st, latency));
@@ -475,16 +599,37 @@ let round t shared service =
                List.sort (fun (_, a) (_, b) -> compare a b)
                  ((st, latency) :: t.good)
                |> List.filteri (fun i _ -> i < t.options.keep_previous);
-             match
-               Cost_model.record_of_prog ~task_key:(Task.key t.task) ~latency
-                 prog
-             with
-             | r -> Some r
-             | exception Invalid_argument _ -> None))
+             if latency > 0.0 then Some (prog, latency) else None)
          batch results)
   in
+  let records =
+    List.map
+      (fun (prog, latency) ->
+        Cost_model.record_of_prog ~task_key:(Task.key t.task) ~latency prog)
+      ok
+  in
+  (* persist the measured batch to the cross-task store (no-op when no
+     store is attached); the canonical lowered-program hash dedups
+     against every past session *)
+  if Shared.has_store shared then begin
+    let samples =
+      List.map2
+        (fun (prog, latency) (r : Cost_model.record) ->
+          {
+            Model_store.task_key = r.Cost_model.task_key;
+            prog_key = Mcache.key_of_prog t.task.Task.machine prog;
+            latency;
+            features = r.Cost_model.features;
+          })
+        ok records
+    in
+    Telemetry.add_store_samples tm (Shared.record_samples shared samples)
+  end;
+  let gen_before = Shared.generation shared in
   Telemetry.time tm Telemetry.Retrain (fun () ->
       Shared.add_records shared records);
+  if Shared.generation shared > gen_before && Shared.is_warm shared then
+    Telemetry.incr_finetune_rounds tm;
   t.rounds <- t.rounds + 1;
   t.curve_rev <- (Service.trials service, best_latency t) :: t.curve_rev
 

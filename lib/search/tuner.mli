@@ -70,9 +70,57 @@ module Shared : sig
 
   val generation : t -> int
   (** Retrain counter: bumped every time {!model} is replaced (periodic
-      retrains and {!restore}).  The batch scoring service syncs on it to
-      invalidate cached scores exactly once per new model
+      retrains, {!restore}, {!adopt_store}).  The batch scoring service
+      syncs on it to invalidate cached scores exactly once per new model
       ({!Ansor_cost_model.Score_service.sync}). *)
+
+  val attach_store : ?path:string -> t -> Ansor_model_store.Model_store.t -> unit
+  (** Attach a cross-task model store: every measured batch is appended
+      to it (deduplicated by canonical lowered-program hash), and to the
+      file at [path] when given. *)
+
+  val adopt_store :
+    t ->
+    warm:(string * Ansor_gbdt.Gbdt.t) option ->
+    aux:Ansor_model_store.Model_store.sample list ->
+    bool
+  (** Adopt a resolved warm start.  [warm = Some (origin, model)] seeds
+      the cost model with the pretrained GBDT (only while the session is
+      still cold — a restored fine-tuned model keeps its state) and every
+      later retrain fine-tunes from it; [aux] sibling samples from the
+      store join the training corpus (the session's own past
+      contributions are filtered out by hash, so a resumed session never
+      trains on a record twice).  The generation is bumped at most once —
+      cached scores invalidate exactly once, cached features survive —
+      and not at all when there is nothing to adopt, keeping the
+      empty-store session bit-identical to a storeless one.  Returns
+      whether a warm start happened. *)
+
+  val provenance : t -> string
+  (** ["cold"], or the warm model's ladder rung: ["exact"] / ["class"] /
+      ["global"].  Survives snapshot/restore. *)
+
+  val is_warm : t -> bool
+
+  val warm_starts : t -> int
+  (** Warm starts adopted over the session's lifetime (at most one per
+      {!adopt_store} call; {!restore} carries the count over). *)
+
+  val record_samples : t -> Ansor_model_store.Model_store.sample list -> int
+  (** Persist one measured batch to the attached store (no-op without
+      one): the samples' hashes are remembered as this session's own
+      contributions, duplicates already in the store are dropped, and the
+      rest are appended to the store (and its file, when attached with a
+      path).  Returns how many were new.  {!round} calls this for every
+      measured batch. *)
+
+  val store_added : t -> int
+  (** Samples newly persisted to the attached store. *)
+
+  val num_aux : t -> int
+  (** Store-derived sibling records currently in the training corpus. *)
+
+  val has_store : t -> bool
 
   (** Checkpoint image of the shared state: the full training set (newest
       first, order preserved) plus whether a model had been trained.  Pure

@@ -7,6 +7,8 @@ module Prog = Ansor_sched.Prog
 module Simulator = Ansor_machine.Simulator
 module Machine = Ansor_machine.Machine
 module Service = Ansor_measure_service.Service
+module Model_store = Ansor_model_store.Model_store
+module Task_key = Ansor_util.Task_key
 module Lru = Ansor_util.Lru
 module Rng = Ansor_util.Rng
 module Workloads = Ansor_workloads.Workloads
@@ -123,6 +125,9 @@ type t = {
   mutable wall_seconds : float;
   shared : Tuner.Shared.t;
   service : Service.t option;  (* background tuner's measure service *)
+  model_store : Model_store.session option;
+      (* cross-task store: warm-starts the first background retune and
+         receives every batch the tuner measures *)
 }
 
 let validate (c : config) =
@@ -143,7 +148,7 @@ let validate (c : config) =
 
 let shard_of ~shards key = Hashtbl.hash key mod shards
 
-let create ?(config = default_config) ~registry ~machine net =
+let create ?(config = default_config) ?model_store ~registry ~machine net =
   validate config;
   let tasks = Array.of_list (Workloads.net_tasks ~machine net) in
   if Array.length tasks = 0 then invalid_arg "Server.create: network has no layers";
@@ -183,6 +188,15 @@ let create ?(config = default_config) ~registry ~machine net =
              { Service.default_config with num_workers = config.pool_workers }
            ~seed:(config.seed + 77) machine)
   in
+  let shared = Tuner.Shared.create () in
+  (* attach the cross-task store up front so every background round's
+     measured batch is appended; the warm start itself is lazy (first
+     tuner tick — see [tuner_tick]) so it targets the key actually hot *)
+  (match model_store with
+  | Some (ms : Model_store.session) ->
+    Tuner.Shared.attach_store ?path:ms.Model_store.path shared
+      ms.Model_store.store
+  | None -> ());
   {
     config;
     machine;
@@ -203,8 +217,9 @@ let create ?(config = default_config) ~registry ~machine net =
     events_rev = [];
     vtime = 0.0;
     wall_seconds = 0.0;
-    shared = Tuner.Shared.create ();
+    shared;
     service;
+    model_store;
   }
 
 let net t = t.net
@@ -405,6 +420,25 @@ let tuner_tick t =
           live.tuner <- Some tu;
           tu
       in
+      (* warm-start the shared cost model on the first retune: resolve
+         the pretrained ladder for the key actually being retuned and
+         fold in its class's stored samples.  adopt_store bumps the
+         model generation at most once, and only while still cold —
+         later ticks (and later hot keys) fine-tune from here. *)
+      (match t.model_store with
+      | Some ms when String.equal (Tuner.Shared.provenance t.shared) "cold" ->
+        let warm =
+          Option.map
+            (fun (g, o) -> (Model_store.Pretrained.origin_name o, g))
+            (Model_store.Pretrained.resolve ms.Model_store.pretrained
+               ~task_key:live.key)
+        in
+        let aux =
+          Model_store.samples_for_class ms.Model_store.store
+            ~class_key:(Task_key.class_key live.key)
+        in
+        ignore (Tuner.Shared.adopt_store t.shared ~warm ~aux)
+      | _ -> ());
       Tuner.round tuner t.shared service;
       t.tuner_rounds <- t.tuner_rounds + 1;
       if live.candidate = None then
@@ -560,6 +594,8 @@ type stats = {
   rollbacks : int;
   proposals : int;
   tuner_rounds : int;
+  warm_starts : int;
+  store_samples : int;
   sojourn : Histogram.summary;
   service : Histogram.summary;
   shards : shard_stats list;
@@ -620,6 +656,8 @@ let stats t =
     rollbacks = t.rollbacks;
     proposals = t.proposals;
     tuner_rounds = t.tuner_rounds;
+    warm_starts = Tuner.Shared.warm_starts t.shared;
+    store_samples = Tuner.Shared.store_added t.shared;
     sojourn = Histogram.summary t.sojourn;
     service =
       Histogram.summary
@@ -696,14 +734,15 @@ let stats_json (s : stats) =
      \"shed_displaced\": %d, \"quota_rejected\": %d, \"conserved\": %b, \
      \"max_queue_depth\": %d, \"layer_runs\": %d, \"exact\": %d, \"adapted\": \
      %d, \"defaulted\": %d, \"invalidations\": %d, \"promotions\": %d, \
-     \"rollbacks\": %d, \"proposals\": %d, \"tuner_rounds\": %d, \"sojourn\": \
+     \"rollbacks\": %d, \"proposals\": %d, \"tuner_rounds\": %d, \
+     \"warm_starts\": %d, \"store_samples\": %d, \"sojourn\": \
      %s, \"service\": %s, \"shards\": [%s], \"tenants\": [%s], \"events\": \
      [%s], \"vtime\": %.6f, \"wall_seconds\": %.3f}"
     s.offered s.served s.shed s.shed_queue_full s.shed_displaced
     s.quota_rejected (conserved s) s.max_queue_depth s.layer_runs s.exact
     s.adapted s.defaulted s.invalidations s.promotions s.rollbacks s.proposals
-    s.tuner_rounds (summary_json s.sojourn) (summary_json s.service) shards
-    tenants events s.vtime s.wall_seconds
+    s.tuner_rounds s.warm_starts s.store_samples (summary_json s.sojourn)
+    (summary_json s.service) shards tenants events s.vtime s.wall_seconds
 
 let report t =
   let s = stats t in
@@ -744,6 +783,11 @@ let report t =
         promoted, %d rolled back (%d tuner rounds)\n"
        s.exact s.adapted s.defaulted s.proposals s.promotions s.rollbacks
        s.tuner_rounds);
+  if s.warm_starts > 0 || s.store_samples > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "model store: %d warm start(s), %d sample(s) contributed\n"
+         s.warm_starts s.store_samples);
   List.iter
     (fun (e : event) ->
       Buffer.add_string b

@@ -84,11 +84,21 @@ type t
 
 val create :
   ?config:config ->
+  ?model_store:Ansor_model_store.Model_store.session ->
   registry:Ansor_registry.Registry.t ->
   machine:Ansor_machine.Machine.t ->
   Workloads.net ->
   t
 (** Resolves every layer through the registry ladder up front.
+
+    [model_store] attaches a cross-task model store to the background
+    tuner: its first retune warm-starts from the pretrained model the
+    exact -> class -> global ladder resolves for the hot key (plus the
+    key's class samples as auxiliary training data), and every measured
+    batch is appended back to the store — so canary retunes of hot keys
+    begin warm instead of cold.  An empty store leaves the server
+    bit-identical to a storeless one.
+
     @raise Invalid_argument on an empty network or an out-of-range
     config (shards/capacity/workers < 1, canary fraction outside (0,1),
     non-positive tuner interval). *)
@@ -180,6 +190,10 @@ type stats = {
   rollbacks : int;
   proposals : int;
   tuner_rounds : int;
+  warm_starts : int;
+      (** background-tuner warm starts from the attached model store *)
+  store_samples : int;
+      (** measured samples the background tuner contributed to the store *)
   sojourn : Histogram.summary;
       (** accepted-request end-to-end latency, queueing included *)
   service : Histogram.summary;  (** merged per-shard execution latency *)

@@ -1,0 +1,52 @@
+(* Structure-class keys: task keys with concrete sizes blanked out.
+
+   A task key ("machine/workload[dims]") names one exact shape.  Its
+   *structure class* is the key with every digit run collapsed to a
+   single '#', so "matmul[512x512]" and "matmul[1024x1024]" share a
+   class while "conv[...]" does not.  The registry's similarity ladder,
+   the task scheduler's Appendix-A similarity term and the cross-task
+   model store all group by this class; keeping the definition here
+   guarantees the ladders can never diverge. *)
+
+let class_key key =
+  let b = Buffer.create (String.length key) in
+  let in_num = ref false in
+  String.iter
+    (fun c ->
+      if c >= '0' && c <= '9' then begin
+        if not !in_num then Buffer.add_char b '#';
+        in_num := true
+      end
+      else begin
+        in_num := false;
+        Buffer.add_char b c
+      end)
+    key;
+  Buffer.contents b
+
+(* Shape features: every concrete size in the key, in order, as logs.
+   Two keys of one structure class always yield equal-length vectors
+   (the non-digit skeleton is identical). *)
+let shape_features key =
+  let feats = ref [] and cur = ref 0 and in_num = ref false in
+  String.iter
+    (fun c ->
+      if c >= '0' && c <= '9' then begin
+        cur := (!cur * 10) + (Char.code c - Char.code '0');
+        in_num := true
+      end
+      else if !in_num then begin
+        feats := !cur :: !feats;
+        cur := 0;
+        in_num := false
+      end)
+    key;
+  if !in_num then feats := !cur :: !feats;
+  List.rev_map (fun n -> log (float_of_int (max 1 n))) !feats
+
+let shape_distance a b =
+  let fa = shape_features a and fb = shape_features b in
+  if List.length fa <> List.length fb then infinity
+  else List.fold_left2 (fun acc x y -> acc +. Float.abs (x -. y)) 0.0 fa fb
+
+let same_class a b = String.equal (class_key a) (class_key b)

@@ -1,0 +1,18 @@
+(** Structure-class keys shared by the registry's similarity ladder, the
+    task scheduler and the cross-task model store.  A class key is the
+    task key with each digit run collapsed to one ['#'], so two shapes
+    of the same operator skeleton compare equal. *)
+
+val class_key : string -> string
+(** Digit runs collapsed to ['#']: ["mm[512x64]"] -> ["mm[#x#]"]. *)
+
+val shape_features : string -> float list
+(** [log] of every concrete size in the key, in order.  Keys of one
+    structure class always yield equal-length vectors. *)
+
+val shape_distance : string -> string -> float
+(** L1 distance between shape features; [infinity] when the keys have
+    different numbers of sizes (never same-class keys). *)
+
+val same_class : string -> string -> bool
+(** [same_class a b] iff the two keys share a structure class. *)
