@@ -28,11 +28,15 @@ let run () =
         in
         let stats = Ansor.Measure_service.stats service in
         Printf.printf
-          "  %-16s best %8.4f ms (%.1fs, %d racy mutants filtered before \
-           measurement)\n%!"
+          "  %-16s best %8.4f ms (%.1fs, %d unsafe mutants filtered before \
+           measurement, %d bounds-refused, %d certified, %d cert cache \
+           hits)\n%!"
           name
           (Ansor.Tuner.best_latency tuner *. 1e3)
-          elapsed stats.Ansor.Telemetry.statically_rejected;
+          elapsed stats.Ansor.Telemetry.statically_rejected
+          stats.Ansor.Telemetry.bounds_rejected
+          stats.Ansor.Telemetry.certified
+          stats.Ansor.Telemetry.cert_cache_hits;
         (name, Ansor.Tuner.curve tuner, Ansor.Tuner.best_latency tuner))
       variants
   in

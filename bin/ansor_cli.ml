@@ -126,6 +126,10 @@ let service_config ?(backend = Ansor.Measure_protocol.Sim) workers
     timeout = Option.value measure_timeout ~default:infinity;
     batch_deadline = Option.value batch_deadline ~default:infinity;
     backend;
+    (* ANSOR_BOUNDS_CHECK=1 emits guarded kernels (clean abort on any
+       out-of-range access), which makes measuring certifier-Unknown
+       programs acceptable; without it the native gate refuses them. *)
+    allow_unproven = Ansor.Measure_native.guard_requested ();
   }
 
 (* Graceful interruption: SIGINT/SIGTERM set a flag the tuning loop polls
@@ -826,7 +830,17 @@ let lint_cmd =
     let doc = "Emit machine-readable JSON instead of text." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run op index batch machine_name seed logs registry_path sample json =
+  let bounds_arg =
+    let doc =
+      "Run the memory-safety certifier on every program: affine bounds \
+       proofs with constructive out-of-bounds witnesses (error severity, \
+       witness rendered) and the def-use uninitialized-read pass (warning \
+       severity).  On by default; $(b,--bounds=false) disables."
+    in
+    Arg.(value & opt bool true & info [ "bounds" ] ~doc)
+  in
+  let run op index batch machine_name seed logs registry_path sample json
+      bounds =
     if logs = [] && registry_path = None && sample = None then
       or_die (Error "lint: nothing to analyze (use --from, --registry or --sample)");
     let machine = or_die (lookup_machine machine_name) in
@@ -851,7 +865,10 @@ let lint_cmd =
         fmt
     in
     let lint_prog ~label config prog =
-      targets := (label, Ansor.Analysis.analyze ~config prog) :: !targets
+      let verdict = if bounds then Some (Ansor.Bounds.certify prog) else None in
+      targets :=
+        (label, verdict, Ansor.Analysis.analyze ~config ~bounds prog)
+        :: !targets
     in
     let lint_entry ~what (e : Ansor.Record.entry) =
       match Hashtbl.find_opt (Lazy.force index_tbl) e.task_key with
@@ -904,7 +921,7 @@ let lint_cmd =
     let targets = List.rev !targets in
     let count sev =
       List.fold_left
-        (fun acc (_, ds) ->
+        (fun acc (_, _, ds) ->
           acc
           + List.length
               (List.filter (fun d -> d.Ansor.Diagnostic.severity = sev) ds))
@@ -913,30 +930,71 @@ let lint_cmd =
     let errors = count Ansor.Diagnostic.Error in
     let warns = count Ansor.Diagnostic.Warn in
     let infos = count Ansor.Diagnostic.Info in
+    let certified, unsafe, unproven =
+      List.fold_left
+        (fun (c, u, k) (_, verdict, _) ->
+          match verdict with
+          | Some Ansor.Bounds.Certified -> (c + 1, u, k)
+          | Some (Ansor.Bounds.Unsafe _) -> (c, u + 1, k)
+          | Some Ansor.Bounds.Unknown -> (c, u, k + 1)
+          | None -> (c, u, k))
+        (0, 0, 0) targets
+    in
     if json then
       Printf.printf
         "{\"targets\":[%s],\"analyzed\":%d,\"skipped\":%d,\"errors\":%d,\
-         \"warnings\":%d,\"infos\":%d}\n"
+         \"warnings\":%d,\"infos\":%d%s}\n"
         (String.concat ","
            (List.map
-              (fun (label, ds) ->
-                Printf.sprintf "{\"name\":\"%s\",\"diagnostics\":%s}"
+              (fun (label, verdict, ds) ->
+                let bounds_fields =
+                  match verdict with
+                  | None -> ""
+                  | Some v ->
+                    let witness =
+                      match v with
+                      | Ansor.Bounds.Unsafe w ->
+                        Printf.sprintf ",\"witness\":%s"
+                          (Ansor.Bounds.witness_to_json w)
+                      | _ -> ""
+                    in
+                    Printf.sprintf ",\"bounds_verdict\":\"%s\"%s"
+                      (Ansor.Bounds.verdict_name v)
+                      witness
+                in
+                Printf.sprintf "{\"name\":\"%s\"%s,\"diagnostics\":%s}"
                   (Ansor.Diagnostic.json_escape label)
+                  bounds_fields
                   (Ansor.Diagnostic.list_to_json ds))
               targets))
         (List.length targets) !skipped errors warns infos
+        (if bounds then
+           Printf.sprintf
+             ",\"bounds\":{\"certified\":%d,\"unsafe\":%d,\"unknown\":%d}"
+             certified unsafe unproven
+         else "")
     else begin
       List.iter
-        (fun (label, ds) ->
-          if ds <> [] then begin
+        (fun (label, verdict, ds) ->
+          if
+            ds <> []
+            || match verdict with Some (Ansor.Bounds.Unsafe _) -> true | _ -> false
+          then begin
             Printf.printf "%s:\n" label;
+            (match verdict with
+            | Some (Ansor.Bounds.Unsafe w) ->
+              Printf.printf "  bounds verdict: unsafe — %s\n"
+                (Ansor.Bounds.witness_to_string w)
+            | Some Ansor.Bounds.Unknown ->
+              Printf.printf "  bounds verdict: unknown (not proved safe)\n"
+            | _ -> ());
             List.iter
               (fun d -> Printf.printf "  %s\n" (Ansor.Diagnostic.to_string d))
               ds
           end)
         targets;
       Printf.printf "%d program%s analyzed (%d skipped): %d error%s, %d \
-                     warning%s, %d hint%s\n"
+                     warning%s, %d hint%s%s\n"
         (List.length targets)
         (if List.length targets = 1 then "" else "s")
         !skipped errors
@@ -945,18 +1003,24 @@ let lint_cmd =
         (if warns = 1 then "" else "s")
         infos
         (if infos = 1 then "" else "s")
+        (if bounds then
+           Printf.sprintf "; bounds: %d certified, %d unsafe, %d unproven"
+             certified unsafe unproven
+         else "")
     end;
     if errors > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
-         "Statically analyze schedules (race detector + linter) from a \
-          tuning log, a registry, or fresh samples; exits non-zero on any \
-          error-severity diagnostic.")
+         "Statically analyze schedules (race detector + memory-safety \
+          certifier + linter) from a tuning log, a registry, or fresh \
+          samples; exits non-zero on any error-severity diagnostic \
+          (provable races and witness-backed out-of-bounds accesses are \
+          errors; unproven bounds and uninitialized reads are warnings).")
     Term.(
       const run $ op_arg $ index_arg $ batch_arg $ machine_arg $ seed_arg
-      $ from_arg $ registry_arg $ sample_arg $ json_arg)
+      $ from_arg $ registry_arg $ sample_arg $ json_arg $ bounds_arg)
 
 (* ---- model: the cross-task model store ---------------------------------- *)
 

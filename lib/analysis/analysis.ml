@@ -11,12 +11,20 @@ let default_config = Lint.default_config
 
 let races = Races.check
 let lint = Lint.check
+let certify = Bounds.certify
+let bounds = Bounds.diagnostics
+let defuse = Defuse.check
 
-let static_checks prog = Validate.check prog @ Races.check prog
+let static_checks prog =
+  Validate.check prog @ Races.check prog @ Bounds.diagnostics prog
 
 let static_errors prog = Diagnostic.errors (static_checks prog)
 
 let race_free prog = not (Diagnostic.has_errors (Races.check prog))
 
-let analyze ?(config = default_config) prog =
-  Diagnostic.sort (static_checks prog @ Lint.check config prog)
+let analyze ?(config = default_config) ?(bounds = true) prog =
+  let base = Validate.check prog @ Races.check prog @ Lint.check config prog in
+  let extra =
+    if bounds then Bounds.diagnostics prog @ Defuse.check prog else []
+  in
+  Diagnostic.sort (base @ extra)

@@ -17,10 +17,12 @@ type payload =
 type image = { meta : meta; payload : payload }
 
 (* v2: Shared.snapshot gained the cross-task warm-start fields
-   (pretrained base model, store-derived records, provenance).  The
-   version lives in the magic line, so a v1 snapshot from an older
-   binary is rejected cleanly instead of misparsed by Marshal. *)
-let version = 2
+   (pretrained base model, store-derived records, provenance).
+   v3: Telemetry.stats gained the memory-safety certification counters
+   (bounds_rejected / certified / cert_cache_hits).  The version lives
+   in the magic line, so a snapshot from an older binary is rejected
+   cleanly instead of misparsed by Marshal. *)
+let version = 3
 
 let magic = Printf.sprintf "ansor-snapshot-v%d" version
 

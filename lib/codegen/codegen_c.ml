@@ -57,10 +57,27 @@ static inline int imin(int a, int b) { return a < b ? a : b; }
 static inline int imax(int a, int b) { return a > b ? a : b; }
 |}
 
+(* Guarded-mode helper (ANSOR_BOUNDS_CHECK=1): every flattened offset
+   passes through [ansor_ck], which aborts with a diagnostic instead of
+   touching memory out of bounds.  Requires <stdio.h> and <stdlib.h> in
+   the TU. *)
+let guard_helpers =
+  {|static inline int ansor_ck(int i, int n, const char *buf) {
+  if (i < 0 || i >= n) {
+    fprintf(stderr, "ansor: out-of-bounds access to %s: index %d not in [0, %d)\n",
+            buf, i, n);
+    fflush(stderr);
+    abort();
+  }
+  return i;
+}
+|}
+
 type ctx = {
   buf_id : string -> string;
   var_id : string -> string;
   shapes : (string * int list) list;
+  guard : bool;
 }
 
 let rec emit_iexpr ctx (e : Expr.iexpr) =
@@ -114,7 +131,16 @@ let emit_offset ctx tensor indices =
     (match fold shape indices None with Some s -> s | None -> "0")
 
 let emit_access ctx tensor indices =
-  Printf.sprintf "%s[%s]" (ctx.buf_id tensor) (emit_offset ctx tensor indices)
+  let offset = emit_offset ctx tensor indices in
+  if ctx.guard then
+    let size =
+      match List.assoc_opt tensor ctx.shapes with
+      | Some shape -> List.fold_left ( * ) 1 shape
+      | None -> 1
+    in
+    Printf.sprintf "%s[ansor_ck(%s, %d, \"%s\")]" (ctx.buf_id tensor) offset
+      size (sanitize tensor)
+  else Printf.sprintf "%s[%s]" (ctx.buf_id tensor) offset
 
 let rec emit_expr ctx (e : Expr.t) =
   match e with
@@ -195,7 +221,7 @@ let emit_items ctx buf items =
 
 let buffer_size shape = List.fold_left ( * ) 1 shape
 
-let make_ctx (prog : Prog.t) =
+let make_ctx ?(guard = false) (prog : Prog.t) =
   let buf_names = params prog in
   let var_names = make_names (loop_vars prog) in
   {
@@ -210,10 +236,11 @@ let make_ctx (prog : Prog.t) =
         | Some id -> id
         | None -> sanitize v);
     shapes = prog.buffers;
+    guard;
   }
 
-let emit_kernel_fn ?(static_fn = false) ~name (prog : Prog.t) =
-  let ctx = make_ctx prog in
+let emit_kernel_fn ?(static_fn = false) ?(guard = false) ~name (prog : Prog.t) =
+  let ctx = make_ctx ~guard prog in
   let buf = Buffer.create 4096 in
   let param_list =
     String.concat ", "
@@ -248,8 +275,15 @@ let emit_kernel_fn ?(static_fn = false) ~name (prog : Prog.t) =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let emit_kernel ?(name = "kernel") (prog : Prog.t) =
-  "#include <math.h>\n\n" ^ helpers ^ "\n" ^ emit_kernel_fn ~name prog
+let emit_kernel ?(name = "kernel") ?(guard = false) (prog : Prog.t) =
+  let includes =
+    if guard then "#include <math.h>\n#include <stdio.h>\n#include <stdlib.h>\n\n"
+    else "#include <math.h>\n\n"
+  in
+  includes ^ helpers
+  ^ (if guard then guard_helpers else "")
+  ^ "\n"
+  ^ emit_kernel_fn ~guard ~name prog
 
 let emit_test_main (prog : Prog.t) ~inputs =
   let names = params prog in
@@ -338,12 +372,13 @@ let bench_inputs (prog : Prog.t) =
 let bench_main_help =
   "  /* usage: <exe> KERNEL_INDEX [time REPEAT WARMUP | dump] */\n"
 
-let emit_bench_tu (progs : Prog.t list) =
+let emit_bench_tu ?(guard = false) (progs : Prog.t list) =
   let buf = Buffer.create 65536 in
   Buffer.add_string buf
     "#include <math.h>\n#include <stdio.h>\n#include <stdlib.h>\n\
      #include <string.h>\n#include <time.h>\n\n";
   Buffer.add_string buf helpers;
+  if guard then Buffer.add_string buf guard_helpers;
   Buffer.add_string buf
     {|static void fill(float *a, int n, unsigned s) {
   for (int i = 0; i < n; i++) {
@@ -361,7 +396,8 @@ static double now_sec(void) {
   List.iteri
     (fun i prog ->
       Buffer.add_string buf
-        (emit_kernel_fn ~static_fn:true ~name:(Printf.sprintf "k%d" i) prog);
+        (emit_kernel_fn ~static_fn:true ~guard ~name:(Printf.sprintf "k%d" i)
+           prog);
       Buffer.add_char buf '\n')
     progs;
   (* one runner per kernel: allocate + deterministically fill the buffers,

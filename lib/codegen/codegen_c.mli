@@ -40,25 +40,38 @@ val params : Prog.t -> (string * string) list
 (** [(buffer name, C identifier)] for every buffer, in parameter order
     (program buffer order), with collision-free identifiers. *)
 
-val emit_kernel : ?name:string -> Prog.t -> string
+val emit_kernel : ?name:string -> ?guard:bool -> Prog.t -> string
 (** The kernel function (plus the division helpers), as a compilable C
-    fragment. [name] defaults to ["kernel"]. *)
+    fragment. [name] defaults to ["kernel"].  [guard] (default false)
+    emits bounds-guarded accesses (see {!guard_helpers}). *)
 
-val emit_kernel_fn : ?static_fn:bool -> name:string -> Prog.t -> string
+val emit_kernel_fn :
+  ?static_fn:bool -> ?guard:bool -> name:string -> Prog.t -> string
 (** Just the kernel function, without includes or helpers — for callers
     assembling multi-kernel translation units (emit {!helpers} once, then
     one [emit_kernel_fn] per kernel).  [static_fn] gives the function
-    internal linkage. *)
+    internal linkage.  With [guard] every access's flattened offset is
+    routed through the [ansor_ck] range check (emit {!guard_helpers} in
+    the TU). *)
 
 val helpers : string
 (** The shared integer-division/min/max helper block every kernel relies
     on; emit exactly once per translation unit. *)
 
+val guard_helpers : string
+(** The [ansor_ck] branch-and-abort range-check helper used by guarded
+    kernels ([ANSOR_BOUNDS_CHECK=1]): an out-of-bounds flattened offset
+    prints the buffer name and offending index to stderr and [abort()]s
+    before touching memory — defense-in-depth for programs the static
+    certifier could not prove safe, and the crash signal the sanitizer
+    differential oracle keys on.  Needs [<stdio.h>]/[<stdlib.h>]; emit
+    once per TU, after {!helpers}. *)
+
 val input_buffers : Prog.t -> (string * int list) list
 (** The program's input buffers — those it never stores to (and never
     reduction-initializes) — with their shapes, in buffer order. *)
 
-val emit_bench_tu : Prog.t list -> string
+val emit_bench_tu : ?guard:bool -> Prog.t list -> string
 (** One self-contained benchmark translation unit over N kernels — the
     native measurement backend's batch-compilation hot path (one gcc
     invocation amortizes process spawn and header parsing over the whole

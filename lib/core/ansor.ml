@@ -15,6 +15,8 @@ module Access = Ansor_sched.Access
 module Validate = Ansor_sched.Validate
 module Diagnostic = Ansor_sched.Diagnostic
 module Analysis = Ansor_analysis.Analysis
+module Bounds = Ansor_analysis.Bounds
+module Defuse = Ansor_analysis.Defuse
 module Interp = Ansor_interp.Interp
 module Codegen_c = Ansor_codegen.Codegen_c
 module Deploy = Ansor_codegen.Deploy

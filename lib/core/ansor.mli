@@ -35,6 +35,8 @@ module Access = Ansor_sched.Access
 module Validate = Ansor_sched.Validate
 module Diagnostic = Ansor_sched.Diagnostic
 module Analysis = Ansor_analysis.Analysis
+module Bounds = Ansor_analysis.Bounds
+module Defuse = Ansor_analysis.Defuse
 module Interp = Ansor_interp.Interp
 module Codegen_c = Ansor_codegen.Codegen_c
 module Deploy = Ansor_codegen.Deploy
@@ -218,7 +220,8 @@ val tune_networks_with_stats :
 
 val verify_state : State.t -> (unit, string) result
 (** Checks a scheduled program two ways: statically
-    ({!Analysis.static_errors} — bounds validation plus the data-race
-    detector, any size) and dynamically against the naive evaluation of
+    ({!Analysis.static_errors} — bounds validation, the data-race
+    detector, and the memory-safety certifier's out-of-bounds witness
+    search, any size) and dynamically against the naive evaluation of
     its DAG on random inputs — the system-wide soundness oracle.  The
     dynamic check executes the program, so keep shapes small. *)

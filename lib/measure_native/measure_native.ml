@@ -9,10 +9,26 @@ type config = {
   repeat : int;
   chunk : int;
   cflags : string list;
+  guard : bool;
 }
 
+(* ANSOR_BOUNDS_CHECK=1 turns on guarded codegen session-wide: every
+   emitted access aborts cleanly on an out-of-range offset instead of
+   corrupting the harness.  Pair it with the service's [allow_unproven]
+   so certifier-[Unknown] programs can still be measured. *)
+let guard_requested () =
+  match Sys.getenv_opt "ANSOR_BOUNDS_CHECK" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some _ | None -> false
+
 let default_config =
-  { warmup = 1; repeat = 3; chunk = 8; cflags = Toolchain.native_flags }
+  {
+    warmup = 1;
+    repeat = 3;
+    chunk = 8;
+    cflags = Toolchain.native_flags;
+    guard = guard_requested ();
+  }
 
 let available = Toolchain.available
 
@@ -130,7 +146,7 @@ let runner ?(config = default_config) () :
         in
         let compile (c, members) =
           let progs = Array.to_list (Array.map snd members) in
-          let src = Codegen_c.emit_bench_tu progs in
+          let src = Codegen_c.emit_bench_tu ~guard:config.guard progs in
           let exe =
             match
               Toolchain.compile_string ~flags:config.cflags ~dir

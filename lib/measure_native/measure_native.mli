@@ -31,9 +31,18 @@ type config = {
   repeat : int;  (** timed runs; the minimum is reported (default 3) *)
   chunk : int;  (** kernels per translation unit (default 8) *)
   cflags : string list;  (** default {!Ansor_codegen.Toolchain.native_flags} *)
+  guard : bool;
+      (** emit bounds-guarded kernels (branch-and-abort per access; see
+          {!Ansor_codegen.Codegen_c.guard_helpers}) — defense-in-depth
+          when measuring certifier-[Unknown] programs.  Default:
+          {!guard_requested}. *)
 }
 
 val default_config : config
+
+val guard_requested : unit -> bool
+(** Whether [ANSOR_BOUNDS_CHECK] is set to [1]/[true]/[yes]/[on] in the
+    environment — the session-wide switch for guarded codegen. *)
 
 val available : unit -> bool
 (** Whether the system C compiler works here (memoized probe) — gate

@@ -10,11 +10,7 @@ let key_of_prog ?(backend = Protocol.Sim) (machine : Ansor_machine.Machine.t)
      simulator lookup (or vice versa), even through a shared cache file.
      Sim keys keep the historical unprefixed form so caches persisted by
      older sessions stay valid. *)
-  let payload =
-    Marshal.to_string
-      (prog.Ansor_sched.Prog.items, prog.buffers, prog.inits)
-      [ Marshal.No_sharing ]
-  in
+  let payload = Ansor_sched.Prog.canonical_payload prog in
   let tag =
     match backend with
     | Protocol.Sim -> ""

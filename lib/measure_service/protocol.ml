@@ -3,12 +3,14 @@ open Ansor_sched
 type failure =
   | Build_error of string
   | Compile_error of string
+  | Bounds_error of string
   | Run_error of string
   | Timeout
 
 let pp_failure fmt = function
   | Build_error msg -> Format.fprintf fmt "build error: %s" msg
   | Compile_error msg -> Format.fprintf fmt "compile error: %s" msg
+  | Bounds_error msg -> Format.fprintf fmt "bounds error: %s" msg
   | Run_error msg -> Format.fprintf fmt "run error: %s" msg
   | Timeout -> Format.pp_print_string fmt "timeout"
 

@@ -11,6 +11,11 @@
       emitted kernel.  Deterministic — recompiling the same source cannot
       succeed — so it is {e never} retried and, like {!Build_error},
       consumes no trials;
+    - {!Bounds_error}: the memory-safety certifier refused to let the
+      native backend compile the program (an [Unsafe] out-of-bounds
+      witness, or [Unknown] without guarded codegen).  Deterministic
+      like {!Compile_error}: never retried, zero trials, and never
+      cached as a latency;
     - {!Run_error}: the backend failed while "executing" the program
       (injected by the fault hook, a non-finite simulator estimate, or a
       crashed native binary); transient by assumption, so the service
@@ -23,6 +28,7 @@ open Ansor_sched
 type failure =
   | Build_error of string
   | Compile_error of string
+  | Bounds_error of string
   | Run_error of string
   | Timeout
 

@@ -12,6 +12,7 @@ type config = {
   noise : float;
   validate : bool;
   backend : Protocol.backend;
+  allow_unproven : bool;
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     noise = 0.03;
     validate = false;
     backend = Protocol.Sim;
+    allow_unproven = false;
   }
 
 type fault_hook = key:string -> attempt:int -> Protocol.failure option
@@ -135,9 +137,40 @@ let measure_candidate ?deadline t key prog =
 
 type prepared =
   | Broken of string  (* did not lower / failed validation *)
+  | Uncertified of string * string  (* key, refused by the bounds gate *)
   | Hit of string * float  (* already in the cache *)
   | First of string * Prog.t  (* cache miss, first occurrence in the batch *)
   | Dup of string  (* cache miss, duplicate of an earlier First *)
+
+(* The memory-safety gate in front of the native backend: gcc-compiled
+   candidates run in this process, so an [Unsafe] program (constructive
+   out-of-bounds witness) is refused outright, and an [Unknown] one is
+   refused unless the caller opted into guarded codegen
+   ([allow_unproven] — the generated kernel then aborts cleanly on the
+   first violation instead of corrupting the harness).  The refusal is
+   deterministic, so like a compile error it is never retried, consumes
+   zero trials, and is checked {e before} the dedup cache: a latency
+   recorded for an out-of-bounds program is garbage even when some past
+   session managed to record one.  Verdicts are memoized process-wide by
+   canonical program hash, so re-certifying the populations evolution
+   already filtered is a table lookup. *)
+let certification_gate t prog =
+  match t.config.backend with
+  | Protocol.Sim -> None
+  | Protocol.Native ->
+    let verdict, hit = Ansor_analysis.Bounds.certify' prog in
+    Telemetry.add_certification t.telemetry ~hit;
+    (match verdict with
+    | Ansor_analysis.Bounds.Certified -> None
+    | Ansor_analysis.Bounds.Unsafe w ->
+      Some (Ansor_analysis.Bounds.witness_to_string w)
+    | Ansor_analysis.Bounds.Unknown ->
+      if t.config.allow_unproven then None
+      else
+        Some
+          "bounds not proved (certifier verdict: unknown); enable guarded \
+           codegen (allow_unproven + ANSOR_BOUNDS_CHECK=1) to measure \
+           anyway")
 
 let prepare t seen_in_batch (req : Protocol.request) =
   let lowered =
@@ -159,14 +192,17 @@ let prepare t seen_in_batch (req : Protocol.request) =
     | d :: _ -> Broken (Format.asprintf "%a" Diagnostic.pp d)
     | [] -> (
       let key = Cache.key_of_prog ~backend:t.config.backend t.machine prog in
-      match Cache.find t.cache key with
-      | Some latency -> Hit (key, latency)
-      | None ->
-        if Hashtbl.mem seen_in_batch key then Dup key
-        else begin
-          Hashtbl.replace seen_in_batch key ();
-          First (key, prog)
-        end))
+      match certification_gate t prog with
+      | Some msg -> Uncertified (key, msg)
+      | None -> (
+        match Cache.find t.cache key with
+        | Some latency -> Hit (key, latency)
+        | None ->
+          if Hashtbl.mem seen_in_batch key then Dup key
+          else begin
+            Hashtbl.replace seen_in_batch key ();
+            First (key, prog)
+          end)))
 
 let measure_batch t reqs =
   Telemetry.time t.telemetry Telemetry.Measure (fun () ->
@@ -179,7 +215,7 @@ let measure_batch t reqs =
           (Array.to_list prepared
           |> List.filter_map (function
                | First (key, prog) -> Some (key, prog)
-               | Broken _ | Hit _ | Dup _ -> None))
+               | Broken _ | Uncertified _ | Hit _ | Dup _ -> None))
       in
       let deadline =
         if t.config.batch_deadline = infinity then None
@@ -247,6 +283,17 @@ let measure_batch t reqs =
               cache_hit = false;
               attempts = 0;
               key = "";
+            }
+          in
+          Telemetry.record_result t.telemetry ~attempts:0 r.Protocol.latency;
+          r
+        | Uncertified (key, msg) ->
+          let r : Protocol.result =
+            {
+              latency = Error (Protocol.Bounds_error msg);
+              cache_hit = false;
+              attempts = 0;
+              key;
             }
           in
           Telemetry.record_result t.telemetry ~attempts:0 r.Protocol.latency;

@@ -48,11 +48,20 @@ type config = {
           hands the whole miss set to the injected {!native_runner} (gcc
           compile + wall-clock timing).  Cache keys are backend-tagged, so
           the two backends never serve each other's entries. *)
+  allow_unproven : bool;
+      (** let the native backend measure programs the memory-safety
+          certifier could not prove safe ([Unknown] verdicts).  Off by
+          default; only enable together with guarded codegen
+          ([ANSOR_BOUNDS_CHECK=1]), which turns a latent out-of-bounds
+          access into a clean abort instead of harness corruption.
+          [Unsafe] programs (constructive witness) are refused
+          regardless. *)
 }
 
 val default_config : config
 (** 1 worker, no timeout, no batch deadline, 2 retries, no backoff delay,
-    noise 0.03, no validation, [Sim] backend. *)
+    noise 0.03, no validation, [Sim] backend, unproven programs
+    refused. *)
 
 type fault_hook = key:string -> attempt:int -> Protocol.failure option
 (** Fault injection for tests: consulted before each backend run with the
@@ -112,7 +121,13 @@ val trials : t -> int
 val measure_batch : t -> Protocol.request list -> Protocol.result list
 (** Measures a batch: exactly one classified result per request, in request
     order.  Duplicate programs inside the batch are measured once and the
-    copies served as cache hits. *)
+    copies served as cache hits.
+
+    With the [Native] backend every candidate first passes the
+    memory-safety gate: programs the bounds certifier finds [Unsafe] (or
+    [Unknown], unless {!config.allow_unproven}) come back as
+    {!Protocol.Bounds_error} — deterministic, never retried, zero
+    trials, nothing compiled or cached. *)
 
 val measure_state : t -> State.t -> Protocol.result
 (** Single-candidate convenience. *)

@@ -31,6 +31,9 @@ type stats = {
   retries : int;
   batches : int;
   statically_rejected : int;
+  bounds_rejected : int;
+  certified : int;
+  cert_cache_hits : int;
   warm_starts : int;
   store_samples : int;
   finetune_rounds : int;
@@ -58,6 +61,9 @@ let empty_stats =
     retries = 0;
     batches = 0;
     statically_rejected = 0;
+    bounds_rejected = 0;
+    certified = 0;
+    cert_cache_hits = 0;
     warm_starts = 0;
     store_samples = 0;
     finetune_rounds = 0;
@@ -87,6 +93,9 @@ let total stats =
         retries = acc.retries + s.retries;
         batches = acc.batches + s.batches;
         statically_rejected = acc.statically_rejected + s.statically_rejected;
+        bounds_rejected = acc.bounds_rejected + s.bounds_rejected;
+        certified = acc.certified + s.certified;
+        cert_cache_hits = acc.cert_cache_hits + s.cert_cache_hits;
         warm_starts = acc.warm_starts + s.warm_starts;
         store_samples = acc.store_samples + s.store_samples;
         finetune_rounds = acc.finetune_rounds + s.finetune_rounds;
@@ -107,8 +116,8 @@ let total stats =
     empty_stats stats
 
 let results s =
-  s.measured + s.cache_hits + s.build_errors + s.compile_errors + s.run_errors
-  + s.timeouts
+  s.measured + s.cache_hits + s.build_errors + s.compile_errors
+  + s.bounds_rejected + s.run_errors + s.timeouts
 
 let score_speedup s =
   if s.score_wall_seconds > 0.0 then s.score_work_seconds /. s.score_wall_seconds
@@ -118,11 +127,13 @@ let summary s =
   let counters =
     Printf.sprintf
       "trials=%d ok=%d cache=%d build_err=%d compile_err=%d run_err=%d \
-       timeout=%d retries=%d static_rej=%d native_cc=%d score_hit=%d \
-       score_miss=%d score_speedup=%.2fx"
+       timeout=%d retries=%d static_rej=%d bounds_rej=%d certified=%d \
+       cert_cache=%d native_cc=%d score_hit=%d score_miss=%d \
+       score_speedup=%.2fx"
       s.trials s.measured s.cache_hits s.build_errors s.compile_errors
       s.run_errors s.timeouts s.retries s.statically_rejected
-      s.native_compiles s.score_hits s.score_misses (score_speedup s)
+      s.bounds_rejected s.certified s.cert_cache_hits s.native_compiles
+      s.score_hits s.score_misses (score_speedup s)
   in
   let timers =
     String.concat " "
@@ -141,7 +152,8 @@ let to_json s =
     "{\"trials\":%d,\"measured\":%d,\"cache_hits\":%d,\"build_errors\":%d,\
      \"compile_errors\":%d,\
      \"run_errors\":%d,\"timeouts\":%d,\"retries\":%d,\"batches\":%d,\
-     \"statically_rejected\":%d,\"warm_starts\":%d,\
+     \"statically_rejected\":%d,\"bounds_rejected\":%d,\
+     \"certified\":%d,\"cert_cache_hits\":%d,\"warm_starts\":%d,\
      \"store_samples\":%d,\"finetune_rounds\":%d,\
      \"native_compiles\":%d,\
      \"native_kernels\":%d,\"backoff_seconds\":%.6f,\
@@ -151,6 +163,7 @@ let to_json s =
      \"phase_seconds\":{%s}}"
     s.trials s.measured s.cache_hits s.build_errors s.compile_errors
     s.run_errors s.timeouts s.retries s.batches s.statically_rejected
+    s.bounds_rejected s.certified s.cert_cache_hits
     s.warm_starts s.store_samples s.finetune_rounds
     s.native_compiles s.native_kernels s.backoff_seconds s.score_hits
     s.score_misses s.score_evictions s.score_batches s.score_wall_seconds
@@ -167,6 +180,9 @@ type t = {
   mutable retries : int;
   mutable batches : int;
   mutable statically_rejected : int;
+  mutable bounds_rejected : int;
+  mutable certified : int;
+  mutable cert_cache_hits : int;
   mutable warm_starts : int;
   mutable store_samples : int;
   mutable finetune_rounds : int;
@@ -194,6 +210,9 @@ let create () =
     retries = 0;
     batches = 0;
     statically_rejected = 0;
+    bounds_rejected = 0;
+    certified = 0;
+    cert_cache_hits = 0;
     warm_starts = 0;
     store_samples = 0;
     finetune_rounds = 0;
@@ -220,6 +239,9 @@ let reset t =
   t.retries <- 0;
   t.batches <- 0;
   t.statically_rejected <- 0;
+  t.bounds_rejected <- 0;
+  t.certified <- 0;
+  t.cert_cache_hits <- 0;
   t.warm_starts <- 0;
   t.store_samples <- 0;
   t.finetune_rounds <- 0;
@@ -246,6 +268,9 @@ let stats t =
     retries = t.retries;
     batches = t.batches;
     statically_rejected = t.statically_rejected;
+    bounds_rejected = t.bounds_rejected;
+    certified = t.certified;
+    cert_cache_hits = t.cert_cache_hits;
     warm_starts = t.warm_starts;
     store_samples = t.store_samples;
     finetune_rounds = t.finetune_rounds;
@@ -274,6 +299,9 @@ let restore t (s : stats) =
   t.retries <- s.retries;
   t.batches <- s.batches;
   t.statically_rejected <- s.statically_rejected;
+  t.bounds_rejected <- s.bounds_rejected;
+  t.certified <- s.certified;
+  t.cert_cache_hits <- s.cert_cache_hits;
   t.warm_starts <- s.warm_starts;
   t.store_samples <- s.store_samples;
   t.finetune_rounds <- s.finetune_rounds;
@@ -308,6 +336,8 @@ let record_result t ?(attempts = 1) ?(cache_hit = false) latency =
     | Error (Protocol.Build_error _) -> t.build_errors <- t.build_errors + 1
     | Error (Protocol.Compile_error _) ->
       t.compile_errors <- t.compile_errors + 1
+    | Error (Protocol.Bounds_error _) ->
+      t.bounds_rejected <- t.bounds_rejected + 1
     | Error (Protocol.Run_error _) -> t.run_errors <- t.run_errors + 1
     | Error Protocol.Timeout -> t.timeouts <- t.timeouts + 1
 
@@ -315,6 +345,12 @@ let add_backoff t seconds = t.backoff_seconds <- t.backoff_seconds +. seconds
 
 let incr_statically_rejected t =
   t.statically_rejected <- t.statically_rejected + 1
+
+(* Certification events observed by the service's native gate: [hit]
+   distinguishes memo-table hits from fresh certifications. *)
+let add_certification t ~hit =
+  if hit then t.cert_cache_hits <- t.cert_cache_hits + 1
+  else t.certified <- t.certified + 1
 
 let incr_warm_starts t = t.warm_starts <- t.warm_starts + 1
 let add_store_samples t n = t.store_samples <- t.store_samples + n

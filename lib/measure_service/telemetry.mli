@@ -28,6 +28,15 @@ type stats = {
   statically_rejected : int;
       (** evolution mutants discarded by the static race detector before
           ever reaching the measurement backend *)
+  bounds_rejected : int;
+      (** candidates the memory-safety certifier refused to hand to the
+          native backend ([Bounds_error]: an out-of-bounds witness, or an
+          unproven program without guarded codegen) *)
+  certified : int;
+      (** fresh certifications performed by the native gate (memo-table
+          misses; every verdict class counts) *)
+  cert_cache_hits : int;
+      (** native-gate certifications served from the verdict memo table *)
   warm_starts : int;
       (** cost models seeded from a pretrained model-store bundle instead
           of starting cold *)
@@ -103,6 +112,10 @@ val incr_batches : t -> unit
 
 val incr_statically_rejected : t -> unit
 (** One evolution mutant rejected by the pre-measurement static filter. *)
+
+val add_certification : t -> hit:bool -> unit
+(** One certification event at the native gate: a memo-table hit
+    ([~hit:true]) or a fresh run of the bounds certifier. *)
 
 val incr_warm_starts : t -> unit
 (** One cost model seeded from a pretrained store model. *)

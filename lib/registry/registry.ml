@@ -264,12 +264,16 @@ let outcome_to_string = function
 
 let pp_outcome fmt o = Format.pp_print_string fmt (outcome_to_string o)
 
-(* The serving bar: the state must lower, pass static validation, and
-   carry no provable data race.  Interpreting it would be exact but
-   shape-bounded; the static checks work at any size (see
-   lib/sched/validate.mli and lib/analysis) — essential for
-   similarity-adapted schedules, whose replayed histories were never
-   measured on this exact shape. *)
+(* The serving bar: the state must lower, pass static validation, carry
+   no provable data race, and certify memory-safe ([static_errors]
+   includes the affine bounds certifier, so a schedule whose accesses
+   carry a constructive out-of-bounds witness is never served).
+   Interpreting it would be exact but shape-bounded; the static checks
+   work at any size (see lib/sched/validate.mli and lib/analysis) —
+   essential for similarity-adapted schedules, whose replayed histories
+   were never measured on this exact shape and whose tile re-fitting
+   rescales extents: every adapted lowering is re-certified here before
+   it reaches a caller. *)
 let lowers_validated st =
   match Lower.lower st with
   | exception _ -> false

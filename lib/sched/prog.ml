@@ -39,6 +39,18 @@ let num_stmts t =
 
 let buffer_size shape = List.fold_left ( * ) 1 shape
 
+(* Canonical structural identity of a lowered program: the loops,
+   statements, buffers and initializations — independent of the step
+   history that produced them.  This byte string is the shared currency
+   of every program-keyed cache in the system: the measurement dedup
+   cache and the score service prefix it with machine/backend, the
+   memory-safety certifier hashes it bare (certification is
+   machine-independent). *)
+let canonical_payload t =
+  Marshal.to_string (t.items, t.buffers, t.inits) [ Marshal.No_sharing ]
+
+let canonical_hash t = Digest.to_hex (Digest.string (canonical_payload t))
+
 let pp fmt t =
   let rec pp_item indent = function
     | Loop l ->

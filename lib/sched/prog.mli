@@ -46,6 +46,19 @@ val iter_stmts : t -> (loop list -> stmt -> unit) -> unit
 val buffer_size : int list -> int
 (** Number of elements of a buffer of the given shape (1 for scalars). *)
 
+val canonical_payload : t -> string
+(** Marshalled structural content (items, buffers, inits) — the canonical
+    identity every program-keyed cache builds its key from.  Two programs
+    with identical loop nests, statements, buffers and initializations
+    share a payload regardless of the step histories that produced
+    them. *)
+
+val canonical_hash : t -> string
+(** Hex digest of {!canonical_payload}; the machine-independent program
+    key used by the memory-safety certifier's memo table.  The
+    measurement cache's key ({!Ansor_measure_service.Cache.key_of_prog})
+    is the same payload prefixed with backend and machine. *)
+
 val pp : Format.formatter -> t -> unit
 (** Paper-style pretty printing ("parallel i.0@j.0 in range(256): ..."). *)
 

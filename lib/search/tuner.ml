@@ -6,6 +6,7 @@ module Model_store = Ansor_model_store.Model_store
 module Mcache = Ansor_measure_service.Cache
 module Score_service = Ansor_cost_model.Score_service
 module Evolution = Ansor_evolution.Evolution
+module Bounds = Ansor_analysis.Bounds
 module Rules = Ansor_sketch.Rules
 module Gen = Ansor_sketch.Gen
 module Sampler = Ansor_sketch.Sampler
@@ -455,6 +456,28 @@ let candidates t shared scorer tm =
       Telemetry.time tm Telemetry.Sample (fun () ->
           Sampler.sample t.rng t.policy dag ~sketches:t.sketches
             ~n:t.options.sample_size)
+    in
+    (* Memory-safety pre-filter: a sample whose lowering carries a
+       constructive out-of-bounds witness never reaches scoring or
+       measurement.  Sketch sampling is safe-by-construction, so on a
+       healthy rule set this filter is a no-op (bit-identical search);
+       it exists to contain a buggy sketch/annotation rule the moment
+       one is introduced.  Verdicts are memoized by canonical program
+       hash, so the later scoring/measurement of survivors re-uses
+       them.  [Unknown] is kept: the certifier's witness search is
+       bounded, and the native gate re-decides with its own policy. *)
+    let fresh =
+      List.filter
+        (fun s ->
+          match Lower.lower s with
+          | exception State.Illegal _ -> true (* measure path classifies *)
+          | prog -> (
+            match Bounds.certify prog with
+            | Bounds.Unsafe _ ->
+              Telemetry.incr_statically_rejected tm;
+              false
+            | Bounds.Certified | Bounds.Unknown -> true))
+        fresh
     in
     if use_evolution && Cost_model.is_trained model then begin
       let seeds =

@@ -45,6 +45,20 @@ let test_sketches () =
   check_bool "shows sketch steps" true (contains out "split(");
   check_bool "shows computation" true (contains out "placeholder")
 
+let test_lint_bounds () =
+  require_cli ();
+  let code, out = run_cli "lint -o GMM --sample 2 --seed 3 --json" in
+  check_int "exit 0" 0 code;
+  check_bool "per-target bounds verdict" true
+    (contains out {|"bounds_verdict":"certified"|});
+  check_bool "bounds summary block" true (contains out {|"bounds":{|});
+  check_bool "no unsafe programs" true (contains out {|"unsafe":0|});
+  let code, out =
+    run_cli "lint -o GMM --sample 2 --seed 3 --bounds=false --json"
+  in
+  check_int "exit 0 with certifier off" 0 code;
+  check_bool "verdicts absent when disabled" false (contains out "bounds_verdict")
+
 let test_tune_and_replay () =
   require_cli ();
   let log = Filename.temp_file "ansor_cli" ".log" in
@@ -182,6 +196,7 @@ let () =
         [
           case "machines" test_machines;
           case "sketches" test_sketches;
+          case "lint --bounds" test_lint_bounds;
           case "tune --save / replay" test_tune_and_replay;
           case "tune --curve" test_tune_curve;
           case "argument validation" test_bad_arguments;
