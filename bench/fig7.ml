@@ -7,6 +7,11 @@ open Common
 let variants =
   [
     ("Ansor (ours)", Ansor.Tuner.ansor_options);
+    ( "Ansor + descent",
+      {
+        Ansor.Tuner.ansor_options with
+        Ansor.Tuner.descent = Some Ansor.Descent.default_config;
+      } );
     ("Beam search", Ansor.Tuner.beam_options);
     ("No fine-tuning", Ansor.Tuner.no_finetune_options);
     ("Limited space", Ansor.Tuner.limited_options);
@@ -37,6 +42,26 @@ let run () =
           stats.Ansor.Telemetry.bounds_rejected
           stats.Ansor.Telemetry.certified
           stats.Ansor.Telemetry.cert_cache_hits;
+        (* every phase timer — including the descent phase — so the
+           attribution sums to the search time *)
+        let phase_sum =
+          List.fold_left
+            (fun acc (_, s) -> acc +. s)
+            0.0 stats.Ansor.Telemetry.phase_seconds
+        in
+        Printf.printf "    phases (sum %.1fs):%s\n%!" phase_sum
+          (String.concat ""
+             (List.map
+                (fun (p, s) -> Printf.sprintf " %s %.1fs" p s)
+                stats.Ansor.Telemetry.phase_seconds));
+        if stats.Ansor.Telemetry.descent_sweeps > 0 then
+          Printf.printf
+            "    descent: %d sweeps, %d trials, %d improving, %d plateau \
+             stops\n%!"
+            stats.Ansor.Telemetry.descent_sweeps
+            stats.Ansor.Telemetry.descent_trials
+            stats.Ansor.Telemetry.descent_improvements
+            stats.Ansor.Telemetry.descent_plateau_stops;
         (name, Ansor.Tuner.curve tuner, Ansor.Tuner.best_latency tuner))
       variants
   in

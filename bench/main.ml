@@ -25,6 +25,7 @@ let experiments =
     ("costmodel", "Batch cost-model scoring throughput", Costmodel.run);
     ("native", "Native backend: batch compilation throughput", Native.run);
     ("transfer", "Cross-task transfer: warm vs cold tuning", Transfer.run);
+    ("descent", "Exploitation descent: evolution vs evolution+descent", Descent.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

@@ -341,6 +341,45 @@ let save_arg =
   let doc = "Append the best record to this tuning-log file." in
   Arg.(value & opt (some string) None & info [ "save" ] ~doc)
 
+let descent_arg =
+  let doc =
+    "Finish with the coordinate-descent exploitation stage: once evolution \
+     plateaus (or half the trial budget is spent), greedily line-search the \
+     incumbent's split/unroll/annotation coordinates under the cost model, \
+     measure only the per-coordinate winners, and stop on a measured plateau."
+  in
+  Arg.(value & flag & info [ "descent" ] ~doc)
+
+let descent_plateau_arg =
+  let doc =
+    "Descent stop patience: consecutive non-improving measured sweeps before \
+     the stage ends (default 2; implies $(b,--descent))."
+  in
+  Arg.(value & opt (some int) None & info [ "descent-plateau" ] ~docv:"K" ~doc)
+
+let descent_options descent descent_plateau options =
+  match (descent, descent_plateau) with
+  | false, None -> options
+  | _ ->
+    let cfg = Ansor.Descent.default_config in
+    let cfg =
+      match descent_plateau with
+      | Some k -> { cfg with Ansor.Descent.plateau_sweeps = max 1 k }
+      | None -> cfg
+    in
+    { options with Ansor.Tuner.descent = Some cfg }
+
+let print_descent_stats (stats : Ansor.Telemetry.stats) =
+  if stats.Ansor.Telemetry.descent_sweeps > 0 then
+    Printf.printf
+      "descent: %d sweeps, %d trials, %d improving sweeps%s\n"
+      stats.Ansor.Telemetry.descent_sweeps
+      stats.Ansor.Telemetry.descent_trials
+      stats.Ansor.Telemetry.descent_improvements
+      (if stats.Ansor.Telemetry.descent_plateau_stops > 0 then
+         ", stopped on plateau"
+       else "")
+
 let curve_arg =
   let doc = "Plot the best-latency-vs-trials curve." in
   Arg.(value & flag & info [ "curve" ] ~doc)
@@ -348,11 +387,13 @@ let curve_arg =
 let tune_cmd =
   let run op index batch machine trials seed strategy save curve workers
       measure_timeout batch_deadline backend stats_json snapshot resume
-      stop_after_rounds model_store =
+      stop_after_rounds model_store descent descent_plateau =
     or_die (check_resume_flags resume snapshot);
     let case = or_die (case_of op index batch) in
     let machine = or_die (lookup_machine machine) in
-    let options = or_die (lookup_strategy strategy) in
+    let options =
+      descent_options descent descent_plateau (or_die (lookup_strategy strategy))
+    in
     let backend = or_die (lookup_backend backend) in
     let cache = load_cache save in
     let model_store = open_model_store model_store in
@@ -370,6 +411,7 @@ let tune_cmd =
       case.case_name machine.name strategy result.trials_used
       (result.best_latency *. 1e3);
     Printf.printf "telemetry: %s\n" (Ansor.Telemetry.summary result.stats);
+    print_descent_stats result.stats;
     emit_json ~what:"telemetry" stats_json (tune_stats_json result);
     if curve then print_string (Ansor.Ascii_plot.render_latency_curve result.curve);
     (match result.best_state with
@@ -402,7 +444,7 @@ let tune_cmd =
       $ seed_arg $ strategy_arg $ save_arg $ curve_arg $ workers_arg
       $ measure_timeout_arg $ batch_deadline_arg $ backend_arg
       $ stats_json_arg $ snapshot_arg $ resume_arg $ stop_after_rounds_arg
-      $ model_store_arg)
+      $ model_store_arg $ descent_arg $ descent_plateau_arg)
 
 let replay_cmd =
   let from_arg =

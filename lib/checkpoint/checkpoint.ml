@@ -19,10 +19,12 @@ type image = { meta : meta; payload : payload }
 (* v2: Shared.snapshot gained the cross-task warm-start fields
    (pretrained base model, store-derived records, provenance).
    v3: Telemetry.stats gained the memory-safety certification counters
-   (bounds_rejected / certified / cert_cache_hits).  The version lives
-   in the magic line, so a snapshot from an older binary is rejected
-   cleanly instead of misparsed by Marshal. *)
-let version = 3
+   (bounds_rejected / certified / cert_cache_hits).
+   v4: Tuner.Snapshot gained the exploitation-descent cursor and
+   plateau-detector state; Telemetry.stats gained the descent counters.
+   The version lives in the magic line, so a snapshot from an older
+   binary is rejected cleanly instead of misparsed by Marshal. *)
+let version = 4
 
 let magic = Printf.sprintf "ansor-snapshot-v%d" version
 

@@ -43,6 +43,7 @@ module Sampler = Ansor_sketch.Sampler
 module Evolution = Ansor_evolution.Evolution
 module Task = Ansor_search.Task
 module Tuner = Ansor_search.Tuner
+module Descent = Ansor_search.Descent
 module Record = Ansor_search.Record
 module Task_key = Ansor_util.Task_key
 module Model_store = Ansor_model_store.Model_store

@@ -73,6 +73,7 @@ module Sampler = Ansor_sketch.Sampler
 module Evolution = Ansor_evolution.Evolution
 module Task = Ansor_search.Task
 module Tuner = Ansor_search.Tuner
+module Descent = Ansor_search.Descent
 module Record = Ansor_search.Record
 module Scheduler = Ansor_scheduler.Scheduler
 

@@ -420,3 +420,28 @@ let evolve ?on_reject ?scorer rng config policy dag ~model ~init ~out =
   Hashtbl.fold (fun _ (st, f) acc -> { state = st; fitness = f } :: acc) best []
   |> List.sort (fun a b -> compare b.fitness a.fitness)
   |> List.filteri (fun i _ -> i < out)
+
+(* Plateau detector: the trigger signal for the exploitation descent
+   stage.  Purely observational — the tuner feeds it the best-so-far
+   latency after each evolutionary round and a stall is reported once
+   [patience] consecutive observations fail to improve it. *)
+module Plateau = struct
+  type t = { patience : int; mutable best : float; mutable stall : int }
+
+  let create ~patience =
+    { patience = max 1 patience; best = infinity; stall = 0 }
+
+  let observe t best_latency =
+    if best_latency < t.best then begin
+      t.best <- best_latency;
+      t.stall <- 0
+    end
+    else t.stall <- t.stall + 1;
+    t.stall >= t.patience
+
+  let stalled t = t.stall >= t.patience
+  let stall t = t.stall
+
+  let restore ~patience ~best ~stall =
+    { patience = max 1 patience; best; stall = max 0 stall }
+end

@@ -111,3 +111,37 @@ val crossover :
 val node_of_stage : string -> string
 (** Maps derived stage names (["C.local"], ["C.rf"]) back to their DAG
     node (["C"]): the granularity of crossover. *)
+
+val verify :
+  ?on_reject:(unit -> unit) -> Dag.t -> Step.t list -> State.t option
+(** Replays an edited history ([fill:Keep]), checks it lowers, and
+    statically rejects programs the race detector proves wrong —
+    evolution's own offspring gate, exposed so the coordinate-descent
+    stage sends its neighbors through the identical filter.  [on_reject]
+    fires only for static-analysis rejections. *)
+
+val consumer_stages : Step.t list -> string list
+(** Stages whose splits are re-derived from a producer ([Compute_at]
+    targets); their split steps must not be edited directly. *)
+
+(** Evolution-plateau detector: the trigger signal for the exploitation
+    descent stage.  [observe] is fed the tuner's best-so-far latency
+    after each evolutionary round; it returns — and [stalled] keeps
+    reporting — [true] once [patience] consecutive observations fail to
+    strictly improve it. *)
+module Plateau : sig
+  type t
+
+  val create : patience:int -> t
+
+  val observe : t -> float -> bool
+  (** Feed one post-round best latency; [true] if now stalled. *)
+
+  val stalled : t -> bool
+
+  val stall : t -> int
+  (** Consecutive non-improving observations so far (for snapshots). *)
+
+  val restore : patience:int -> best:float -> stall:int -> t
+  (** Rebuilds the detector from snapshot state. *)
+end

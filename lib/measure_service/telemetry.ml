@@ -1,6 +1,15 @@
-type phase = Sample | Evolve | Model_rank | Measure | Retrain | Compile | Native_run
+type phase =
+  | Sample
+  | Evolve
+  | Model_rank
+  | Measure
+  | Retrain
+  | Compile
+  | Native_run
+  | Descent
 
-let phases = [| Sample; Evolve; Model_rank; Measure; Retrain; Compile; Native_run |]
+let phases =
+  [| Sample; Evolve; Model_rank; Measure; Retrain; Compile; Native_run; Descent |]
 
 let phase_index = function
   | Sample -> 0
@@ -10,6 +19,7 @@ let phase_index = function
   | Retrain -> 4
   | Compile -> 5
   | Native_run -> 6
+  | Descent -> 7
 
 let phase_name = function
   | Sample -> "sample"
@@ -19,6 +29,7 @@ let phase_name = function
   | Retrain -> "retrain"
   | Compile -> "compile"
   | Native_run -> "native_run"
+  | Descent -> "descent"
 
 type stats = {
   trials : int;
@@ -39,6 +50,10 @@ type stats = {
   finetune_rounds : int;
   native_compiles : int;
   native_kernels : int;
+  descent_trials : int;
+  descent_sweeps : int;
+  descent_improvements : int;
+  descent_plateau_stops : int;
   backoff_seconds : float;
   score_hits : int;
   score_misses : int;
@@ -69,6 +84,10 @@ let empty_stats =
     finetune_rounds = 0;
     native_compiles = 0;
     native_kernels = 0;
+    descent_trials = 0;
+    descent_sweeps = 0;
+    descent_improvements = 0;
+    descent_plateau_stops = 0;
     backoff_seconds = 0.0;
     score_hits = 0;
     score_misses = 0;
@@ -101,6 +120,11 @@ let total stats =
         finetune_rounds = acc.finetune_rounds + s.finetune_rounds;
         native_compiles = acc.native_compiles + s.native_compiles;
         native_kernels = acc.native_kernels + s.native_kernels;
+        descent_trials = acc.descent_trials + s.descent_trials;
+        descent_sweeps = acc.descent_sweeps + s.descent_sweeps;
+        descent_improvements = acc.descent_improvements + s.descent_improvements;
+        descent_plateau_stops =
+          acc.descent_plateau_stops + s.descent_plateau_stops;
         backoff_seconds = acc.backoff_seconds +. s.backoff_seconds;
         score_hits = acc.score_hits + s.score_hits;
         score_misses = acc.score_misses + s.score_misses;
@@ -128,11 +152,12 @@ let summary s =
     Printf.sprintf
       "trials=%d ok=%d cache=%d build_err=%d compile_err=%d run_err=%d \
        timeout=%d retries=%d static_rej=%d bounds_rej=%d certified=%d \
-       cert_cache=%d native_cc=%d score_hit=%d score_miss=%d \
+       cert_cache=%d native_cc=%d descent=%d/%d score_hit=%d score_miss=%d \
        score_speedup=%.2fx"
       s.trials s.measured s.cache_hits s.build_errors s.compile_errors
       s.run_errors s.timeouts s.retries s.statically_rejected
       s.bounds_rejected s.certified s.cert_cache_hits s.native_compiles
+      s.descent_trials s.descent_improvements
       s.score_hits s.score_misses (score_speedup s)
   in
   let timers =
@@ -156,7 +181,9 @@ let to_json s =
      \"certified\":%d,\"cert_cache_hits\":%d,\"warm_starts\":%d,\
      \"store_samples\":%d,\"finetune_rounds\":%d,\
      \"native_compiles\":%d,\
-     \"native_kernels\":%d,\"backoff_seconds\":%.6f,\
+     \"native_kernels\":%d,\"descent_trials\":%d,\"descent_sweeps\":%d,\
+     \"descent_improvements\":%d,\"descent_plateau_stops\":%d,\
+     \"backoff_seconds\":%.6f,\
      \"score_hits\":%d,\"score_misses\":%d,\"score_evictions\":%d,\
      \"score_batches\":%d,\"score_wall_seconds\":%.6f,\
      \"score_work_seconds\":%.6f,\"score_parallel_speedup\":%.6f,\
@@ -165,7 +192,8 @@ let to_json s =
     s.run_errors s.timeouts s.retries s.batches s.statically_rejected
     s.bounds_rejected s.certified s.cert_cache_hits
     s.warm_starts s.store_samples s.finetune_rounds
-    s.native_compiles s.native_kernels s.backoff_seconds s.score_hits
+    s.native_compiles s.native_kernels s.descent_trials s.descent_sweeps
+    s.descent_improvements s.descent_plateau_stops s.backoff_seconds s.score_hits
     s.score_misses s.score_evictions s.score_batches s.score_wall_seconds
     s.score_work_seconds (score_speedup s) phase_fields
 
@@ -188,6 +216,10 @@ type t = {
   mutable finetune_rounds : int;
   mutable native_compiles : int;
   mutable native_kernels : int;
+  mutable descent_trials : int;
+  mutable descent_sweeps : int;
+  mutable descent_improvements : int;
+  mutable descent_plateau_stops : int;
   mutable backoff_seconds : float;
   mutable score_hits : int;
   mutable score_misses : int;
@@ -218,6 +250,10 @@ let create () =
     finetune_rounds = 0;
     native_compiles = 0;
     native_kernels = 0;
+    descent_trials = 0;
+    descent_sweeps = 0;
+    descent_improvements = 0;
+    descent_plateau_stops = 0;
     backoff_seconds = 0.0;
     score_hits = 0;
     score_misses = 0;
@@ -247,6 +283,10 @@ let reset t =
   t.finetune_rounds <- 0;
   t.native_compiles <- 0;
   t.native_kernels <- 0;
+  t.descent_trials <- 0;
+  t.descent_sweeps <- 0;
+  t.descent_improvements <- 0;
+  t.descent_plateau_stops <- 0;
   t.backoff_seconds <- 0.0;
   t.score_hits <- 0;
   t.score_misses <- 0;
@@ -276,6 +316,10 @@ let stats t =
     finetune_rounds = t.finetune_rounds;
     native_compiles = t.native_compiles;
     native_kernels = t.native_kernels;
+    descent_trials = t.descent_trials;
+    descent_sweeps = t.descent_sweeps;
+    descent_improvements = t.descent_improvements;
+    descent_plateau_stops = t.descent_plateau_stops;
     backoff_seconds = t.backoff_seconds;
     score_hits = t.score_hits;
     score_misses = t.score_misses;
@@ -307,6 +351,10 @@ let restore t (s : stats) =
   t.finetune_rounds <- s.finetune_rounds;
   t.native_compiles <- s.native_compiles;
   t.native_kernels <- s.native_kernels;
+  t.descent_trials <- s.descent_trials;
+  t.descent_sweeps <- s.descent_sweeps;
+  t.descent_improvements <- s.descent_improvements;
+  t.descent_plateau_stops <- s.descent_plateau_stops;
   t.backoff_seconds <- s.backoff_seconds;
   t.score_hits <- s.score_hits;
   t.score_misses <- s.score_misses;
@@ -359,6 +407,18 @@ let incr_finetune_rounds t = t.finetune_rounds <- t.finetune_rounds + 1
 let add_native_compiles t ~compiles ~kernels =
   t.native_compiles <- t.native_compiles + compiles;
   t.native_kernels <- t.native_kernels + kernels
+
+(* One completed descent sweep: [trials] is the Service.trials delta its
+   winner batch consumed (so descent trials are counted once, inside the
+   global budget), [improved] whether the measured sweep beat the
+   incumbent. *)
+let add_descent_sweep t ~trials ~improved =
+  t.descent_sweeps <- t.descent_sweeps + 1;
+  t.descent_trials <- t.descent_trials + trials;
+  if improved then t.descent_improvements <- t.descent_improvements + 1
+
+let incr_descent_plateau_stops t =
+  t.descent_plateau_stops <- t.descent_plateau_stops + 1
 let incr_batches t = t.batches <- t.batches + 1
 
 let add_score_probe t ~hit =

@@ -8,7 +8,15 @@
     (sample / evolve / model-rank / measure / retrain), answering "where
     does round time go". *)
 
-type phase = Sample | Evolve | Model_rank | Measure | Retrain | Compile | Native_run
+type phase =
+  | Sample
+  | Evolve
+  | Model_rank
+  | Measure
+  | Retrain
+  | Compile
+  | Native_run
+  | Descent
 
 val phase_name : phase -> string
 
@@ -50,6 +58,15 @@ type stats = {
   native_kernels : int;
       (** kernels submitted to those invocations; [native_kernels /
           native_compiles] is the realized batching factor *)
+  descent_trials : int;
+      (** measurement trials consumed by coordinate-descent winner batches
+          (a subset of [trials], never double-counted) *)
+  descent_sweeps : int;  (** coordinate sweeps executed by the descent stage *)
+  descent_improvements : int;
+      (** descent sweeps whose measured winners improved the incumbent *)
+  descent_plateau_stops : int;
+      (** descent stages terminated by the measured-plateau rule (k
+          non-improving sweeps) *)
   backoff_seconds : float;  (** total retry backoff delay *)
   score_hits : int;
       (** batch-scoring candidates served from the feature/score cache
@@ -129,6 +146,15 @@ val incr_finetune_rounds : t -> unit
 val add_native_compiles : t -> compiles:int -> kernels:int -> unit
 (** Accounts one native batch's compilation fan-out: [compiles] gcc
     invocations covering [kernels] kernels. *)
+
+val add_descent_sweep : t -> trials:int -> improved:bool -> unit
+(** Accounts one completed coordinate-descent sweep: the [Service.trials]
+    delta its winner batch consumed (so descent trials stay inside the
+    global budget and are counted exactly once) and whether the measured
+    winners improved the incumbent. *)
+
+val incr_descent_plateau_stops : t -> unit
+(** One descent stage terminated by the measured-plateau stop rule. *)
 
 val score_speedup : stats -> float
 (** Realized parallel speedup of the scoring fan-out

@@ -28,6 +28,8 @@ type options = {
   keep_previous : int;
   template_annotation : bool;
       (* freeze the annotation policy the way manual templates do *)
+  descent : Descent.config option;
+      (* coordinate-descent exploitation finisher; None = disabled *)
 }
 
 let default_evolution =
@@ -42,6 +44,7 @@ let ansor_options =
     eps_random = 0.1;
     keep_previous = 12;
     template_annotation = false;
+    descent = None;
   }
 
 let no_finetune_options =
@@ -279,7 +282,18 @@ type t = {
   mutable good : (State.t * float) list;  (* ascending latency *)
   mutable curve_rev : (int * float) list;
   mutable rounds : int;
+  mutable plateau : Evolution.Plateau.t;
+      (* evolution-plateau detector: the descent trigger signal *)
+  mutable descent : Descent.cursor option;
+      (* Some while an exploitation stage is active (or just finished);
+         a finished cursor is replaced when a fresh evolution plateau
+         re-triggers the stage on the improved incumbent *)
 }
+
+let plateau_patience (options : options) =
+  match options.descent with
+  | Some (c : Descent.config) -> c.Descent.stall_rounds
+  | None -> Descent.default_config.Descent.stall_rounds
 
 let create ?(seed = 0) ?(warm_start = []) options task =
   let rules =
@@ -313,6 +327,8 @@ let create ?(seed = 0) ?(warm_start = []) options task =
     good = List.map (fun st -> (st, infinity)) seeds;
     curve_rev = [];
     rounds = 0;
+    plateau = Evolution.Plateau.create ~patience:(plateau_patience options);
+    descent = None;
   }
 
 module Snapshot = struct
@@ -324,6 +340,10 @@ module Snapshot = struct
     good : (Step.t list * float) list;
     measured_keys : string list;
     curve : (int * float) list;
+    (* v4 fields: exploitation-descent state, so a --resume replays
+       mid-descent deterministically *)
+    descent : Descent.cursor option;
+    plateau_stall : int;
   }
 end
 
@@ -338,6 +358,8 @@ let snapshot t =
       Hashtbl.fold (fun k () acc -> k :: acc) t.measured []
       |> List.sort String.compare;
     curve = List.rev t.curve_rev;
+    descent = t.descent;
+    plateau_stall = Evolution.Plateau.stall t.plateau;
   }
 
 let restore t (s : Snapshot.t) =
@@ -358,6 +380,12 @@ let restore t (s : Snapshot.t) =
     Hashtbl.reset t.measured;
     List.iter (fun k -> Hashtbl.replace t.measured k ()) s.Snapshot.measured_keys;
     t.curve_rev <- List.rev s.Snapshot.curve;
+    t.descent <- s.Snapshot.descent;
+    t.plateau <-
+      Evolution.Plateau.restore
+        ~patience:(plateau_patience t.options)
+        ~best:(match t.best with Some (_, l) -> l | None -> infinity)
+        ~stall:s.Snapshot.plateau_stall;
     Ok ()
   end
 
@@ -528,7 +556,67 @@ let scorer_of t service =
     t.scorer <- Some sc;
     sc
 
-let round t shared service =
+(* Measure a prepared batch of [(state, prog, key)] and absorb the
+   classified results: remember every key in the dedup set, update
+   best/good, persist the measured samples to the cross-task store, add
+   the records to the shared training set and maybe retrain.  The tail
+   of every round — both the evolutionary path and the descent sweeps
+   feed their winners through this single funnel. *)
+let absorb_batch t shared service tm batch =
+  let results =
+    Service.measure_batch service
+      (List.map (fun (st, prog, _) -> Protocol.request ~prog st) batch)
+  in
+  let ok =
+    List.filter_map Fun.id
+      (List.map2
+         (fun (st, prog, key) (res : Protocol.result) ->
+           (* every candidate got a classified result; failed ones are
+              remembered so the tuner never re-proposes them *)
+           Hashtbl.replace t.measured key ();
+           match res.Protocol.latency with
+           | Error _ -> None
+           | Ok latency ->
+             (match t.best with
+             | Some (_, l) when l <= latency -> ()
+             | _ -> t.best <- Some (st, latency));
+             t.good <-
+               List.sort (fun (_, a) (_, b) -> compare a b)
+                 ((st, latency) :: t.good)
+               |> List.filteri (fun i _ -> i < t.options.keep_previous);
+             if latency > 0.0 then Some (prog, latency) else None)
+         batch results)
+  in
+  let records =
+    List.map
+      (fun (prog, latency) ->
+        Cost_model.record_of_prog ~task_key:(Task.key t.task) ~latency prog)
+      ok
+  in
+  (* persist the measured batch to the cross-task store (no-op when no
+     store is attached); the canonical lowered-program hash dedups
+     against every past session *)
+  if Shared.has_store shared then begin
+    let samples =
+      List.map2
+        (fun (prog, latency) (r : Cost_model.record) ->
+          {
+            Model_store.task_key = r.Cost_model.task_key;
+            prog_key = Mcache.key_of_prog t.task.Task.machine prog;
+            latency;
+            features = r.Cost_model.features;
+          })
+        ok records
+    in
+    Telemetry.add_store_samples tm (Shared.record_samples shared samples)
+  end;
+  let gen_before = Shared.generation shared in
+  Telemetry.time tm Telemetry.Retrain (fun () ->
+      Shared.add_records shared records);
+  if Shared.generation shared > gen_before && Shared.is_warm shared then
+    Telemetry.incr_finetune_rounds tm
+
+let evolution_round t shared service =
   let tm = Service.telemetry service in
   let model = Shared.model shared in
   let scorer = scorer_of t service in
@@ -601,60 +689,117 @@ let round t shared service =
         end)
       (greedy @ eps_pick)
   in
-  let results =
-    Service.measure_batch service
-      (List.map (fun (st, prog, _, _) -> Protocol.request ~prog st) batch)
-  in
-  let ok =
-    List.filter_map Fun.id
-      (List.map2
-         (fun (st, prog, key, _) (res : Protocol.result) ->
-           (* every candidate got a classified result; failed ones are
-              remembered so the tuner never re-proposes them *)
-           Hashtbl.replace t.measured key ();
-           match res.Protocol.latency with
-           | Error _ -> None
-           | Ok latency ->
-             (match t.best with
-             | Some (_, l) when l <= latency -> ()
-             | _ -> t.best <- Some (st, latency));
-             t.good <-
-               List.sort (fun (_, a) (_, b) -> compare a b)
-                 ((st, latency) :: t.good)
-               |> List.filteri (fun i _ -> i < t.options.keep_previous);
-             if latency > 0.0 then Some (prog, latency) else None)
-         batch results)
-  in
-  let records =
-    List.map
-      (fun (prog, latency) ->
-        Cost_model.record_of_prog ~task_key:(Task.key t.task) ~latency prog)
-      ok
-  in
-  (* persist the measured batch to the cross-task store (no-op when no
-     store is attached); the canonical lowered-program hash dedups
-     against every past session *)
-  if Shared.has_store shared then begin
-    let samples =
-      List.map2
-        (fun (prog, latency) (r : Cost_model.record) ->
-          {
-            Model_store.task_key = r.Cost_model.task_key;
-            prog_key = Mcache.key_of_prog t.task.Task.machine prog;
-            latency;
-            features = r.Cost_model.features;
-          })
-        ok records
-    in
-    Telemetry.add_store_samples tm (Shared.record_samples shared samples)
-  end;
-  let gen_before = Shared.generation shared in
-  Telemetry.time tm Telemetry.Retrain (fun () ->
-      Shared.add_records shared records);
-  if Shared.generation shared > gen_before && Shared.is_warm shared then
-    Telemetry.incr_finetune_rounds tm;
+  absorb_batch t shared service tm
+    (List.map (fun (st, prog, key, _) -> (st, prog, key)) batch);
   t.rounds <- t.rounds + 1;
   t.curve_rev <- (Service.trials service, best_latency t) :: t.curve_rev
+
+(* One exploitation-descent round = one coordinate sweep: propose and
+   line-search under the pooled scorer (the [Descent] phase timer),
+   measure the per-coordinate winners through the ordinary batch funnel
+   (so dedup cache, classification, store persistence and retraining all
+   apply unchanged), then fold the measured outcome back into the
+   cursor.  Consumes no RNG, so the surrounding search stream is exactly
+   what it would be without the stage. *)
+let descent_round t shared service (cfg : Descent.config)
+    (cursor : Descent.cursor) =
+  let tm = Service.telemetry service in
+  let scorer = scorer_of t service in
+  Score_service.sync scorer ~generation:(Shared.generation shared)
+    (Shared.model shared);
+  let dag = t.task.Task.dag in
+  let before_best = best_latency t in
+  let outcome =
+    Telemetry.time tm Telemetry.Descent (fun () ->
+        Descent.sweep cfg ~dag ~policy:t.policy ~scorer
+          ~on_reject:(fun () -> Telemetry.incr_statically_rejected tm)
+          ~measured:(fun k -> Hashtbl.mem t.measured k)
+          cursor)
+  in
+  let finish_stage cursor' =
+    t.descent <- Some cursor';
+    if cursor'.Descent.finished then
+      (* a restart needs a fresh plateau, counted from here *)
+      t.plateau <-
+        Evolution.Plateau.restore
+          ~patience:(plateau_patience t.options)
+          ~best:(best_latency t) ~stall:0
+  in
+  (match outcome with
+  | Error _ ->
+    (* the cursor's history no longer replays: abandon the stage *)
+    finish_stage { cursor with Descent.finished = true }
+  | Ok winners ->
+    let batch =
+      List.filter_map
+        (fun st ->
+          match Lower.lower st with
+          | prog -> Some (st, prog, Step.history_key st.State.history)
+          | exception State.Illegal _ -> None)
+        winners
+    in
+    let trials_before = Service.trials service in
+    absorb_batch t shared service tm batch;
+    let improved = best_latency t < before_best in
+    Telemetry.add_descent_sweep tm
+      ~trials:(Service.trials service - trials_before)
+      ~improved;
+    let best_hist =
+      match t.best with
+      | Some (st, _) -> st.State.history
+      | None -> cursor.Descent.current
+    in
+    let cursor' = Descent.advance cfg cursor ~improved ~best:best_hist in
+    if cursor'.Descent.finished then Telemetry.incr_descent_plateau_stops tm;
+    finish_stage cursor');
+  t.rounds <- t.rounds + 1;
+  t.curve_rev <- (Service.trials service, best_latency t) :: t.curve_rev
+
+(* Start descending once evolution stalls ([stall_rounds] rounds without
+   improvement) or — when the trial [budget] is known — once
+   [budget_fraction] of it is spent.  After a stage finishes the
+   detector is reset, and a later plateau restarts the stage, but only
+   on a *new* incumbent: re-walking the same program would propose only
+   already-measured neighbors. *)
+let maybe_start_descent ?budget t service (cfg : Descent.config) =
+  let start () =
+    match t.best with
+    | Some (st, _) -> t.descent <- Some (Descent.start st)
+    | None -> ()
+  in
+  let stalled = Evolution.Plateau.stalled t.plateau in
+  match t.descent with
+  | None ->
+    let fraction_spent =
+      match budget with
+      | Some b when b > 0 ->
+        float_of_int (Service.trials service)
+        >= cfg.Descent.budget_fraction *. float_of_int b
+      | _ -> false
+    in
+    if stalled || fraction_spent then start ()
+  | Some cur when cur.Descent.finished ->
+    let new_incumbent =
+      match t.best with
+      | Some (st, _) ->
+        Step.history_key st.State.history
+        <> Step.history_key cur.Descent.current
+      | None -> false
+    in
+    if stalled && new_incumbent then start ()
+  | Some _ -> ()
+
+let round ?budget t shared service =
+  match (t.options.descent, t.descent) with
+  | Some cfg, Some cursor when not cursor.Descent.finished ->
+    descent_round t shared service cfg cursor
+  | descent_cfg, _ ->
+    evolution_round t shared service;
+    (match descent_cfg with
+    | None -> ()
+    | Some cfg ->
+      ignore (Evolution.Plateau.observe t.plateau (best_latency t));
+      maybe_start_descent ?budget t service cfg)
 
 let tune ?(seed = 0) ?shared ?service ?snapshot:snap
     ?(should_stop = fun () -> false) ?on_round options ~trials task =
@@ -676,7 +821,7 @@ let tune ?(seed = 0) ?shared ?service ?snapshot:snap
     (not (should_stop ())) && Service.trials service < trials && !stuck < 3
   do
     let before = Service.trials service in
-    round t shared service;
+    round ~budget:trials t shared service;
     (match on_round with Some f -> f t | None -> ());
     if Service.trials service = before then incr stuck else stuck := 0
   done;

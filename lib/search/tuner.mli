@@ -44,6 +44,13 @@ type options = {
           computation-location changes), as manual templates do; set for
           the AutoTVM / FlexTensor baselines and the "Limited space"
           ablation *)
+  descent : Descent.config option;
+      (** enable the coordinate-descent exploitation finisher
+          ({!Descent}): once evolution plateaus (or the configured budget
+          fraction is spent), rounds switch to deterministic coordinate
+          sweeps on the incumbent until a measured plateau, then
+          evolution resumes from the descended winner.  [None] (the
+          default everywhere) disables the stage. *)
 }
 
 val ansor_options : options
@@ -162,6 +169,10 @@ module Snapshot : sig
     good : (Ansor_sched.Step.t list * float) list;  (** ascending latency *)
     measured_keys : string list;  (** dedup set of measured histories *)
     curve : (int * float) list;  (** oldest first *)
+    descent : Descent.cursor option;
+        (** exploitation-descent position, so a resume replays
+            mid-descent deterministically *)
+    plateau_stall : int;  (** evolution-plateau detector state *)
   }
 end
 
@@ -174,10 +185,18 @@ val restore : t -> Snapshot.t -> (unit, string) result
     dropped silently.  [Error] if the snapshot belongs to a different
     task. *)
 
-val round : t -> Shared.t -> Ansor_measure_service.Service.t -> unit
+val round :
+  ?budget:int -> t -> Shared.t -> Ansor_measure_service.Service.t -> unit
 (** Generate, measure [batch_size] programs through the measurement
     service, record, maybe retrain.  Phase timings (sample / evolve /
-    model-rank / measure / retrain) land in the service's telemetry. *)
+    model-rank / measure / retrain / descent) land in the service's
+    telemetry.
+
+    With {!options.descent} set, a round instead performs one
+    coordinate-descent sweep while the exploitation stage is active; the
+    stage starts once evolution plateaus or — when the total trial
+    [budget] is known (passed by {!tune}) — once the configured fraction
+    of it is spent. *)
 
 val best_latency : t -> float
 (** Best {e observed} latency so far ([infinity] before any
